@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the simulation substrate itself: event-engine
+//! scheduling throughput and network segment processing rate. These
+//! bound how fast the reproduction harness can run.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcore::engine::Engine;
+use simcore::time::{SimDuration, SimTime};
+use simnet::{EndpointId, HostId, LinkConfig, Network, Side, SockAddr, TcpConfig};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    for n in [1_000usize, 100_000] {
+        g.bench_with_input(BenchmarkId::new("schedule_run", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut e: Engine<u64> = Engine::new();
+                let mut acc = 0u64;
+                for i in 0..n as u64 {
+                    e.schedule_at(
+                        SimTime::from_nanos(i % 977),
+                        Box::new(|s: &mut u64, _e| *s += 1),
+                    );
+                }
+                e.run(&mut acc);
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_network_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network");
+    g.sample_size(20);
+    g.bench_function("transfer_1mb", |b| {
+        b.iter(|| {
+            let mut net = Network::new(TcpConfig::default(), LinkConfig::default(), 2);
+            let l = net.listen(HostId(1), 80, 16).unwrap();
+            let conn = net
+                .connect(SimTime::ZERO, HostId(0), SockAddr::new(HostId(1), 80), SimDuration::ZERO)
+                .unwrap();
+            let client = EndpointId::new(conn, Side::Client);
+            let payload = vec![0u8; 8192];
+            let mut sent = 0usize;
+            let mut got = 0usize;
+            let mut server = None;
+            let mut t = SimTime::ZERO;
+            while got < 1_000_000 {
+                if server.is_none() {
+                    server = net.accept(l);
+                }
+                if let Some(ep) = server {
+                    if sent < 1_000_000 {
+                        sent += net.send(t, ep, &payload).unwrap_or(0);
+                    }
+                }
+                match net.next_deadline() {
+                    Some(next) => {
+                        t = next;
+                        let _ = net.advance(t);
+                        got += net.recv(t, client, usize::MAX).map(|v| v.len()).unwrap_or(0);
+                    }
+                    None => break,
+                }
+            }
+            black_box(got)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_network_transfer);
+criterion_main!(benches);

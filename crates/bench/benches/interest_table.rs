@@ -1,0 +1,118 @@
+//! Criterion microbenchmarks of the `/dev/poll` interest-set hash table
+//! (§3.1): insert/lookup/remove throughput and the doubling policy,
+//! against `HashMap` as a reference point.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use devpoll::InterestTable;
+use simkernel::PollBits;
+use std::collections::HashMap;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interest_insert");
+    for n in [64usize, 512, 4096] {
+        g.bench_with_input(BenchmarkId::new("interest_table", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut t = InterestTable::new();
+                for fd in 0..n as i32 {
+                    t.set(black_box(fd), PollBits::POLLIN, false);
+                }
+                black_box(t.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("hashmap_reference", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut t: HashMap<i32, PollBits> = HashMap::new();
+                for fd in 0..n as i32 {
+                    t.insert(black_box(fd), PollBits::POLLIN);
+                }
+                black_box(t.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interest_lookup");
+    for n in [64usize, 512, 4096] {
+        let mut t = InterestTable::new();
+        for fd in 0..n as i32 {
+            t.set(fd, PollBits::POLLIN, false);
+        }
+        g.bench_with_input(BenchmarkId::new("hit", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for fd in 0..n as i32 {
+                    if t.get(black_box(fd)).is_some() {
+                        acc += 1;
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    // The benchmark workload: one add + one remove per connection, over
+    // a standing population (the inactive connections stay put).
+    let mut g = c.benchmark_group("interest_churn");
+    for standing in [0usize, 501] {
+        let mut t = InterestTable::new();
+        for fd in 0..standing as i32 {
+            t.set(fd, PollBits::POLLIN, false);
+        }
+        g.bench_with_input(
+            BenchmarkId::new("add_remove", standing),
+            &standing,
+            |b, &standing| {
+                let mut fd = standing as i32;
+                b.iter(|| {
+                    fd += 1;
+                    t.set(black_box(fd), PollBits::POLLIN, false);
+                    t.remove(black_box(fd));
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    // Iterating the whole set (a no-hints DP_POLL scan) vs touching only
+    // hinted entries.
+    let mut g = c.benchmark_group("interest_scan");
+    for n in [512usize, 4096] {
+        let mut t = InterestTable::new();
+        for fd in 0..n as i32 {
+            t.set(fd, PollBits::POLLIN, false);
+        }
+        for e in t.iter_mut() {
+            e.hinted = false;
+        }
+        // Mark 1% hinted.
+        for fd in (0..n as i32).step_by(100) {
+            t.mark_hint(fd);
+        }
+        g.bench_with_input(BenchmarkId::new("full", n), &n, |b, _| {
+            b.iter(|| {
+                let ready = t.iter().filter(|e| !e.cached.is_empty()).count();
+                black_box(ready)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("hinted_only", n), &n, |b, _| {
+            b.iter(|| {
+                let ready = t
+                    .iter()
+                    .filter(|e| e.hinted || !e.cached.is_empty())
+                    .count();
+                black_box(ready)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_lookup, bench_churn, bench_scan);
+criterion_main!(benches);

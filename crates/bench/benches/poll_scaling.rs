@@ -1,0 +1,143 @@
+//! Criterion benchmarks of the three event-notification paths end to
+//! end against the simulated kernel: what does one "collect events" call
+//! cost (in wall time of the simulator, which tracks the amount of work
+//! the model performs) as the interest set grows?
+//!
+//! The *simulated* cost tables live in `src/bin/micro.rs`; these
+//! benches cover the real computational complexity of the
+//! implementation itself.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use devpoll::{sys_poll, DevPollConfig, DevPollRegistry, DvPoll, PollFd};
+use simcore::time::{SimDuration, SimTime};
+use simkernel::{CostModel, Kernel, PollBits};
+use simnet::{HostId, LinkConfig, Network, SockAddr, TcpConfig};
+
+struct World {
+    /// Kept alive so endpoints stay valid.
+    _net: Network,
+    kernel: Kernel,
+    registry: DevPollRegistry,
+    pid: simkernel::Pid,
+    fds: Vec<simkernel::Fd>,
+}
+
+/// Builds a server with `n` accepted, idle connections.
+fn world_with_conns(n: usize) -> World {
+    let mut net = Network::new(TcpConfig::default(), LinkConfig::default(), 2);
+    let mut kernel = Kernel::new(HostId(1), CostModel::k6_2_400mhz());
+    let pid = kernel.spawn(n + 16, 1024);
+    kernel.begin_batch(SimTime::ZERO, pid);
+    let lfd = kernel
+        .sys_listen(&mut net, SimTime::ZERO, pid, 80, 4096)
+        .unwrap();
+    kernel.end_batch(SimTime::ZERO, pid);
+    let mut fds = Vec::new();
+    let mut now = SimTime::ZERO;
+    for _ in 0..n {
+        net.connect(now, HostId(0), SockAddr::new(HostId(1), 80), SimDuration::ZERO)
+            .unwrap();
+        // Drain the handshake.
+        while let Some(t) = net.next_deadline() {
+            now = t;
+            for ntf in net.advance(t) {
+                kernel.on_net(t, &ntf);
+            }
+            let _ = kernel.advance(t);
+            if net.next_deadline().is_none() {
+                break;
+            }
+        }
+        kernel.begin_batch(now, pid);
+        let fd = kernel.sys_accept(&mut net, now, pid, lfd).unwrap();
+        kernel.end_batch(now, pid);
+        fds.push(fd);
+    }
+    World {
+        _net: net,
+        kernel,
+        registry: DevPollRegistry::new(),
+        pid,
+        fds,
+    }
+}
+
+fn bench_stock_poll(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stock_poll_scan");
+    for n in [16usize, 128, 1024] {
+        let mut w = world_with_conns(n);
+        let mut fds: Vec<PollFd> = w
+            .fds
+            .iter()
+            .map(|&fd| PollFd::new(fd, PollBits::POLLIN))
+            .collect();
+        let now = SimTime::from_secs(10);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                w.kernel.begin_batch(now, w.pid);
+                let out = sys_poll(&mut w.kernel, now, w.pid, &mut fds, 0);
+                w.kernel.end_batch(now, w.pid);
+                black_box(out)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_devpoll_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("devpoll_scan");
+    for (label, hints) in [("hints", true), ("no_hints", false)] {
+        for n in [128usize, 1024] {
+            let mut w = world_with_conns(n);
+            let now = SimTime::from_secs(10);
+            w.kernel.begin_batch(now, w.pid);
+            let dpfd = w
+                .registry
+                .open(
+                    &mut w.kernel,
+                    now,
+                    w.pid,
+                    DevPollConfig {
+                        hints,
+                        ..DevPollConfig::default()
+                    },
+                )
+                .unwrap();
+            let entries: Vec<PollFd> = w
+                .fds
+                .iter()
+                .map(|&fd| PollFd::new(fd, PollBits::POLLIN))
+                .collect();
+            w.registry
+                .write(&mut w.kernel, now, w.pid, dpfd, &entries)
+                .unwrap();
+            // Settle the fresh-interest hints with one scan.
+            let _ = w
+                .registry
+                .dp_poll(&mut w.kernel, now, w.pid, dpfd, DvPoll::into_user_buffer(64, 0));
+            w.kernel.end_batch(now, w.pid);
+            g.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        w.kernel.begin_batch(now, w.pid);
+                        let out = w.registry.dp_poll(
+                            &mut w.kernel,
+                            now,
+                            w.pid,
+                            dpfd,
+                            DvPoll::into_user_buffer(64, 0),
+                        );
+                        w.kernel.end_batch(now, w.pid);
+                        black_box(out.unwrap().0)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stock_poll, bench_devpoll_scan);
+criterion_main!(benches);

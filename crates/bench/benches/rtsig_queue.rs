@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the RT signal queue (§2): enqueue/dequeue
+//! throughput, the signal-number-ordered dequeue, batch pickup
+//! (`sigtimedwait4`, §6) and overflow flushing.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use simkernel::{PollBits, Siginfo, SignalState, SIGRTMIN};
+
+fn info(signo: u8, fd: i32) -> Siginfo {
+    Siginfo {
+        signo,
+        fd,
+        band: PollBits::POLLIN,
+    }
+}
+
+fn bench_enqueue_dequeue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rt_queue");
+    g.bench_function("enqueue_dequeue_single_signo", |b| {
+        let mut s = SignalState::new(1024);
+        b.iter(|| {
+            s.enqueue_rt(info(SIGRTMIN, black_box(7)));
+            black_box(s.dequeue())
+        })
+    });
+    g.bench_function("enqueue_dequeue_spread_signos", |b| {
+        let mut s = SignalState::new(1024);
+        let mut fd = 0i32;
+        b.iter(|| {
+            fd = (fd + 1) % 31;
+            s.enqueue_rt(info(SIGRTMIN + fd as u8, fd));
+            black_box(s.dequeue())
+        })
+    });
+    g.finish();
+}
+
+fn bench_batch_dequeue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rt_batch");
+    for batch in [1usize, 16, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("dequeue_batch", batch),
+            &batch,
+            |b, &batch| {
+                let mut s = SignalState::new(1024);
+                b.iter(|| {
+                    for i in 0..batch {
+                        s.enqueue_rt(info(SIGRTMIN, i as i32));
+                    }
+                    black_box(s.dequeue_batch(batch).len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_overflow_flush(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rt_overflow");
+    for depth in [256usize, 1024] {
+        g.bench_with_input(BenchmarkId::new("flush", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut s = SignalState::new(depth);
+                for i in 0..depth + 10 {
+                    s.enqueue_rt(info(SIGRTMIN, i as i32));
+                }
+                black_box(s.flush_rt())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_enqueue_dequeue, bench_batch_dequeue, bench_overflow_flush);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Quick calibration sweep: prints avg/min/max reply rate, error %, and
+//! median latency for each (server, rate, inactive) point so the cost
+//! model can be tuned against the paper's Figs. 4–14.
+
+use httperf::{run_one, RunParams, ServerKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let conns: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4000);
+    let kinds = [
+        ServerKind::ThttpdPoll,
+        ServerKind::ThttpdDevPoll,
+        ServerKind::Phhttpd,
+    ];
+    let loads = [1usize, 251, 501];
+    let rates = [500.0, 600.0, 700.0, 800.0, 900.0, 1000.0, 1100.0];
+    for kind in kinds {
+        for &inactive in &loads {
+            for &rate in &rates {
+                let params = RunParams::paper(kind, rate, inactive).with_conns(conns);
+                let mut r = run_one(params);
+                println!("{}", r.summary_line());
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! CLI for regenerating the paper's figures.
+//!
+//! ```text
+//! figures [--quick] [--conns N] [--out DIR] <target>...
+//! targets: fig4 .. fig14 | all | hybrid | ablate-hints | ablate-mmap |
+//!          ablate-combined | ablate-batch | extensions
+//! ```
+//!
+//! Each figure is printed as an ASCII chart and written as CSV under the
+//! output directory (default `target/figures/`).
+
+use std::fs;
+use std::path::PathBuf;
+
+use bench::{FigureConfig, FigureRunner, PAPER_FIGURES};
+use simcore::series::Figure;
+
+fn main() {
+    let mut config = FigureConfig::default();
+    let mut out_dir = PathBuf::from("target/figures");
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => config = FigureConfig::quick(),
+            "--conns" => {
+                let v = args.next().expect("--conns needs a value");
+                config.conns = v.parse().expect("--conns must be an integer");
+            }
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                config.seed = v.parse().expect("--seed must be an integer");
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.next().expect("--out needs a value"));
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+
+    fs::create_dir_all(&out_dir).expect("create output dir");
+    let mut runner = FigureRunner::new(config);
+
+    let emit = |name: &str, figs: Vec<Figure>| {
+        for (i, fig) in figs.iter().enumerate() {
+            let suffix = if figs.len() > 1 {
+                format!("{}_{}", name, (b'a' + i as u8) as char)
+            } else {
+                name.to_string()
+            };
+            let csv_path = out_dir.join(format!("{suffix}.csv"));
+            fs::write(&csv_path, fig.to_csv()).expect("write csv");
+            println!("\n{}", fig.to_ascii(72, 18));
+            println!("[written {}]", csv_path.display());
+        }
+    };
+
+    for t in targets {
+        match t.as_str() {
+            "all" => {
+                for id in PAPER_FIGURES {
+                    eprintln!("== {id} ==");
+                    let figs = runner.paper_figure(id);
+                    emit(id, figs);
+                }
+            }
+            "extensions" => {
+                eprintln!("== hybrid ==");
+                emit("hybrid", runner.hybrid_figure(251));
+                eprintln!("== ablate-hints ==");
+                emit("ablate_hints", runner.ablate_hints(501));
+                eprintln!("== ablate-mmap ==");
+                emit("ablate_mmap", runner.ablate_mmap(501));
+                eprintln!("== ablate-combined ==");
+                emit("ablate_combined", runner.ablate_combined(501));
+                eprintln!("== ablate-batch ==");
+                emit("ablate_batch", runner.ablate_batch(251));
+                eprintln!("== herd ==");
+                emit("herd", runner.herd_figure(251));
+                eprintln!("== docsize ==");
+                emit("docsize", runner.docsize_figure(500.0, 251));
+                eprintln!("== sendfile ==");
+                emit("sendfile", runner.sendfile_figure(1));
+                eprintln!("== loss ==");
+                emit("loss", runner.loss_figure(500.0, 251));
+                eprintln!("== select ==");
+                emit("select", runner.select_figure(251));
+            }
+            "hybrid" => emit("hybrid", runner.hybrid_figure(251)),
+            "herd" => emit("herd", runner.herd_figure(251)),
+            "docsize" => emit("docsize", runner.docsize_figure(500.0, 251)),
+            "sendfile" => emit("sendfile", runner.sendfile_figure(1)),
+            "loss" => emit("loss", runner.loss_figure(500.0, 251)),
+            "select" => emit("select", runner.select_figure(251)),
+            "cpu-scaling" => emit("cpu_scaling", runner.cpu_scaling_figure(501)),
+            "ablate-hints" => emit("ablate_hints", runner.ablate_hints(501)),
+            "ablate-mmap" => emit("ablate_mmap", runner.ablate_mmap(501)),
+            "ablate-combined" => emit("ablate_combined", runner.ablate_combined(501)),
+            "ablate-batch" => emit("ablate_batch", runner.ablate_batch(251)),
+            id if PAPER_FIGURES.contains(&id) => {
+                eprintln!("== {id} ==");
+                let figs = runner.paper_figure(id);
+                emit(id, figs);
+            }
+            other => {
+                eprintln!("unknown target {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

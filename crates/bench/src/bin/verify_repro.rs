@@ -1,0 +1,172 @@
+//! Executable reproduction checklist: runs a compact grid and verifies
+//! every shape claim from EXPERIMENTS.md, printing PASS/FAIL per claim.
+//!
+//! ```text
+//! cargo run --release -p bench --bin verify_repro [--conns N]
+//! ```
+//!
+//! Exit code 0 iff every claim holds.
+
+use httperf::{run_one, RunParams, RunReport, ServerKind};
+use simkernel::AcceptWake;
+
+struct Checker {
+    failures: u32,
+    checks: u32,
+}
+
+impl Checker {
+    fn check(&mut self, name: &str, ok: bool, detail: String) {
+        self.checks += 1;
+        if ok {
+            println!("PASS  {name}  ({detail})");
+        } else {
+            self.failures += 1;
+            println!("FAIL  {name}  ({detail})");
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let conns: u64 = args
+        .iter()
+        .position(|a| a == "--conns")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6_000);
+
+    let point = |kind: ServerKind, rate: f64, inactive: usize| -> RunReport {
+        run_one(RunParams::paper(kind, rate, inactive).with_conns(conns))
+    };
+    let mut c = Checker {
+        failures: 0,
+        checks: 0,
+    };
+
+    println!("verify_repro: {conns} connections per point\n");
+
+    // -------- Figs. 4/5: light load, both clean --------
+    for kind in [ServerKind::ThttpdPoll, ServerKind::ThttpdDevPoll] {
+        let r = point(kind, 900.0, 1);
+        c.check(
+            &format!("fig4/5 {} clean at 900/1", r.server),
+            r.rate.avg > 0.97 * 900.0 && r.error_percent() < 1.0,
+            format!("avg {:.0}, err {:.1}%", r.rate.avg, r.error_percent()),
+        );
+    }
+
+    // -------- Figs. 6/8: stock collapses under inactive load --------
+    let stock_251 = point(ServerKind::ThttpdPoll, 1000.0, 251);
+    c.check(
+        "fig6 stock collapses at 1000/251",
+        stock_251.rate.avg < 0.7 * 1000.0 && stock_251.error_percent() > 20.0,
+        format!("avg {:.0}, err {:.1}%", stock_251.rate.avg, stock_251.error_percent()),
+    );
+    let stock_501 = point(ServerKind::ThttpdPoll, 800.0, 501);
+    c.check(
+        "fig8 stock collapses at 800/501",
+        stock_501.rate.avg < 0.75 * 800.0 && stock_501.error_percent() > 20.0,
+        format!("avg {:.0}, err {:.1}%", stock_501.rate.avg, stock_501.error_percent()),
+    );
+
+    // -------- Figs. 7/9: devpoll unaffected --------
+    for (rate, inactive) in [(1000.0, 251), (1000.0, 501)] {
+        let r = point(ServerKind::ThttpdDevPoll, rate, inactive);
+        c.check(
+            &format!("fig7/9 devpoll clean at {rate:.0}/{inactive}"),
+            r.rate.avg > 0.97 * rate && r.error_percent() < 1.0,
+            format!("avg {:.0}, err {:.1}%", r.rate.avg, r.error_percent()),
+        );
+    }
+
+    // -------- Fig. 10: error ordering --------
+    let stock_1100 = point(ServerKind::ThttpdPoll, 1100.0, 501);
+    c.check(
+        "fig10 stock errors approach 60% at 1100/501",
+        stock_1100.error_percent() > 40.0,
+        format!("err {:.1}%", stock_1100.error_percent()),
+    );
+
+    // -------- Figs. 12/13: phhttpd knees --------
+    let ph_501 = point(ServerKind::Phhttpd, 1000.0, 501);
+    c.check(
+        "fig13 phhttpd capped below target at 1000/501",
+        ph_501.rate.avg < 0.95 * 1000.0,
+        format!("avg {:.0}", ph_501.rate.avg),
+    );
+    c.check(
+        "fig13 phhttpd overflow meltdown happened",
+        ph_501.server_metrics.overflows >= 1,
+        format!("overflows {}", ph_501.server_metrics.overflows),
+    );
+
+    // -------- Fig. 14: latency ordering --------
+    let mut dev = point(ServerKind::ThttpdDevPoll, 700.0, 251);
+    let mut stock = point(ServerKind::ThttpdPoll, 700.0, 251);
+    let mut ph_lo = point(ServerKind::Phhttpd, 700.0, 251);
+    let mut ph_hi = point(ServerKind::Phhttpd, 1100.0, 251);
+    let (d, s) = (dev.median_latency_ms(), stock.median_latency_ms());
+    c.check(
+        "fig14 normal poll well above devpoll pre-knee",
+        s > 2.0 * d,
+        format!("poll {s:.2} ms vs devpoll {d:.2} ms"),
+    );
+    let (pl, ph) = (ph_lo.median_latency_ms(), ph_hi.median_latency_ms());
+    c.check(
+        "fig14 phhttpd latency jumps past the knee",
+        ph > 5.0 * pl,
+        format!("{pl:.2} -> {ph:.2} ms"),
+    );
+
+    // -------- Extensions --------
+    let hybrid = point(ServerKind::Hybrid, 1100.0, 251);
+    c.check(
+        "hybrid keeps devpoll-class throughput at 1100/251",
+        hybrid.rate.avg > 0.97 * 1100.0 && hybrid.error_percent() < 1.0,
+        format!("avg {:.0}", hybrid.rate.avg),
+    );
+    let herd = point(
+        ServerKind::PreforkDevPoll {
+            workers: 4,
+            wake: AcceptWake::Herd,
+        },
+        500.0,
+        251,
+    );
+    let excl = point(
+        ServerKind::PreforkDevPoll {
+            workers: 4,
+            wake: AcceptWake::Exclusive,
+        },
+        500.0,
+        251,
+    );
+    c.check(
+        "thundering herd: exclusive wake cuts wakeups",
+        herd.kernel_wakeups as f64 > 1.5 * excl.kernel_wakeups as f64,
+        format!("herd {} vs exclusive {}", herd.kernel_wakeups, excl.kernel_wakeups),
+    );
+    let no_hints = point(
+        ServerKind::ThttpdDevPollWith {
+            config: devpoll::DevPollConfig {
+                hints: false,
+                ..devpoll::DevPollConfig::default()
+            },
+            mmap: true,
+            combined: false,
+        },
+        1000.0,
+        501,
+    );
+    c.check(
+        "ablation: hints are load-bearing (no-hints devpoll collapses)",
+        no_hints.rate.avg < 0.7 * 1000.0,
+        format!("avg {:.0}", no_hints.rate.avg),
+    );
+
+    println!("\n{} checks, {} failures", c.checks, c.failures);
+    if c.failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,594 @@
+//! Regeneration of every figure in the paper's evaluation (Figs. 4–14),
+//! plus the extension experiments (hybrid server, ablations).
+//!
+//! Each paper figure maps to a [`simcore::series::Figure`] built from
+//! benchmark sweeps; results are cached per (server, inactive-load) so
+//! `all` runs the 3×3 grid once.
+
+use std::collections::HashMap;
+
+use devpoll::DevPollConfig;
+use httperf::{run_one, RunParams, RunReport, ServerKind};
+use simcore::series::{Figure, Series};
+
+/// Sweep settings shared by every figure.
+#[derive(Debug, Clone)]
+pub struct FigureConfig {
+    /// Request rates swept (the paper: 500–1100).
+    pub rates: Vec<f64>,
+    /// Connections per run (the paper: 35 000).
+    pub conns: u64,
+    /// RNG seed base.
+    pub seed: u64,
+}
+
+impl Default for FigureConfig {
+    fn default() -> FigureConfig {
+        FigureConfig {
+            rates: (0..=12).map(|i| 500.0 + 50.0 * i as f64).collect(),
+            conns: 35_000,
+            seed: 42,
+        }
+    }
+}
+
+impl FigureConfig {
+    /// A fast configuration for smoke runs.
+    pub fn quick() -> FigureConfig {
+        FigureConfig {
+            rates: vec![500.0, 600.0, 700.0, 800.0, 900.0, 1000.0, 1100.0],
+            conns: 8_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Runs sweeps lazily and caches them per (server kind, inactive load).
+pub struct FigureRunner {
+    config: FigureConfig,
+    cache: HashMap<(String, usize), Vec<RunReport>>,
+    /// Logs one line per completed run when `true`.
+    pub verbose: bool,
+}
+
+impl FigureRunner {
+    /// Creates a runner.
+    pub fn new(config: FigureConfig) -> FigureRunner {
+        FigureRunner {
+            config,
+            cache: HashMap::new(),
+            verbose: true,
+        }
+    }
+
+    /// The sweep for `kind` at `inactive`, cached.
+    pub fn sweep(&mut self, kind: ServerKind, inactive: usize) -> &[RunReport] {
+        let key = (kind.label(), inactive);
+        if !self.cache.contains_key(&key) {
+            let mut out = Vec::new();
+            for &rate in &self.config.rates {
+                let params = RunParams::paper(kind, rate, inactive)
+                    .with_conns(self.config.conns)
+                    .with_seed(self.config.seed);
+                let mut r = run_one(params);
+                if self.verbose {
+                    eprintln!("  {}", r.summary_line());
+                }
+                out.push(r);
+            }
+            self.cache.insert(key.clone(), out);
+        }
+        &self.cache[&key]
+    }
+
+    /// Reply-rate figure (avg with stddev error bars, min, max) — the
+    /// format of Figs. 4–9 and 11–13.
+    pub fn reply_rate_figure(&mut self, title: &str, kind: ServerKind, inactive: usize) -> Figure {
+        let reports = self.sweep(kind, inactive).to_vec();
+        let mut fig = Figure::new(
+            title,
+            format!("targeted request rate with load {inactive}"),
+            "reply rate",
+        );
+        let mut avg = Series::new("Average");
+        let mut min = Series::new("Min");
+        let mut max = Series::new("Max");
+        for r in &reports {
+            avg.push_err(r.target_rate, r.rate.avg, r.rate.stddev);
+            min.push(r.target_rate, r.rate.min);
+            max.push(r.target_rate, r.rate.max);
+        }
+        fig.add(avg);
+        fig.add(min);
+        fig.add(max);
+        fig
+    }
+
+    /// Error-percentage figure (one panel of Fig. 10).
+    pub fn error_figure(&mut self, title: &str, inactive: usize) -> Figure {
+        let devpoll: Vec<(f64, f64)> = self
+            .sweep(ServerKind::ThttpdDevPoll, inactive)
+            .iter()
+            .map(|r| (r.target_rate, r.error_percent()))
+            .collect();
+        let poll: Vec<(f64, f64)> = self
+            .sweep(ServerKind::ThttpdPoll, inactive)
+            .iter()
+            .map(|r| (r.target_rate, r.error_percent()))
+            .collect();
+        let mut fig = Figure::new(
+            title,
+            format!("targeted request rate with load {inactive}"),
+            "errors in percent",
+        );
+        let mut s1 = Series::new("using devpoll");
+        for (x, y) in devpoll {
+            s1.push(x, y);
+        }
+        let mut s2 = Series::new("normal poll");
+        for (x, y) in poll {
+            s2.push(x, y);
+        }
+        fig.add(s1);
+        fig.add(s2);
+        fig
+    }
+
+    /// Median-latency figure (Fig. 14).
+    pub fn latency_figure(&mut self, title: &str, inactive: usize) -> Figure {
+        let mut fig = Figure::new(
+            title,
+            format!("targeted request rate with load {inactive}"),
+            "median connection time in ms",
+        );
+        for (label, kind) in [
+            ("devpoll", ServerKind::ThttpdDevPoll),
+            ("normal poll", ServerKind::ThttpdPoll),
+            ("phhttpd", ServerKind::Phhttpd),
+        ] {
+            let pts: Vec<(f64, f64)> = self
+                .sweep(kind, inactive)
+                .to_vec()
+                .iter_mut()
+                .map(|r| (r.target_rate, r.median_latency_ms()))
+                .collect();
+            let mut s = Series::new(label);
+            for (x, y) in pts {
+                s.push(x, y);
+            }
+            fig.add(s);
+        }
+        fig
+    }
+
+    /// Builds one paper figure by id (`"fig4"` … `"fig14"`).
+    pub fn paper_figure(&mut self, id: &str) -> Vec<Figure> {
+        match id {
+            "fig4" => vec![self.reply_rate_figure(
+                "FIGURE 4. Normal thttpd using normal poll(), 1 extra inactive connection",
+                ServerKind::ThttpdPoll,
+                1,
+            )],
+            "fig5" => vec![self.reply_rate_figure(
+                "FIGURE 5. thttpd modified to use /dev/poll, 1 extra inactive connection",
+                ServerKind::ThttpdDevPoll,
+                1,
+            )],
+            "fig6" => vec![self.reply_rate_figure(
+                "FIGURE 6. Normal thttpd using normal poll(), 251 extra inactive connections",
+                ServerKind::ThttpdPoll,
+                251,
+            )],
+            "fig7" => vec![self.reply_rate_figure(
+                "FIGURE 7. thttpd modified to use /dev/poll, 251 extra inactive connections",
+                ServerKind::ThttpdDevPoll,
+                251,
+            )],
+            "fig8" => vec![self.reply_rate_figure(
+                "FIGURE 8. Normal thttpd using normal poll(), 501 extra inactive connections",
+                ServerKind::ThttpdPoll,
+                501,
+            )],
+            "fig9" => vec![self.reply_rate_figure(
+                "FIGURE 9. thttpd modified to use /dev/poll, 501 extra inactive connections",
+                ServerKind::ThttpdDevPoll,
+                501,
+            )],
+            "fig10" => vec![
+                self.error_figure("FIGURE 10a. Error rate, 251 inactive connections", 251),
+                self.error_figure("FIGURE 10b. Error rate, 501 inactive connections", 501),
+            ],
+            "fig11" => vec![self.reply_rate_figure(
+                "FIGURE 11. phhttpd with 1 extra inactive connection",
+                ServerKind::Phhttpd,
+                1,
+            )],
+            "fig12" => vec![self.reply_rate_figure(
+                "FIGURE 12. phhttpd with 251 extra inactive connections",
+                ServerKind::Phhttpd,
+                251,
+            )],
+            "fig13" => vec![self.reply_rate_figure(
+                "FIGURE 13. phhttpd with 501 extra inactive connections",
+                ServerKind::Phhttpd,
+                501,
+            )],
+            "fig14" => vec![self.latency_figure(
+                "FIGURE 14. Median latency, 251 extra inactive connections",
+                251,
+            )],
+            other => panic!("unknown figure id {other:?}"),
+        }
+    }
+
+    /// Extension: the hybrid server (the paper's §4 thought experiment)
+    /// against its two constituents at the given load.
+    pub fn hybrid_figure(&mut self, inactive: usize) -> Vec<Figure> {
+        let mut rate_fig = Figure::new(
+            format!("EXTENSION. Hybrid server vs constituents, load {inactive}"),
+            format!("targeted request rate with load {inactive}"),
+            "average reply rate",
+        );
+        let mut lat_fig = Figure::new(
+            format!("EXTENSION. Hybrid server latency, load {inactive}"),
+            format!("targeted request rate with load {inactive}"),
+            "median connection time in ms",
+        );
+        for (label, kind) in [
+            ("hybrid", ServerKind::Hybrid),
+            ("devpoll", ServerKind::ThttpdDevPoll),
+            ("phhttpd", ServerKind::Phhttpd),
+        ] {
+            let pts: Vec<(f64, f64, f64)> = self
+                .sweep(kind, inactive)
+                .to_vec()
+                .iter_mut()
+                .map(|r| (r.target_rate, r.rate.avg, r.median_latency_ms()))
+                .collect();
+            let mut s = Series::new(label);
+            let mut l = Series::new(label);
+            for (x, avg, med) in pts {
+                s.push(x, avg);
+                l.push(x, med);
+            }
+            rate_fig.add(s);
+            lat_fig.add(l);
+        }
+        vec![rate_fig, lat_fig]
+    }
+
+    /// Ablation: `/dev/poll` without driver hints (§3.2).
+    pub fn ablate_hints(&mut self, inactive: usize) -> Vec<Figure> {
+        let no_hints = ServerKind::ThttpdDevPollWith {
+            config: DevPollConfig {
+                hints: false,
+                ..DevPollConfig::default()
+            },
+            mmap: true,
+            combined: false,
+        };
+        self.compare_two(
+            format!("ABLATION. /dev/poll hints on vs off, load {inactive}"),
+            ("hints on", ServerKind::ThttpdDevPoll),
+            ("hints off", no_hints),
+            inactive,
+        )
+    }
+
+    /// Ablation: the mmap result area vs copy-out (§3.3).
+    pub fn ablate_mmap(&mut self, inactive: usize) -> Vec<Figure> {
+        let no_mmap = ServerKind::ThttpdDevPollWith {
+            config: DevPollConfig::default(),
+            mmap: false,
+            combined: false,
+        };
+        self.compare_two(
+            format!("ABLATION. /dev/poll mmap results vs copy-out, load {inactive}"),
+            ("mmap", ServerKind::ThttpdDevPoll),
+            ("copy-out", no_mmap),
+            inactive,
+        )
+    }
+
+    /// Ablation: the combined write+ioctl operation (§6 future work).
+    pub fn ablate_combined(&mut self, inactive: usize) -> Vec<Figure> {
+        let combined = ServerKind::ThttpdDevPollWith {
+            config: DevPollConfig::default(),
+            mmap: true,
+            combined: true,
+        };
+        self.compare_two(
+            format!("ABLATION. Separate write+ioctl vs combined op, load {inactive}"),
+            ("separate", ServerKind::ThttpdDevPoll),
+            ("combined", combined),
+            inactive,
+        )
+    }
+
+    /// Ablation: `sigtimedwait4()` batch dequeue for phhttpd (§6).
+    pub fn ablate_batch(&mut self, inactive: usize) -> Vec<Figure> {
+        self.compare_two(
+            format!("ABLATION. sigwaitinfo vs sigtimedwait4 batching, load {inactive}"),
+            ("one-at-a-time", ServerKind::Phhttpd),
+            ("sigtimedwait4(16)", ServerKind::PhhttpdBatch(16)),
+            inactive,
+        )
+    }
+
+    /// Extension: the thundering herd (§6's "waking only one thread").
+    /// Four prefork workers share the listener; herd wakeups vs
+    /// exclusive wakeups.
+    pub fn herd_figure(&mut self, inactive: usize) -> Vec<Figure> {
+        use simkernel::AcceptWake;
+        let mut lat_fig = Figure::new(
+            format!("EXTENSION. Thundering herd: 4 prefork workers, load {inactive}"),
+            format!("targeted request rate with load {inactive}"),
+            "median connection time in ms",
+        );
+        let mut wake_fig = Figure::new(
+            format!("EXTENSION. Kernel wakeups per reply, load {inactive}"),
+            format!("targeted request rate with load {inactive}"),
+            "wakeups / reply",
+        );
+        for (label, wake) in [
+            ("herd (wake all)", AcceptWake::Herd),
+            ("exclusive (wake one)", AcceptWake::Exclusive),
+        ] {
+            let kind = ServerKind::PreforkDevPoll { workers: 4, wake };
+            let pts: Vec<(f64, f64, f64)> = self
+                .sweep(kind, inactive)
+                .to_vec()
+                .iter_mut()
+                .map(|r| {
+                    let per_reply = if r.replies > 0 {
+                        r.kernel_wakeups as f64 / r.replies as f64
+                    } else {
+                        0.0
+                    };
+                    (r.target_rate, r.median_latency_ms(), per_reply)
+                })
+                .collect();
+            let mut l = Series::new(label);
+            let mut w = Series::new(label);
+            for (x, med, per) in pts {
+                l.push(x, med);
+                w.push(x, per);
+            }
+            lat_fig.add(l);
+            wake_fig.add(w);
+        }
+        vec![lat_fig, wake_fig]
+    }
+
+    /// Extension: document-size sensitivity (§5: "A web server's static
+    /// performance depends on the size distribution of requested
+    /// documents. Larger documents cause sockets … to remain active over
+    /// a longer time period … making the amortized cost of polling on a
+    /// single file descriptor larger.").
+    pub fn docsize_figure(&mut self, rate: f64, inactive: usize) -> Vec<Figure> {
+        let sizes = [1024usize, 6 * 1024, 16 * 1024, 32 * 1024];
+        let mut rate_fig = Figure::new(
+            format!("EXTENSION. Document size sensitivity at {rate} req/s, load {inactive}"),
+            "document size in KB",
+            "average reply rate",
+        );
+        let mut lat_fig = Figure::new(
+            format!("EXTENSION. Document size vs latency at {rate} req/s, load {inactive}"),
+            "document size in KB",
+            "median connection time in ms",
+        );
+        for (label, kind) in [
+            ("normal poll", ServerKind::ThttpdPoll),
+            ("devpoll", ServerKind::ThttpdDevPoll),
+        ] {
+            let mut s = Series::new(label);
+            let mut l = Series::new(label);
+            for &bytes in &sizes {
+                let params = RunParams::paper(kind, rate, inactive)
+                    .with_conns(self.config.conns)
+                    .with_seed(self.config.seed)
+                    .with_doc_bytes(bytes);
+                let mut r = run_one(params);
+                if self.verbose {
+                    eprintln!("  doc={}KB {}", bytes / 1024, r.summary_line());
+                }
+                let med = r.median_latency_ms();
+                s.push(bytes as f64 / 1024.0, r.rate.avg);
+                l.push(bytes as f64 / 1024.0, med);
+            }
+            rate_fig.add(s);
+            lat_fig.add(l);
+        }
+        vec![rate_fig, lat_fig]
+    }
+
+    /// Extension: `sendfile()` vs `write()` for the response body (§6
+    /// future work). Uses a 16 KB document so the copy saving is
+    /// visible.
+    pub fn sendfile_figure(&mut self, inactive: usize) -> Vec<Figure> {
+        let mut lat_fig = Figure::new(
+            format!("EXTENSION. write() vs sendfile(), 16 KB document, load {inactive}"),
+            format!("targeted request rate with load {inactive}"),
+            "median connection time in ms",
+        );
+        let mut rate_fig = Figure::new(
+            format!("EXTENSION. write() vs sendfile() throughput, load {inactive}"),
+            format!("targeted request rate with load {inactive}"),
+            "average reply rate",
+        );
+        for (label, kind) in [
+            ("write()", ServerKind::ThttpdDevPoll),
+            ("sendfile()", ServerKind::ThttpdDevPollSendfile),
+        ] {
+            let mut l = Series::new(label);
+            let mut s = Series::new(label);
+            for &rate in &[400.0, 500.0, 600.0, 650.0, 700.0] {
+                let params = RunParams::paper(kind, rate, inactive)
+                    .with_conns(self.config.conns)
+                    .with_seed(self.config.seed)
+                    .with_doc_bytes(16 * 1024);
+                let mut r = run_one(params);
+                if self.verbose {
+                    eprintln!("  {}", r.summary_line());
+                }
+                let med = r.median_latency_ms();
+                l.push(rate, med);
+                s.push(rate, r.rate.avg);
+            }
+            lat_fig.add(l);
+            rate_fig.add(s);
+        }
+        vec![rate_fig, lat_fig]
+    }
+
+    /// Extension: the pre-poll baseline. `select()` vs `poll()` vs
+    /// `/dev/poll` under inactive load — one interface generation earlier
+    /// than the paper's baseline.
+    pub fn select_figure(&mut self, inactive: usize) -> Vec<Figure> {
+        let mut rate_fig = Figure::new(
+            format!("EXTENSION. select() vs poll() vs /dev/poll, load {inactive}"),
+            format!("targeted request rate with load {inactive}"),
+            "average reply rate",
+        );
+        let mut lat_fig = Figure::new(
+            format!("EXTENSION. select() latency, load {inactive}"),
+            format!("targeted request rate with load {inactive}"),
+            "median connection time in ms",
+        );
+        for (label, kind) in [
+            ("select", ServerKind::ThttpdSelect),
+            ("normal poll", ServerKind::ThttpdPoll),
+            ("devpoll", ServerKind::ThttpdDevPoll),
+        ] {
+            let pts: Vec<(f64, f64, f64)> = self
+                .sweep(kind, inactive)
+                .to_vec()
+                .iter_mut()
+                .map(|r| (r.target_rate, r.rate.avg, r.median_latency_ms()))
+                .collect();
+            let mut s = Series::new(label);
+            let mut l = Series::new(label);
+            for (x, avg, med) in pts {
+                s.push(x, avg);
+                l.push(x, med);
+            }
+            rate_fig.add(s);
+            lat_fig.add(l);
+        }
+        vec![rate_fig, lat_fig]
+    }
+
+    /// Extension: random segment loss (fault injection). Lossy paths
+    /// lengthen connection lifetimes (RTO stalls), which inflates the
+    /// live descriptor set — compounding stock `poll()`'s scan costs
+    /// while `/dev/poll` only pays per event.
+    pub fn loss_figure(&mut self, rate: f64, inactive: usize) -> Vec<Figure> {
+        let losses = [0.0f64, 0.01, 0.03, 0.05];
+        let mut rate_fig = Figure::new(
+            format!("EXTENSION. Random loss at {rate} req/s, load {inactive}"),
+            "segment loss in percent",
+            "average reply rate",
+        );
+        let mut lat_fig = Figure::new(
+            format!("EXTENSION. Random loss vs latency at {rate} req/s, load {inactive}"),
+            "segment loss in percent",
+            "p90 connection time in ms",
+        );
+        for (label, kind) in [
+            ("normal poll", ServerKind::ThttpdPoll),
+            ("devpoll", ServerKind::ThttpdDevPoll),
+        ] {
+            let mut s = Series::new(label);
+            let mut l = Series::new(label);
+            for &loss in &losses {
+                let params = RunParams::paper(kind, rate, inactive)
+                    .with_conns(self.config.conns)
+                    .with_seed(self.config.seed)
+                    .with_loss(loss);
+                let mut r = run_one(params);
+                if self.verbose {
+                    eprintln!("  loss={:.0}% {}", loss * 100.0, r.summary_line());
+                }
+                let p90 = r.latency_quantile_ms(0.9);
+                s.push(loss * 100.0, r.rate.avg);
+                l.push(loss * 100.0, p90);
+            }
+            rate_fig.add(s);
+            lat_fig.add(l);
+        }
+        vec![rate_fig, lat_fig]
+    }
+
+    /// Extension: CPU-scaling sensitivity. Uniformly speed up the cost
+    /// model and look for the rate where stock `poll()` at 501 inactive
+    /// connections collapses; the devpoll/poll ordering should survive
+    /// every speed until the 100 Mbit wire, not the event model, becomes
+    /// the bottleneck.
+    pub fn cpu_scaling_figure(&mut self, inactive: usize) -> Vec<Figure> {
+        let mut fig = Figure::new(
+            format!("EXTENSION. CPU scaling: avg reply rate at 900 req/s, load {inactive}"),
+            "CPU speed multiplier over the K6-2",
+            "average reply rate at 900 req/s offered",
+        );
+        for (label, kind) in [
+            ("normal poll", ServerKind::ThttpdPoll),
+            ("devpoll", ServerKind::ThttpdDevPoll),
+        ] {
+            let mut s = Series::new(label);
+            for factor in [1.0f64, 2.0, 4.0, 8.0] {
+                let mut params = RunParams::paper(kind, 900.0, inactive)
+                    .with_conns(self.config.conns)
+                    .with_seed(self.config.seed);
+                params.cost = params.cost.scaled(factor);
+                let mut r = run_one(params);
+                if self.verbose {
+                    eprintln!("  cpu x{factor} {}", r.summary_line());
+                }
+                s.push(factor, r.rate.avg);
+            }
+            fig.add(s);
+        }
+        vec![fig]
+    }
+
+    fn compare_two(
+        &mut self,
+        title: String,
+        a: (&str, ServerKind),
+        b: (&str, ServerKind),
+        inactive: usize,
+    ) -> Vec<Figure> {
+        let mut rate_fig = Figure::new(
+            title.clone(),
+            format!("targeted request rate with load {inactive}"),
+            "average reply rate",
+        );
+        let mut lat_fig = Figure::new(
+            format!("{title} (latency)"),
+            format!("targeted request rate with load {inactive}"),
+            "median connection time in ms",
+        );
+        for (label, kind) in [a, b] {
+            let pts: Vec<(f64, f64, f64)> = self
+                .sweep(kind, inactive)
+                .to_vec()
+                .iter_mut()
+                .map(|r| (r.target_rate, r.rate.avg, r.median_latency_ms()))
+                .collect();
+            let mut s = Series::new(label);
+            let mut l = Series::new(label);
+            for (x, avg, med) in pts {
+                s.push(x, avg);
+                l.push(x, med);
+            }
+            rate_fig.add(s);
+            lat_fig.add(l);
+        }
+        vec![rate_fig, lat_fig]
+    }
+}
+
+/// Every paper figure id, in order.
+pub const PAPER_FIGURES: &[&str] = &[
+    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+];

@@ -1,0 +1,15 @@
+//! `bench` — the benchmark harness reproducing the evaluation of
+//! *Scalable Network I/O in Linux* (Provos & Lever, USENIX 2000).
+//!
+//! * [`figures`] — regenerates every table/figure of §5 (Figs. 4–14)
+//!   plus the hybrid-server extension and the ablation studies listed in
+//!   `DESIGN.md`.
+//! * `benches/` — Criterion microbenchmarks of the event-notification
+//!   primitives (poll scaling, interest-table operations, hints, result
+//!   copying, RT-queue operations).
+//! * `src/bin/figures.rs` — the CLI: `cargo run --release -p bench --bin
+//!   figures -- all`.
+
+pub mod figures;
+
+pub use figures::{FigureConfig, FigureRunner, PAPER_FIGURES};

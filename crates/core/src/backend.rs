@@ -1,0 +1,430 @@
+//! A uniform event-backend interface so the same server (`thttpd` in the
+//! `servers` crate) can run on stock `poll()` or on `/dev/poll`, exactly
+//! like the paper's stock vs. modified thttpd pair (§5.1).
+
+use std::collections::HashMap;
+
+use simcore::time::SimTime;
+use simkernel::{Errno, Fd, Kernel, Pid, PollBits};
+
+use crate::device::{DevPollConfig, DevPollRegistry};
+use crate::pollfd::{DvPoll, PollFd};
+use crate::select::{sys_select, FdSet, FD_SETSIZE};
+use crate::stock::{sys_poll, PollOutcome};
+
+/// Result of waiting for events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitResult {
+    /// Ready descriptors (possibly empty for a zero timeout).
+    Events(Vec<PollFd>),
+    /// Nothing ready; the process should sleep and retry on wakeup.
+    WouldBlock,
+}
+
+/// An event-notification backend.
+pub trait EventBackend {
+    /// Human-readable name for reports ("poll", "devpoll", …).
+    fn name(&self) -> &'static str;
+
+    /// One-time setup (e.g. opening `/dev/poll`).
+    fn init(
+        &mut self,
+        kernel: &mut Kernel,
+        registry: &mut DevPollRegistry,
+        now: SimTime,
+        pid: Pid,
+    ) -> Result<(), Errno>;
+
+    /// Declares interest in `events` on `fd` (add or modify).
+    fn set_interest(
+        &mut self,
+        kernel: &mut Kernel,
+        registry: &mut DevPollRegistry,
+        now: SimTime,
+        pid: Pid,
+        fd: Fd,
+        events: PollBits,
+    ) -> Result<(), Errno>;
+
+    /// Drops interest in `fd`.
+    fn remove_interest(
+        &mut self,
+        kernel: &mut Kernel,
+        registry: &mut DevPollRegistry,
+        now: SimTime,
+        pid: Pid,
+        fd: Fd,
+    ) -> Result<(), Errno>;
+
+    /// Collects ready descriptors, up to `max`.
+    fn wait(
+        &mut self,
+        kernel: &mut Kernel,
+        registry: &mut DevPollRegistry,
+        now: SimTime,
+        pid: Pid,
+        max: usize,
+        timeout_ms: i32,
+    ) -> Result<WaitResult, Errno>;
+
+    /// Current interest-set size (diagnostics).
+    fn interest_len(&self) -> usize;
+}
+
+/// Stock `poll()`: the interest set lives in user space and the whole
+/// array crosses into the kernel on every call.
+#[derive(Debug, Default)]
+pub struct StockPollBackend {
+    interest: HashMap<Fd, PollBits>,
+}
+
+impl StockPollBackend {
+    /// Creates an empty backend.
+    pub fn new() -> StockPollBackend {
+        StockPollBackend::default()
+    }
+}
+
+impl EventBackend for StockPollBackend {
+    fn name(&self) -> &'static str {
+        "poll"
+    }
+
+    fn init(
+        &mut self,
+        _kernel: &mut Kernel,
+        _registry: &mut DevPollRegistry,
+        _now: SimTime,
+        _pid: Pid,
+    ) -> Result<(), Errno> {
+        Ok(())
+    }
+
+    fn set_interest(
+        &mut self,
+        _kernel: &mut Kernel,
+        _registry: &mut DevPollRegistry,
+        _now: SimTime,
+        _pid: Pid,
+        fd: Fd,
+        events: PollBits,
+    ) -> Result<(), Errno> {
+        // Pure user-space bookkeeping: free.
+        self.interest.insert(fd, events);
+        Ok(())
+    }
+
+    fn remove_interest(
+        &mut self,
+        _kernel: &mut Kernel,
+        _registry: &mut DevPollRegistry,
+        _now: SimTime,
+        _pid: Pid,
+        fd: Fd,
+    ) -> Result<(), Errno> {
+        self.interest.remove(&fd);
+        Ok(())
+    }
+
+    fn wait(
+        &mut self,
+        kernel: &mut Kernel,
+        _registry: &mut DevPollRegistry,
+        now: SimTime,
+        pid: Pid,
+        max: usize,
+        timeout_ms: i32,
+    ) -> Result<WaitResult, Errno> {
+        // The application rebuilds its pollfd array each call (§6: "
+        // Applications of this type often entirely rebuild their pollfd
+        // array each time they invoke poll()").
+        let mut fds: Vec<PollFd> = self
+            .interest
+            .iter()
+            .map(|(&fd, &ev)| PollFd::new(fd, ev))
+            .collect();
+        fds.sort_by_key(|f| f.fd); // Determinism.
+        match sys_poll(kernel, now, pid, &mut fds, timeout_ms) {
+            PollOutcome::WouldBlock => Ok(WaitResult::WouldBlock),
+            PollOutcome::Ready(_) => {
+                let mut out: Vec<PollFd> =
+                    fds.into_iter().filter(|f| !f.revents.is_empty()).collect();
+                out.truncate(max);
+                Ok(WaitResult::Events(out))
+            }
+        }
+    }
+
+    fn interest_len(&self) -> usize {
+        self.interest.len()
+    }
+}
+
+/// `select()`: the pre-poll baseline. Interest crosses the boundary as
+/// three bitmaps; the kernel walks every slot up to `maxfd`; the result
+/// overwrites the input, so both sets are rebuilt before every call; and
+/// nothing past [`FD_SETSIZE`] can be watched at all.
+#[derive(Debug, Default)]
+pub struct SelectBackend {
+    interest: HashMap<Fd, PollBits>,
+}
+
+impl SelectBackend {
+    /// Creates an empty backend.
+    pub fn new() -> SelectBackend {
+        SelectBackend::default()
+    }
+}
+
+impl EventBackend for SelectBackend {
+    fn name(&self) -> &'static str {
+        "select"
+    }
+
+    fn init(
+        &mut self,
+        _kernel: &mut Kernel,
+        _registry: &mut DevPollRegistry,
+        _now: SimTime,
+        _pid: Pid,
+    ) -> Result<(), Errno> {
+        Ok(())
+    }
+
+    fn set_interest(
+        &mut self,
+        _kernel: &mut Kernel,
+        _registry: &mut DevPollRegistry,
+        _now: SimTime,
+        _pid: Pid,
+        fd: Fd,
+        events: PollBits,
+    ) -> Result<(), Errno> {
+        if fd < 0 || fd as usize >= FD_SETSIZE {
+            return Err(Errno::EINVAL); // Beyond the bitmap: unwatchable.
+        }
+        self.interest.insert(fd, events);
+        Ok(())
+    }
+
+    fn remove_interest(
+        &mut self,
+        _kernel: &mut Kernel,
+        _registry: &mut DevPollRegistry,
+        _now: SimTime,
+        _pid: Pid,
+        fd: Fd,
+    ) -> Result<(), Errno> {
+        self.interest.remove(&fd);
+        Ok(())
+    }
+
+    fn wait(
+        &mut self,
+        kernel: &mut Kernel,
+        _registry: &mut DevPollRegistry,
+        now: SimTime,
+        pid: Pid,
+        max: usize,
+        timeout_ms: i32,
+    ) -> Result<WaitResult, Errno> {
+        // Rebuild both bitmaps — select's API overwrote last call's.
+        let mut read_set = FdSet::new();
+        let mut write_set = FdSet::new();
+        for (&fd, &ev) in &self.interest {
+            if ev.intersects(PollBits::POLLIN) {
+                read_set.set(fd);
+            }
+            if ev.intersects(PollBits::POLLOUT) {
+                write_set.set(fd);
+            }
+        }
+        match sys_select(kernel, now, pid, &mut read_set, &mut write_set, timeout_ms) {
+            PollOutcome::WouldBlock => Ok(WaitResult::WouldBlock),
+            PollOutcome::Ready(_) => {
+                let mut out = Vec::new();
+                for fd in read_set.iter() {
+                    let mut revents = PollBits::POLLIN;
+                    if write_set.is_set(fd) {
+                        revents |= PollBits::POLLOUT;
+                    }
+                    out.push(PollFd {
+                        fd,
+                        events: self.interest.get(&fd).copied().unwrap_or(PollBits::EMPTY),
+                        revents,
+                    });
+                }
+                for fd in write_set.iter() {
+                    if !read_set.is_set(fd) {
+                        out.push(PollFd {
+                            fd,
+                            events: self.interest.get(&fd).copied().unwrap_or(PollBits::EMPTY),
+                            revents: PollBits::POLLOUT,
+                        });
+                    }
+                }
+                out.sort_by_key(|p| p.fd); // Determinism.
+                out.truncate(max);
+                Ok(WaitResult::Events(out))
+            }
+        }
+    }
+
+    fn interest_len(&self) -> usize {
+        self.interest.len()
+    }
+}
+
+/// `/dev/poll`: the interest set lives in the kernel; updates are
+/// incremental writes and waiting is `ioctl(DP_POLL)`.
+#[derive(Debug)]
+pub struct DevPollBackend {
+    config: DevPollConfig,
+    /// Use the shared mmap result area (§3.3).
+    use_mmap: bool,
+    /// Result-area slots to allocate when mmap is on.
+    mmap_slots: usize,
+    /// Buffer interest updates in user space and apply them inside the
+    /// next wait using the combined write+ioctl operation (§6 future
+    /// work).
+    combined_updates: bool,
+    pending: Vec<PollFd>,
+    dpfd: Option<Fd>,
+    len: usize,
+}
+
+impl DevPollBackend {
+    /// A backend with the paper's full feature set (hints + mmap).
+    pub fn new() -> DevPollBackend {
+        DevPollBackend::with_config(DevPollConfig::default(), true, 512, false)
+    }
+
+    /// Full control over the feature switches (for ablations).
+    pub fn with_config(
+        config: DevPollConfig,
+        use_mmap: bool,
+        mmap_slots: usize,
+        combined_updates: bool,
+    ) -> DevPollBackend {
+        DevPollBackend {
+            config,
+            use_mmap,
+            mmap_slots,
+            combined_updates,
+            pending: Vec::new(),
+            dpfd: None,
+            len: 0,
+        }
+    }
+
+    fn dpfd(&self) -> Result<Fd, Errno> {
+        self.dpfd.ok_or(Errno::EBADF)
+    }
+}
+
+impl Default for DevPollBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventBackend for DevPollBackend {
+    fn name(&self) -> &'static str {
+        // Encode the ablation switches so server names distinguish
+        // configurations in logs and reports.
+        match (self.config.hints, self.use_mmap, self.combined_updates) {
+            (true, true, false) => "devpoll",
+            (false, true, false) => "devpoll-nohints",
+            (true, false, false) => "devpoll-nommap",
+            (true, true, true) => "devpoll-combined",
+            (false, false, false) => "devpoll-nohints-nommap",
+            _ => "devpoll-custom",
+        }
+    }
+
+    fn init(
+        &mut self,
+        kernel: &mut Kernel,
+        registry: &mut DevPollRegistry,
+        now: SimTime,
+        pid: Pid,
+    ) -> Result<(), Errno> {
+        let dpfd = registry.open(kernel, now, pid, self.config)?;
+        if self.use_mmap {
+            registry.dp_alloc_mmap(kernel, now, pid, dpfd, self.mmap_slots)?;
+        }
+        self.dpfd = Some(dpfd);
+        Ok(())
+    }
+
+    fn set_interest(
+        &mut self,
+        kernel: &mut Kernel,
+        registry: &mut DevPollRegistry,
+        now: SimTime,
+        pid: Pid,
+        fd: Fd,
+        events: PollBits,
+    ) -> Result<(), Errno> {
+        let dpfd = self.dpfd()?;
+        self.len += 1; // Adjusted below if it was an update.
+        if self.combined_updates {
+            self.pending.push(PollFd::new(fd, events));
+            return Ok(());
+        }
+        let before = registry.device(kernel, pid, dpfd)?.interest().len();
+        registry.write(kernel, now, pid, dpfd, &[PollFd::new(fd, events)])?;
+        let after = registry.device(kernel, pid, dpfd)?.interest().len();
+        self.len = after.max(before);
+        Ok(())
+    }
+
+    fn remove_interest(
+        &mut self,
+        kernel: &mut Kernel,
+        registry: &mut DevPollRegistry,
+        now: SimTime,
+        pid: Pid,
+        fd: Fd,
+    ) -> Result<(), Errno> {
+        let dpfd = self.dpfd()?;
+        if self.combined_updates {
+            self.pending.push(PollFd::remove(fd));
+            return Ok(());
+        }
+        registry.write(kernel, now, pid, dpfd, &[PollFd::remove(fd)])?;
+        self.len = registry.device(kernel, pid, dpfd)?.interest().len();
+        Ok(())
+    }
+
+    fn wait(
+        &mut self,
+        kernel: &mut Kernel,
+        registry: &mut DevPollRegistry,
+        now: SimTime,
+        pid: Pid,
+        max: usize,
+        timeout_ms: i32,
+    ) -> Result<WaitResult, Errno> {
+        let dpfd = self.dpfd()?;
+        if self.combined_updates && !self.pending.is_empty() {
+            let updates = std::mem::take(&mut self.pending);
+            registry.write_combined(kernel, now, pid, dpfd, &updates)?;
+        }
+        let args = if self.use_mmap {
+            DvPoll::into_mmap(max, timeout_ms)
+        } else {
+            DvPoll::into_user_buffer(max, timeout_ms)
+        };
+        let (outcome, results) = registry.dp_poll(kernel, now, pid, dpfd, args)?;
+        self.len = registry.device(kernel, pid, dpfd)?.interest().len();
+        match outcome {
+            PollOutcome::WouldBlock => Ok(WaitResult::WouldBlock),
+            PollOutcome::Ready(_) => Ok(WaitResult::Events(results)),
+        }
+    }
+
+    fn interest_len(&self) -> usize {
+        self.len
+    }
+}

@@ -1,0 +1,420 @@
+//! The `/dev/poll` device (§3): kernel-resident interest sets maintained
+//! by `write()`, scanning via `ioctl(DP_POLL)`, driver hints through
+//! backmapping lists (§3.2), and the shared `mmap` result area (§3.3).
+
+use std::collections::HashMap;
+
+use simcore::time::{SimDuration, SimTime};
+use simkernel::{Errno, Fd, FileKind, Kernel, Pid, PollBits};
+
+use crate::interest::InterestTable;
+use crate::pollfd::{DvPoll, PollFd};
+use crate::stock::PollOutcome;
+
+/// Feature switches of one `/dev/poll` instance (the paper's design
+/// choices; flipping them off gives the ablation baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DevPollConfig {
+    /// §3.2: device-driver hints via backmapping lists. When off, every
+    /// `DP_POLL` scan invokes the driver poll callback for every
+    /// interest.
+    pub hints: bool,
+    /// Solaris OR-semantics for interest updates (default off: the
+    /// events field *replaces* the previous interest, §3.1).
+    pub or_semantics: bool,
+    /// §3.2: per-socket backmap locks instead of one global rwlock
+    /// (costs 8 bytes per socket, halves lock traffic cost here).
+    pub per_socket_locks: bool,
+}
+
+impl Default for DevPollConfig {
+    fn default() -> DevPollConfig {
+        DevPollConfig {
+            hints: true,
+            or_semantics: false,
+            per_socket_locks: false,
+        }
+    }
+}
+
+/// Diagnostic counters of one device instance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DevPollStats {
+    /// `DP_POLL` scans executed.
+    pub scans: u64,
+    /// Driver poll callbacks actually invoked.
+    pub driver_polls: u64,
+    /// Driver poll callbacks skipped thanks to hints.
+    pub driver_polls_avoided: u64,
+    /// Hints marked by the (simulated) driver event path.
+    pub hints_marked: u64,
+    /// Results returned to the application.
+    pub results: u64,
+    /// Results delivered through the mmap area (no copy).
+    pub mmap_results: u64,
+}
+
+/// One open `/dev/poll` instance.
+#[derive(Debug)]
+pub struct DevPollDevice {
+    owner: Pid,
+    config: DevPollConfig,
+    interest: InterestTable,
+    /// Result slots allocated via `ioctl(DP_ALLOC)` and mapped.
+    mmap_slots: Option<usize>,
+    stats: DevPollStats,
+}
+
+impl DevPollDevice {
+    /// The interest set (for inspection and tests).
+    pub fn interest(&self) -> &InterestTable {
+        &self.interest
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> DevPollStats {
+        self.stats
+    }
+
+    /// Whether a result mapping is active.
+    pub fn has_mmap(&self) -> bool {
+        self.mmap_slots.is_some()
+    }
+}
+
+/// All `/dev/poll` instances of a simulated machine.
+///
+/// "A process may open /dev/poll more than once to build multiple
+/// independent interest sets" — each `open` yields a distinct device.
+#[derive(Debug, Default)]
+pub struct DevPollRegistry {
+    devices: HashMap<u64, DevPollDevice>,
+    next: u64,
+}
+
+impl DevPollRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> DevPollRegistry {
+        DevPollRegistry::default()
+    }
+
+    /// `open("/dev/poll")`: creates an instance and a descriptor for it.
+    pub fn open(
+        &mut self,
+        kernel: &mut Kernel,
+        _now: SimTime,
+        pid: Pid,
+        config: DevPollConfig,
+    ) -> Result<Fd, Errno> {
+        let cost = *kernel.cost_model();
+        kernel.charge_app(pid, cost.syscall);
+        let handle = self.next;
+        self.next += 1;
+        // Allocate the fd first so a full table does not leak a device.
+        let fd = kernel_alloc_devpoll_fd(kernel, pid, handle)?;
+        self.devices.insert(
+            handle,
+            DevPollDevice {
+                owner: pid,
+                config,
+                interest: InterestTable::new(),
+                mmap_slots: None,
+                stats: DevPollStats::default(),
+            },
+        );
+        Ok(fd)
+    }
+
+    fn resolve(&mut self, kernel: &Kernel, pid: Pid, dpfd: Fd) -> Result<&mut DevPollDevice, Errno> {
+        let handle = match kernel.process(pid).fds.get(dpfd)?.kind {
+            FileKind::DevPoll(h) => h,
+            _ => return Err(Errno::EINVAL),
+        };
+        let dev = self.devices.get_mut(&handle).ok_or(Errno::EBADF)?;
+        if dev.owner != pid {
+            return Err(Errno::EBADF);
+        }
+        Ok(dev)
+    }
+
+    /// Read-only device lookup (tests, benches).
+    pub fn device(&self, kernel: &Kernel, pid: Pid, dpfd: Fd) -> Result<&DevPollDevice, Errno> {
+        let handle = match kernel.process(pid).fds.get(dpfd)?.kind {
+            FileKind::DevPoll(h) => h,
+            _ => return Err(Errno::EINVAL),
+        };
+        self.devices.get(&handle).ok_or(Errno::EBADF)
+    }
+
+    /// `write(dpfd, pollfds)`: adds, modifies and removes interests
+    /// (§3.1). `POLLREMOVE` in `events` removes; otherwise the entry
+    /// replaces (or ORs into, in Solaris mode) the existing interest.
+    ///
+    /// Returns the number of entries processed.
+    pub fn write(
+        &mut self,
+        kernel: &mut Kernel,
+        now: SimTime,
+        pid: Pid,
+        dpfd: Fd,
+        entries: &[PollFd],
+    ) -> Result<usize, Errno> {
+        self.write_inner(kernel, now, pid, dpfd, entries, true)
+    }
+
+    fn write_inner(
+        &mut self,
+        kernel: &mut Kernel,
+        _now: SimTime,
+        pid: Pid,
+        dpfd: Fd,
+        entries: &[PollFd],
+        charge_syscall: bool,
+    ) -> Result<usize, Errno> {
+        let cost = *kernel.cost_model();
+        if charge_syscall {
+            kernel.charge_app(pid, cost.syscall);
+        }
+        kernel.charge_app(pid, cost.copy_per_byte * (entries.len() * PollFd::BYTES) as u64);
+        // Interest-set modification takes the backmap write lock.
+        kernel.charge_app(pid, cost.backmap_wlock);
+
+        let dev = self.resolve(kernel, pid, dpfd)?;
+        let or_semantics = dev.config.or_semantics;
+        let mut to_watch = Vec::new();
+        let mut to_unwatch = Vec::new();
+        for e in entries {
+            if e.events.contains(PollBits::POLLREMOVE) {
+                if dev.interest.remove(e.fd) {
+                    to_unwatch.push(e.fd);
+                }
+            } else {
+                dev.interest.set(e.fd, e.events, or_semantics);
+                to_watch.push(e.fd);
+            }
+        }
+        kernel.charge_app(pid, cost.devpoll_hash_op * entries.len() as u64);
+        for fd in to_watch {
+            kernel.watch(pid, fd);
+        }
+        for fd in to_unwatch {
+            kernel.unwatch(pid, fd);
+        }
+        Ok(entries.len())
+    }
+
+    /// The combined update+poll operation proposed in §6: interest
+    /// updates applied as part of the subsequent `DP_POLL` ioctl, saving
+    /// the separate `write()` syscall's entry/exit overhead.
+    pub fn write_combined(
+        &mut self,
+        kernel: &mut Kernel,
+        now: SimTime,
+        pid: Pid,
+        dpfd: Fd,
+        entries: &[PollFd],
+    ) -> Result<usize, Errno> {
+        // Identical to `write` except the updates ride on the following
+        // ioctl's syscall, so no separate entry/exit is charged.
+        self.write_inner(kernel, now, pid, dpfd, entries, false)
+    }
+
+    /// `ioctl(dpfd, DP_ALLOC, n)` followed by `mmap()`: allocates and
+    /// maps a shared result area of `n` slots (§3.3).
+    pub fn dp_alloc_mmap(
+        &mut self,
+        kernel: &mut Kernel,
+        _now: SimTime,
+        pid: Pid,
+        dpfd: Fd,
+        slots: usize,
+    ) -> Result<(), Errno> {
+        let cost = *kernel.cost_model();
+        // DP_ALLOC ioctl + the mmap call.
+        kernel.charge_app(pid, cost.syscall * 2);
+        if slots == 0 {
+            return Err(Errno::EINVAL);
+        }
+        let dev = self.resolve(kernel, pid, dpfd)?;
+        dev.mmap_slots = Some(slots);
+        Ok(())
+    }
+
+    /// `munmap()`: tears the result mapping down.
+    pub fn munmap(
+        &mut self,
+        kernel: &mut Kernel,
+        _now: SimTime,
+        pid: Pid,
+        dpfd: Fd,
+    ) -> Result<(), Errno> {
+        let cost = *kernel.cost_model();
+        kernel.charge_app(pid, cost.syscall);
+        let dev = self.resolve(kernel, pid, dpfd)?;
+        dev.mmap_slots = None;
+        Ok(())
+    }
+
+    /// `ioctl(dpfd, DP_POLL, dvpoll)`: scans the interest set (§3.1-3.3).
+    ///
+    /// With hints enabled only descriptors whose status may have changed
+    /// — hinted ones, plus cached-ready ones which "\[have\] to be
+    /// reevaluated each time" — pay a driver poll callback. Results are
+    /// written to the mmap area when `dvpoll.null_dp_fds` is set.
+    pub fn dp_poll(
+        &mut self,
+        kernel: &mut Kernel,
+        _now: SimTime,
+        pid: Pid,
+        dpfd: Fd,
+        args: DvPoll,
+    ) -> Result<(PollOutcome, Vec<PollFd>), Errno> {
+        let cost = *kernel.cost_model();
+        kernel.charge_app(pid, cost.syscall + cost.devpoll_base);
+        if args.null_dp_fds && self.device(kernel, pid, dpfd)?.mmap_slots.is_none() {
+            return Err(Errno::EINVAL);
+        }
+
+        // Gather readiness outside the device borrow (the kernel is the
+        // "driver" here).
+        let dev = self.resolve(kernel, pid, dpfd)?;
+        let hints = dev.config.hints;
+        let candidates: Vec<(Fd, PollBits)> = dev
+            .interest
+            .iter()
+            .filter(|e| !hints || e.hinted || !e.cached.is_empty())
+            .map(|e| (e.fd, e.events))
+            .collect();
+        let avoided = dev.interest.len() - candidates.len();
+        let total = dev.interest.len();
+        dev.stats.scans += 1;
+        dev.stats.driver_polls += candidates.len() as u64;
+        dev.stats.driver_polls_avoided += avoided as u64;
+
+        // Charge the scan: hint-flag walk per candidate plus one driver
+        // poll callback each; a read-lock acquisition covers the
+        // backmap consultation. Without hints the entire set pays the
+        // driver callback (and no hint machinery exists to walk).
+        let lock_cost = if self
+            .device_config(kernel, pid, dpfd)?
+            .per_socket_locks
+        {
+            cost.backmap_rlock / 2
+        } else {
+            cost.backmap_rlock
+        };
+        if hints {
+            kernel.charge_app(pid, lock_cost);
+            kernel.charge_app(pid, cost.hint_walk * total as u64);
+        }
+        kernel.charge_app(pid, cost.driver_poll * candidates.len() as u64);
+
+        let mut results = Vec::new();
+        for (fd, events) in candidates {
+            let state = kernel.readiness(pid, fd);
+            let revents = state & (events | PollBits::always_reported());
+            let dev = self.resolve(kernel, pid, dpfd)?;
+            if let Some(e) = dev.interest.get_mut(fd) {
+                e.cached = revents;
+                e.hinted = false;
+            }
+            if !revents.is_empty() {
+                results.push(PollFd { fd, events, revents });
+            }
+        }
+
+        let dev = self.resolve(kernel, pid, dpfd)?;
+        let cap = match (args.null_dp_fds, dev.mmap_slots) {
+            (true, Some(slots)) => args.dp_nfds.min(slots),
+            _ => args.dp_nfds,
+        };
+        results.truncate(cap);
+        dev.stats.results += results.len() as u64;
+        if args.null_dp_fds {
+            dev.stats.mmap_results += results.len() as u64;
+            kernel.charge_app(pid, cost.mmap_result_write * results.len() as u64);
+        } else {
+            kernel.charge_app(
+                pid,
+                (cost.pollfd_copyout + cost.copy_per_byte * PollFd::BYTES as u64)
+                    * results.len() as u64,
+            );
+        }
+
+        if !results.is_empty() {
+            return Ok((PollOutcome::Ready(results.len()), results));
+        }
+        if args.dp_timeout == 0 {
+            return Ok((PollOutcome::Ready(0), results));
+        }
+        // Watchers were registered when interests were written; sleeping
+        // costs no per-descriptor wait-queue traffic — the key §3.1 win.
+        Ok((PollOutcome::WouldBlock, results))
+    }
+
+    fn device_config(&self, kernel: &Kernel, pid: Pid, dpfd: Fd) -> Result<DevPollConfig, Errno> {
+        Ok(self.device(kernel, pid, dpfd)?.config)
+    }
+
+    /// Routes a descriptor event into every interested device: the
+    /// driver marking its backmap hint (§3.2). Runs in softirq context,
+    /// so the cost is charged to the CPU as interrupt work.
+    pub fn on_fd_event(&mut self, kernel: &mut Kernel, now: SimTime, pid: Pid, fd: Fd) {
+        let cost = *kernel.cost_model();
+        for dev in self.devices.values_mut() {
+            if dev.owner != pid {
+                continue;
+            }
+            if !dev.config.hints {
+                continue;
+            }
+            if dev.interest.mark_hint(fd) {
+                dev.stats.hints_marked += 1;
+                let lock = if dev.config.per_socket_locks {
+                    cost.backmap_rlock / 2
+                } else {
+                    cost.backmap_rlock
+                };
+                kernel.charge_softirq(
+                    now,
+                    SimDuration::from_nanos(cost.backmap_mark + lock),
+                );
+            }
+        }
+    }
+
+    /// `close(dpfd)`: releases the device, its interest set and its
+    /// watcher registrations.
+    pub fn close(
+        &mut self,
+        kernel: &mut Kernel,
+        now: SimTime,
+        pid: Pid,
+        dpfd: Fd,
+    ) -> Result<(), Errno> {
+        let handle = match kernel.process(pid).fds.get(dpfd)?.kind {
+            FileKind::DevPoll(h) => h,
+            _ => return Err(Errno::EINVAL),
+        };
+        let dev = self.devices.remove(&handle).ok_or(Errno::EBADF)?;
+        for e in dev.interest.iter() {
+            kernel.unwatch(pid, e.fd);
+        }
+        let cost = *kernel.cost_model();
+        kernel.charge_app(pid, cost.syscall + cost.close);
+        kernel_close_fd(kernel, pid, dpfd)?;
+        let _ = now;
+        Ok(())
+    }
+}
+
+/// Allocates a descriptor of kind `DevPoll` — helper keeping the fd-table
+/// poke in one place.
+fn kernel_alloc_devpoll_fd(kernel: &mut Kernel, pid: Pid, handle: u64) -> Result<Fd, Errno> {
+    kernel.alloc_fd(pid, FileKind::DevPoll(handle))
+}
+
+/// Closes a descriptor without network side effects.
+fn kernel_close_fd(kernel: &mut Kernel, pid: Pid, fd: Fd) -> Result<(), Errno> {
+    kernel.close_fd_raw(pid, fd)
+}

@@ -1,0 +1,278 @@
+//! The kernel-resident interest-set hash table (§3.1).
+//!
+//! "A hash table contains each interest set within the kernel. On
+//! average, hash tables provide fast lookup, insertion, and deletion.
+//! For simplicity, when the average bucket size is two, the number of
+//! buckets in the hash table is doubled. The hash table is never
+//! shrunk."
+//!
+//! This is a from-scratch separate-chaining table following that policy
+//! exactly, with per-entry room for the driver-hint state of §3.2 (the
+//! hint flag and the cached poll result).
+
+use simkernel::{Fd, PollBits};
+
+/// One interest entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// The descriptor.
+    pub fd: Fd,
+    /// The conditions the application asked for.
+    pub events: PollBits,
+    /// Driver hint: the socket's status changed since the last scan.
+    pub hinted: bool,
+    /// Cached result of the last driver poll callback.
+    pub cached: PollBits,
+}
+
+/// Outcome of a `set` operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOutcome {
+    /// A new interest was inserted.
+    Inserted,
+    /// An existing interest was updated.
+    Updated,
+}
+
+/// The interest-set hash table.
+#[derive(Debug, Clone)]
+pub struct InterestTable {
+    buckets: Vec<Vec<Interest>>,
+    len: usize,
+    /// Total bucket-doubling events (diagnostic for benches).
+    grows: u32,
+}
+
+/// Initial bucket count (small; the table doubles as needed).
+const INITIAL_BUCKETS: usize = 8;
+
+impl Default for InterestTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InterestTable {
+    /// Creates an empty table.
+    pub fn new() -> InterestTable {
+        InterestTable {
+            buckets: vec![Vec::new(); INITIAL_BUCKETS],
+            len: 0,
+            grows: 0,
+        }
+    }
+
+    fn bucket_of(&self, fd: Fd) -> usize {
+        // Multiplicative hash to spread the (dense, low) fd space; the
+        // 2.2-era patch used a similar fd-keyed hash.
+        let h = (fd as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        (h >> 32) as usize & (self.buckets.len() - 1)
+    }
+
+    /// Number of interests in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current bucket count (diagnostic).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Times the table has doubled (diagnostic).
+    pub fn grow_count(&self) -> u32 {
+        self.grows
+    }
+
+    /// Inserts or updates the interest for `fd`.
+    ///
+    /// With `or_semantics == false` (the paper's Linux behaviour) the new
+    /// `events` *replace* the previous interest; with `true` (Solaris
+    /// compatibility) they are OR'd in.
+    pub fn set(&mut self, fd: Fd, events: PollBits, or_semantics: bool) -> SetOutcome {
+        let b = self.bucket_of(fd);
+        for e in &mut self.buckets[b] {
+            if e.fd == fd {
+                e.events = if or_semantics { e.events | events } else { events };
+                // An interest change invalidates the cached result.
+                e.cached = PollBits::EMPTY;
+                e.hinted = true;
+                return SetOutcome::Updated;
+            }
+        }
+        self.buckets[b].push(Interest {
+            fd,
+            events,
+            // A fresh interest must be scanned at least once.
+            hinted: true,
+            cached: PollBits::EMPTY,
+        });
+        self.len += 1;
+        self.maybe_grow();
+        SetOutcome::Inserted
+    }
+
+    /// Removes the interest for `fd`. Returns `true` if it existed.
+    pub fn remove(&mut self, fd: Fd) -> bool {
+        let b = self.bucket_of(fd);
+        let bucket = &mut self.buckets[b];
+        if let Some(pos) = bucket.iter().position(|e| e.fd == fd) {
+            bucket.swap_remove(pos);
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Looks up the interest for `fd`.
+    pub fn get(&self, fd: Fd) -> Option<&Interest> {
+        self.buckets[self.bucket_of(fd)].iter().find(|e| e.fd == fd)
+    }
+
+    /// Looks up the interest for `fd` mutably.
+    pub fn get_mut(&mut self, fd: Fd) -> Option<&mut Interest> {
+        let b = self.bucket_of(fd);
+        self.buckets[b].iter_mut().find(|e| e.fd == fd)
+    }
+
+    /// Iterates over all interests (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Interest> {
+        self.buckets.iter().flatten()
+    }
+
+    /// Iterates mutably over all interests.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Interest> {
+        self.buckets.iter_mut().flatten()
+    }
+
+    /// Marks the hint flag for `fd` (the driver saw an event).
+    ///
+    /// Returns `true` if the fd is in the set.
+    pub fn mark_hint(&mut self, fd: Fd) -> bool {
+        if let Some(e) = self.get_mut(fd) {
+            e.hinted = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// "When the average bucket size is two, the number of buckets in
+    /// the hash table is doubled. The hash table is never shrunk."
+    fn maybe_grow(&mut self) {
+        if self.len < self.buckets.len() * 2 {
+            return;
+        }
+        self.grows += 1;
+        let new_size = self.buckets.len() * 2;
+        let old = std::mem::replace(&mut self.buckets, vec![Vec::new(); new_size]);
+        for e in old.into_iter().flatten() {
+            let h = (e.fd as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            let b = (h >> 32) as usize & (new_size - 1);
+            self.buckets[b].push(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = InterestTable::new();
+        assert_eq!(t.set(5, PollBits::POLLIN, false), SetOutcome::Inserted);
+        assert_eq!(t.len(), 1);
+        let e = t.get(5).unwrap();
+        assert_eq!(e.events, PollBits::POLLIN);
+        assert!(e.hinted, "fresh interests must be scanned");
+        assert!(t.remove(5));
+        assert!(!t.remove(5));
+        assert!(t.get(5).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn replace_semantics_linux() {
+        let mut t = InterestTable::new();
+        t.set(3, PollBits::POLLIN, false);
+        assert_eq!(t.set(3, PollBits::POLLOUT, false), SetOutcome::Updated);
+        assert_eq!(t.get(3).unwrap().events, PollBits::POLLOUT);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn or_semantics_solaris() {
+        let mut t = InterestTable::new();
+        t.set(3, PollBits::POLLIN, true);
+        t.set(3, PollBits::POLLOUT, true);
+        assert_eq!(t.get(3).unwrap().events, PollBits::POLLIN | PollBits::POLLOUT);
+    }
+
+    #[test]
+    fn doubles_at_average_bucket_size_two_never_shrinks() {
+        let mut t = InterestTable::new();
+        assert_eq!(t.bucket_count(), 8);
+        for fd in 0..16 {
+            t.set(fd, PollBits::POLLIN, false);
+        }
+        // 16 entries in 8 buckets = average 2 -> doubled.
+        assert_eq!(t.bucket_count(), 16);
+        for fd in 16..32 {
+            t.set(fd, PollBits::POLLIN, false);
+        }
+        assert_eq!(t.bucket_count(), 32);
+        assert_eq!(t.grow_count(), 2);
+        // Removing everything does not shrink.
+        for fd in 0..32 {
+            t.remove(fd);
+        }
+        assert_eq!(t.bucket_count(), 32);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn growth_preserves_entries() {
+        let mut t = InterestTable::new();
+        for fd in 0..100 {
+            t.set(fd, PollBits::POLLIN, false);
+        }
+        assert_eq!(t.len(), 100);
+        for fd in 0..100 {
+            assert!(t.get(fd).is_some(), "fd {fd} lost in growth");
+        }
+        let seen: usize = t.iter().count();
+        assert_eq!(seen, 100);
+    }
+
+    #[test]
+    fn mark_hint_only_for_members() {
+        let mut t = InterestTable::new();
+        t.set(1, PollBits::POLLIN, false);
+        t.get_mut(1).unwrap().hinted = false;
+        assert!(t.mark_hint(1));
+        assert!(t.get(1).unwrap().hinted);
+        assert!(!t.mark_hint(99));
+    }
+
+    #[test]
+    fn update_invalidates_cache() {
+        let mut t = InterestTable::new();
+        t.set(1, PollBits::POLLIN, false);
+        {
+            let e = t.get_mut(1).unwrap();
+            e.cached = PollBits::POLLIN;
+            e.hinted = false;
+        }
+        t.set(1, PollBits::POLLIN | PollBits::POLLOUT, false);
+        let e = t.get(1).unwrap();
+        assert_eq!(e.cached, PollBits::EMPTY);
+        assert!(e.hinted);
+    }
+}

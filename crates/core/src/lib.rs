@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! `devpoll` — the primary contribution of *Scalable Network I/O in
+//! Linux* (Provos & Lever, USENIX 2000), reimplemented against the
+//! simulated kernel in [`simkernel`].
+//!
+//! Three event-notification mechanisms:
+//!
+//! * [`stock`] — baseline `poll()` with its O(n) copy, scan, and
+//!   wait-queue costs;
+//! * [`device`] — the `/dev/poll` character device: kernel-resident
+//!   interest sets in a doubling hash table ([`interest`]), incremental
+//!   updates via `write()` (including `POLLREMOVE`), scanning via
+//!   `ioctl(DP_POLL)`, device-driver hints through backmapping lists, a
+//!   shared `mmap` result area, and the combined update+poll operation
+//!   from the paper's future-work list;
+//! * [`rtsig`] — the POSIX RT-signal event API (`F_SETSIG` +
+//!   `sigwaitinfo`), including queue-overflow detection and the proposed
+//!   `sigtimedwait4()` batch pickup.
+//!
+//! [`backend`] wraps the two poll-shaped mechanisms behind one trait so
+//! the same server can run on either, as the paper's stock and modified
+//! `thttpd` do.
+
+pub mod backend;
+pub mod device;
+pub mod interest;
+pub mod pollfd;
+pub mod rtsig;
+pub mod select;
+pub mod stock;
+
+pub use backend::{DevPollBackend, EventBackend, SelectBackend, StockPollBackend, WaitResult};
+pub use device::{DevPollConfig, DevPollDevice, DevPollRegistry, DevPollStats};
+pub use interest::{Interest, InterestTable, SetOutcome};
+pub use pollfd::{DvPoll, PollFd};
+pub use rtsig::{RtEvent, RtSignalApi, SignalAssignment};
+pub use select::{sys_select, FdSet, FD_SETSIZE};
+pub use stock::{sys_poll, PollOutcome};

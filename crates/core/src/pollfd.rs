@@ -1,0 +1,121 @@
+//! The `pollfd` and `dvpoll` structures (Figs. 1 and 3 of the paper).
+
+use simkernel::{Fd, PollBits};
+
+/// The standard `pollfd` struct (paper Fig. 1).
+///
+/// ```c
+/// struct pollfd {
+///     int fd;
+///     short events;
+///     short revents;
+/// };
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PollFd {
+    /// The descriptor of interest.
+    pub fd: Fd,
+    /// Requested conditions.
+    pub events: PollBits,
+    /// Returned conditions.
+    pub revents: PollBits,
+}
+
+impl PollFd {
+    /// Creates an interest entry with empty `revents`.
+    pub fn new(fd: Fd, events: PollBits) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: PollBits::EMPTY,
+        }
+    }
+
+    /// An entry that removes `fd` from a `/dev/poll` interest set
+    /// (`events = POLLREMOVE`, §3.1).
+    pub fn remove(fd: Fd) -> PollFd {
+        PollFd {
+            fd,
+            events: PollBits::POLLREMOVE,
+            revents: PollBits::EMPTY,
+        }
+    }
+
+    /// Size of the C struct on the wire/copy path: `int + short + short`.
+    pub const BYTES: usize = 8;
+}
+
+/// The `dvpoll` struct passed to `ioctl(DP_POLL)` (paper Fig. 3).
+///
+/// ```c
+/// struct dvpoll {
+///     struct pollfd* dp_fds;
+///     int dp_nfds;
+///     int dp_timeout;
+/// };
+/// ```
+///
+/// In the simulation, `dp_fds` degenerates to "does the caller pass a
+/// user buffer or `NULL`": with the shared `mmap` result area the
+/// application passes `NULL` and the kernel deposits results into the
+/// mapping (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DvPoll {
+    /// `true` when `dp_fds == NULL`, i.e. results go to the mmap area.
+    pub null_dp_fds: bool,
+    /// Maximum results to return (`dp_nfds`).
+    pub dp_nfds: usize,
+    /// Poll timeout in milliseconds; `-1` blocks indefinitely, `0` never
+    /// blocks (`dp_timeout`).
+    pub dp_timeout: i32,
+}
+
+impl DvPoll {
+    /// A conventional call returning results through a user buffer.
+    pub fn into_user_buffer(max: usize, timeout_ms: i32) -> DvPoll {
+        DvPoll {
+            null_dp_fds: false,
+            dp_nfds: max,
+            dp_timeout: timeout_ms,
+        }
+    }
+
+    /// A call depositing results into the shared mapping (`dp_fds ==
+    /// NULL`).
+    pub fn into_mmap(max: usize, timeout_ms: i32) -> DvPoll {
+        DvPoll {
+            null_dp_fds: true,
+            dp_nfds: max,
+            dp_timeout: timeout_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remove_entry_carries_pollremove() {
+        let e = PollFd::remove(7);
+        assert_eq!(e.fd, 7);
+        assert!(e.events.contains(PollBits::POLLREMOVE));
+        assert!(e.revents.is_empty());
+    }
+
+    #[test]
+    fn struct_size_matches_c_layout() {
+        // int (4) + short (2) + short (2).
+        assert_eq!(PollFd::BYTES, 8);
+    }
+
+    #[test]
+    fn dvpoll_constructors() {
+        let a = DvPoll::into_user_buffer(64, -1);
+        assert!(!a.null_dp_fds);
+        assert_eq!(a.dp_nfds, 64);
+        assert_eq!(a.dp_timeout, -1);
+        let b = DvPoll::into_mmap(32, 0);
+        assert!(b.null_dp_fds);
+    }
+}

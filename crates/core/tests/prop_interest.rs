@@ -1,0 +1,65 @@
+//! Property test: the doubling hash table behaves exactly like a
+//! reference map under arbitrary operation sequences, and its growth
+//! policy invariants hold.
+
+use std::collections::HashMap;
+
+use devpoll::InterestTable;
+use proptest::prelude::*;
+use simkernel::PollBits;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set(i32, u16, bool),
+    Remove(i32),
+    MarkHint(i32),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0i32..200, 1u16..0x40, any::<bool>()).prop_map(|(fd, ev, or)| Op::Set(fd, ev, or)),
+            (0i32..200).prop_map(Op::Remove),
+            (0i32..200).prop_map(Op::MarkHint),
+        ],
+        0..400,
+    )
+}
+
+proptest! {
+    #[test]
+    fn matches_reference_map(ops in ops()) {
+        let mut table = InterestTable::new();
+        let mut model: HashMap<i32, u16> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Set(fd, ev, or) => {
+                    table.set(fd, PollBits(ev), or);
+                    let e = model.entry(fd).or_insert(0);
+                    *e = if or { *e | ev } else { ev };
+                }
+                Op::Remove(fd) => {
+                    let was = table.remove(fd);
+                    prop_assert_eq!(was, model.remove(&fd).is_some());
+                }
+                Op::MarkHint(fd) => {
+                    let marked = table.mark_hint(fd);
+                    prop_assert_eq!(marked, model.contains_key(&fd));
+                }
+            }
+            // Size and membership agree at every step.
+            prop_assert_eq!(table.len(), model.len());
+        }
+        for (&fd, &ev) in &model {
+            let e = table.get(fd);
+            prop_assert!(e.is_some(), "fd {} missing", fd);
+            prop_assert_eq!(e.unwrap().events, PollBits(ev));
+        }
+        let visited = table.iter().count();
+        prop_assert_eq!(visited, model.len());
+        // The doubling policy: average bucket size never exceeds two
+        // after an insert settles, and bucket count is a power of two.
+        prop_assert!(table.bucket_count().is_power_of_two());
+        prop_assert!(table.len() <= table.bucket_count() * 2);
+    }
+}

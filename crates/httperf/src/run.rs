@@ -1,0 +1,251 @@
+//! High-level run controller: picks a server architecture, drives one
+//! benchmark run, returns the report. The figure harness and the
+//! integration tests are thin loops over [`run_one`].
+
+use devpoll::{DevPollBackend, DevPollConfig, SelectBackend, StockPollBackend};
+use simkernel::AcceptWake;
+use simcore::time::{SimDuration, SimTime};
+use simkernel::CostModel;
+use simnet::{LinkConfig, TcpConfig};
+
+use servers::{
+    ContentStore, HybridConfig, HybridServer, PhConfig, Phhttpd, Prefork, Server, ServerConfig,
+    ServerCtx, Thttpd,
+};
+
+use crate::load::LoadConfig;
+use crate::report::RunReport;
+use crate::testbed::Testbed;
+
+/// Which server architecture to benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServerKind {
+    /// Stock thttpd: `poll()`.
+    ThttpdPoll,
+    /// thttpd on `select()` — the pre-poll baseline with bitmap copies,
+    /// the O(maxfd) slot walk and the `FD_SETSIZE` wall.
+    ThttpdSelect,
+    /// Modified thttpd: `/dev/poll` with hints and mmap (the paper's
+    /// full configuration).
+    ThttpdDevPoll,
+    /// `/dev/poll` with explicit feature switches (ablations).
+    ThttpdDevPollWith {
+        /// Device configuration.
+        config: DevPollConfig,
+        /// Shared mmap result area on/off.
+        mmap: bool,
+        /// Combined write+ioctl updates (§6 future work).
+        combined: bool,
+    },
+    /// phhttpd: RT signals, one `sigwaitinfo` per event.
+    Phhttpd,
+    /// phhttpd using the proposed `sigtimedwait4()` batch pickup.
+    PhhttpdBatch(usize),
+    /// The paper's imagined hybrid (§4/§6).
+    Hybrid,
+    /// `/dev/poll` thttpd responding via `sendfile()` (§6 future work).
+    ThttpdDevPollSendfile,
+    /// N prefork workers sharing the listener over `/dev/poll`, with the
+    /// given accept wakeup policy (thundering herd study, §6).
+    PreforkDevPoll {
+        /// Worker processes.
+        workers: usize,
+        /// Wake one worker or all of them on accept-ready.
+        wake: AcceptWake,
+    },
+}
+
+impl ServerKind {
+    /// Short label for file names and tables.
+    pub fn label(&self) -> String {
+        match self {
+            ServerKind::ThttpdPoll => "poll".into(),
+            ServerKind::ThttpdSelect => "select".into(),
+            ServerKind::ThttpdDevPoll => "devpoll".into(),
+            ServerKind::ThttpdDevPollWith { config, mmap, combined } => format!(
+                "devpoll(h={},m={},c={})",
+                config.hints as u8, *mmap as u8, *combined as u8
+            ),
+            ServerKind::Phhttpd => "phhttpd".into(),
+            ServerKind::PhhttpdBatch(n) => format!("phhttpd-batch{n}"),
+            ServerKind::Hybrid => "hybrid".into(),
+            ServerKind::ThttpdDevPollSendfile => "devpoll+sendfile".into(),
+            ServerKind::PreforkDevPoll { workers, wake } => {
+                let w = match wake {
+                    AcceptWake::Herd => "herd",
+                    AcceptWake::Exclusive => "excl",
+                };
+                format!("prefork{workers}-{w}")
+            }
+        }
+    }
+}
+
+/// All parameters of one run.
+#[derive(Debug, Clone)]
+pub struct RunParams {
+    /// Server architecture.
+    pub kind: ServerKind,
+    /// Load shape.
+    pub load: LoadConfig,
+    /// CPU cost model.
+    pub cost: CostModel,
+    /// Transport configuration.
+    pub tcp: TcpConfig,
+    /// Link configuration.
+    pub link: LinkConfig,
+    /// Server tunables.
+    pub server: ServerConfig,
+    /// Hard wall on simulated time.
+    pub horizon: SimTime,
+    /// Override the served document size (bytes); `None` keeps the
+    /// paper's 6 KB CITI index.
+    pub doc_bytes: Option<usize>,
+}
+
+impl RunParams {
+    /// Defaults matching the paper's environment, with the given kind,
+    /// rate and inactive load.
+    pub fn paper(kind: ServerKind, rate: f64, inactive: usize) -> RunParams {
+        RunParams {
+            kind,
+            load: LoadConfig {
+                rate,
+                inactive,
+                ..LoadConfig::default()
+            },
+            cost: CostModel::k6_2_400mhz(),
+            tcp: TcpConfig::default(),
+            link: LinkConfig::default(),
+            server: ServerConfig::default(),
+            horizon: SimTime::from_secs(600),
+            doc_bytes: None,
+        }
+    }
+
+    /// Scales the run down to `n` connections (fast tests and smoke
+    /// benches).
+    pub fn with_conns(mut self, n: u64) -> RunParams {
+        self.load.total_conns = n;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> RunParams {
+        self.load.seed = seed;
+        self
+    }
+
+    /// Serves a document of `bytes` instead of the 6 KB default (the §5
+    /// document-size remark).
+    pub fn with_doc_bytes(mut self, bytes: usize) -> RunParams {
+        self.doc_bytes = Some(bytes);
+        self.load.doc_path = format!("/doc-{bytes}.html");
+        self
+    }
+
+    /// Injects random per-segment loss (fault injection; WAN-like
+    /// conditions the paper's LAN testbed could not produce).
+    pub fn with_loss(mut self, prob: f64) -> RunParams {
+        self.link.loss_prob = prob;
+        self
+    }
+}
+
+/// Executes one benchmark run and returns its report.
+pub fn run_one(params: RunParams) -> RunReport {
+    let mut bed = Testbed::new(params.cost, params.tcp, params.link, params.load);
+    let mut server_cfg = params.server;
+    if params.kind == ServerKind::ThttpdDevPollSendfile {
+        server_cfg.use_sendfile = true;
+    }
+    if let ServerKind::PreforkDevPoll { wake, .. } = params.kind {
+        bed.kernel.set_accept_wake(wake);
+    }
+    let content = params
+        .doc_bytes
+        .map(|n| ContentStore::size_sweep(&[n]))
+        .unwrap_or_default();
+    let mut server: Box<dyn Server> = {
+        let mut ctx = ServerCtx {
+            kernel: &mut bed.kernel,
+            net: &mut bed.net,
+            registry: &mut bed.registry,
+            now: SimTime::ZERO,
+        };
+        match params.kind {
+            ServerKind::ThttpdPoll => {
+                let mut s = Thttpd::new(&mut ctx, StockPollBackend::new(), server_cfg);
+                s.set_content(content);
+                Box::new(s)
+            }
+            ServerKind::ThttpdSelect => {
+                let mut s = Thttpd::new(&mut ctx, SelectBackend::new(), server_cfg);
+                s.set_content(content);
+                Box::new(s)
+            }
+            ServerKind::ThttpdDevPoll | ServerKind::ThttpdDevPollSendfile => {
+                let mut s = Thttpd::new(&mut ctx, DevPollBackend::new(), server_cfg);
+                s.set_content(content);
+                Box::new(s)
+            }
+            ServerKind::ThttpdDevPollWith { config, mmap, combined } => {
+                let mut s = Thttpd::new(
+                    &mut ctx,
+                    DevPollBackend::with_config(config, mmap, 512, combined),
+                    server_cfg,
+                );
+                s.set_content(content);
+                Box::new(s)
+            }
+            ServerKind::Phhttpd => {
+                Box::new(Phhttpd::new(&mut ctx, server_cfg, PhConfig::default()))
+            }
+            ServerKind::PhhttpdBatch(n) => Box::new(Phhttpd::new(
+                &mut ctx,
+                server_cfg,
+                PhConfig {
+                    batch_dequeue: Some(n),
+                },
+            )),
+            ServerKind::Hybrid => Box::new(HybridServer::new(
+                &mut ctx,
+                server_cfg,
+                HybridConfig::default(),
+            )),
+            ServerKind::PreforkDevPoll { workers, .. } => Box::new(Prefork::new(
+                &mut ctx,
+                DevPollBackend::new,
+                server_cfg,
+                workers,
+            )),
+        }
+    };
+    bed.start(server.as_mut());
+    bed.run(server.as_mut(), params.horizon);
+    bed.report(server.as_ref())
+}
+
+/// Runs a rate sweep (one run per rate) and returns the reports in rate
+/// order — one paper figure's worth of data.
+pub fn sweep(kind: ServerKind, rates: &[f64], inactive: usize, conns_per_run: u64) -> Vec<RunReport> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let params = RunParams::paper(kind, rate, inactive).with_conns(conns_per_run);
+            run_one(params)
+        })
+        .collect()
+}
+
+/// Extends the run with the paper's inter-run procedure: after a run,
+/// wait for every socket to leave TIME_WAIT ("we must avoid reaching the
+/// port number limitation", §5). Returns the drain time needed.
+pub fn time_wait_drain(bed: &Testbed) -> SimDuration {
+    if bed.net.time_wait_count(crate::testbed::CLIENT_HOST) == 0 {
+        SimDuration::ZERO
+    } else {
+        // Worst case: a socket entered TIME_WAIT at the very end.
+        bed.net.config().time_wait
+    }
+}

@@ -1,0 +1,217 @@
+//! The testbed orchestrator: two hosts on a switch, a server process on
+//! one, the load generator on the other — the paper's experimental
+//! set-up (§5) as one deterministic co-simulation loop.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use devpoll::DevPollRegistry;
+use simcore::stats::RateSummary;
+use simcore::time::SimTime;
+use simkernel::{CostModel, Kernel, KernelEvent};
+use simnet::{HostId, LinkConfig, Network, SockAddr, TcpConfig};
+
+use servers::{Server, ServerCtx};
+
+use crate::load::{LoadConfig, LoadGen, LoadTimer};
+use crate::report::RunReport;
+
+/// The client (load-driving) host — the paper's 4-way Xeon.
+pub const CLIENT_HOST: HostId = HostId(0);
+/// The server host — the paper's 400 MHz K6-2.
+pub const SERVER_HOST: HostId = HostId(1);
+
+/// The assembled world.
+pub struct Testbed {
+    /// The network fabric.
+    pub net: Network,
+    /// The server host's kernel.
+    pub kernel: Kernel,
+    /// `/dev/poll` instances.
+    pub registry: DevPollRegistry,
+    /// The load generator.
+    pub load: LoadGen,
+    timers: BinaryHeap<Reverse<(SimTime, u64, LoadTimer)>>,
+    timer_seq: u64,
+    now: SimTime,
+}
+
+impl Testbed {
+    /// Builds a testbed with the given stacks and load.
+    pub fn new(cost: CostModel, tcp: TcpConfig, link: LinkConfig, load_cfg: LoadConfig) -> Testbed {
+        let net = Network::new(tcp, link, 2);
+        let kernel = Kernel::new(SERVER_HOST, cost);
+        let load = LoadGen::new(load_cfg, CLIENT_HOST, SockAddr::new(SERVER_HOST, 80));
+        Testbed {
+            net,
+            kernel,
+            registry: DevPollRegistry::new(),
+            load,
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn schedule(&mut self, at: SimTime, t: LoadTimer) {
+        let seq = self.timer_seq;
+        self.timer_seq += 1;
+        self.timers.push(Reverse((at, seq, t)));
+    }
+
+    /// Starts the server and arms the load generator.
+    pub fn start(&mut self, server: &mut dyn Server) {
+        let mut ctx = ServerCtx {
+            kernel: &mut self.kernel,
+            net: &mut self.net,
+            registry: &mut self.registry,
+            now: self.now,
+        };
+        server.start(&mut ctx).expect("server start failed");
+        let timers = self.load.bootstrap(self.now);
+        for (at, t) in timers {
+            self.schedule(at, t);
+        }
+        self.drain_at(self.now, server);
+    }
+
+    /// Processes everything due at exactly `now` until quiescent.
+    fn drain_at(&mut self, now: SimTime, server: &mut dyn Server) {
+        loop {
+            let mut progressed = false;
+
+            // Network deliveries and their fan-out.
+            let notifies = self.net.advance(now);
+            if !notifies.is_empty() {
+                progressed = true;
+            }
+            let mut new_timers = Vec::new();
+            for n in &notifies {
+                self.kernel.on_net(now, n);
+                new_timers.extend(self.load.on_net(&mut self.net, now, n));
+            }
+            for (at, t) in new_timers {
+                self.schedule(at, t);
+            }
+
+            // Kernel events: hints and runnable processes.
+            let kevents = self.kernel.advance(now);
+            if !kevents.is_empty() {
+                progressed = true;
+            }
+            for e in kevents {
+                match e {
+                    KernelEvent::FdEvent { pid, fd, .. } => {
+                        self.registry.on_fd_event(&mut self.kernel, now, pid, fd);
+                    }
+                    KernelEvent::ProcRunnable { pid } => {
+                        if server.handles(pid) {
+                            let mut ctx = ServerCtx {
+                                kernel: &mut self.kernel,
+                                net: &mut self.net,
+                                registry: &mut self.registry,
+                                now,
+                            };
+                            server.run_batch_for(&mut ctx, pid);
+                        }
+                    }
+                }
+            }
+
+            // Load-generator timers due now.
+            while let Some(&Reverse((at, _, _))) = self.timers.peek() {
+                if at > now {
+                    break;
+                }
+                let Reverse((_, _, t)) = self.timers.pop().expect("peeked");
+                progressed = true;
+                let follow = self.load.on_timer(&mut self.net, now, t);
+                for (at, t) in follow {
+                    self.schedule(at, t);
+                }
+            }
+
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    fn next_deadline(&mut self) -> Option<SimTime> {
+        let mut next = self.net.next_deadline();
+        if let Some(k) = self.kernel.next_deadline() {
+            next = Some(next.map_or(k, |n| n.min(k)));
+        }
+        if let Some(&Reverse((t, _, _))) = self.timers.peek() {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+        next
+    }
+
+    /// Runs until the load completes or `horizon` passes. Returns the
+    /// end-of-run time.
+    pub fn run(&mut self, server: &mut dyn Server, horizon: SimTime) -> SimTime {
+        while !self.load.done() {
+            let Some(next) = self.next_deadline() else {
+                break; // Stalled: nothing left to do.
+            };
+            if next > horizon {
+                break;
+            }
+            debug_assert!(next >= self.now, "time went backwards");
+            self.now = next;
+            self.drain_at(next, server);
+        }
+        self.now
+    }
+
+    /// Produces the run report.
+    pub fn report(self, server: &dyn Server) -> RunReport {
+        let Testbed { load, now, kernel, .. } = self;
+        let kernel_wakeups = kernel.stats().wakeups;
+        // The measured interval is the arrival period: stragglers resolve
+        // (as errors) up to a client-timeout later, but windows after the
+        // last launched request would only dilute the rate statistics.
+        let end = load.last_arrival.max(SimTime::ZERO + load.config().warmup);
+        let sim_end = load.last_resolution.max(now);
+        let attempted = load.attempted();
+        let target_rate = load.config().rate;
+        let inactive = load.config().inactive;
+        let LoadGen {
+            sampler,
+            latencies_ms,
+            errors,
+            replies,
+            ..
+        } = load;
+        let rates = sampler.finish(end);
+        RunReport {
+            server: server.name(),
+            target_rate,
+            inactive,
+            attempted,
+            replies,
+            errors,
+            rate: RateSummary::of(&rates),
+            latencies_ms,
+            sim_secs: sim_end.as_secs_f64(),
+            server_metrics: server.metrics(),
+            kernel_wakeups,
+        }
+    }
+}
+
+/// Convenience: builds a default testbed for `load`.
+pub fn default_testbed(load: LoadConfig) -> Testbed {
+    Testbed::new(
+        CostModel::k6_2_400mhz(),
+        TcpConfig::default(),
+        LinkConfig::default(),
+        load,
+    )
+}

@@ -1,0 +1,75 @@
+//! Tests of the bursty arrival process (the §5 "bursty and unpredictable
+//! interrupt load" remark modelled as an on/off arrival shape).
+
+use httperf::{run_one, LoadShape, RunParams, ServerKind};
+use simcore::time::SimDuration;
+
+fn bursty(kind: ServerKind, rate: f64, inactive: usize, conns: u64) -> httperf::RunReport {
+    let mut params = RunParams::paper(kind, rate, inactive).with_conns(conns);
+    params.load.shape = LoadShape::Bursty {
+        period: SimDuration::from_millis(500),
+        duty: 0.25,
+    };
+    run_one(params)
+}
+
+#[test]
+fn bursty_load_preserves_average_rate() {
+    let r = bursty(ServerKind::ThttpdDevPoll, 400.0, 0, 2_000);
+    assert!(
+        r.replies >= 1_990,
+        "bursts must not lose requests: {} ({:?})",
+        r.replies,
+        r.errors
+    );
+    // Average over the run stays near the configured rate (bursts are
+    // 4x rate for a quarter of each period).
+    assert!(
+        (r.rate.avg - 400.0).abs() < 60.0,
+        "avg {} should stay near 400",
+        r.rate.avg
+    );
+}
+
+#[test]
+fn bursts_raise_rate_variance_vs_constant() {
+    // Use a burst period longer than the 1 s sampling window so whole
+    // windows land in the silent part of the cycle.
+    let mut params = RunParams::paper(ServerKind::ThttpdDevPoll, 400.0, 0).with_conns(2_000);
+    params.load.shape = LoadShape::Bursty {
+        period: SimDuration::from_secs(2),
+        duty: 0.25,
+    };
+    let b = run_one(params);
+    let c = run_one(RunParams::paper(ServerKind::ThttpdDevPoll, 400.0, 0).with_conns(2_000));
+    assert!(
+        b.rate.stddev > 10.0 * c.rate.stddev.max(1.0),
+        "bursty stddev {} should dwarf constant {}",
+        b.rate.stddev,
+        c.rate.stddev
+    );
+    assert!(b.rate.min < 100.0, "silent windows: min {}", b.rate.min);
+    // Queueing smears the 4x burst peak across windows, but burst
+    // windows must still clearly exceed the average.
+    assert!(
+        b.rate.max > 1.1 * b.rate.avg,
+        "burst windows: max {} vs avg {}",
+        b.rate.max,
+        b.rate.avg
+    );
+}
+
+#[test]
+fn bursts_hurt_stock_poll_more_than_devpoll() {
+    // Under bursts the instantaneous rate is 4x: stock poll with many
+    // inactive connections is pushed past its knee during each burst
+    // while devpoll absorbs them.
+    let mut stock = bursty(ServerKind::ThttpdPoll, 400.0, 501, 2_500);
+    let mut dev = bursty(ServerKind::ThttpdDevPoll, 400.0, 501, 2_500);
+    let (s_med, d_med) = (stock.median_latency_ms(), dev.median_latency_ms());
+    assert!(
+        s_med > 3.0 * d_med,
+        "stock burst median {s_med} ms vs devpoll {d_med} ms"
+    );
+    assert!(dev.error_percent() < 1.0, "devpoll errors {}", dev.error_percent());
+}

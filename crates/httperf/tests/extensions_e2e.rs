@@ -1,0 +1,104 @@
+//! End-to-end tests of the extension experiments: prefork / thundering
+//! herd, sendfile, and document-size parameterization.
+
+use simkernel::AcceptWake;
+
+use httperf::{run_one, RunParams, ServerKind};
+
+#[test]
+fn prefork_serves_with_both_wake_policies() {
+    for wake in [AcceptWake::Herd, AcceptWake::Exclusive] {
+        let kind = ServerKind::PreforkDevPoll { workers: 4, wake };
+        let r = run_one(RunParams::paper(kind, 400.0, 25).with_conns(400));
+        assert!(
+            r.replies >= 395,
+            "{wake:?}: replies {} errors {:?}",
+            r.replies,
+            r.errors
+        );
+    }
+}
+
+#[test]
+fn herd_wakes_more_processes_than_exclusive() {
+    let herd = run_one(
+        RunParams::paper(
+            ServerKind::PreforkDevPoll {
+                workers: 4,
+                wake: AcceptWake::Herd,
+            },
+            400.0,
+            25,
+        )
+        .with_conns(400),
+    );
+    let excl = run_one(
+        RunParams::paper(
+            ServerKind::PreforkDevPoll {
+                workers: 4,
+                wake: AcceptWake::Exclusive,
+            },
+            400.0,
+            25,
+        )
+        .with_conns(400),
+    );
+    assert!(
+        herd.kernel_wakeups as f64 > 1.5 * excl.kernel_wakeups as f64,
+        "herd {} vs exclusive {} wakeups",
+        herd.kernel_wakeups,
+        excl.kernel_wakeups
+    );
+    // Both still serve everything at this light load.
+    assert_eq!(herd.replies, excl.replies);
+}
+
+#[test]
+fn sendfile_reduces_cpu_per_reply() {
+    // With a 16 KB document the user-space copy is significant; the
+    // sendfile path must be at least as fast at the same load.
+    let write = run_one(
+        RunParams::paper(ServerKind::ThttpdDevPoll, 400.0, 25)
+            .with_conns(400)
+            .with_doc_bytes(16 * 1024),
+    );
+    let sendfile = run_one(
+        RunParams::paper(ServerKind::ThttpdDevPollSendfile, 400.0, 25)
+            .with_conns(400)
+            .with_doc_bytes(16 * 1024),
+    );
+    assert!(write.replies >= 395, "{:?}", write.errors);
+    assert!(sendfile.replies >= 395, "{:?}", sendfile.errors);
+    let mut w = write;
+    let mut s = sendfile;
+    assert!(
+        s.median_latency_ms() <= w.median_latency_ms(),
+        "sendfile median {} must not exceed write median {}",
+        s.median_latency_ms(),
+        w.median_latency_ms()
+    );
+}
+
+#[test]
+fn doc_bytes_parameter_serves_the_sized_document() {
+    let r = run_one(
+        RunParams::paper(ServerKind::ThttpdDevPoll, 300.0, 0)
+            .with_conns(100)
+            .with_doc_bytes(1024),
+    );
+    assert_eq!(r.replies, 100, "{:?}", r.errors);
+    // Larger documents take longer per reply (wire time).
+    let mut small = r;
+    let mut big = run_one(
+        RunParams::paper(ServerKind::ThttpdDevPoll, 300.0, 0)
+            .with_conns(100)
+            .with_doc_bytes(32 * 1024),
+    );
+    assert_eq!(big.replies, 100, "{:?}", big.errors);
+    assert!(
+        big.median_latency_ms() > small.median_latency_ms(),
+        "32 KB must take longer than 1 KB: {} vs {}",
+        big.median_latency_ms(),
+        small.median_latency_ms()
+    );
+}

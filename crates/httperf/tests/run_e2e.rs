@@ -1,0 +1,67 @@
+//! End-to-end benchmark runs: every server architecture serves a small
+//! workload correctly.
+
+use httperf::{run_one, RunParams, ServerKind};
+
+fn smoke(kind: ServerKind) -> httperf::RunReport {
+    let params = RunParams::paper(kind, 200.0, 0).with_conns(300);
+    run_one(params)
+}
+
+#[test]
+fn thttpd_poll_serves_light_load() {
+    let mut r = smoke(ServerKind::ThttpdPoll);
+    assert_eq!(r.attempted, 300);
+    assert!(
+        r.replies >= 295,
+        "nearly all replies expected, got {} ({:?})",
+        r.replies,
+        r.errors
+    );
+    assert!(r.rate.avg > 150.0, "avg rate {}", r.rate.avg);
+    let med = r.median_latency_ms();
+    assert!(med > 0.0 && med < 100.0, "median {med} ms");
+}
+
+#[test]
+fn thttpd_devpoll_serves_light_load() {
+    let mut r = smoke(ServerKind::ThttpdDevPoll);
+    assert!(r.replies >= 295, "replies {} ({:?})", r.replies, r.errors);
+    assert!(r.median_latency_ms() < 100.0);
+}
+
+#[test]
+fn phhttpd_serves_light_load() {
+    let mut r = smoke(ServerKind::Phhttpd);
+    assert!(r.replies >= 295, "replies {} ({:?})", r.replies, r.errors);
+    assert!(r.median_latency_ms() < 100.0);
+}
+
+#[test]
+fn hybrid_serves_light_load() {
+    let mut r = smoke(ServerKind::Hybrid);
+    assert!(r.replies >= 295, "replies {} ({:?})", r.replies, r.errors);
+    assert!(r.median_latency_ms() < 100.0);
+}
+
+#[test]
+fn inactive_connections_are_held_open() {
+    let params = RunParams::paper(ServerKind::ThttpdDevPoll, 200.0, 50).with_conns(300);
+    let r = run_one(params);
+    assert!(r.replies >= 290, "replies {} ({:?})", r.replies, r.errors);
+    // The server saw the inactive connections too.
+    assert!(
+        r.server_metrics.accepted >= 300 + 50,
+        "accepted {}",
+        r.server_metrics.accepted
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let a = run_one(RunParams::paper(ServerKind::ThttpdPoll, 300.0, 10).with_conns(200));
+    let b = run_one(RunParams::paper(ServerKind::ThttpdPoll, 300.0, 10).with_conns(200));
+    assert_eq!(a.replies, b.replies);
+    assert_eq!(a.errors, b.errors);
+    assert_eq!(a.rate, b.rate);
+}

@@ -1,0 +1,308 @@
+//! The per-connection HTTP state machine shared by every server
+//! architecture (thttpd-style event loops, the RT-signal server, the
+//! hybrid).
+
+use simcore::time::SimTime;
+use simkernel::{Errno, Fd, Kernel, Pid};
+use simnet::Network;
+
+use crate::content::ContentStore;
+use crate::http::{parse_request, response_error, response_ok, ParseOutcome};
+
+/// What a connection is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnPhase {
+    /// Buffering the request.
+    Reading,
+    /// Draining the response.
+    Writing,
+}
+
+/// Why a connection finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishKind {
+    /// Response fully sent.
+    Replied,
+    /// Peer closed before sending a complete request.
+    ClientClosedEarly,
+    /// Reset / read / write error.
+    Error,
+}
+
+/// Result of feeding an event to a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnStatus {
+    /// Still waiting for readability.
+    WantRead,
+    /// Response not fully drained; wait for writability.
+    WantWrite,
+    /// Connection is done (caller removes interest and closes the fd).
+    Finished(FinishKind),
+}
+
+/// Server-side per-connection state.
+#[derive(Debug)]
+pub struct HttpConn {
+    /// The descriptor.
+    pub fd: Fd,
+    /// Current phase.
+    pub phase: ConnPhase,
+    /// Buffered request bytes.
+    pub in_buf: Vec<u8>,
+    /// Response bytes (headers + body).
+    pub out_buf: Vec<u8>,
+    /// How much of `out_buf` has been written.
+    pub out_pos: usize,
+    /// Time of the last I/O progress (for idle timeouts).
+    pub last_activity: SimTime,
+    /// When the connection was accepted.
+    pub accepted_at: SimTime,
+    /// Drain the response via `sendfile()` instead of `write()` (§6
+    /// future work; saves the user-space copy).
+    pub use_sendfile: bool,
+}
+
+impl HttpConn {
+    /// A fresh connection in the reading phase.
+    pub fn new(fd: Fd, now: SimTime) -> HttpConn {
+        HttpConn {
+            fd,
+            phase: ConnPhase::Reading,
+            in_buf: Vec::new(),
+            out_buf: Vec::new(),
+            out_pos: 0,
+            last_activity: now,
+            accepted_at: now,
+            use_sendfile: false,
+        }
+    }
+
+    /// A fresh connection that will respond via `sendfile()`.
+    pub fn new_sendfile(fd: Fd, now: SimTime) -> HttpConn {
+        HttpConn {
+            use_sendfile: true,
+            ..HttpConn::new(fd, now)
+        }
+    }
+
+    /// Whether the connection has been idle since `cutoff`.
+    pub fn idle_since(&self, cutoff: SimTime) -> bool {
+        self.last_activity <= cutoff
+    }
+
+    /// Handles readability: reads, parses, and on a complete request
+    /// builds the response and starts writing it.
+    pub fn on_readable(
+        &mut self,
+        kernel: &mut Kernel,
+        net: &mut Network,
+        now: SimTime,
+        pid: Pid,
+        content: &ContentStore,
+        not_found: &mut u64,
+    ) -> ConnStatus {
+        if self.phase == ConnPhase::Writing {
+            // Readable while writing: either the client is pipelining
+            // (ignored in HTTP/1.0) or it closed. Keep draining.
+            return self.on_writable(kernel, net, now, pid);
+        }
+        loop {
+            match kernel.sys_read(net, now, pid, self.fd, 4096) {
+                Ok(data) if data.is_empty() => {
+                    return ConnStatus::Finished(FinishKind::ClientClosedEarly);
+                }
+                Ok(data) => {
+                    self.last_activity = now;
+                    self.in_buf.extend_from_slice(&data);
+                    match parse_request(&self.in_buf) {
+                        ParseOutcome::Incomplete => continue,
+                        ParseOutcome::Complete(req) => {
+                            let cost = *kernel.cost_model();
+                            kernel.charge_app(pid, cost.app_parse_request);
+                            kernel.charge_app(pid, cost.app_open_file);
+                            self.out_buf = match content.get(&req.path) {
+                                Some(doc) => response_ok(&doc),
+                                None => {
+                                    *not_found += 1;
+                                    response_error(404, "Not Found")
+                                }
+                            };
+                            self.phase = ConnPhase::Writing;
+                            return self.on_writable(kernel, net, now, pid);
+                        }
+                        ParseOutcome::Malformed => {
+                            let cost = *kernel.cost_model();
+                            kernel.charge_app(pid, cost.app_parse_request);
+                            self.out_buf = response_error(400, "Bad Request");
+                            self.phase = ConnPhase::Writing;
+                            return self.on_writable(kernel, net, now, pid);
+                        }
+                    }
+                }
+                Err(Errno::EAGAIN) => return ConnStatus::WantRead,
+                Err(_) => return ConnStatus::Finished(FinishKind::Error),
+            }
+        }
+    }
+
+    /// Handles writability: drains the response.
+    pub fn on_writable(
+        &mut self,
+        kernel: &mut Kernel,
+        net: &mut Network,
+        now: SimTime,
+        pid: Pid,
+    ) -> ConnStatus {
+        debug_assert_eq!(self.phase, ConnPhase::Writing);
+        while self.out_pos < self.out_buf.len() {
+            let chunk = &self.out_buf[self.out_pos..];
+            let wrote = if self.use_sendfile {
+                kernel.sys_sendfile(net, now, pid, self.fd, chunk)
+            } else {
+                kernel.sys_write(net, now, pid, self.fd, chunk)
+            };
+            match wrote {
+                Ok(n) => {
+                    self.out_pos += n;
+                    self.last_activity = now;
+                }
+                Err(Errno::EAGAIN) => return ConnStatus::WantWrite,
+                Err(_) => return ConnStatus::Finished(FinishKind::Error),
+            }
+        }
+        ConnStatus::Finished(FinishKind::Replied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::SimDuration;
+    use simkernel::CostModel;
+    use simnet::{EndpointId, HostId, LinkConfig, SockAddr, TcpConfig};
+
+    const CLIENT: HostId = HostId(0);
+    const SERVER: HostId = HostId(1);
+
+    fn pump(net: &mut Network, kernel: &mut Kernel, horizon: SimTime) {
+        loop {
+            match net.next_deadline() {
+                Some(t) if t <= horizon => {
+                    for n in net.advance(t) {
+                        kernel.on_net(t, &n);
+                    }
+                    let _ = kernel.advance(t);
+                }
+                _ => break,
+            }
+        }
+        for n in net.advance(horizon) {
+            kernel.on_net(horizon, &n);
+        }
+        let _ = kernel.advance(horizon);
+    }
+
+    #[test]
+    fn serves_a_complete_request() {
+        let mut net = Network::new(TcpConfig::default(), LinkConfig::default(), 2);
+        let mut kernel = Kernel::new(SERVER, CostModel::k6_2_400mhz());
+        let pid = kernel.spawn_default();
+        kernel.begin_batch(SimTime::ZERO, pid);
+        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        kernel.end_batch(SimTime::ZERO, pid);
+        let conn_id = net
+            .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+            .unwrap();
+        pump(&mut net, &mut kernel, SimTime::from_millis(10));
+        let t = SimTime::from_millis(10);
+        kernel.begin_batch(t, pid);
+        let fd = kernel.sys_accept(&mut net, t, pid, lfd).unwrap();
+        kernel.end_batch(t, pid);
+
+        let client_ep = EndpointId::new(conn_id, simnet::Side::Client);
+        net.send(t, client_ep, b"GET /index.html HTTP/1.0\r\n\r\n").unwrap();
+        pump(&mut net, &mut kernel, SimTime::from_millis(20));
+
+        let t = SimTime::from_millis(20);
+        let content = ContentStore::citi_6k();
+        let mut conn = HttpConn::new(fd, t);
+        let mut nf = 0u64;
+        kernel.begin_batch(t, pid);
+        let status = conn.on_readable(&mut kernel, &mut net, t, pid, &content, &mut nf);
+        // 6 KB + headers fit the 16 KB send buffer in one go.
+        assert_eq!(status, ConnStatus::Finished(FinishKind::Replied));
+        kernel.sys_close(&mut net, t, pid, fd).unwrap();
+        kernel.end_batch(t, pid);
+        assert_eq!(nf, 0);
+
+        pump(&mut net, &mut kernel, SimTime::from_millis(120));
+        let body = net.recv(SimTime::from_millis(120), client_ep, usize::MAX).unwrap();
+        let text = String::from_utf8_lossy(&body);
+        assert!(text.starts_with("HTTP/1.0 200 OK"));
+        assert!(text.contains("Content-Length: 6144"));
+        assert!(net.peer_closed(client_ep), "HTTP/1.0: server closes");
+    }
+
+    #[test]
+    fn missing_document_gets_404() {
+        let mut net = Network::new(TcpConfig::default(), LinkConfig::default(), 2);
+        let mut kernel = Kernel::new(SERVER, CostModel::k6_2_400mhz());
+        let pid = kernel.spawn_default();
+        kernel.begin_batch(SimTime::ZERO, pid);
+        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        kernel.end_batch(SimTime::ZERO, pid);
+        let conn_id = net
+            .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+            .unwrap();
+        pump(&mut net, &mut kernel, SimTime::from_millis(10));
+        let t = SimTime::from_millis(10);
+        kernel.begin_batch(t, pid);
+        let fd = kernel.sys_accept(&mut net, t, pid, lfd).unwrap();
+        kernel.end_batch(t, pid);
+        let client_ep = EndpointId::new(conn_id, simnet::Side::Client);
+        net.send(t, client_ep, b"GET /nope.html HTTP/1.0\r\n\r\n").unwrap();
+        pump(&mut net, &mut kernel, SimTime::from_millis(20));
+
+        let t = SimTime::from_millis(20);
+        let content = ContentStore::citi_6k();
+        let mut conn = HttpConn::new(fd, t);
+        let mut nf = 0u64;
+        kernel.begin_batch(t, pid);
+        let status = conn.on_readable(&mut kernel, &mut net, t, pid, &content, &mut nf);
+        kernel.end_batch(t, pid);
+        assert_eq!(status, ConnStatus::Finished(FinishKind::Replied));
+        assert_eq!(nf, 1);
+    }
+
+    #[test]
+    fn partial_request_wants_more_reading() {
+        let mut net = Network::new(TcpConfig::default(), LinkConfig::default(), 2);
+        let mut kernel = Kernel::new(SERVER, CostModel::k6_2_400mhz());
+        let pid = kernel.spawn_default();
+        kernel.begin_batch(SimTime::ZERO, pid);
+        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        kernel.end_batch(SimTime::ZERO, pid);
+        let conn_id = net
+            .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+            .unwrap();
+        pump(&mut net, &mut kernel, SimTime::from_millis(10));
+        let t = SimTime::from_millis(10);
+        kernel.begin_batch(t, pid);
+        let fd = kernel.sys_accept(&mut net, t, pid, lfd).unwrap();
+        kernel.end_batch(t, pid);
+        let client_ep = EndpointId::new(conn_id, simnet::Side::Client);
+        net.send(t, client_ep, b"GET /index.html HT").unwrap();
+        pump(&mut net, &mut kernel, SimTime::from_millis(20));
+
+        let t = SimTime::from_millis(20);
+        let content = ContentStore::citi_6k();
+        let mut conn = HttpConn::new(fd, t);
+        let mut nf = 0u64;
+        kernel.begin_batch(t, pid);
+        let status = conn.on_readable(&mut kernel, &mut net, t, pid, &content, &mut nf);
+        kernel.end_batch(t, pid);
+        assert_eq!(status, ConnStatus::WantRead);
+        assert_eq!(conn.phase, ConnPhase::Reading);
+        assert!(!conn.in_buf.is_empty());
+    }
+}

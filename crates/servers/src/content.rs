@@ -1,0 +1,120 @@
+//! The static content store.
+//!
+//! "In our tests, we request a 6 Kbyte document, a typical `index.html`
+//! file from the CITI web site" (§5). Documents live in memory (the
+//! paper's server easily caches its working set); the *cost* of the
+//! lookup is charged by the server via the cost model's
+//! `app_open_file`.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The paper's document size.
+pub const DEFAULT_DOC_BYTES: usize = 6 * 1024;
+/// The paper's document path.
+pub const DEFAULT_DOC_PATH: &str = "/index.html";
+
+/// An in-memory static content store.
+#[derive(Debug, Clone)]
+pub struct ContentStore {
+    files: HashMap<String, Rc<Vec<u8>>>,
+}
+
+impl ContentStore {
+    /// An empty store.
+    pub fn new() -> ContentStore {
+        ContentStore {
+            files: HashMap::new(),
+        }
+    }
+
+    /// The benchmark store: one 6 KB `index.html`.
+    pub fn citi_6k() -> ContentStore {
+        let mut s = ContentStore::new();
+        s.put(DEFAULT_DOC_PATH, make_document(DEFAULT_DOC_BYTES));
+        s
+    }
+
+    /// A store with one document of each given size, at
+    /// `/doc-<size>.html` — for document-size sensitivity benches
+    /// ("a web server's static performance depends on the size
+    /// distribution of requested documents", §5).
+    pub fn size_sweep(sizes: &[usize]) -> ContentStore {
+        let mut s = ContentStore::new();
+        for &n in sizes {
+            s.put(format!("/doc-{n}.html"), make_document(n));
+        }
+        s
+    }
+
+    /// Inserts a document.
+    pub fn put(&mut self, path: impl Into<String>, body: Vec<u8>) {
+        self.files.insert(path.into(), Rc::new(body));
+    }
+
+    /// Looks a document up. `/` aliases the default document.
+    pub fn get(&self, path: &str) -> Option<Rc<Vec<u8>>> {
+        let path = if path == "/" { DEFAULT_DOC_PATH } else { path };
+        self.files.get(path).cloned()
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+impl Default for ContentStore {
+    fn default() -> Self {
+        ContentStore::citi_6k()
+    }
+}
+
+/// Generates deterministic HTML-ish filler of exactly `bytes` bytes.
+pub fn make_document(bytes: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes);
+    out.extend_from_slice(b"<html><body>");
+    let filler = b"Linux Scalability Project - CITI, University of Michigan. ";
+    while out.len() < bytes.saturating_sub(14) {
+        let room = bytes - 14 - out.len();
+        out.extend_from_slice(&filler[..filler.len().min(room)]);
+    }
+    out.extend_from_slice(b"</body></html>");
+    out.resize(bytes, b' ');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn citi_store_has_6k_index() {
+        let s = ContentStore::citi_6k();
+        let doc = s.get("/index.html").unwrap();
+        assert_eq!(doc.len(), 6 * 1024);
+        // Root aliases the index.
+        assert_eq!(s.get("/").unwrap().len(), 6 * 1024);
+        assert!(s.get("/missing.html").is_none());
+    }
+
+    #[test]
+    fn make_document_exact_size() {
+        for n in [20, 100, 6144, 65536] {
+            assert_eq!(make_document(n).len(), n);
+        }
+    }
+
+    #[test]
+    fn size_sweep_paths() {
+        let s = ContentStore::size_sweep(&[1024, 65536]);
+        assert_eq!(s.get("/doc-1024.html").unwrap().len(), 1024);
+        assert_eq!(s.get("/doc-65536.html").unwrap().len(), 65536);
+        assert_eq!(s.len(), 2);
+    }
+}

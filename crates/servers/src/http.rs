@@ -1,0 +1,154 @@
+//! Minimal HTTP/1.0 request parsing and response generation — enough to
+//! serve the paper's workload (static GETs of a 6 KB document, one
+//! request per connection, `Connection: close` semantics).
+
+/// A parsed HTTP request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method, e.g. `GET`.
+    pub method: String,
+    /// Request path, e.g. `/index.html`.
+    pub path: String,
+}
+
+/// Outcome of trying to parse a request from buffered bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// Headers not yet complete; read more.
+    Incomplete,
+    /// A full request (headers ended with a blank line).
+    Complete(Request),
+    /// The bytes do not look like HTTP.
+    Malformed,
+}
+
+/// Maximum request size before the server gives up (stops buffering
+/// garbage from a misbehaving client).
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Attempts to parse an HTTP/1.0 request from `buf`.
+///
+/// # Examples
+///
+/// ```
+/// use servers::http::{parse_request, ParseOutcome};
+///
+/// let out = parse_request(b"GET /index.html HTTP/1.0\r\n\r\n");
+/// match out {
+///     ParseOutcome::Complete(req) => assert_eq!(req.path, "/index.html"),
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+pub fn parse_request(buf: &[u8]) -> ParseOutcome {
+    // Find the end of headers.
+    let end = match find_header_end(buf) {
+        Some(e) => e,
+        None => {
+            if buf.len() > MAX_REQUEST_BYTES {
+                return ParseOutcome::Malformed;
+            }
+            return ParseOutcome::Incomplete;
+        }
+    };
+    let head = &buf[..end];
+    let text = match core::str::from_utf8(head) {
+        Ok(t) => t,
+        Err(_) => return ParseOutcome::Malformed,
+    };
+    let first = text.lines().next().unwrap_or("");
+    let mut parts = first.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return ParseOutcome::Malformed;
+    };
+    if !matches!(method, "GET" | "HEAD" | "POST") {
+        return ParseOutcome::Malformed;
+    }
+    ParseOutcome::Complete(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+    })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Builds a `200 OK` response carrying `body`.
+pub fn response_ok(body: &[u8]) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.0 200 OK\r\nServer: simhttpd/0.1\r\nContent-Type: text/html\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Builds an error response with the given status line.
+pub fn response_error(status: u16, reason: &str) -> Vec<u8> {
+    let body = format!("<html><body><h1>{status} {reason}</h1></body></html>");
+    let mut out = format!(
+        "HTTP/1.0 {status} {reason}\r\nServer: simhttpd/0.1\r\nContent-Type: text/html\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_complete_get() {
+        let out = parse_request(b"GET /index.html HTTP/1.0\r\nHost: x\r\n\r\n");
+        assert_eq!(
+            out,
+            ParseOutcome::Complete(Request {
+                method: "GET".into(),
+                path: "/index.html".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn incomplete_until_blank_line() {
+        assert_eq!(parse_request(b"GET / HTTP/1.0\r\n"), ParseOutcome::Incomplete);
+        assert_eq!(parse_request(b"GET / HTTP/1.0\r\nHost:"), ParseOutcome::Incomplete);
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.0\r\n\r\n"),
+            ParseOutcome::Complete(_)
+        ));
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert_eq!(parse_request(b"FROB / HTTP/1.0\r\n\r\n"), ParseOutcome::Malformed);
+        assert_eq!(parse_request(b"GET\r\n\r\n"), ParseOutcome::Malformed);
+        assert_eq!(parse_request(b"\xff\xfe\r\n\r\n"), ParseOutcome::Malformed);
+    }
+
+    #[test]
+    fn oversize_buffer_is_malformed() {
+        let big = vec![b'a'; MAX_REQUEST_BYTES + 1];
+        assert_eq!(parse_request(&big), ParseOutcome::Malformed);
+    }
+
+    #[test]
+    fn response_ok_has_content_length() {
+        let r = response_ok(b"hello");
+        let text = String::from_utf8(r).unwrap();
+        assert!(text.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.ends_with("hello"));
+    }
+
+    #[test]
+    fn response_error_format() {
+        let r = response_error(404, "Not Found");
+        let text = String::from_utf8(r).unwrap();
+        assert!(text.starts_with("HTTP/1.0 404 Not Found\r\n"));
+        assert!(text.contains("<h1>404 Not Found</h1>"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Server-side counters used by the benchmark reports and tests.
+
+/// Counters one server accumulates over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerMetrics {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Complete HTTP responses sent (and connection closed cleanly).
+    pub replies: u64,
+    /// Connections dropped for read errors / resets.
+    pub read_errors: u64,
+    /// Connections closed by the idle-timeout scan.
+    pub idle_closed: u64,
+    /// Connections the client closed before sending a full request.
+    pub client_closed_early: u64,
+    /// Requests for unknown documents (404s served).
+    pub not_found: u64,
+    /// RT-signal events referring to already-closed descriptors
+    /// (the paper's stale-event hazard, §2).
+    pub stale_events: u64,
+    /// RT signal queue overflows handled.
+    pub overflows: u64,
+    /// Event-model switches (hybrid server: signal mode <-> poll mode).
+    pub mode_switches: u64,
+    /// Batches in which the event wait returned work.
+    pub busy_batches: u64,
+}
+
+impl ServerMetrics {
+    /// All connections terminated for any reason.
+    pub fn closed_total(&self) -> u64 {
+        self.replies + self.read_errors + self.idle_closed + self.client_closed_early
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_total_sums_components() {
+        let m = ServerMetrics {
+            replies: 5,
+            read_errors: 2,
+            idle_closed: 3,
+            client_closed_early: 1,
+            ..ServerMetrics::default()
+        };
+        assert_eq!(m.closed_total(), 11);
+    }
+}

@@ -1,0 +1,430 @@
+//! `phhttpd` — the experimental RT-signal web server (§2, §5.2).
+//!
+//! Faithful to the architecture the paper describes, including its
+//! pathologies:
+//!
+//! * one `sigwaitinfo()` syscall per event;
+//! * per-event bookkeeping that costs time linear in the number of open
+//!   connections (the implementation weakness behind Figs. 12–13);
+//! * stale events for already-closed descriptors that must be skipped;
+//! * on queue overflow, connections are handed to the "poll sibling" one
+//!   at a time over a UNIX domain socket and a `pollfd` array is rebuilt
+//!   from scratch — and the server *never switches back* to signal mode
+//!   ("Brown never implemented this logic", §6).
+
+use std::collections::HashMap;
+
+use devpoll::{EventBackend, RtEvent, RtSignalApi, StockPollBackend, WaitResult};
+use simcore::time::SimTime;
+use simkernel::{Errno, Fd, PollBits};
+
+use crate::conn::{ConnPhase, ConnStatus, FinishKind, HttpConn};
+use crate::content::ContentStore;
+use crate::metrics::ServerMetrics;
+use crate::server::{Server, ServerConfig, ServerCtx};
+
+/// Which event engine the server is currently running on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhMode {
+    /// Normal operation: events picked up one at a time from the RT
+    /// signal queue.
+    Signals,
+    /// After an overflow: everything was handed to the poll sibling,
+    /// which rebuilds its `pollfd` array every scan. Permanent.
+    Polling,
+}
+
+/// phhttpd-specific tunables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhConfig {
+    /// Use the proposed `sigtimedwait4()` to dequeue events in batches
+    /// of this size instead of one `sigwaitinfo()` per event (§6).
+    pub batch_dequeue: Option<usize>,
+}
+
+/// The RT-signal server.
+pub struct Phhttpd {
+    pid: simkernel::Pid,
+    lfd: Fd,
+    rtapi: RtSignalApi,
+    mode: PhMode,
+    poll_backend: StockPollBackend,
+    conns: HashMap<Fd, HttpConn>,
+    content: ContentStore,
+    metrics: ServerMetrics,
+    config: ServerConfig,
+    ph: PhConfig,
+    last_scan: SimTime,
+}
+
+impl Phhttpd {
+    /// Creates the server (spawning its process).
+    pub fn new(ctx: &mut ServerCtx<'_>, config: ServerConfig, ph: PhConfig) -> Phhttpd {
+        let pid = ctx.kernel.spawn(config.fd_limit, config.rt_queue_max);
+        Phhttpd {
+            pid,
+            lfd: -1,
+            rtapi: RtSignalApi::default(),
+            mode: PhMode::Signals,
+            poll_backend: StockPollBackend::new(),
+            conns: HashMap::new(),
+            content: ContentStore::citi_6k(),
+            metrics: ServerMetrics::default(),
+            config,
+            ph,
+            last_scan: SimTime::ZERO,
+        }
+    }
+
+    /// The current event mode.
+    pub fn mode(&self) -> PhMode {
+        self.mode
+    }
+
+    fn accept_all(&mut self, ctx: &mut ServerCtx<'_>) {
+        loop {
+            match ctx.kernel.sys_accept(ctx.net, ctx.now, self.pid, self.lfd) {
+                Ok(fd) => {
+                    let cost = *ctx.kernel.cost_model();
+                    ctx.kernel.charge_app(self.pid, cost.app_conn_setup);
+                    // Inserting into (and probing) the experimental
+                    // server's linear connection table costs time
+                    // proportional to its size — the same weakness the
+                    // per-event dispatch pays.
+                    ctx.kernel
+                        .charge_app(self.pid, cost.app_event_lookup * self.conns.len() as u64);
+                    self.metrics.accepted += 1;
+                    match self.mode {
+                        PhMode::Signals => {
+                            // O_NONBLOCK + F_SETSIG + F_SETOWN: the
+                            // per-connection syscall tax of the RT model.
+                            let _ = self.rtapi.register(ctx.kernel, self.pid, fd);
+                        }
+                        PhMode::Polling => {
+                            let _ = ctx.kernel.sys_set_nonblock(self.pid, fd);
+                            let _ = self.poll_backend.set_interest(
+                                ctx.kernel,
+                                ctx.registry,
+                                ctx.now,
+                                self.pid,
+                                fd,
+                                PollBits::POLLIN,
+                            );
+                        }
+                    }
+                    let mut conn = if self.config.use_sendfile {
+                        HttpConn::new_sendfile(fd, ctx.now)
+                    } else {
+                        HttpConn::new(fd, ctx.now)
+                    };
+                    // Data may have arrived before registration; a fresh
+                    // read avoids a lost-edge deadlock.
+                    let status = conn.on_readable(
+                        ctx.kernel,
+                        ctx.net,
+                        ctx.now,
+                        self.pid,
+                        &self.content,
+                        &mut self.metrics.not_found,
+                    );
+                    self.conns.insert(fd, conn);
+                    self.apply_status(ctx, fd, status);
+                }
+                Err(Errno::EAGAIN) => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn apply_status(&mut self, ctx: &mut ServerCtx<'_>, fd: Fd, status: ConnStatus) {
+        match status {
+            ConnStatus::WantRead | ConnStatus::WantWrite => {
+                if self.mode == PhMode::Polling {
+                    let ev = if status == ConnStatus::WantWrite {
+                        PollBits::POLLOUT
+                    } else {
+                        PollBits::POLLIN
+                    };
+                    let _ = self.poll_backend.set_interest(
+                        ctx.kernel,
+                        ctx.registry,
+                        ctx.now,
+                        self.pid,
+                        fd,
+                        ev,
+                    );
+                }
+                // In signal mode the next state change queues a signal.
+            }
+            ConnStatus::Finished(kind) => self.finish_conn(ctx, fd, kind),
+        }
+    }
+
+    fn finish_conn(&mut self, ctx: &mut ServerCtx<'_>, fd: Fd, kind: FinishKind) {
+        if self.mode == PhMode::Polling {
+            let _ = self
+                .poll_backend
+                .remove_interest(ctx.kernel, ctx.registry, ctx.now, self.pid, fd);
+        }
+        match kind {
+            FinishKind::Replied => {
+                let _ = ctx.kernel.sys_close(ctx.net, ctx.now, self.pid, fd);
+                self.metrics.replies += 1;
+            }
+            FinishKind::ClientClosedEarly => {
+                let _ = ctx.kernel.sys_close(ctx.net, ctx.now, self.pid, fd);
+                self.metrics.client_closed_early += 1;
+            }
+            FinishKind::Error => {
+                let _ = ctx.kernel.sys_abort(ctx.net, ctx.now, self.pid, fd);
+                self.metrics.read_errors += 1;
+            }
+        }
+        self.conns.remove(&fd);
+        // Events already queued for this fd remain on the RT queue and
+        // will surface as stale events (§2).
+    }
+
+    fn dispatch(&mut self, ctx: &mut ServerCtx<'_>, fd: Fd, band: PollBits) {
+        // The experimental server's per-event connection lookup walks a
+        // linear structure: cost grows with the open-connection count.
+        let cost = *ctx.kernel.cost_model();
+        ctx.kernel
+            .charge_app(self.pid, cost.app_event_lookup * self.conns.len() as u64);
+        if fd == self.lfd {
+            self.accept_all(ctx);
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&fd) else {
+            self.metrics.stale_events += 1;
+            return;
+        };
+        if band.contains(PollBits::POLLERR) {
+            self.finish_conn(ctx, fd, FinishKind::Error);
+            return;
+        }
+        let status = if conn.phase == ConnPhase::Writing && band.contains(PollBits::POLLOUT) {
+            conn.on_writable(ctx.kernel, ctx.net, ctx.now, self.pid)
+        } else if band.intersects(PollBits::POLLIN | PollBits::POLLHUP) {
+            conn.on_readable(
+                ctx.kernel,
+                ctx.net,
+                ctx.now,
+                self.pid,
+                &self.content,
+                &mut self.metrics.not_found,
+            )
+        } else {
+            return;
+        };
+        self.apply_status(ctx, fd, status);
+    }
+
+    /// RT queue overflow (§2, §6): flush the queue, hand every
+    /// connection to the poll sibling one at a time over a UNIX domain
+    /// socket, and rebuild the `pollfd` array from scratch. The server
+    /// stays in polling mode for good.
+    fn handle_overflow(&mut self, ctx: &mut ServerCtx<'_>) {
+        self.metrics.overflows += 1;
+        self.metrics.mode_switches += 1;
+        let _ = self.rtapi.flush(ctx.kernel, self.pid);
+        let cost = *ctx.kernel.cost_model();
+        // Transfer: sendmsg + recvmsg per descriptor (including the
+        // listener), plus re-registration bookkeeping.
+        let per_conn = cost.syscall * 2 + cost.app_conn_setup;
+        ctx.kernel
+            .charge_app(self.pid, per_conn * (self.conns.len() as u64 + 1));
+        self.mode = PhMode::Polling;
+        // Rebuild the interest set from scratch.
+        let _ = self.poll_backend.set_interest(
+            ctx.kernel,
+            ctx.registry,
+            ctx.now,
+            self.pid,
+            self.lfd,
+            PollBits::POLLIN,
+        );
+        let fds: Vec<(Fd, PollBits)> = self
+            .conns
+            .iter()
+            .map(|(&fd, c)| {
+                let ev = if c.phase == ConnPhase::Writing {
+                    PollBits::POLLOUT
+                } else {
+                    PollBits::POLLIN
+                };
+                (fd, ev)
+            })
+            .collect();
+        for (fd, ev) in fds {
+            let _ = self
+                .poll_backend
+                .set_interest(ctx.kernel, ctx.registry, ctx.now, self.pid, fd, ev);
+        }
+    }
+
+    fn maybe_scan_idle(&mut self, ctx: &mut ServerCtx<'_>) {
+        if ctx.now.saturating_duration_since(self.last_scan) < self.config.scan_interval {
+            return;
+        }
+        self.last_scan = ctx.now;
+        let cost = *ctx.kernel.cost_model();
+        ctx.kernel
+            .charge_app(self.pid, cost.app_timer_scan * self.conns.len() as u64);
+        if ctx.now.as_nanos() < self.config.idle_timeout.as_nanos() {
+            return;
+        }
+        let cutoff = SimTime::from_nanos(ctx.now.as_nanos() - self.config.idle_timeout.as_nanos());
+        let idle: Vec<Fd> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.idle_since(cutoff))
+            .map(|(&fd, _)| fd)
+            .collect();
+        for fd in idle {
+            if self.mode == PhMode::Polling {
+                let _ = self
+                    .poll_backend
+                    .remove_interest(ctx.kernel, ctx.registry, ctx.now, self.pid, fd);
+            }
+            let _ = ctx.kernel.sys_close(ctx.net, ctx.now, self.pid, fd);
+            self.conns.remove(&fd);
+            self.metrics.idle_closed += 1;
+        }
+    }
+
+    fn run_signals_batch(&mut self, ctx: &mut ServerCtx<'_>) {
+        let mut processed = 0usize;
+        while processed < self.config.max_events {
+            let events: Vec<RtEvent> = match self.ph.batch_dequeue {
+                Some(batch) => {
+                    let want = batch.min(self.config.max_events - processed);
+                    match self.rtapi.next_events(ctx.kernel, self.pid, want) {
+                        Ok(evs) => evs,
+                        Err(_) => break,
+                    }
+                }
+                None => match self.rtapi.next_event(ctx.kernel, self.pid) {
+                    Ok(ev) => vec![ev],
+                    Err(_) => break,
+                },
+            };
+            for ev in events {
+                processed += 1;
+                match ev {
+                    RtEvent::Io { fd, band } => self.dispatch(ctx, fd, band),
+                    RtEvent::Overflow => {
+                        self.handle_overflow(ctx);
+                        return; // `run_batch` closes the batch out.
+                    }
+                }
+            }
+        }
+        if processed == 0 {
+            ctx.kernel
+                .end_batch_sleep(ctx.now, self.pid, Some(self.config.scan_interval));
+        } else {
+            self.metrics.busy_batches += 1;
+            ctx.kernel.end_batch(ctx.now, self.pid);
+        }
+    }
+
+    fn run_polling_batch(&mut self, ctx: &mut ServerCtx<'_>) {
+        match self.poll_backend.wait(
+            ctx.kernel,
+            ctx.registry,
+            ctx.now,
+            self.pid,
+            self.config.max_events,
+            -1,
+        ) {
+            Ok(WaitResult::WouldBlock) | Err(_) => {
+                ctx.kernel
+                    .end_batch_sleep(ctx.now, self.pid, Some(self.config.scan_interval));
+            }
+            Ok(WaitResult::Events(evs)) => {
+                self.metrics.busy_batches += 1;
+                for ev in evs {
+                    if ev.fd == self.lfd {
+                        self.accept_all(ctx);
+                    } else {
+                        self.dispatch_poll(ctx, ev.fd, ev.revents);
+                    }
+                }
+                ctx.kernel.end_batch(ctx.now, self.pid);
+            }
+        }
+    }
+
+    fn dispatch_poll(&mut self, ctx: &mut ServerCtx<'_>, fd: Fd, revents: PollBits) {
+        let Some(conn) = self.conns.get_mut(&fd) else {
+            return;
+        };
+        if revents.contains(PollBits::POLLERR) || revents.contains(PollBits::POLLNVAL) {
+            self.finish_conn(ctx, fd, FinishKind::Error);
+            return;
+        }
+        let status = if conn.phase == ConnPhase::Writing && revents.contains(PollBits::POLLOUT) {
+            conn.on_writable(ctx.kernel, ctx.net, ctx.now, self.pid)
+        } else if revents.intersects(PollBits::POLLIN | PollBits::POLLHUP) {
+            conn.on_readable(
+                ctx.kernel,
+                ctx.net,
+                ctx.now,
+                self.pid,
+                &self.content,
+                &mut self.metrics.not_found,
+            )
+        } else {
+            return;
+        };
+        self.apply_status(ctx, fd, status);
+    }
+}
+
+impl Server for Phhttpd {
+    fn pid(&self) -> simkernel::Pid {
+        self.pid
+    }
+
+    fn name(&self) -> String {
+        match self.ph.batch_dequeue {
+            Some(n) => format!("phhttpd/rtsig+batch{n}"),
+            None => "phhttpd/rtsig".to_string(),
+        }
+    }
+
+    fn start(&mut self, ctx: &mut ServerCtx<'_>) -> Result<(), Errno> {
+        ctx.kernel.begin_batch(ctx.now, self.pid);
+        self.lfd = ctx
+            .kernel
+            .sys_listen(ctx.net, ctx.now, self.pid, self.config.port, self.config.backlog)?;
+        self.rtapi.register(ctx.kernel, self.pid, self.lfd)?;
+        ctx.kernel.end_batch(ctx.now, self.pid);
+        self.last_scan = ctx.now;
+        Ok(())
+    }
+
+    fn run_batch(&mut self, ctx: &mut ServerCtx<'_>) {
+        ctx.kernel.begin_batch(ctx.now, self.pid);
+        self.maybe_scan_idle(ctx);
+        match self.mode {
+            PhMode::Signals => {
+                self.run_signals_batch(ctx);
+                if self.mode == PhMode::Polling {
+                    // Overflow happened mid-batch; close the batch out.
+                    ctx.kernel.end_batch(ctx.now, self.pid);
+                }
+            }
+            PhMode::Polling => self.run_polling_batch(ctx),
+        }
+    }
+
+    fn metrics(&self) -> ServerMetrics {
+        self.metrics
+    }
+
+    fn open_conns(&self) -> usize {
+        self.conns.len()
+    }
+}

@@ -1,0 +1,269 @@
+//! `thttpd` — a single-process event-driven web server, generic over its
+//! event backend so the same code runs on stock `poll()` and on
+//! `/dev/poll`, like the paper's stock vs. modified thttpd pair (§5.1).
+
+use std::collections::HashMap;
+
+use devpoll::{EventBackend, WaitResult};
+use simcore::time::SimTime;
+use simkernel::{Errno, Fd, PollBits};
+
+use crate::conn::{ConnPhase, ConnStatus, FinishKind, HttpConn};
+use crate::content::ContentStore;
+use crate::metrics::ServerMetrics;
+use crate::server::{Server, ServerConfig, ServerCtx};
+
+/// The thttpd-style server.
+pub struct Thttpd<B: EventBackend> {
+    pid: simkernel::Pid,
+    lfd: Fd,
+    backend: B,
+    conns: HashMap<Fd, HttpConn>,
+    content: ContentStore,
+    metrics: ServerMetrics,
+    config: ServerConfig,
+    last_scan: SimTime,
+    started: bool,
+}
+
+impl<B: EventBackend> Thttpd<B> {
+    /// Creates the server (spawning its process) with the given backend.
+    pub fn new(ctx: &mut ServerCtx<'_>, backend: B, config: ServerConfig) -> Thttpd<B> {
+        let pid = ctx.kernel.spawn(config.fd_limit, config.rt_queue_max);
+        Thttpd {
+            pid,
+            lfd: -1,
+            backend,
+            conns: HashMap::new(),
+            content: ContentStore::citi_6k(),
+            metrics: ServerMetrics::default(),
+            config,
+            last_scan: SimTime::ZERO,
+            started: false,
+        }
+    }
+
+    /// Replaces the content store (for non-default documents).
+    pub fn set_content(&mut self, content: ContentStore) {
+        self.content = content;
+    }
+
+    /// Backend access (diagnostics).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The listener id once started (for prefork sharing).
+    pub fn listener(&self, ctx: &ServerCtx<'_>) -> Option<simnet::ListenerId> {
+        ctx.kernel.listener_of(self.pid, self.lfd).ok()
+    }
+
+    /// Starts this instance as a prefork *worker*: instead of listening
+    /// itself it attaches to an existing shared listener.
+    pub fn start_attached(
+        &mut self,
+        ctx: &mut ServerCtx<'_>,
+        listener: simnet::ListenerId,
+    ) -> Result<(), Errno> {
+        assert!(!self.started, "start called twice");
+        ctx.kernel.begin_batch(ctx.now, self.pid);
+        self.lfd = ctx.kernel.sys_share_listener(ctx.now, self.pid, listener)?;
+        self.backend.init(ctx.kernel, ctx.registry, ctx.now, self.pid)?;
+        self.backend.set_interest(
+            ctx.kernel,
+            ctx.registry,
+            ctx.now,
+            self.pid,
+            self.lfd,
+            PollBits::POLLIN,
+        )?;
+        ctx.kernel.end_batch(ctx.now, self.pid);
+        self.started = true;
+        self.last_scan = ctx.now;
+        Ok(())
+    }
+
+    fn accept_all(&mut self, ctx: &mut ServerCtx<'_>) {
+        loop {
+            match ctx.kernel.sys_accept(ctx.net, ctx.now, self.pid, self.lfd) {
+                Ok(fd) => {
+                    let _ = ctx.kernel.sys_set_nonblock(self.pid, fd);
+                    let cost = *ctx.kernel.cost_model();
+                    ctx.kernel.charge_app(self.pid, cost.app_conn_setup);
+                    let _ = self.backend.set_interest(
+                        ctx.kernel,
+                        ctx.registry,
+                        ctx.now,
+                        self.pid,
+                        fd,
+                        PollBits::POLLIN,
+                    );
+                    let conn = if self.config.use_sendfile {
+                        HttpConn::new_sendfile(fd, ctx.now)
+                    } else {
+                        HttpConn::new(fd, ctx.now)
+                    };
+                    self.conns.insert(fd, conn);
+                    self.metrics.accepted += 1;
+                }
+                Err(Errno::EAGAIN) => break,
+                Err(_) => break, // EMFILE and friends: stop accepting.
+            }
+        }
+    }
+
+    fn finish_conn(&mut self, ctx: &mut ServerCtx<'_>, fd: Fd, kind: FinishKind) {
+        let _ = self
+            .backend
+            .remove_interest(ctx.kernel, ctx.registry, ctx.now, self.pid, fd);
+        match kind {
+            FinishKind::Replied => {
+                let _ = ctx.kernel.sys_close(ctx.net, ctx.now, self.pid, fd);
+                self.metrics.replies += 1;
+            }
+            FinishKind::ClientClosedEarly => {
+                let _ = ctx.kernel.sys_close(ctx.net, ctx.now, self.pid, fd);
+                self.metrics.client_closed_early += 1;
+            }
+            FinishKind::Error => {
+                let _ = ctx.kernel.sys_abort(ctx.net, ctx.now, self.pid, fd);
+                self.metrics.read_errors += 1;
+            }
+        }
+        self.conns.remove(&fd);
+    }
+
+    fn dispatch(&mut self, ctx: &mut ServerCtx<'_>, fd: Fd, revents: PollBits) {
+        if fd == self.lfd {
+            self.accept_all(ctx);
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&fd) else {
+            return; // Already closed this batch.
+        };
+        if revents.contains(PollBits::POLLERR) || revents.contains(PollBits::POLLNVAL) {
+            self.finish_conn(ctx, fd, FinishKind::Error);
+            return;
+        }
+        let status = if conn.phase == ConnPhase::Writing && revents.contains(PollBits::POLLOUT) {
+            conn.on_writable(ctx.kernel, ctx.net, ctx.now, self.pid)
+        } else if revents.intersects(PollBits::POLLIN | PollBits::POLLHUP) {
+            conn.on_readable(
+                ctx.kernel,
+                ctx.net,
+                ctx.now,
+                self.pid,
+                &self.content,
+                &mut self.metrics.not_found,
+            )
+        } else {
+            return;
+        };
+        match status {
+            ConnStatus::WantRead => {}
+            ConnStatus::WantWrite => {
+                let _ = self.backend.set_interest(
+                    ctx.kernel,
+                    ctx.registry,
+                    ctx.now,
+                    self.pid,
+                    fd,
+                    PollBits::POLLOUT,
+                );
+            }
+            ConnStatus::Finished(kind) => self.finish_conn(ctx, fd, kind),
+        }
+    }
+
+    fn maybe_scan_idle(&mut self, ctx: &mut ServerCtx<'_>) {
+        if ctx.now.saturating_duration_since(self.last_scan) < self.config.scan_interval {
+            return;
+        }
+        self.last_scan = ctx.now;
+        let cost = *ctx.kernel.cost_model();
+        ctx.kernel
+            .charge_app(self.pid, cost.app_timer_scan * self.conns.len() as u64);
+        if ctx.now.as_nanos() < self.config.idle_timeout.as_nanos() {
+            return; // Nothing can be idle-expired yet.
+        }
+        let cutoff = SimTime::from_nanos(ctx.now.as_nanos() - self.config.idle_timeout.as_nanos());
+        let idle: Vec<Fd> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.idle_since(cutoff))
+            .map(|(&fd, _)| fd)
+            .collect();
+        for fd in idle {
+            let _ = self
+                .backend
+                .remove_interest(ctx.kernel, ctx.registry, ctx.now, self.pid, fd);
+            let _ = ctx.kernel.sys_close(ctx.net, ctx.now, self.pid, fd);
+            self.conns.remove(&fd);
+            self.metrics.idle_closed += 1;
+        }
+    }
+}
+
+impl<B: EventBackend> Server for Thttpd<B> {
+    fn pid(&self) -> simkernel::Pid {
+        self.pid
+    }
+
+    fn name(&self) -> String {
+        format!("thttpd/{}", self.backend.name())
+    }
+
+    fn start(&mut self, ctx: &mut ServerCtx<'_>) -> Result<(), Errno> {
+        assert!(!self.started, "start called twice");
+        ctx.kernel.begin_batch(ctx.now, self.pid);
+        self.lfd = ctx
+            .kernel
+            .sys_listen(ctx.net, ctx.now, self.pid, self.config.port, self.config.backlog)?;
+        self.backend.init(ctx.kernel, ctx.registry, ctx.now, self.pid)?;
+        self.backend.set_interest(
+            ctx.kernel,
+            ctx.registry,
+            ctx.now,
+            self.pid,
+            self.lfd,
+            PollBits::POLLIN,
+        )?;
+        ctx.kernel.end_batch(ctx.now, self.pid);
+        self.started = true;
+        self.last_scan = ctx.now;
+        Ok(())
+    }
+
+    fn run_batch(&mut self, ctx: &mut ServerCtx<'_>) {
+        ctx.kernel.begin_batch(ctx.now, self.pid);
+        self.maybe_scan_idle(ctx);
+        match self.backend.wait(
+            ctx.kernel,
+            ctx.registry,
+            ctx.now,
+            self.pid,
+            self.config.max_events,
+            -1,
+        ) {
+            Ok(WaitResult::WouldBlock) | Err(_) => {
+                ctx.kernel
+                    .end_batch_sleep(ctx.now, self.pid, Some(self.config.scan_interval));
+            }
+            Ok(WaitResult::Events(evs)) => {
+                self.metrics.busy_batches += 1;
+                for ev in evs {
+                    self.dispatch(ctx, ev.fd, ev.revents);
+                }
+                ctx.kernel.end_batch(ctx.now, self.pid);
+            }
+        }
+    }
+
+    fn metrics(&self) -> ServerMetrics {
+        self.metrics
+    }
+
+    fn open_conns(&self) -> usize {
+        self.conns.len()
+    }
+}

@@ -1,0 +1,354 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns a priority queue of scheduled events. Each event is a
+//! boxed `FnOnce` over a user-supplied state type `S`; when an event fires
+//! it receives `&mut S` and `&mut Engine<S>` so it can both mutate the
+//! world and schedule follow-up events. Events at equal timestamps fire in
+//! scheduling order (FIFO), which makes runs fully deterministic.
+
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A callback fired when a scheduled event comes due.
+pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Engine<S>)>;
+
+/// Identifies a scheduled event so it can be cancelled.
+///
+/// Ids are unique across the lifetime of an [`Engine`]; they are never
+/// reused, so a stale id held after the event fired is harmless (cancelling
+/// it is a no-op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Scheduled<S> {
+    at: SimTime,
+    id: EventId,
+    f: EventFn<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+
+impl<S> Eq for Scheduled<S> {}
+
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Ties on `at` break by id, i.e. FIFO in scheduling order.
+        (self.at, self.id).cmp(&(other.at, other.id))
+    }
+}
+
+/// A deterministic discrete-event simulator over a state type `S`.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::engine::Engine;
+/// use simcore::time::{SimDuration, SimTime};
+///
+/// let mut engine: Engine<Vec<u32>> = Engine::new();
+/// let mut state = Vec::new();
+/// engine.schedule_in(SimDuration::from_micros(3), Box::new(|s: &mut Vec<u32>, _e| s.push(3)));
+/// engine.schedule_in(SimDuration::from_micros(1), Box::new(|s: &mut Vec<u32>, _e| s.push(1)));
+/// engine.run(&mut state);
+/// assert_eq!(state, vec![1, 3]);
+/// assert_eq!(engine.now(), SimTime::from_micros(3));
+/// ```
+pub struct Engine<S> {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Scheduled<S>>>,
+    /// Ids scheduled but neither fired nor cancelled yet.
+    live: HashSet<EventId>,
+    /// Ids cancelled but not yet reaped from the queue.
+    cancelled: HashSet<EventId>,
+    next_id: u64,
+    fired: u64,
+}
+
+impl<S> Default for Engine<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> Engine<S> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Engine<S> {
+        Engine {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+            fired: 0,
+        }
+    }
+
+    /// Returns the current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Returns the number of events still pending (including any that were
+    /// cancelled but not yet reaped from the queue).
+    pub fn pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Schedules `f` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; the event is clamped to
+    /// fire at the current time (i.e. "immediately") rather than rewinding
+    /// the clock, and this is considered well-defined behaviour so that
+    /// zero-cost actions can be scheduled at `now`.
+    pub fn schedule_at(&mut self, at: SimTime, f: EventFn<S>) -> EventId {
+        let at = at.max(self.now);
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.live.insert(id);
+        self.queue.push(Reverse(Scheduled { at, id, f }));
+        id
+    }
+
+    /// Schedules `f` to fire `after` from now.
+    pub fn schedule_in(&mut self, after: SimDuration, f: EventFn<S>) -> EventId {
+        let at = self.now.saturating_add(after);
+        self.schedule_at(at, f)
+    }
+
+    /// Cancels a pending event.
+    ///
+    /// Returns `true` if the event was still pending. Cancelling an event
+    /// that already fired (or was already cancelled) returns `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.live.remove(&id) {
+            self.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fires the next pending event, if any.
+    ///
+    /// Returns `false` when the queue is empty.
+    pub fn step(&mut self, state: &mut S) -> bool {
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            self.live.remove(&ev.id);
+            debug_assert!(ev.at >= self.now, "event queue went backwards");
+            self.now = ev.at;
+            self.fired += 1;
+            (ev.f)(state, self);
+            return true;
+        }
+        false
+    }
+
+    /// Runs until the queue is empty.
+    ///
+    /// Returns the number of events fired.
+    pub fn run(&mut self, state: &mut S) -> u64 {
+        let start = self.fired;
+        while self.step(state) {}
+        self.fired - start
+    }
+
+    /// Runs events until the clock would pass `deadline`.
+    ///
+    /// Events scheduled exactly at `deadline` do fire. On return the clock
+    /// is at `deadline` (even if the queue drained earlier), so repeated
+    /// `run_until` calls advance the clock monotonically.
+    pub fn run_until(&mut self, state: &mut S, deadline: SimTime) -> u64 {
+        let start = self.fired;
+        loop {
+            let due = match self.next_due() {
+                Some(t) if t <= deadline => t,
+                _ => break,
+            };
+            let _ = due;
+            if !self.step(state) {
+                break;
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.fired - start
+    }
+
+    /// Runs while `keep_going` returns `true` and events remain.
+    pub fn run_while(&mut self, state: &mut S, mut keep_going: impl FnMut(&S) -> bool) -> u64 {
+        let start = self.fired;
+        while keep_going(state) && self.step(state) {}
+        self.fired - start
+    }
+
+    /// Returns the timestamp of the next pending event, skipping cancelled
+    /// entries.
+    pub fn next_due(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if self.cancelled.contains(&ev.id) {
+                let Reverse(ev) = self.queue.pop().expect("peeked entry vanished");
+                self.cancelled.remove(&ev.id);
+                continue;
+            }
+            return Some(ev.at);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type E = Engine<Vec<u64>>;
+
+    fn push(v: u64) -> EventFn<Vec<u64>> {
+        Box::new(move |s: &mut Vec<u64>, _e: &mut E| s.push(v))
+    }
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut e = E::new();
+        let mut s = Vec::new();
+        e.schedule_at(SimTime::from_nanos(30), push(30));
+        e.schedule_at(SimTime::from_nanos(10), push(10));
+        e.schedule_at(SimTime::from_nanos(20), push(20));
+        assert_eq!(e.run(&mut s), 3);
+        assert_eq!(s, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_timestamps_fire_fifo() {
+        let mut e = E::new();
+        let mut s = Vec::new();
+        for v in 0..100 {
+            e.schedule_at(SimTime::from_nanos(5), push(v));
+        }
+        e.run(&mut s);
+        assert_eq!(s, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut e = E::new();
+        let mut s = Vec::new();
+        e.schedule_at(
+            SimTime::from_nanos(1),
+            Box::new(|st: &mut Vec<u64>, en: &mut E| {
+                st.push(1);
+                en.schedule_in(SimDuration::from_nanos(1), push(2));
+            }),
+        );
+        e.run(&mut s);
+        assert_eq!(s, vec![1, 2]);
+        assert_eq!(e.now(), SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut e = E::new();
+        let mut s = Vec::new();
+        let id = e.schedule_at(SimTime::from_nanos(5), push(5));
+        e.schedule_at(SimTime::from_nanos(6), push(6));
+        assert!(e.cancel(id));
+        assert!(!e.cancel(id), "double cancel reports false");
+        e.run(&mut s);
+        assert_eq!(s, vec![6]);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut e = E::new();
+        let mut s = Vec::new();
+        let id = e.schedule_at(SimTime::from_nanos(5), push(5));
+        e.run(&mut s);
+        assert!(!e.cancel(id));
+        assert_eq!(s, vec![5]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_inclusive() {
+        let mut e = E::new();
+        let mut s = Vec::new();
+        e.schedule_at(SimTime::from_nanos(10), push(10));
+        e.schedule_at(SimTime::from_nanos(20), push(20));
+        e.schedule_at(SimTime::from_nanos(30), push(30));
+        e.run_until(&mut s, SimTime::from_nanos(20));
+        assert_eq!(s, vec![10, 20]);
+        assert_eq!(e.now(), SimTime::from_nanos(20));
+        e.run_until(&mut s, SimTime::from_nanos(25));
+        assert_eq!(e.now(), SimTime::from_nanos(25));
+        e.run(&mut s);
+        assert_eq!(s, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn scheduling_in_past_clamps_to_now() {
+        let mut e = E::new();
+        let mut s = Vec::new();
+        e.schedule_at(
+            SimTime::from_nanos(10),
+            Box::new(|st: &mut Vec<u64>, en: &mut E| {
+                st.push(1);
+                // Try to schedule "yesterday"; must fire at now instead.
+                en.schedule_at(SimTime::ZERO, push(2));
+            }),
+        );
+        e.run(&mut s);
+        assert_eq!(s, vec![1, 2]);
+        assert_eq!(e.now(), SimTime::from_nanos(10));
+    }
+
+    #[test]
+    fn pending_accounts_for_cancellations() {
+        let mut e = E::new();
+        let a = e.schedule_at(SimTime::from_nanos(1), push(1));
+        e.schedule_at(SimTime::from_nanos(2), push(2));
+        assert_eq!(e.pending(), 2);
+        e.cancel(a);
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn next_due_skips_cancelled() {
+        let mut e = E::new();
+        let a = e.schedule_at(SimTime::from_nanos(1), push(1));
+        e.schedule_at(SimTime::from_nanos(2), push(2));
+        e.cancel(a);
+        assert_eq!(e.next_due(), Some(SimTime::from_nanos(2)));
+    }
+
+    #[test]
+    fn run_while_respects_predicate() {
+        let mut e = E::new();
+        let mut s = Vec::new();
+        for v in 0..10 {
+            e.schedule_at(SimTime::from_nanos(v), push(v));
+        }
+        e.run_while(&mut s, |st| st.len() < 4);
+        assert_eq!(s.len(), 4);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! `simcore` — deterministic discrete-event simulation engine.
+//!
+//! This crate is the foundation of the reproduction of *Scalable Network
+//! I/O in Linux* (Provos & Lever, USENIX 2000). It provides:
+//!
+//! * [`time`] — the simulated clock ([`time::SimTime`],
+//!   [`time::SimDuration`]);
+//! * [`engine`] — the event queue and scheduler ([`engine::Engine`]);
+//! * [`rng`] — seeded, fork-able randomness ([`rng::SimRng`]);
+//! * [`stats`] — measurement primitives (online moments, exact quantiles,
+//!   the per-window [`stats::RateSampler`] behind the paper's reply-rate
+//!   plots);
+//! * [`series`] — figure/series containers with CSV and ASCII rendering.
+//!
+//! Everything is single-threaded and deterministic: a run is exactly
+//! reproducible from its RNG seed.
+
+pub mod engine;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Engine, EventFn, EventId};
+pub use rng::SimRng;
+pub use stats::{OnlineStats, Quantiles, RateSampler, RateSummary};
+pub use trace::{Trace, TraceEntry};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,474 @@
+//! Measurement primitives: online moments, exact quantiles, histograms,
+//! and the per-interval rate sampler used for the paper's reply-rate
+//! figures (average, minimum and maximum rate over one-second windows).
+
+use crate::time::{SimDuration, SimTime};
+
+/// Running mean / variance / extrema without storing samples
+/// (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use simcore::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.add(x);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert!((s.stddev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> OnlineStats {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Returns the number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Returns the sample mean, or `0.0` if empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Returns the population standard deviation, or `0.0` for fewer than
+    /// two samples.
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// Returns the smallest sample, or `0.0` if empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Returns the largest sample, or `0.0` if empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Exact quantiles over a stored sample set.
+///
+/// Stores every sample (the benchmark collects at most tens of thousands
+/// of latencies per run, which is cheap) and sorts lazily on query.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::stats::Quantiles;
+///
+/// let mut q = Quantiles::new();
+/// for x in 1..=100 {
+///     q.add(x as f64);
+/// }
+/// assert_eq!(q.median(), Some(50.5));
+/// assert_eq!(q.quantile(0.0), Some(1.0));
+/// assert_eq!(q.quantile(1.0), Some(100.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Quantiles {
+    xs: Vec<f64>,
+    sorted: bool,
+}
+
+impl Quantiles {
+    /// Creates an empty collector.
+    pub fn new() -> Quantiles {
+        Quantiles {
+            xs: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds a sample. NaN samples are ignored.
+    pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        self.xs.push(x);
+        self.sorted = false;
+    }
+
+    /// Returns the number of samples.
+    pub fn count(&self) -> usize {
+        self.xs.len()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.xs
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN filtered on add"));
+            self.sorted = true;
+        }
+    }
+
+    /// Returns the `q`-quantile (linear interpolation between order
+    /// statistics), or `None` if empty. `q` is clamped to `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.xs.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.xs.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.xs[lo] * (1.0 - frac) + self.xs[hi] * frac)
+    }
+
+    /// Returns the median, or `None` if empty.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Returns the mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.xs.is_empty() {
+            None
+        } else {
+            Some(self.xs.iter().sum::<f64>() / self.xs.len() as f64)
+        }
+    }
+}
+
+/// A fixed-width histogram over `[0, width * buckets)` with an overflow
+/// bucket, used by benches to sanity-check latency distributions.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of `width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not strictly positive or `buckets` is zero.
+    pub fn new(width: f64, buckets: usize) -> Histogram {
+        assert!(width > 0.0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records a sample. Negative samples land in bucket zero.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x.is_nan() {
+            self.overflow += 1;
+            return;
+        }
+        let idx = (x.max(0.0) / self.width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Returns the total number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns the count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.counts.get(i).copied().unwrap_or(0)
+    }
+
+    /// Returns the overflow count.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Returns the smallest `x` such that at least `q` of all samples are
+    /// `< x` (bucket upper-bound approximation), or `None` if empty.
+    pub fn approx_quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some((i + 1) as f64 * self.width);
+            }
+        }
+        Some(self.counts.len() as f64 * self.width)
+    }
+}
+
+/// Counts events into fixed-length time windows and reports the
+/// per-window rate statistics the paper plots: average reply rate with
+/// standard deviation, plus per-run minimum and maximum window rates.
+///
+/// A window with zero events still counts (that is precisely the
+/// "minimum response rate approaches zero" starvation signal in Figs. 6
+/// and 8), so [`RateSampler::finish`] closes out all windows up to the
+/// provided end time.
+#[derive(Debug, Clone)]
+pub struct RateSampler {
+    window: SimDuration,
+    start: SimTime,
+    current_window: u64,
+    current_count: u64,
+    rates: Vec<f64>,
+}
+
+impl RateSampler {
+    /// Creates a sampler with the given window length, starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(start: SimTime, window: SimDuration) -> RateSampler {
+        assert!(!window.is_zero(), "window must be non-zero");
+        RateSampler {
+            window,
+            start,
+            current_window: 0,
+            current_count: 0,
+            rates: Vec::new(),
+        }
+    }
+
+    fn window_of(&self, t: SimTime) -> u64 {
+        t.saturating_duration_since(self.start).as_nanos() / self.window.as_nanos()
+    }
+
+    fn close_until(&mut self, w: u64) {
+        let per_sec = 1e9 / self.window.as_nanos() as f64;
+        while self.current_window < w {
+            self.rates.push(self.current_count as f64 * per_sec);
+            self.current_count = 0;
+            self.current_window += 1;
+        }
+    }
+
+    /// Records one event at time `t`.
+    ///
+    /// Events must be recorded in non-decreasing time order; an event
+    /// earlier than the current window is counted in the current window.
+    pub fn record(&mut self, t: SimTime) {
+        let w = self.window_of(t);
+        if w > self.current_window {
+            self.close_until(w);
+        }
+        self.current_count += 1;
+    }
+
+    /// Closes all windows up to `end` and returns per-window rates in
+    /// events per second.
+    pub fn finish(mut self, end: SimTime) -> Vec<f64> {
+        let w = self.window_of(end);
+        self.close_until(w);
+        // The final (partial) window is dropped: partial windows would
+        // understate the rate and pollute the min statistic.
+        self.rates
+    }
+}
+
+/// Summary of per-window rates: the numbers plotted in Figs. 4–9/11–13.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateSummary {
+    /// Mean of the window rates.
+    pub avg: f64,
+    /// Standard deviation of the window rates.
+    pub stddev: f64,
+    /// Smallest window rate.
+    pub min: f64,
+    /// Largest window rate.
+    pub max: f64,
+}
+
+impl RateSummary {
+    /// Summarizes a slice of per-window rates.
+    ///
+    /// Returns an all-zero summary for an empty slice.
+    pub fn of(rates: &[f64]) -> RateSummary {
+        let mut s = OnlineStats::new();
+        for &r in rates {
+            s.add(r);
+        }
+        RateSummary {
+            avg: s.mean(),
+            stddev: s.stddev(),
+            min: s.min(),
+            max: s.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        s.add(1.0);
+        s.add(3.0);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.stddev(), 1.0);
+    }
+
+    #[test]
+    fn quantiles_median_even_odd() {
+        let mut q = Quantiles::new();
+        for x in [5.0, 1.0, 3.0] {
+            q.add(x);
+        }
+        assert_eq!(q.median(), Some(3.0));
+        q.add(7.0);
+        assert_eq!(q.median(), Some(4.0));
+    }
+
+    #[test]
+    fn quantiles_empty_and_nan() {
+        let mut q = Quantiles::new();
+        assert_eq!(q.median(), None);
+        q.add(f64::NAN);
+        assert_eq!(q.count(), 0);
+        assert_eq!(q.mean(), None);
+    }
+
+    #[test]
+    fn quantiles_interpolates() {
+        let mut q = Quantiles::new();
+        for x in [0.0, 10.0] {
+            q.add(x);
+        }
+        assert_eq!(q.quantile(0.25), Some(2.5));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(10.0, 3);
+        h.add(0.0);
+        h.add(9.99);
+        h.add(10.0);
+        h.add(25.0);
+        h.add(31.0);
+        h.add(-5.0);
+        assert_eq!(h.bucket(0), 3); // 0.0, 9.99, -5.0
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(2), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn histogram_quantile_approx() {
+        let mut h = Histogram::new(1.0, 100);
+        for i in 0..100 {
+            h.add(i as f64);
+        }
+        let med = h.approx_quantile(0.5).unwrap();
+        assert!((49.0..=51.0).contains(&med), "median approx {med}");
+    }
+
+    #[test]
+    fn rate_sampler_counts_windows() {
+        let w = SimDuration::from_secs(1);
+        let mut r = RateSampler::new(SimTime::ZERO, w);
+        // 3 events in second 0, none in second 1, 2 in second 2.
+        r.record(SimTime::from_millis(100));
+        r.record(SimTime::from_millis(200));
+        r.record(SimTime::from_millis(900));
+        r.record(SimTime::from_millis(2_100));
+        r.record(SimTime::from_millis(2_200));
+        let rates = r.finish(SimTime::from_secs(3));
+        assert_eq!(rates, vec![3.0, 0.0, 2.0]);
+        let s = RateSummary::of(&rates);
+        assert!((s.avg - 5.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn rate_sampler_drops_partial_final_window() {
+        let w = SimDuration::from_secs(1);
+        let mut r = RateSampler::new(SimTime::ZERO, w);
+        r.record(SimTime::from_millis(500));
+        let rates = r.finish(SimTime::from_millis(1_500));
+        assert_eq!(rates, vec![1.0]);
+    }
+
+    #[test]
+    fn rate_sampler_sub_second_window_scales_to_per_sec() {
+        let w = SimDuration::from_millis(500);
+        let mut r = RateSampler::new(SimTime::ZERO, w);
+        r.record(SimTime::from_millis(100)); // window 0
+        r.record(SimTime::from_millis(400)); // window 0
+        let rates = r.finish(SimTime::from_millis(1_000));
+        assert_eq!(rates, vec![4.0, 0.0]);
+    }
+
+    #[test]
+    fn rate_summary_empty() {
+        let s = RateSummary::of(&[]);
+        assert_eq!(s.avg, 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! A bounded in-memory event trace for debugging simulations.
+//!
+//! Subsystems record one-line entries under a category; the trace keeps
+//! the most recent `capacity` entries and per-category counts. Tracing
+//! is off by default and costs one branch per call site when disabled.
+//!
+//! # Examples
+//!
+//! ```
+//! use simcore::trace::Trace;
+//! use simcore::time::SimTime;
+//!
+//! let mut trace = Trace::new(128);
+//! trace.enable("tcp");
+//! if trace.wants("tcp") {
+//!     trace.record(SimTime::from_micros(3), "tcp", "SYN host0 -> host1");
+//! }
+//! assert_eq!(trace.count("tcp"), 1);
+//! assert!(trace.dump().contains("SYN"));
+//! ```
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub at: SimTime,
+    /// The subsystem category (`"tcp"`, `"sched"`, …).
+    pub category: &'static str,
+    /// The message.
+    pub message: String,
+}
+
+/// A bounded, category-filtered event trace.
+#[derive(Debug, Default)]
+pub struct Trace {
+    capacity: usize,
+    entries: VecDeque<TraceEntry>,
+    enabled: HashSet<&'static str>,
+    all: bool,
+    counts: HashMap<&'static str, u64>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace keeping at most `capacity` entries.
+    pub fn new(capacity: usize) -> Trace {
+        Trace {
+            capacity: capacity.max(1),
+            ..Trace::default()
+        }
+    }
+
+    /// Enables one category.
+    pub fn enable(&mut self, category: &'static str) {
+        self.enabled.insert(category);
+    }
+
+    /// Enables every category.
+    pub fn enable_all(&mut self) {
+        self.all = true;
+    }
+
+    /// Disables one category.
+    pub fn disable(&mut self, category: &'static str) {
+        self.enabled.remove(category);
+        self.all = false;
+    }
+
+    /// Whether call sites should bother formatting a message.
+    pub fn wants(&self, category: &'static str) -> bool {
+        self.all || self.enabled.contains(category)
+    }
+
+    /// Records an entry (call sites should guard with [`Trace::wants`]
+    /// to avoid formatting costs when disabled).
+    pub fn record(&mut self, at: SimTime, category: &'static str, message: impl Into<String>) {
+        if !self.wants(category) {
+            return;
+        }
+        *self.counts.entry(category).or_insert(0) += 1;
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            category,
+            message: message.into(),
+        });
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total recordings in `category` (including evicted ones).
+    pub fn count(&self, category: &'static str) -> u64 {
+        self.counts.get(category).copied().unwrap_or(0)
+    }
+
+    /// Iterates retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Retained entries of one category.
+    pub fn of(&self, category: &'static str) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(move |e| e.category == category)
+    }
+
+    /// Renders the retained entries as text, one line each.
+    pub fn dump(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.entries {
+            let _ = writeln!(out, "[{}] {:>8}: {}", e.at, e.category, e.message);
+        }
+        out
+    }
+
+    /// Clears retained entries and counts.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.counts.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_records_nothing() {
+        let mut t = Trace::new(8);
+        t.record(SimTime::ZERO, "tcp", "dropped");
+        assert!(t.is_empty());
+        assert_eq!(t.count("tcp"), 0);
+    }
+
+    #[test]
+    fn enable_filters_by_category() {
+        let mut t = Trace::new(8);
+        t.enable("tcp");
+        t.record(SimTime::ZERO, "tcp", "kept");
+        t.record(SimTime::ZERO, "sched", "dropped");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.count("tcp"), 1);
+        assert_eq!(t.count("sched"), 0);
+        assert!(t.wants("tcp"));
+        assert!(!t.wants("sched"));
+    }
+
+    #[test]
+    fn enable_all_keeps_everything() {
+        let mut t = Trace::new(8);
+        t.enable_all();
+        t.record(SimTime::ZERO, "a", "1");
+        t.record(SimTime::ZERO, "b", "2");
+        assert_eq!(t.len(), 2);
+        t.disable("a");
+        assert!(!t.wants("a"), "disable clears enable_all");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut t = Trace::new(3);
+        t.enable("x");
+        for i in 0..5 {
+            t.record(SimTime::from_nanos(i), "x", format!("e{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let first = t.iter().next().unwrap();
+        assert_eq!(first.message, "e2");
+        assert_eq!(t.count("x"), 5, "counts include evicted entries");
+    }
+
+    #[test]
+    fn of_and_dump() {
+        let mut t = Trace::new(8);
+        t.enable_all();
+        t.record(SimTime::from_micros(1), "tcp", "syn");
+        t.record(SimTime::from_micros(2), "sched", "wake");
+        assert_eq!(t.of("tcp").count(), 1);
+        let dump = t.dump();
+        assert!(dump.contains("syn"));
+        assert!(dump.contains("sched"));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.count("tcp"), 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-process file descriptor tables.
+
+use simnet::{EndpointId, ListenerId};
+
+/// A file descriptor number.
+pub type Fd = i32;
+
+/// Errors returned by kernel calls, modelled after errno.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Errno {
+    /// Operation would block (`EAGAIN`/`EWOULDBLOCK`).
+    EAGAIN,
+    /// Bad file descriptor.
+    EBADF,
+    /// Per-process descriptor limit reached.
+    EMFILE,
+    /// Connection reset by peer.
+    ECONNRESET,
+    /// Broken pipe (write after the stream closed).
+    EPIPE,
+    /// Invalid argument.
+    EINVAL,
+    /// Address already in use.
+    EADDRINUSE,
+    /// Interrupted (used for signal-driven wakeups).
+    EINTR,
+}
+
+/// What a descriptor refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// A listening socket.
+    Listener(ListenerId),
+    /// A connected stream socket (one side of a connection).
+    Stream(EndpointId),
+    /// An open `/dev/poll` device instance, identified by a device-side
+    /// handle managed by the `devpoll` crate.
+    DevPoll(u64),
+}
+
+/// One open file description.
+#[derive(Debug, Clone, Copy)]
+pub struct File {
+    /// What this descriptor is.
+    pub kind: FileKind,
+    /// `O_NONBLOCK`.
+    pub nonblock: bool,
+    /// RT signal assigned via `fcntl(fd, F_SETSIG, n)`, if any.
+    pub sig: Option<u8>,
+}
+
+impl File {
+    fn new(kind: FileKind) -> File {
+        File {
+            kind,
+            nonblock: false,
+            sig: None,
+        }
+    }
+}
+
+/// A per-process descriptor table with a configurable limit
+/// (`RLIMIT_NOFILE`; the paper's httperf assumed 1024).
+#[derive(Debug, Clone)]
+pub struct FdTable {
+    files: Vec<Option<File>>,
+    limit: usize,
+    open: usize,
+}
+
+impl FdTable {
+    /// Creates a table with the given descriptor limit.
+    pub fn new(limit: usize) -> FdTable {
+        FdTable {
+            files: Vec::new(),
+            limit,
+            open: 0,
+        }
+    }
+
+    /// Allocates the lowest free descriptor for `kind`.
+    ///
+    /// Returns `EMFILE` when the limit is reached, like the real kernel.
+    pub fn alloc(&mut self, kind: FileKind) -> Result<Fd, Errno> {
+        if self.open >= self.limit {
+            return Err(Errno::EMFILE);
+        }
+        for (i, slot) in self.files.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(File::new(kind));
+                self.open += 1;
+                return Ok(i as Fd);
+            }
+        }
+        if self.files.len() >= self.limit {
+            return Err(Errno::EMFILE);
+        }
+        self.files.push(Some(File::new(kind)));
+        self.open += 1;
+        Ok((self.files.len() - 1) as Fd)
+    }
+
+    /// Looks up an open descriptor.
+    pub fn get(&self, fd: Fd) -> Result<&File, Errno> {
+        if fd < 0 {
+            return Err(Errno::EBADF);
+        }
+        self.files
+            .get(fd as usize)
+            .and_then(|s| s.as_ref())
+            .ok_or(Errno::EBADF)
+    }
+
+    /// Looks up an open descriptor mutably.
+    pub fn get_mut(&mut self, fd: Fd) -> Result<&mut File, Errno> {
+        if fd < 0 {
+            return Err(Errno::EBADF);
+        }
+        self.files
+            .get_mut(fd as usize)
+            .and_then(|s| s.as_mut())
+            .ok_or(Errno::EBADF)
+    }
+
+    /// Closes a descriptor, returning what it referred to.
+    pub fn close(&mut self, fd: Fd) -> Result<File, Errno> {
+        if fd < 0 {
+            return Err(Errno::EBADF);
+        }
+        let slot = self
+            .files
+            .get_mut(fd as usize)
+            .ok_or(Errno::EBADF)?
+            .take()
+            .ok_or(Errno::EBADF)?;
+        self.open -= 1;
+        Ok(slot)
+    }
+
+    /// Number of open descriptors.
+    pub fn open_count(&self) -> usize {
+        self.open
+    }
+
+    /// The descriptor limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Iterates over `(fd, file)` pairs of open descriptors.
+    pub fn iter(&self) -> impl Iterator<Item = (Fd, &File)> {
+        self.files
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|f| (i as Fd, f)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::ConnId;
+    use simnet::Side;
+
+    fn stream(n: u64) -> FileKind {
+        FileKind::Stream(EndpointId::new(ConnId(n), Side::Server))
+    }
+
+    #[test]
+    fn allocates_lowest_free_fd() {
+        let mut t = FdTable::new(16);
+        let a = t.alloc(stream(0)).unwrap();
+        let b = t.alloc(stream(1)).unwrap();
+        let c = t.alloc(stream(2)).unwrap();
+        assert_eq!((a, b, c), (0, 1, 2));
+        t.close(b).unwrap();
+        assert_eq!(t.alloc(stream(3)).unwrap(), 1, "reuses the hole");
+    }
+
+    #[test]
+    fn enforces_limit() {
+        let mut t = FdTable::new(2);
+        t.alloc(stream(0)).unwrap();
+        t.alloc(stream(1)).unwrap();
+        assert_eq!(t.alloc(stream(2)), Err(Errno::EMFILE));
+        t.close(0).unwrap();
+        assert!(t.alloc(stream(3)).is_ok());
+    }
+
+    #[test]
+    fn bad_fd_errors() {
+        let mut t = FdTable::new(4);
+        assert_eq!(t.get(0).unwrap_err(), Errno::EBADF);
+        assert_eq!(t.get(-1).unwrap_err(), Errno::EBADF);
+        assert_eq!(t.close(7).unwrap_err(), Errno::EBADF);
+        let fd = t.alloc(stream(0)).unwrap();
+        t.close(fd).unwrap();
+        assert_eq!(t.close(fd).unwrap_err(), Errno::EBADF);
+    }
+
+    #[test]
+    fn fcntl_state_sticks() {
+        let mut t = FdTable::new(4);
+        let fd = t.alloc(stream(0)).unwrap();
+        t.get_mut(fd).unwrap().nonblock = true;
+        t.get_mut(fd).unwrap().sig = Some(40);
+        let f = t.get(fd).unwrap();
+        assert!(f.nonblock);
+        assert_eq!(f.sig, Some(40));
+    }
+
+    #[test]
+    fn iter_lists_open_fds() {
+        let mut t = FdTable::new(8);
+        let a = t.alloc(stream(0)).unwrap();
+        let b = t.alloc(stream(1)).unwrap();
+        t.close(a).unwrap();
+        let fds: Vec<Fd> = t.iter().map(|(fd, _)| fd).collect();
+        assert_eq!(fds, vec![b]);
+        assert_eq!(t.open_count(), 1);
+    }
+}

@@ -1,0 +1,1240 @@
+//! The kernel facade: syscalls, readiness tracking, signal delivery and
+//! process scheduling for the simulated server host.
+//!
+//! # Driving the kernel
+//!
+//! Like [`simnet::Network`], the kernel is a passive state machine. The
+//! orchestrator:
+//!
+//! 1. routes network notifications in via [`Kernel::on_net`] (charging
+//!    softirq CPU, updating readiness, queueing RT signals, waking
+//!    sleepers);
+//! 2. asks [`Kernel::next_deadline`] / calls [`Kernel::advance`], which
+//!    yields [`KernelEvent`]s;
+//! 3. when it sees [`KernelEvent::ProcRunnable`], runs the application's
+//!    next batch: [`Kernel::begin_batch`], any number of `sys_*` calls,
+//!    then [`Kernel::end_batch`] (yield) or [`Kernel::end_batch_sleep`]
+//!    (block).
+//!
+//! Syscall costs accumulate into the batch; network side effects happen
+//! at the batch's *virtual now* (start time plus cost so far), so a
+//! response written after an expensive scan hits the wire later than one
+//! written after a cheap scan — the causal chain behind every saturation
+//! curve in the paper.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+use simcore::time::{SimDuration, SimTime};
+use simnet::{EndpointId, ListenerId, NetNotify, Network, Port};
+
+use crate::cost::CostModel;
+use crate::cpu::Cpu;
+use crate::fd::{Errno, Fd, FileKind};
+use crate::poll_bits::PollBits;
+use crate::process::{AfterBatch, Pid, ProcState, Process};
+use crate::signal::{Siginfo, DEFAULT_RT_QUEUE_MAX, SIGRTMAX, SIGRTMIN};
+
+/// How an accept-ready event wakes processes sharing a listener.
+///
+/// Linux 2.2 woke *every* process sleeping on the listener's wait queue
+/// (the "thundering herd"); §6 of the paper proposes "waking only one
+/// thread, instead of all of them".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AcceptWake {
+    /// Wake every sharer (stock 2.2 behaviour).
+    #[default]
+    Herd,
+    /// Wake exactly one sharer (the paper's proposal; `WQ_FLAG_EXCLUSIVE`
+    /// in later kernels).
+    Exclusive,
+}
+
+/// Events the kernel surfaces to the orchestrator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelEvent {
+    /// A process finished its CPU work / woke / timed out, and should be
+    /// given a batch to run.
+    ProcRunnable {
+        /// The runnable process.
+        pid: Pid,
+    },
+    /// Something happened on a descriptor (data, space, hangup, error) —
+    /// consumed by `/dev/poll` instances to mark driver hints.
+    FdEvent {
+        /// Owning process.
+        pid: Pid,
+        /// The descriptor.
+        fd: Fd,
+        /// What happened.
+        band: PollBits,
+    },
+}
+
+/// Mirrored readiness of one stream socket.
+#[derive(Debug, Clone, Copy, Default)]
+struct SockMirror {
+    readable: bool,
+    writable: bool,
+    hup: bool,
+    err: bool,
+}
+
+impl SockMirror {
+    fn bits(self) -> PollBits {
+        let mut b = PollBits::EMPTY;
+        if self.readable || self.hup || self.err {
+            b |= PollBits::POLLIN;
+        }
+        if self.writable && !self.hup && !self.err {
+            b |= PollBits::POLLOUT;
+        }
+        if self.hup {
+            b |= PollBits::POLLHUP;
+        }
+        if self.err {
+            b |= PollBits::POLLERR;
+        }
+        b
+    }
+}
+
+/// Aggregate kernel statistics (diagnostics for tests and benches).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelStats {
+    /// Total syscalls executed.
+    pub syscalls: u64,
+    /// RT signals enqueued from readiness events.
+    pub rt_signals: u64,
+    /// RT signal queue overflows.
+    pub rt_overflows: u64,
+    /// Process wakeups from readiness events.
+    pub wakeups: u64,
+}
+
+/// The simulated kernel of the server host.
+pub struct Kernel {
+    host: simnet::HostId,
+    cost: CostModel,
+    cpu: Cpu,
+    procs: HashMap<Pid, Process>,
+    next_pid: Pid,
+    ep_owner: HashMap<EndpointId, (Pid, Fd)>,
+    listener_owner: HashMap<ListenerId, Vec<(Pid, Fd)>>,
+    accept_wake: AcceptWake,
+    /// Rotates exclusive accept wakeups across sharers.
+    accept_rr: usize,
+    mirrors: HashMap<EndpointId, SockMirror>,
+    listen_ready: HashMap<ListenerId, bool>,
+    /// Descriptors whose readiness events should wake the owning process
+    /// when it sleeps (the wait-queue watcher registry).
+    watchers: HashMap<Pid, HashSet<Fd>>,
+    events_out: Vec<KernelEvent>,
+    stats: KernelStats,
+}
+
+impl Kernel {
+    /// Creates a kernel for the given host with the given cost model.
+    pub fn new(host: simnet::HostId, cost: CostModel) -> Kernel {
+        Kernel {
+            host,
+            cost,
+            cpu: Cpu::new(),
+            procs: HashMap::new(),
+            next_pid: 1,
+            ep_owner: HashMap::new(),
+            listener_owner: HashMap::new(),
+            accept_wake: AcceptWake::Herd,
+            accept_rr: 0,
+            mirrors: HashMap::new(),
+            listen_ready: HashMap::new(),
+            watchers: HashMap::new(),
+            events_out: Vec::new(),
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// The host this kernel runs on.
+    pub fn host(&self) -> simnet::HostId {
+        self.host
+    }
+
+    /// Sets the accept wakeup policy for shared listeners (§6).
+    pub fn set_accept_wake(&mut self, policy: AcceptWake) {
+        self.accept_wake = policy;
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// CPU accounting access.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Processes and scheduling.
+    // ------------------------------------------------------------------
+
+    /// Creates a process with the given descriptor limit and RT queue
+    /// bound.
+    pub fn spawn(&mut self, fd_limit: usize, rt_queue_max: usize) -> Pid {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.procs.insert(pid, Process::new(fd_limit, rt_queue_max));
+        pid
+    }
+
+    /// Creates a process with default limits (1024 descriptors, 1024 RT
+    /// queue slots — the defaults the paper describes).
+    pub fn spawn_default(&mut self) -> Pid {
+        self.spawn(1024, DEFAULT_RT_QUEUE_MAX)
+    }
+
+    fn proc_mut(&mut self, pid: Pid) -> &mut Process {
+        self.procs.get_mut(&pid).expect("unknown pid")
+    }
+
+    /// Read-only access to a process (tests and diagnostics).
+    pub fn process(&self, pid: Pid) -> &Process {
+        self.procs.get(&pid).expect("unknown pid")
+    }
+
+    /// Starts accumulating a batch for `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch is already in progress for this process.
+    pub fn begin_batch(&mut self, _now: SimTime, pid: Pid) {
+        let p = self.proc_mut(pid);
+        assert!(p.batch_acc.is_none(), "nested batch for pid {pid}");
+        p.batch_acc = Some(SimDuration::ZERO);
+        p.batch_count += 1;
+        p.state = ProcState::Idle;
+    }
+
+    /// Adds `cost` to the in-progress batch.
+    pub fn charge(&mut self, pid: Pid, cost: SimDuration) {
+        let p = self.proc_mut(pid);
+        let acc = p.batch_acc.as_mut().expect("charge outside a batch");
+        *acc += cost;
+    }
+
+    /// The batch's virtual now: start time plus cost accumulated so far.
+    pub fn vnow(&self, now: SimTime, pid: Pid) -> SimTime {
+        let p = self.procs.get(&pid).expect("unknown pid");
+        now + p.batch_acc.unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Finishes the batch; the process yields and runs again as soon as
+    /// the CPU completes the work. Returns the completion time.
+    pub fn end_batch(&mut self, now: SimTime, pid: Pid) -> SimTime {
+        self.finish_batch(now, pid, AfterBatch::Yield)
+    }
+
+    /// Finishes the batch; the process then sleeps until a wake event or
+    /// the optional timeout (relative to the batch completion).
+    pub fn end_batch_sleep(
+        &mut self,
+        now: SimTime,
+        pid: Pid,
+        timeout: Option<SimDuration>,
+    ) -> SimTime {
+        let done = {
+            let p = self.proc_mut(pid);
+            let work = p.batch_acc.take().expect("no batch in progress");
+            let done = self.cpu.run_process(now, work);
+            let p = self.proc_mut(pid);
+            p.state = ProcState::Running {
+                until: done,
+                then: AfterBatch::Sleep {
+                    timeout: timeout.map(|t| done + t),
+                },
+            };
+            done
+        };
+        done
+    }
+
+    fn finish_batch(&mut self, now: SimTime, pid: Pid, then: AfterBatch) -> SimTime {
+        let p = self.proc_mut(pid);
+        let work = p.batch_acc.take().expect("no batch in progress");
+        let done = self.cpu.run_process(now, work);
+        let p = self.proc_mut(pid);
+        p.state = ProcState::Running { until: done, then };
+        done
+    }
+
+    /// Wakes a sleeping process (readiness event, signal arrival).
+    pub fn wake(&mut self, _now: SimTime, pid: Pid) {
+        let Some(p) = self.procs.get_mut(&pid) else {
+            return;
+        };
+        match p.state {
+            ProcState::Sleeping { .. } => {
+                p.state = ProcState::Idle;
+                p.pending_wake = false;
+                self.stats.wakeups += 1;
+                self.events_out.push(KernelEvent::ProcRunnable { pid });
+            }
+            ProcState::Running {
+                then: AfterBatch::Sleep { .. },
+                ..
+            } => {
+                // The batch that decided to sleep is still on the CPU;
+                // cancel the sleep.
+                p.pending_wake = true;
+                self.stats.wakeups += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// Earliest time the kernel needs attention.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.procs.values().filter_map(|p| p.next_deadline()).min()
+    }
+
+    /// Fires due process transitions and drains pending events.
+    pub fn advance(&mut self, now: SimTime) -> Vec<KernelEvent> {
+        let pids: Vec<Pid> = self.procs.keys().copied().collect();
+        for pid in pids {
+            let p = self.procs.get_mut(&pid).expect("pid listed");
+            match p.state {
+                ProcState::Running { until, then } if until <= now => match then {
+                    AfterBatch::Yield => {
+                        p.state = ProcState::Idle;
+                        self.events_out.push(KernelEvent::ProcRunnable { pid });
+                    }
+                    AfterBatch::Sleep { timeout } => {
+                        if p.pending_wake {
+                            p.pending_wake = false;
+                            p.state = ProcState::Idle;
+                            self.events_out.push(KernelEvent::ProcRunnable { pid });
+                        } else {
+                            p.state = ProcState::Sleeping { timeout };
+                            // The timeout may already be due.
+                            if let Some(t) = timeout {
+                                if t <= now {
+                                    p.state = ProcState::Idle;
+                                    self.events_out.push(KernelEvent::ProcRunnable { pid });
+                                }
+                            }
+                        }
+                    }
+                },
+                ProcState::Sleeping { timeout: Some(t) } if t <= now => {
+                    p.state = ProcState::Idle;
+                    self.events_out.push(KernelEvent::ProcRunnable { pid });
+                }
+                _ => {}
+            }
+        }
+        std::mem::take(&mut self.events_out)
+    }
+
+    /// Charges softirq-context CPU work (used by `/dev/poll` backmap
+    /// marking, which runs in the driver's event path).
+    pub fn charge_softirq(&mut self, now: SimTime, cost: SimDuration) {
+        self.cpu.charge_softirq(now, cost);
+    }
+
+    // ------------------------------------------------------------------
+    // Watcher (wait-queue) registry.
+    // ------------------------------------------------------------------
+
+    /// Registers `fd` so that its readiness events wake `pid`.
+    ///
+    /// Cost is *not* charged here; the caller (stock `poll()` or the
+    /// `/dev/poll` device) charges per its own cost structure.
+    pub fn watch(&mut self, pid: Pid, fd: Fd) {
+        self.watchers.entry(pid).or_default().insert(fd);
+    }
+
+    /// Removes one watcher registration.
+    pub fn unwatch(&mut self, pid: Pid, fd: Fd) {
+        if let Some(set) = self.watchers.get_mut(&pid) {
+            set.remove(&fd);
+        }
+    }
+
+    /// Removes every watcher registration of `pid`. Returns how many
+    /// were removed (so the caller can charge per-fd costs).
+    pub fn unwatch_all(&mut self, pid: Pid) -> usize {
+        self.watchers.remove(&pid).map_or(0, |s| s.len())
+    }
+
+    /// Number of active watcher registrations for `pid`.
+    pub fn watch_count(&self, pid: Pid) -> usize {
+        self.watchers.get(&pid).map_or(0, |s| s.len())
+    }
+
+    // ------------------------------------------------------------------
+    // Readiness.
+    // ------------------------------------------------------------------
+
+    /// Current poll condition of `fd` as the kernel sees it.
+    ///
+    /// This is the "truth" that a device driver's poll callback would
+    /// return; querying it is free — *charging* for the query is the
+    /// poll implementation's job.
+    pub fn readiness(&self, pid: Pid, fd: Fd) -> PollBits {
+        let Some(p) = self.procs.get(&pid) else {
+            return PollBits::POLLNVAL;
+        };
+        let Ok(file) = p.fds.get(fd) else {
+            return PollBits::POLLNVAL;
+        };
+        match file.kind {
+            FileKind::Stream(ep) => self
+                .mirrors
+                .get(&ep)
+                .copied()
+                .map(SockMirror::bits)
+                // A fully closed/vanished connection reads as HUP.
+                .unwrap_or(PollBits::POLLIN | PollBits::POLLHUP),
+            FileKind::Listener(l) => {
+                if self.listen_ready.get(&l).copied().unwrap_or(false) {
+                    PollBits::POLLIN
+                } else {
+                    PollBits::EMPTY
+                }
+            }
+            FileKind::DevPoll(_) => PollBits::EMPTY,
+        }
+    }
+
+    /// The endpoint behind a stream descriptor.
+    pub fn endpoint_of(&self, pid: Pid, fd: Fd) -> Result<EndpointId, Errno> {
+        match self.process(pid).fds.get(fd)?.kind {
+            FileKind::Stream(ep) => Ok(ep),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Network event intake.
+    // ------------------------------------------------------------------
+
+    /// Routes one network notification into the kernel.
+    pub fn on_net(&mut self, now: SimTime, notify: &NetNotify) {
+        match *notify {
+            NetNotify::SegmentArrived { host, wire_bytes } => {
+                if host == self.host {
+                    let c = self.cost.softirq_rx(wire_bytes);
+                    self.cpu.charge_softirq(now, c);
+                }
+            }
+            NetNotify::Readable { ep } => {
+                if let Some(m) = self.mirrors.get_mut(&ep) {
+                    m.readable = true;
+                }
+                self.fd_event(now, ep, PollBits::POLLIN);
+            }
+            NetNotify::Writable { ep } => {
+                if let Some(m) = self.mirrors.get_mut(&ep) {
+                    m.writable = true;
+                }
+                self.fd_event(now, ep, PollBits::POLLOUT);
+            }
+            NetNotify::PeerClosed { ep } => {
+                if let Some(m) = self.mirrors.get_mut(&ep) {
+                    m.hup = true;
+                    m.readable = true;
+                }
+                self.fd_event(now, ep, PollBits::POLLHUP | PollBits::POLLIN);
+            }
+            NetNotify::ConnReset { ep } => {
+                if let Some(m) = self.mirrors.get_mut(&ep) {
+                    m.err = true;
+                }
+                self.fd_event(now, ep, PollBits::POLLERR);
+            }
+            NetNotify::AcceptReady { listener } => {
+                self.listen_ready.insert(listener, true);
+                let owners = self
+                    .listener_owner
+                    .get(&listener)
+                    .cloned()
+                    .unwrap_or_default();
+                match self.accept_wake {
+                    AcceptWake::Herd => {
+                        // Stock 2.2: every sharer is notified and woken.
+                        for (pid, fd) in owners {
+                            self.raise_fd_event(now, pid, fd, PollBits::POLLIN);
+                        }
+                    }
+                    AcceptWake::Exclusive => {
+                        if owners.is_empty() {
+                            return;
+                        }
+                        // Prefer a sleeping sharer (it needs the wake);
+                        // round-robin among them for fairness.
+                        let n = owners.len();
+                        let start = self.accept_rr;
+                        self.accept_rr = (self.accept_rr + 1) % n;
+                        let pick = (0..n)
+                            .map(|i| owners[(start + i) % n])
+                            .find(|&(pid, _)| {
+                                self.procs.get(&pid).is_some_and(|p| p.is_sleeping())
+                            })
+                            .unwrap_or(owners[start % n]);
+                        self.raise_fd_event(now, pick.0, pick.1, PollBits::POLLIN);
+                    }
+                }
+            }
+            // Client-side notifications are not the server kernel's
+            // business; full closes need no action (the fd, if still
+            // open, keeps reporting HUP via the mirror).
+            NetNotify::ConnClosed { ep } => {
+                // Preserve a HUP indication for a still-open fd whose
+                // mirror is about to lose its connection state.
+                if let Some(m) = self.mirrors.get_mut(&ep) {
+                    m.hup = true;
+                }
+            }
+            NetNotify::ConnectDone { .. }
+            | NetNotify::ConnectFailed { .. }
+            | NetNotify::SynDropped { .. } => {}
+        }
+    }
+
+    fn fd_event(&mut self, now: SimTime, ep: EndpointId, band: PollBits) {
+        if let Some(&(pid, fd)) = self.ep_owner.get(&ep) {
+            self.raise_fd_event(now, pid, fd, band);
+        }
+    }
+
+    /// Raises a descriptor event: queues an RT signal if one is
+    /// assigned, wakes sleeping watchers, and surfaces the event for
+    /// `/dev/poll` hint marking.
+    fn raise_fd_event(&mut self, now: SimTime, pid: Pid, fd: Fd, band: PollBits) {
+        self.events_out.push(KernelEvent::FdEvent { pid, fd, band });
+
+        // F_SETSIG: queue an RT signal (kernel side, softirq context).
+        let sig = self
+            .procs
+            .get(&pid)
+            .and_then(|p| p.fds.get(fd).ok())
+            .and_then(|f| f.sig);
+        if let Some(signo) = sig {
+            let rt_cost = SimDuration::from_nanos(self.cost.rt_enqueue);
+            let sigio_cost = SimDuration::from_nanos(self.cost.sigio_raise);
+            let p = self.proc_mut(pid);
+            let ok = p.signals.enqueue_rt(Siginfo { signo, fd, band });
+            self.cpu.charge_softirq(now, rt_cost);
+            if ok {
+                self.stats.rt_signals += 1;
+            } else {
+                self.stats.rt_overflows += 1;
+                self.cpu.charge_softirq(now, sigio_cost);
+            }
+            // A signal (RT or the overflow SIGIO) is deliverable: wake a
+            // process blocked in sigwaitinfo.
+            self.wake(now, pid);
+        }
+
+        // Wait-queue wakeup for poll-style sleepers.
+        if self
+            .watchers
+            .get(&pid)
+            .is_some_and(|set| set.contains(&fd))
+        {
+            self.wake(now, pid);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Syscalls.
+    // ------------------------------------------------------------------
+
+    fn charge_syscall(&mut self, pid: Pid, extra: u64) {
+        let c = SimDuration::from_nanos(self.cost.syscall + extra);
+        self.charge(pid, c);
+        let p = self.proc_mut(pid);
+        p.syscall_count += 1;
+        self.stats.syscalls += 1;
+    }
+
+    /// `socket` + `bind` + `listen` in one step: opens a listening
+    /// descriptor on this host.
+    pub fn sys_listen(
+        &mut self,
+        net: &mut Network,
+        _now: SimTime,
+        pid: Pid,
+        port: Port,
+        backlog: usize,
+    ) -> Result<Fd, Errno> {
+        self.charge_syscall(pid, self.cost.accept);
+        let listener = net
+            .listen(self.host, port, backlog)
+            .map_err(|_| Errno::EADDRINUSE)?;
+        let fd = self.proc_mut(pid).fds.alloc(FileKind::Listener(listener))?;
+        self.listener_owner.entry(listener).or_default().push((pid, fd));
+        self.listen_ready.insert(listener, false);
+        Ok(fd)
+    }
+
+    /// Attaches an existing listening socket to another process — the
+    /// prefork pattern: one parent `listen()`s, the children inherit the
+    /// descriptor and all `accept()` from it.
+    pub fn sys_share_listener(
+        &mut self,
+        _now: SimTime,
+        pid: Pid,
+        listener: ListenerId,
+    ) -> Result<Fd, Errno> {
+        self.charge_syscall(pid, self.cost.fcntl);
+        if !self.listener_owner.contains_key(&listener) {
+            return Err(Errno::EBADF);
+        }
+        let fd = self.proc_mut(pid).fds.alloc(FileKind::Listener(listener))?;
+        self.listener_owner.entry(listener).or_default().push((pid, fd));
+        Ok(fd)
+    }
+
+    /// The listener behind a listening descriptor.
+    pub fn listener_of(&self, pid: Pid, fd: Fd) -> Result<ListenerId, Errno> {
+        match self.process(pid).fds.get(fd)?.kind {
+            FileKind::Listener(l) => Ok(l),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// `accept()`: pops one established connection, allocating a
+    /// descriptor for it.
+    pub fn sys_accept(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        pid: Pid,
+        listen_fd: Fd,
+    ) -> Result<Fd, Errno> {
+        self.charge_syscall(pid, self.cost.accept);
+        let listener = match self.process(pid).fds.get(listen_fd)?.kind {
+            FileKind::Listener(l) => l,
+            _ => return Err(Errno::EINVAL),
+        };
+        let Some(ep) = net.accept(listener) else {
+            self.listen_ready.insert(listener, false);
+            return Err(Errno::EAGAIN);
+        };
+        if net.accept_queue_len(listener) == 0 {
+            self.listen_ready.insert(listener, false);
+        }
+        let fd = match self.proc_mut(pid).fds.alloc(FileKind::Stream(ep)) {
+            Ok(fd) => fd,
+            Err(e) => {
+                // Descriptor table full: the connection was already
+                // dequeued, so refuse it outright rather than leak it.
+                let vnow = self.vnow(now, pid);
+                let _ = net.abort(vnow, ep);
+                return Err(e);
+            }
+        };
+        self.ep_owner.insert(ep, (pid, fd));
+        self.mirrors.insert(
+            ep,
+            SockMirror {
+                readable: net.readable_bytes(ep) > 0 || net.peer_closed(ep),
+                writable: net.send_space(ep) > 0,
+                hup: net.peer_closed(ep),
+                err: false,
+            },
+        );
+        Ok(fd)
+    }
+
+    /// `read()`: drains up to `max` in-order bytes.
+    ///
+    /// Returns `Ok(empty)` at EOF, `EAGAIN` when nothing is available on
+    /// a non-blocking stream.
+    pub fn sys_read(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        pid: Pid,
+        fd: Fd,
+        max: usize,
+    ) -> Result<Vec<u8>, Errno> {
+        self.charge_syscall(pid, self.cost.read_base);
+        let ep = self.endpoint_of(pid, fd)?;
+        if self.mirrors.get(&ep).is_some_and(|m| m.err) {
+            return Err(Errno::ECONNRESET);
+        }
+        let vnow = self.vnow(now, pid);
+        let data = net.recv(vnow, ep, max).unwrap_or_default();
+        if !data.is_empty() {
+            self.charge(pid, self.cost.copy(data.len()));
+        }
+        // Level update: still readable only if bytes remain (EOF keeps
+        // POLLIN so the application observes it).
+        let still = net.readable_bytes(ep) > 0;
+        let eof = net.peer_closed(ep) || !net.exists(ep.conn);
+        if let Some(m) = self.mirrors.get_mut(&ep) {
+            m.readable = still || eof;
+            if eof {
+                m.hup = true;
+            }
+        }
+        if data.is_empty() {
+            if eof {
+                return Ok(Vec::new()); // EOF.
+            }
+            return Err(Errno::EAGAIN);
+        }
+        Ok(data)
+    }
+
+    /// `write()`: buffers up to the socket send-buffer size.
+    ///
+    /// Returns the number of bytes accepted; `EAGAIN` if none fit.
+    pub fn sys_write(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        pid: Pid,
+        fd: Fd,
+        data: &[u8],
+    ) -> Result<usize, Errno> {
+        self.charge_syscall(pid, self.cost.write_base);
+        let ep = self.endpoint_of(pid, fd)?;
+        if self.mirrors.get(&ep).is_some_and(|m| m.err) {
+            return Err(Errno::ECONNRESET);
+        }
+        let vnow = self.vnow(now, pid);
+        let n = match net.send(vnow, ep, data) {
+            Ok(n) => n,
+            Err(_) => return Err(Errno::EPIPE),
+        };
+        if n > 0 {
+            let mss = net.config().mss as usize;
+            let segs = n.div_ceil(mss) as u64;
+            self.charge(pid, self.cost.copy(n));
+            self.charge(
+                pid,
+                SimDuration::from_nanos(self.cost.tx_per_segment * segs),
+            );
+        }
+        if let Some(m) = self.mirrors.get_mut(&ep) {
+            m.writable = net.send_space(ep) > 0;
+        }
+        if n == 0 {
+            return Err(Errno::EAGAIN);
+        }
+        Ok(n)
+    }
+
+    /// `sendfile()`: transmits file bytes through the kernel without the
+    /// user-space copy (§6 of the paper lists this as future work worth
+    /// studying; Linux 2.2 had just grown the syscall).
+    ///
+    /// Semantically identical to `write()` here — the content store is
+    /// in memory — but the per-byte cost uses the cheaper in-kernel
+    /// path.
+    pub fn sys_sendfile(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        pid: Pid,
+        fd: Fd,
+        data: &[u8],
+    ) -> Result<usize, Errno> {
+        self.charge_syscall(pid, self.cost.write_base);
+        let ep = self.endpoint_of(pid, fd)?;
+        if self.mirrors.get(&ep).is_some_and(|m| m.err) {
+            return Err(Errno::ECONNRESET);
+        }
+        let vnow = self.vnow(now, pid);
+        let n = match net.send(vnow, ep, data) {
+            Ok(n) => n,
+            Err(_) => return Err(Errno::EPIPE),
+        };
+        if n > 0 {
+            let mss = net.config().mss as usize;
+            let segs = n.div_ceil(mss) as u64;
+            self.charge(
+                pid,
+                SimDuration::from_nanos(self.cost.sendfile_per_byte * n as u64),
+            );
+            self.charge(
+                pid,
+                SimDuration::from_nanos(self.cost.tx_per_segment * segs),
+            );
+        }
+        if let Some(m) = self.mirrors.get_mut(&ep) {
+            m.writable = net.send_space(ep) > 0;
+        }
+        if n == 0 {
+            return Err(Errno::EAGAIN);
+        }
+        Ok(n)
+    }
+
+    /// `close()`: releases the descriptor; streams get a FIN.
+    ///
+    /// Any RT signals already queued for the descriptor remain queued —
+    /// the stale-event behaviour §2 of the paper warns about.
+    pub fn sys_close(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        pid: Pid,
+        fd: Fd,
+    ) -> Result<(), Errno> {
+        self.charge_syscall(pid, self.cost.close);
+        let vnow = self.vnow(now, pid);
+        let file = self.proc_mut(pid).fds.close(fd)?;
+        match file.kind {
+            FileKind::Stream(ep) => {
+                self.ep_owner.remove(&ep);
+                self.mirrors.remove(&ep);
+                // Half-close; if the conn is already gone this is a no-op.
+                let _ = net.close(vnow, ep);
+            }
+            FileKind::Listener(l) => {
+                if let Some(owners) = self.listener_owner.get_mut(&l) {
+                    owners.retain(|&(p, f)| !(p == pid && f == fd));
+                    if owners.is_empty() {
+                        self.listener_owner.remove(&l);
+                        self.listen_ready.remove(&l);
+                    }
+                }
+            }
+            FileKind::DevPoll(_) => {}
+        }
+        self.unwatch(pid, fd);
+        Ok(())
+    }
+
+    /// `abort()`-style close (SO_LINGER 0): RST instead of FIN.
+    pub fn sys_abort(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        pid: Pid,
+        fd: Fd,
+    ) -> Result<(), Errno> {
+        self.charge_syscall(pid, self.cost.close);
+        let vnow = self.vnow(now, pid);
+        let file = self.proc_mut(pid).fds.close(fd)?;
+        if let FileKind::Stream(ep) = file.kind {
+            self.ep_owner.remove(&ep);
+            self.mirrors.remove(&ep);
+            let _ = net.abort(vnow, ep);
+        }
+        self.unwatch(pid, fd);
+        Ok(())
+    }
+
+    /// `fcntl(fd, F_SETFL, O_NONBLOCK)`.
+    pub fn sys_set_nonblock(&mut self, pid: Pid, fd: Fd) -> Result<(), Errno> {
+        self.charge_syscall(pid, self.cost.fcntl);
+        self.proc_mut(pid).fds.get_mut(fd)?.nonblock = true;
+        Ok(())
+    }
+
+    /// `fcntl(fd, F_SETSIG, signo)` + `F_SETOWN`: route readiness events
+    /// for `fd` into the process's RT signal queue (§2).
+    ///
+    /// Pass `None` to clear. The signal number must be in the RT range.
+    pub fn sys_set_sig(&mut self, pid: Pid, fd: Fd, signo: Option<u8>) -> Result<(), Errno> {
+        // F_SETSIG and F_SETOWN are two fcntl calls in the real API.
+        self.charge_syscall(pid, self.cost.fcntl);
+        self.charge_syscall(pid, self.cost.fcntl);
+        if let Some(s) = signo {
+            if !(SIGRTMIN..=SIGRTMAX).contains(&s) {
+                return Err(Errno::EINVAL);
+            }
+        }
+        self.proc_mut(pid).fds.get_mut(fd)?.sig = signo;
+        Ok(())
+    }
+
+    /// `sigwaitinfo()`: dequeues the next pending signal, or `EAGAIN` if
+    /// none (caller decides to sleep).
+    pub fn sys_sigwaitinfo(&mut self, pid: Pid) -> Result<Siginfo, Errno> {
+        self.charge_syscall(pid, self.cost.rt_dequeue);
+        self.proc_mut(pid).signals.dequeue().ok_or(Errno::EAGAIN)
+    }
+
+    /// The paper's proposed `sigtimedwait4()`: dequeues up to `max`
+    /// signals in one syscall (§6).
+    pub fn sys_sigtimedwait4(&mut self, pid: Pid, max: usize) -> Result<Vec<Siginfo>, Errno> {
+        // One syscall; per-signal dequeue work still applies.
+        self.charge_syscall(pid, 0);
+        let batch = self.proc_mut(pid).signals.dequeue_batch(max);
+        let c = SimDuration::from_nanos(self.cost.rt_dequeue * batch.len() as u64);
+        self.charge(pid, c);
+        if batch.is_empty() {
+            return Err(Errno::EAGAIN);
+        }
+        Ok(batch)
+    }
+
+    /// Flushes the RT queue (overflow recovery: handlers reset to
+    /// `SIG_DFL`). Returns how many signals were discarded.
+    pub fn sys_flush_rt(&mut self, pid: Pid) -> usize {
+        self.charge_syscall(pid, 0);
+        self.proc_mut(pid).signals.flush_rt()
+    }
+
+    /// Charges arbitrary application-level work (request parsing, file
+    /// lookup) into the current batch.
+    pub fn charge_app(&mut self, pid: Pid, nanos: u64) {
+        self.charge(pid, SimDuration::from_nanos(nanos));
+    }
+
+    /// Allocates a descriptor directly (used by the `/dev/poll` device
+    /// layer, which manages its own object registry). No cost is
+    /// charged — the caller accounts for the surrounding syscall.
+    pub fn alloc_fd(&mut self, pid: Pid, kind: FileKind) -> Result<Fd, Errno> {
+        self.proc_mut(pid).fds.alloc(kind)
+    }
+
+    /// Closes a descriptor with no socket side effects (used for
+    /// `/dev/poll` descriptors). No cost is charged.
+    pub fn close_fd_raw(&mut self, pid: Pid, fd: Fd) -> Result<(), Errno> {
+        self.proc_mut(pid).fds.close(fd)?;
+        self.unwatch(pid, fd);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::SimDuration;
+    use simnet::{HostId, LinkConfig, SockAddr, TcpConfig};
+
+    const CLIENT: HostId = HostId(0);
+    const SERVER: HostId = HostId(1);
+
+    fn setup() -> (Network, Kernel, Pid) {
+        let net = Network::new(TcpConfig::default(), LinkConfig::default(), 2);
+        let mut kernel = Kernel::new(SERVER, CostModel::k6_2_400mhz());
+        let pid = kernel.spawn_default();
+        (net, kernel, pid)
+    }
+
+    /// Pumps the network, feeding all notifications into the kernel, and
+    /// returns the kernel events raised, until quiet or `horizon`.
+    fn pump(net: &mut Network, kernel: &mut Kernel, horizon: SimTime) -> Vec<KernelEvent> {
+        let mut out = Vec::new();
+        loop {
+            match net.next_deadline() {
+                Some(t) if t <= horizon => {
+                    for n in net.advance(t) {
+                        kernel.on_net(t, &n);
+                    }
+                    out.extend(kernel.advance(t));
+                }
+                _ => break,
+            }
+        }
+        for n in net.advance(horizon) {
+            kernel.on_net(horizon, &n);
+        }
+        out.extend(kernel.advance(horizon));
+        out
+    }
+
+    fn connect_one(
+        net: &mut Network,
+        kernel: &mut Kernel,
+        pid: Pid,
+        listen_fd: Fd,
+    ) -> (Fd, simnet::ConnId) {
+        let conn = net
+            .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+            .unwrap();
+        pump(net, kernel, SimTime::from_millis(10));
+        kernel.begin_batch(SimTime::from_millis(10), pid);
+        let fd = kernel
+            .sys_accept(net, SimTime::from_millis(10), pid, listen_fd)
+            .unwrap();
+        kernel.end_batch(SimTime::from_millis(10), pid);
+        (fd, conn)
+    }
+
+    #[test]
+    fn listen_accept_read_write_close_lifecycle() {
+        let (mut net, mut kernel, pid) = setup();
+        kernel.begin_batch(SimTime::ZERO, pid);
+        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        kernel.end_batch(SimTime::ZERO, pid);
+
+        let (fd, conn) = connect_one(&mut net, &mut kernel, pid, lfd);
+        let client_ep = EndpointId::new(conn, simnet::Side::Client);
+
+        // Client sends a request.
+        let t = SimTime::from_millis(20);
+        net.send(t, client_ep, b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        pump(&mut net, &mut kernel, SimTime::from_millis(30));
+        assert!(kernel.readiness(pid, fd).contains(PollBits::POLLIN));
+
+        let t = SimTime::from_millis(30);
+        kernel.begin_batch(t, pid);
+        let data = kernel.sys_read(&mut net, t, pid, fd, 4096).unwrap();
+        assert_eq!(&data, b"GET / HTTP/1.0\r\n\r\n");
+        // Drained: no longer readable.
+        assert!(!kernel.readiness(pid, fd).contains(PollBits::POLLIN));
+        let n = kernel.sys_write(&mut net, t, pid, fd, &[0u8; 6144]).unwrap();
+        assert_eq!(n, 6144);
+        kernel.sys_close(&mut net, t, pid, fd).unwrap();
+        kernel.end_batch(t, pid);
+
+        pump(&mut net, &mut kernel, SimTime::from_millis(100));
+        let got = net.recv(SimTime::from_millis(100), client_ep, 10_000).unwrap();
+        assert_eq!(got.len(), 6144);
+        assert!(net.peer_closed(client_ep));
+    }
+
+    #[test]
+    fn read_empty_is_eagain_then_eof_after_fin() {
+        let (mut net, mut kernel, pid) = setup();
+        kernel.begin_batch(SimTime::ZERO, pid);
+        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        kernel.end_batch(SimTime::ZERO, pid);
+        let (fd, conn) = connect_one(&mut net, &mut kernel, pid, lfd);
+        let client_ep = EndpointId::new(conn, simnet::Side::Client);
+
+        let t = SimTime::from_millis(20);
+        kernel.begin_batch(t, pid);
+        assert_eq!(kernel.sys_read(&mut net, t, pid, fd, 4096), Err(Errno::EAGAIN));
+        kernel.end_batch(t, pid);
+
+        net.close(t, client_ep).unwrap();
+        pump(&mut net, &mut kernel, SimTime::from_millis(40));
+        assert!(kernel.readiness(pid, fd).contains(PollBits::POLLHUP));
+        let t = SimTime::from_millis(40);
+        kernel.begin_batch(t, pid);
+        let data = kernel.sys_read(&mut net, t, pid, fd, 4096).unwrap();
+        assert!(data.is_empty(), "EOF reads as empty");
+        kernel.end_batch(t, pid);
+    }
+
+    #[test]
+    fn batch_costs_delay_completion_and_count_syscalls() {
+        let (mut net, mut kernel, pid) = setup();
+        kernel.begin_batch(SimTime::ZERO, pid);
+        let _ = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        let done = kernel.end_batch(SimTime::ZERO, pid);
+        assert!(done > SimTime::ZERO, "syscall work takes CPU time");
+        assert_eq!(kernel.process(pid).syscall_count, 1);
+        // The process becomes runnable at `done`.
+        assert_eq!(kernel.next_deadline(), Some(done));
+        let evs = kernel.advance(done);
+        assert!(evs.contains(&KernelEvent::ProcRunnable { pid }));
+    }
+
+    #[test]
+    fn sleeping_process_wakes_on_readiness() {
+        let (mut net, mut kernel, pid) = setup();
+        kernel.begin_batch(SimTime::ZERO, pid);
+        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        kernel.end_batch(SimTime::ZERO, pid);
+        let _ = kernel.advance(SimTime::from_millis(1));
+
+        // Sleep watching the listener.
+        kernel.begin_batch(SimTime::from_millis(1), pid);
+        kernel.watch(pid, lfd);
+        kernel.end_batch_sleep(SimTime::from_millis(1), pid, None);
+        let _ = kernel.advance(SimTime::from_millis(2));
+        assert!(kernel.process(pid).is_sleeping());
+
+        // A connection arrives -> AcceptReady -> wake.
+        net.connect(
+            SimTime::from_millis(2),
+            CLIENT,
+            SockAddr::new(SERVER, 80),
+            SimDuration::ZERO,
+        )
+        .unwrap();
+        let evs = pump(&mut net, &mut kernel, SimTime::from_millis(10));
+        assert!(evs.iter().any(|e| matches!(e, KernelEvent::ProcRunnable { .. })));
+        assert!(!kernel.process(pid).is_sleeping());
+        assert_eq!(kernel.stats().wakeups, 1);
+    }
+
+    #[test]
+    fn sleep_timeout_fires() {
+        let (_net, mut kernel, pid) = setup();
+        kernel.begin_batch(SimTime::ZERO, pid);
+        kernel.end_batch_sleep(SimTime::ZERO, pid, Some(SimDuration::from_millis(5)));
+        let _ = kernel.advance(SimTime::from_millis(1));
+        assert!(kernel.process(pid).is_sleeping());
+        let deadline = kernel.next_deadline().unwrap();
+        assert_eq!(deadline, SimTime::from_millis(5));
+        let evs = kernel.advance(deadline);
+        assert!(evs.contains(&KernelEvent::ProcRunnable { pid }));
+    }
+
+    #[test]
+    fn wake_racing_with_sleep_decision_cancels_sleep() {
+        let (_net, mut kernel, pid) = setup();
+        kernel.begin_batch(SimTime::ZERO, pid);
+        kernel.charge(pid, SimDuration::from_micros(100));
+        kernel.end_batch_sleep(SimTime::ZERO, pid, None);
+        // Wake arrives while the batch is still on the CPU.
+        kernel.wake(SimTime::from_micros(10), pid);
+        let evs = kernel.advance(SimTime::from_micros(100));
+        assert!(evs.contains(&KernelEvent::ProcRunnable { pid }));
+        assert!(!kernel.process(pid).is_sleeping());
+    }
+
+    #[test]
+    fn f_setsig_queues_rt_signals_on_events() {
+        let (mut net, mut kernel, pid) = setup();
+        kernel.begin_batch(SimTime::ZERO, pid);
+        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        kernel.end_batch(SimTime::ZERO, pid);
+        let (fd, conn) = connect_one(&mut net, &mut kernel, pid, lfd);
+        let t = SimTime::from_millis(20);
+        kernel.begin_batch(t, pid);
+        kernel.sys_set_sig(pid, fd, Some(SIGRTMIN)).unwrap();
+        kernel.end_batch(t, pid);
+
+        let client_ep = EndpointId::new(conn, simnet::Side::Client);
+        net.send(t, client_ep, b"hello").unwrap();
+        pump(&mut net, &mut kernel, SimTime::from_millis(40));
+
+        let t = SimTime::from_millis(40);
+        kernel.begin_batch(t, pid);
+        let info = kernel.sys_sigwaitinfo(pid).unwrap();
+        assert_eq!(info.signo, SIGRTMIN);
+        assert_eq!(info.fd, fd);
+        assert!(info.band.contains(PollBits::POLLIN));
+        assert_eq!(kernel.sys_sigwaitinfo(pid), Err(Errno::EAGAIN));
+        kernel.end_batch(t, pid);
+        assert_eq!(kernel.stats().rt_signals, 1);
+    }
+
+    #[test]
+    fn set_sig_rejects_non_rt_numbers() {
+        let (mut net, mut kernel, pid) = setup();
+        kernel.begin_batch(SimTime::ZERO, pid);
+        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        assert_eq!(kernel.sys_set_sig(pid, lfd, Some(5)), Err(Errno::EINVAL));
+        kernel.end_batch(SimTime::ZERO, pid);
+    }
+
+    #[test]
+    fn softirq_load_delays_batches() {
+        let (mut net, mut kernel, pid) = setup();
+        // Blast segments at the server host.
+        for _ in 0..100 {
+            kernel.on_net(
+                SimTime::ZERO,
+                &NetNotify::SegmentArrived {
+                    host: SERVER,
+                    wire_bytes: 1500,
+                },
+            );
+        }
+        kernel.begin_batch(SimTime::ZERO, pid);
+        let _ = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128);
+        let done = kernel.end_batch(SimTime::ZERO, pid);
+        // 100 segments at ~36us each queue ahead of the batch.
+        assert!(
+            done > SimTime::from_millis(3),
+            "interrupt load must delay the process (done={done})"
+        );
+    }
+
+    #[test]
+    fn readiness_of_bad_fd_is_nval() {
+        let (_net, kernel, pid) = setup();
+        assert_eq!(kernel.readiness(pid, 42), PollBits::POLLNVAL);
+        assert_eq!(kernel.readiness(pid, -1), PollBits::POLLNVAL);
+    }
+
+    #[test]
+    fn rt_queue_overflow_raises_sigio_and_is_recoverable() {
+        let (mut net, mut kernel, _default_pid) = setup();
+        // Tiny queue to overflow quickly.
+        let pid = kernel.spawn(1024, 2);
+        kernel.begin_batch(SimTime::ZERO, pid);
+        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        kernel.end_batch(SimTime::ZERO, pid);
+        let conn = net
+            .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+            .unwrap();
+        pump(&mut net, &mut kernel, SimTime::from_millis(10));
+        let t = SimTime::from_millis(10);
+        kernel.begin_batch(t, pid);
+        let fd = kernel.sys_accept(&mut net, t, pid, lfd).unwrap();
+        kernel.sys_set_sig(pid, fd, Some(SIGRTMIN)).unwrap();
+        kernel.end_batch(t, pid);
+
+        // Three separate data arrivals -> three events -> queue of 2
+        // overflows on the third.
+        let client_ep = EndpointId::new(conn, simnet::Side::Client);
+        for i in 0..3u64 {
+            let at = SimTime::from_millis(20 + i * 10);
+            net.send(at, client_ep, b"x").unwrap();
+            pump(&mut net, &mut kernel, at + SimDuration::from_millis(5));
+        }
+        assert_eq!(kernel.stats().rt_overflows, 1);
+        assert!(kernel.process(pid).signals.sigio_pending());
+
+        // Recovery: pick up SIGIO first, flush, then poll() would run.
+        let t = SimTime::from_millis(60);
+        kernel.begin_batch(t, pid);
+        let first = kernel.sys_sigwaitinfo(pid).unwrap();
+        assert_eq!(first.signo, crate::signal::SIGIO);
+        let flushed = kernel.sys_flush_rt(pid);
+        assert_eq!(flushed, 2);
+        assert_eq!(kernel.sys_sigwaitinfo(pid), Err(Errno::EAGAIN));
+        kernel.end_batch(t, pid);
+    }
+
+    #[test]
+    fn sigtimedwait4_dequeues_in_one_syscall() {
+        let (mut net, mut kernel, pid) = setup();
+        kernel.begin_batch(SimTime::ZERO, pid);
+        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        kernel.end_batch(SimTime::ZERO, pid);
+        let (fd, conn) = connect_one(&mut net, &mut kernel, pid, lfd);
+        let t = SimTime::from_millis(20);
+        kernel.begin_batch(t, pid);
+        kernel.sys_set_sig(pid, fd, Some(SIGRTMIN)).unwrap();
+        kernel.end_batch(t, pid);
+
+        let client_ep = EndpointId::new(conn, simnet::Side::Client);
+        for i in 0..4u64 {
+            let at = SimTime::from_millis(30 + i * 5);
+            net.send(at, client_ep, b"y").unwrap();
+            pump(&mut net, &mut kernel, at + SimDuration::from_millis(4));
+        }
+        let before = kernel.process(pid).syscall_count;
+        let t = SimTime::from_millis(60);
+        kernel.begin_batch(t, pid);
+        let batch = kernel.sys_sigtimedwait4(pid, 16).unwrap();
+        kernel.end_batch(t, pid);
+        assert!(batch.len() >= 2, "multiple events in one call: {}", batch.len());
+        assert_eq!(kernel.process(pid).syscall_count, before + 1);
+    }
+
+    #[test]
+    fn fd_limit_produces_emfile() {
+        let (mut net, mut kernel, _pid) = setup();
+        let pid = kernel.spawn(1, 16);
+        kernel.begin_batch(SimTime::ZERO, pid);
+        let _l = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        // Table full (limit 1): next allocation fails.
+        assert_eq!(
+            kernel.sys_listen(&mut net, SimTime::ZERO, pid, 81, 128),
+            Err(Errno::EMFILE)
+        );
+        kernel.end_batch(SimTime::ZERO, pid);
+    }
+}

@@ -1,0 +1,153 @@
+//! Poll event bits, matching the classic `<sys/poll.h>` values.
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr, BitOrAssign, Not};
+
+/// A set of poll condition bits (`POLLIN`, `POLLOUT`, …).
+///
+/// The numeric values match Linux so that a `pollfd` dump from the
+/// simulator reads like the real thing.
+///
+/// # Examples
+///
+/// ```
+/// use simkernel::poll_bits::PollBits;
+///
+/// let bits = PollBits::POLLIN | PollBits::POLLOUT;
+/// assert!(bits.contains(PollBits::POLLIN));
+/// assert!(!bits.contains(PollBits::POLLERR));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PollBits(pub u16);
+
+impl PollBits {
+    /// No conditions.
+    pub const EMPTY: PollBits = PollBits(0);
+    /// Data available to read (or pending accept, or EOF).
+    pub const POLLIN: PollBits = PollBits(0x0001);
+    /// Exceptional condition.
+    pub const POLLPRI: PollBits = PollBits(0x0002);
+    /// Writing will not block.
+    pub const POLLOUT: PollBits = PollBits(0x0004);
+    /// Error condition (always reported; never requested explicitly).
+    pub const POLLERR: PollBits = PollBits(0x0008);
+    /// Hang up: the peer closed its end.
+    pub const POLLHUP: PollBits = PollBits(0x0010);
+    /// Invalid descriptor.
+    pub const POLLNVAL: PollBits = PollBits(0x0020);
+    /// `/dev/poll` interest removal flag (§3.1; value from Solaris).
+    pub const POLLREMOVE: PollBits = PollBits(0x1000);
+
+    /// Returns `true` if every bit of `other` is set in `self`.
+    pub fn contains(self, other: PollBits) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `true` if any bit of `other` is set in `self`.
+    pub fn intersects(self, other: PollBits) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Returns `true` if no bits are set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The bits of `self` that are not in `other`.
+    pub fn without(self, other: PollBits) -> PollBits {
+        PollBits(self.0 & !other.0)
+    }
+
+    /// Bits that are always reported by poll even when not requested.
+    pub fn always_reported() -> PollBits {
+        PollBits::POLLERR | PollBits::POLLHUP | PollBits::POLLNVAL
+    }
+}
+
+impl BitOr for PollBits {
+    type Output = PollBits;
+
+    fn bitor(self, rhs: PollBits) -> PollBits {
+        PollBits(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for PollBits {
+    fn bitor_assign(&mut self, rhs: PollBits) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for PollBits {
+    type Output = PollBits;
+
+    fn bitand(self, rhs: PollBits) -> PollBits {
+        PollBits(self.0 & rhs.0)
+    }
+}
+
+impl Not for PollBits {
+    type Output = PollBits;
+
+    fn not(self) -> PollBits {
+        PollBits(!self.0)
+    }
+}
+
+impl fmt::Display for PollBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (PollBits::POLLIN, "IN"),
+            (PollBits::POLLPRI, "PRI"),
+            (PollBits::POLLOUT, "OUT"),
+            (PollBits::POLLERR, "ERR"),
+            (PollBits::POLLHUP, "HUP"),
+            (PollBits::POLLNVAL, "NVAL"),
+            (PollBits::POLLREMOVE, "REMOVE"),
+        ];
+        let mut first = true;
+        for (bit, name) in names {
+            if self.contains(bit) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linux_values() {
+        assert_eq!(PollBits::POLLIN.0, 0x0001);
+        assert_eq!(PollBits::POLLOUT.0, 0x0004);
+        assert_eq!(PollBits::POLLERR.0, 0x0008);
+        assert_eq!(PollBits::POLLHUP.0, 0x0010);
+    }
+
+    #[test]
+    fn set_ops() {
+        let b = PollBits::POLLIN | PollBits::POLLHUP;
+        assert!(b.contains(PollBits::POLLIN));
+        assert!(b.intersects(PollBits::POLLHUP | PollBits::POLLOUT));
+        assert!(!b.contains(PollBits::POLLIN | PollBits::POLLOUT));
+        assert_eq!(b.without(PollBits::POLLIN), PollBits::POLLHUP);
+        assert!(PollBits::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let b = PollBits::POLLIN | PollBits::POLLOUT;
+        assert_eq!(b.to_string(), "IN|OUT");
+        assert_eq!(PollBits::EMPTY.to_string(), "0");
+    }
+}

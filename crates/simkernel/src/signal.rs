@@ -1,0 +1,292 @@
+//! POSIX signals: the classic SIGIO plus the queued real-time signals
+//! the paper studies (§2).
+//!
+//! RT signals carry a payload (`siginfo`, Fig. 2 in the paper): the file
+//! descriptor and a `band` of poll bits describing what happened. The
+//! queue is bounded; when it overflows the kernel raises SIGIO and the
+//! application must fall back to `poll()` to discover pending activity.
+//! Pending signals dequeue lowest-signal-number-first, FIFO within one
+//! number — the source of the paper's observation that "activity on
+//! lower-numbered connections can cause longer delays for activity
+//! reports on higher-numbered connections".
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::fd::Fd;
+use crate::poll_bits::PollBits;
+
+/// The classic I/O signal raised on RT-queue overflow.
+pub const SIGIO: u8 = 29;
+/// First real-time signal number *available to applications*.
+///
+/// The kernel's RT range began at 32, but glibc's LinuxThreads claimed
+/// signal 32 for itself — the §6 portability hazard: "glibc's pthread
+/// implementation uses signal 32. If an application starts using
+/// pthreads after it has assigned signal 32 to a file descriptor via
+/// fcntl(), application behavior is undetermined." Starting the usable
+/// range at 33 models the safe convention.
+pub const SIGRTMIN: u8 = 33;
+/// The RT signal number glibc's LinuxThreads reserved (see [`SIGRTMIN`]).
+pub const GLIBC_PTHREAD_SIGNAL: u8 = 32;
+/// Last real-time signal number.
+pub const SIGRTMAX: u8 = 63;
+/// Default RT signal queue limit (the paper: "normally set high enough
+/// (1024 by default)").
+pub const DEFAULT_RT_QUEUE_MAX: usize = 1024;
+
+/// The payload of one queued RT signal — the paper's simplified
+/// `siginfo` struct (Fig. 2): `_fd` and `_band` carry the same
+/// information as `pollfd.fd` / `pollfd.revents`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Siginfo {
+    /// The signal number (`si_signo`).
+    pub signo: u8,
+    /// The descriptor the event refers to (`_sigpoll._fd`).
+    pub fd: Fd,
+    /// Poll bits describing the event (`_sigpoll._band`).
+    pub band: PollBits,
+}
+
+/// Per-process signal state: the bounded RT queue plus the SIGIO flag.
+#[derive(Debug, Clone)]
+pub struct SignalState {
+    /// Queued RT signals by signal number (dequeue order: lowest number
+    /// first, FIFO within a number).
+    queues: BTreeMap<u8, VecDeque<Siginfo>>,
+    queued: usize,
+    max_queued: usize,
+    /// SIGIO pending (queue overflowed).
+    sigio_pending: bool,
+    /// Events lost to overflow (diagnostic).
+    overflowed: u64,
+    /// Total signals ever enqueued (diagnostic).
+    enqueued: u64,
+    /// High-water mark of the queue depth.
+    high_water: usize,
+}
+
+impl SignalState {
+    /// Creates signal state with the given RT queue limit.
+    pub fn new(max_queued: usize) -> SignalState {
+        SignalState {
+            queues: BTreeMap::new(),
+            queued: 0,
+            max_queued,
+            sigio_pending: false,
+            overflowed: 0,
+            enqueued: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Attempts to queue an RT signal.
+    ///
+    /// Returns `true` on success; on a full queue the event is lost, the
+    /// SIGIO flag is raised, and `false` is returned.
+    pub fn enqueue_rt(&mut self, info: Siginfo) -> bool {
+        debug_assert!(
+            (SIGRTMIN..=SIGRTMAX).contains(&info.signo),
+            "RT signal number out of range"
+        );
+        if self.queued >= self.max_queued {
+            self.sigio_pending = true;
+            self.overflowed += 1;
+            return false;
+        }
+        self.queues.entry(info.signo).or_default().push_back(info);
+        self.queued += 1;
+        self.enqueued += 1;
+        self.high_water = self.high_water.max(self.queued);
+        true
+    }
+
+    /// Dequeues the next pending signal for `sigwaitinfo`.
+    ///
+    /// A pending SIGIO (overflow) is delivered before any RT signal,
+    /// because classic signals rank ahead of the RT range.
+    pub fn dequeue(&mut self) -> Option<Siginfo> {
+        if self.sigio_pending {
+            self.sigio_pending = false;
+            return Some(Siginfo {
+                signo: SIGIO,
+                fd: -1,
+                band: PollBits::EMPTY,
+            });
+        }
+        let (&signo, q) = self.queues.iter_mut().next()?;
+        let info = q.pop_front().expect("non-empty queues only");
+        if q.is_empty() {
+            self.queues.remove(&signo);
+        }
+        self.queued -= 1;
+        Some(info)
+    }
+
+    /// Dequeues up to `max` signals at once — the paper's proposed
+    /// `sigtimedwait4()` batch interface (§6).
+    pub fn dequeue_batch(&mut self, max: usize) -> Vec<Siginfo> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            match self.dequeue() {
+                Some(s) => out.push(s),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Discards every queued RT signal (the application reset its
+    /// handlers to `SIG_DFL` during overflow recovery). Returns how many
+    /// were flushed.
+    pub fn flush_rt(&mut self) -> usize {
+        let n = self.queued;
+        self.queues.clear();
+        self.queued = 0;
+        n
+    }
+
+    /// Whether anything (SIGIO or RT) is deliverable.
+    pub fn has_pending(&self) -> bool {
+        self.sigio_pending || self.queued > 0
+    }
+
+    /// Current RT queue depth.
+    pub fn queue_len(&self) -> usize {
+        self.queued
+    }
+
+    /// The configured queue limit.
+    pub fn queue_max(&self) -> usize {
+        self.max_queued
+    }
+
+    /// Whether SIGIO is pending (overflow happened and was not yet
+    /// picked up).
+    pub fn sigio_pending(&self) -> bool {
+        self.sigio_pending
+    }
+
+    /// Events lost to overflow so far.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflowed
+    }
+
+    /// Total RT signals successfully enqueued.
+    pub fn enqueued_count(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(signo: u8, fd: Fd) -> Siginfo {
+        Siginfo {
+            signo,
+            fd,
+            band: PollBits::POLLIN,
+        }
+    }
+
+    #[test]
+    fn fifo_within_one_signal_number() {
+        let mut s = SignalState::new(16);
+        s.enqueue_rt(info(SIGRTMIN, 3));
+        s.enqueue_rt(info(SIGRTMIN, 4));
+        s.enqueue_rt(info(SIGRTMIN, 5));
+        assert_eq!(s.dequeue().unwrap().fd, 3);
+        assert_eq!(s.dequeue().unwrap().fd, 4);
+        assert_eq!(s.dequeue().unwrap().fd, 5);
+        assert!(s.dequeue().is_none());
+    }
+
+    #[test]
+    fn lower_signal_numbers_dequeue_first() {
+        // The paper: activity on lower-numbered connections delays
+        // reports for higher-numbered ones.
+        let mut s = SignalState::new(16);
+        s.enqueue_rt(info(SIGRTMIN + 5, 50));
+        s.enqueue_rt(info(SIGRTMIN, 10));
+        s.enqueue_rt(info(SIGRTMIN + 5, 51));
+        s.enqueue_rt(info(SIGRTMIN, 11));
+        let order: Vec<Fd> = std::iter::from_fn(|| s.dequeue()).map(|i| i.fd).collect();
+        assert_eq!(order, vec![10, 11, 50, 51]);
+    }
+
+    #[test]
+    fn overflow_raises_sigio_and_drops_event() {
+        let mut s = SignalState::new(2);
+        assert!(s.enqueue_rt(info(SIGRTMIN, 1)));
+        assert!(s.enqueue_rt(info(SIGRTMIN, 2)));
+        assert!(!s.enqueue_rt(info(SIGRTMIN, 3)));
+        assert!(s.sigio_pending());
+        assert_eq!(s.overflow_count(), 1);
+        // SIGIO delivers before the queued RT signals.
+        assert_eq!(s.dequeue().unwrap().signo, SIGIO);
+        assert_eq!(s.dequeue().unwrap().fd, 1);
+    }
+
+    #[test]
+    fn flush_discards_rt_but_not_sigio() {
+        let mut s = SignalState::new(1);
+        s.enqueue_rt(info(SIGRTMIN, 1));
+        s.enqueue_rt(info(SIGRTMIN, 2)); // overflow
+        assert_eq!(s.flush_rt(), 1);
+        assert!(s.has_pending(), "SIGIO still pending");
+        assert_eq!(s.dequeue().unwrap().signo, SIGIO);
+        assert!(!s.has_pending());
+    }
+
+    #[test]
+    fn dequeue_batch_takes_up_to_max() {
+        let mut s = SignalState::new(16);
+        for i in 0..5 {
+            s.enqueue_rt(info(SIGRTMIN, i));
+        }
+        let batch = s.dequeue_batch(3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].fd, 0);
+        assert_eq!(s.queue_len(), 2);
+        let rest = s.dequeue_batch(100);
+        assert_eq!(rest.len(), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_depth() {
+        let mut s = SignalState::new(16);
+        for i in 0..7 {
+            s.enqueue_rt(info(SIGRTMIN, i));
+        }
+        s.dequeue();
+        s.dequeue();
+        assert_eq!(s.high_water(), 7);
+        assert_eq!(s.queue_len(), 5);
+        assert_eq!(s.enqueued_count(), 7);
+    }
+
+    #[test]
+    fn application_rt_range_avoids_the_glibc_pthread_signal() {
+        // The paper's §6 black-box-library hazard: signal 32 belongs to
+        // LinuxThreads; the application-visible RT range must start
+        // above it.
+        assert_eq!(GLIBC_PTHREAD_SIGNAL, 32);
+        assert!(SIGRTMIN > GLIBC_PTHREAD_SIGNAL);
+    }
+
+    #[test]
+    fn stale_events_survive_for_closed_fds() {
+        // The paper §2: events queued before close remain on the queue
+        // and must be processed or ignored by the application.
+        let mut s = SignalState::new(16);
+        s.enqueue_rt(info(SIGRTMIN, 9));
+        // fd 9 closes here — the queue does not care.
+        assert_eq!(s.dequeue().unwrap().fd, 9);
+    }
+}

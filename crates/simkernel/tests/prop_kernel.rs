@@ -1,0 +1,116 @@
+//! Property tests for the kernel substrate: CPU accounting, the RT
+//! signal queue against a reference model, and the descriptor table
+//! against a reference map.
+
+use proptest::prelude::*;
+use simcore::time::{SimDuration, SimTime};
+use simkernel::{Cpu, FdTable, FileKind, PollBits, Siginfo, SignalState, SIGIO, SIGRTMIN};
+use simnet::{ConnId, EndpointId, Side};
+
+proptest! {
+    /// CPU completions are monotone and the busy horizon equals the sum
+    /// of all charged work once saturated from time zero.
+    #[test]
+    fn cpu_work_conservation(ops in prop::collection::vec((any::<bool>(), 1u64..10_000), 1..200)) {
+        let mut cpu = Cpu::new();
+        let now = SimTime::ZERO;
+        let mut last_done = SimTime::ZERO;
+        let mut total = 0u64;
+        for (is_softirq, work) in ops {
+            total += work;
+            let d = SimDuration::from_nanos(work);
+            if is_softirq {
+                cpu.charge_softirq(now, d);
+            } else {
+                let done = cpu.run_process(now, d);
+                prop_assert!(done >= last_done, "completions must be monotone");
+                last_done = done;
+            }
+        }
+        // Everything was submitted at t=0, so the CPU is busy
+        // back-to-back: the horizon is exactly the total work.
+        prop_assert_eq!(cpu.busy_until(), SimTime::from_nanos(total));
+        prop_assert_eq!(
+            (cpu.softirq_total() + cpu.process_total()).as_nanos(),
+            total
+        );
+    }
+
+    /// The RT queue behaves like a reference model: bounded, ordered by
+    /// (signo, FIFO), SIGIO precisely when an overflow happened.
+    #[test]
+    fn signal_queue_matches_model(
+        cap in 1usize..32,
+        ops in prop::collection::vec((0u8..8, 0i32..100, any::<bool>()), 0..200),
+    ) {
+        let mut s = SignalState::new(cap);
+        let mut model: Vec<(u8, i32)> = Vec::new(); // (signo, fd), kept sorted stable by signo.
+        let mut model_sigio = false;
+        for (signo_off, fd, dequeue) in ops {
+            if dequeue {
+                let got = s.dequeue();
+                let expect = if model_sigio {
+                    model_sigio = false;
+                    Some((SIGIO, -1))
+                } else if model.is_empty() {
+                    None
+                } else {
+                    // Lowest signo first, FIFO within.
+                    let min_signo = model.iter().map(|&(s, _)| s).min().expect("non-empty");
+                    let pos = model.iter().position(|&(s, _)| s == min_signo).expect("exists");
+                    Some(model.remove(pos))
+                };
+                prop_assert_eq!(got.map(|i| (i.signo, i.fd)), expect);
+            } else {
+                let signo = SIGRTMIN + signo_off;
+                let ok = s.enqueue_rt(Siginfo { signo, fd, band: PollBits::POLLIN });
+                if model.len() < cap {
+                    prop_assert!(ok);
+                    model.push((signo, fd));
+                } else {
+                    prop_assert!(!ok);
+                    model_sigio = true;
+                }
+            }
+            prop_assert_eq!(s.queue_len(), model.len());
+            prop_assert_eq!(s.sigio_pending(), model_sigio);
+        }
+    }
+
+    /// The descriptor table matches a reference map and respects the
+    /// limit and lowest-free allocation.
+    #[test]
+    fn fd_table_matches_model(
+        limit in 1usize..64,
+        ops in prop::collection::vec((any::<bool>(), 0i32..80), 0..300),
+    ) {
+        let mut t = FdTable::new(limit);
+        let mut model: std::collections::BTreeMap<i32, u64> = Default::default();
+        let mut counter = 0u64;
+        for (close, fd_or_tag) in ops {
+            if close {
+                let fd = fd_or_tag;
+                let ours = t.close(fd);
+                let model_had = model.remove(&fd).is_some();
+                prop_assert_eq!(ours.is_ok(), model_had);
+            } else if model.len() < limit {
+                counter += 1;
+                let kind = FileKind::Stream(EndpointId::new(ConnId(counter), Side::Server));
+                let fd = t.alloc(kind).expect("below limit");
+                // Lowest-free: no smaller free slot may exist.
+                for smaller in 0..fd {
+                    prop_assert!(model.contains_key(&smaller), "fd {} skipped {}", fd, smaller);
+                }
+                model.insert(fd, counter);
+            } else {
+                counter += 1;
+                let kind = FileKind::Stream(EndpointId::new(ConnId(counter), Side::Server));
+                prop_assert!(t.alloc(kind).is_err(), "limit must hold");
+            }
+            prop_assert_eq!(t.open_count(), model.len());
+        }
+        for &fd in model.keys() {
+            prop_assert!(t.get(fd).is_ok());
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Host and socket addressing.
+
+use core::fmt;
+
+/// Identifies a host attached to the simulated switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub usize);
+
+/// A TCP port number.
+pub type Port = u16;
+
+/// A (host, port) pair: the simulated equivalent of an `ip:port` socket
+/// address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SockAddr {
+    /// The host.
+    pub host: HostId,
+    /// The port on that host.
+    pub port: Port,
+}
+
+impl SockAddr {
+    /// Creates an address.
+    pub fn new(host: HostId, port: Port) -> SockAddr {
+        SockAddr { host, port }
+    }
+}
+
+impl fmt::Display for SockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}:{}", self.host.0, self.port)
+    }
+}
+
+/// Identifies a connection inside the [`crate::net::Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+/// Which half of a connection an endpoint refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Side {
+    /// The initiating (connecting, client) half.
+    Client,
+    /// The accepting (listening, server) half.
+    Server,
+}
+
+impl Side {
+    /// Returns the opposite side.
+    pub fn other(self) -> Side {
+        match self {
+            Side::Client => Side::Server,
+            Side::Server => Side::Client,
+        }
+    }
+
+    /// Index (0 for client, 1 for server) used for endpoint arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Side::Client => 0,
+            Side::Server => 1,
+        }
+    }
+}
+
+/// One half of a connection: the unit the socket layer reads/writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EndpointId {
+    /// The connection.
+    pub conn: ConnId,
+    /// Which half.
+    pub side: Side,
+}
+
+impl EndpointId {
+    /// Creates an endpoint id.
+    pub fn new(conn: ConnId, side: Side) -> EndpointId {
+        EndpointId { conn, side }
+    }
+
+    /// Returns the peer endpoint of the same connection.
+    pub fn peer(self) -> EndpointId {
+        EndpointId {
+            conn: self.conn,
+            side: self.side.other(),
+        }
+    }
+}
+
+/// Identifies a listening socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ListenerId(pub u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_other_roundtrips() {
+        assert_eq!(Side::Client.other(), Side::Server);
+        assert_eq!(Side::Server.other(), Side::Client);
+        assert_eq!(Side::Client.other().other(), Side::Client);
+    }
+
+    #[test]
+    fn endpoint_peer() {
+        let ep = EndpointId::new(ConnId(3), Side::Client);
+        assert_eq!(ep.peer().conn, ConnId(3));
+        assert_eq!(ep.peer().side, Side::Server);
+        assert_eq!(ep.peer().peer(), ep);
+    }
+
+    #[test]
+    fn sockaddr_display() {
+        let a = SockAddr::new(HostId(1), 80);
+        assert_eq!(a.to_string(), "host1:80");
+    }
+}

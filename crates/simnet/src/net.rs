@@ -1,0 +1,1072 @@
+//! The network: hosts, links, listeners and connections, driven by an
+//! internal timer heap.
+//!
+//! # Driving the network
+//!
+//! [`Network`] is a passive state machine. The orchestrator (the test
+//! harness or the benchmark driver) repeatedly asks for
+//! [`Network::next_deadline`], advances its global clock, and calls
+//! [`Network::advance`], which fires due timers and returns the batch of
+//! [`NetNotify`] notifications produced since the last call. Mutating
+//! calls (connect/send/close/…) may also produce notifications; they are
+//! buffered and returned by the next `advance`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+use simcore::rng::SimRng;
+use simcore::time::{SimDuration, SimTime};
+
+use crate::addr::{ConnId, EndpointId, HostId, ListenerId, Port, Side, SockAddr};
+use crate::link::{LinkConfig, Tx, TxOutcome};
+use crate::ports::PortAllocator;
+use crate::seg::{SegKind, Segment};
+use crate::tcp::{Conn, ConnState, ConnectError, Endpoint, TcpConfig};
+
+/// Notifications surfaced to the layer above (socket layers, clients).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetNotify {
+    /// A segment arrived at `host` — interrupt/softirq load accounting.
+    SegmentArrived {
+        /// Receiving host.
+        host: HostId,
+        /// Size on the wire, headers included.
+        wire_bytes: u32,
+    },
+    /// A `connect` completed; the client endpoint is usable.
+    ConnectDone {
+        /// The client half.
+        ep: EndpointId,
+    },
+    /// A `connect` failed.
+    ConnectFailed {
+        /// The connection that failed.
+        conn: ConnId,
+        /// The connecting host.
+        host: HostId,
+        /// Why.
+        reason: ConnectError,
+    },
+    /// A listener's accept queue went non-empty (or grew).
+    AcceptReady {
+        /// The listener.
+        listener: ListenerId,
+    },
+    /// In-order data arrived; `recv` will return more bytes.
+    Readable {
+        /// The receiving endpoint.
+        ep: EndpointId,
+    },
+    /// Send-buffer space became available after being exhausted.
+    Writable {
+        /// The sending endpoint.
+        ep: EndpointId,
+    },
+    /// The peer's FIN arrived in order (read side is at EOF after
+    /// draining).
+    PeerClosed {
+        /// The endpoint observing EOF.
+        ep: EndpointId,
+    },
+    /// The connection was reset (RST received or retries exhausted).
+    ConnReset {
+        /// The endpoint observing the reset.
+        ep: EndpointId,
+    },
+    /// The connection closed cleanly in both directions.
+    ConnClosed {
+        /// The endpoint observing the close.
+        ep: EndpointId,
+    },
+    /// A SYN was dropped (or refused) because the backlog was full.
+    SynDropped {
+        /// The overloaded listener.
+        listener: ListenerId,
+    },
+}
+
+/// Errors from endpoint I/O calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// Unknown or already-freed connection/endpoint.
+    Gone,
+    /// The operation conflicts with the endpoint state (e.g. `send` after
+    /// `close`).
+    BadState,
+    /// The address is already bound.
+    AddrInUse,
+}
+
+#[derive(Debug)]
+enum Timer {
+    Deliver(Segment),
+    Rto { conn: ConnId, side: Side },
+}
+
+#[derive(Debug)]
+struct Host {
+    tx: Tx,
+    ports: PortAllocator,
+    segments_in: u64,
+    bytes_in: u64,
+}
+
+#[derive(Debug)]
+struct Listener {
+
+    backlog: usize,
+    /// Handshakes in progress.
+    syn_rcvd: HashSet<ConnId>,
+    /// Established, waiting for `accept`.
+    accept_q: VecDeque<ConnId>,
+    /// SYNs dropped or refused for backlog overflow.
+    refused: u64,
+}
+
+/// Aggregate statistics, mostly for tests and benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections created (SYN sent).
+    pub conns_started: u64,
+    /// Connections that completed the handshake.
+    pub conns_established: u64,
+    /// Connections that ended in RST or retry exhaustion.
+    pub conns_reset: u64,
+    /// Connections that closed cleanly.
+    pub conns_closed: u64,
+    /// Data segments retransmitted.
+    pub retransmits: u64,
+    /// SYNs dropped at a full backlog.
+    pub syn_drops: u64,
+    /// Segments dropped by injected random loss.
+    pub injected_losses: u64,
+}
+
+/// The simulated network fabric connecting all hosts through one switch.
+pub struct Network {
+    cfg: TcpConfig,
+    base_delay: SimDuration,
+    loss_prob: f64,
+    rng: SimRng,
+    hosts: Vec<Host>,
+    conns: HashMap<ConnId, Conn>,
+    next_conn: u64,
+    listeners: HashMap<ListenerId, Listener>,
+    listen_by_addr: HashMap<SockAddr, ListenerId>,
+    next_listener: u64,
+    timers: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    timer_bodies: HashMap<u64, Timer>,
+    timer_seq: u64,
+    out: Vec<NetNotify>,
+    stats: NetStats,
+}
+
+impl Network {
+    /// Creates a network of `n_hosts` hosts, all sharing the same link
+    /// configuration, attached to one switch.
+    pub fn new(cfg: TcpConfig, link: LinkConfig, n_hosts: usize) -> Network {
+        Network {
+            cfg,
+            base_delay: link.base_delay,
+            loss_prob: link.loss_prob.clamp(0.0, 1.0),
+            rng: SimRng::new(0x5EED_1055),
+            hosts: (0..n_hosts)
+                .map(|_| Host {
+                    tx: Tx::new(link),
+                    ports: PortAllocator::ephemeral(),
+                    segments_in: 0,
+                    bytes_in: 0,
+                })
+                .collect(),
+            conns: HashMap::new(),
+            next_conn: 0,
+            listeners: HashMap::new(),
+            listen_by_addr: HashMap::new(),
+            next_listener: 0,
+            timers: BinaryHeap::new(),
+            timer_bodies: HashMap::new(),
+            timer_seq: 0,
+            out: Vec::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Returns the transport configuration.
+    pub fn config(&self) -> &TcpConfig {
+        &self.cfg
+    }
+
+    /// Returns aggregate statistics.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Segments and bytes received by `host` so far.
+    pub fn host_rx(&self, host: HostId) -> (u64, u64) {
+        let h = &self.hosts[host.0];
+        (h.segments_in, h.bytes_in)
+    }
+
+    /// Segments dropped on `host`'s egress queue.
+    pub fn host_tx_drops(&self, host: HostId) -> u64 {
+        self.hosts[host.0].tx.drops()
+    }
+
+    /// Ports currently in TIME_WAIT on `host`.
+    pub fn time_wait_count(&self, host: HostId) -> usize {
+        self.hosts[host.0].ports.in_time_wait()
+    }
+
+    // ------------------------------------------------------------------
+    // Timers.
+    // ------------------------------------------------------------------
+
+    fn arm(&mut self, at: SimTime, t: Timer) {
+        let id = self.timer_seq;
+        self.timer_seq += 1;
+        self.timer_bodies.insert(id, t);
+        self.timers.push(Reverse((at, id, id)));
+    }
+
+    /// Earliest pending work, if any.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let timer = self.timers.peek().map(|Reverse((t, _, _))| *t);
+        let ports = self
+            .hosts
+            .iter()
+            .filter_map(|h| h.ports.next_expiry())
+            .min();
+        match (timer, ports) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Fires all timers due at or before `now` and returns the
+    /// notifications accumulated since the previous call.
+    pub fn advance(&mut self, now: SimTime) -> Vec<NetNotify> {
+        while let Some(&Reverse((t, _, id))) = self.timers.peek() {
+            if t > now {
+                break;
+            }
+            self.timers.pop();
+            let body = self.timer_bodies.remove(&id).expect("timer body");
+            match body {
+                Timer::Deliver(seg) => self.deliver(t, seg),
+                Timer::Rto { conn, side } => self.rto_fire(t, conn, side),
+            }
+        }
+        for h in &mut self.hosts {
+            h.ports.expire(now);
+        }
+        std::mem::take(&mut self.out)
+    }
+
+    // ------------------------------------------------------------------
+    // Listener API.
+    // ------------------------------------------------------------------
+
+    /// Opens a listening socket on `host:port` with the given backlog.
+    pub fn listen(&mut self, host: HostId, port: Port, backlog: usize) -> Result<ListenerId, NetError> {
+        let addr = SockAddr::new(host, port);
+        if self.listen_by_addr.contains_key(&addr) {
+            return Err(NetError::AddrInUse);
+        }
+        if !self.hosts[host.0].ports.bind(port) {
+            return Err(NetError::AddrInUse);
+        }
+        let id = ListenerId(self.next_listener);
+        self.next_listener += 1;
+        self.listeners.insert(
+            id,
+            Listener {
+                backlog,
+                syn_rcvd: HashSet::new(),
+                accept_q: VecDeque::new(),
+                refused: 0,
+            },
+        );
+        self.listen_by_addr.insert(addr, id);
+        Ok(id)
+    }
+
+    /// Pops one established connection off the accept queue.
+    pub fn accept(&mut self, listener: ListenerId) -> Option<EndpointId> {
+        let l = self.listeners.get_mut(&listener)?;
+        let conn = l.accept_q.pop_front()?;
+        if let Some(c) = self.conns.get_mut(&conn) {
+            c.accepted = true;
+        }
+        Some(EndpointId::new(conn, Side::Server))
+    }
+
+    /// Number of connections waiting in the accept queue.
+    pub fn accept_queue_len(&self, listener: ListenerId) -> usize {
+        self.listeners
+            .get(&listener)
+            .map_or(0, |l| l.accept_q.len())
+    }
+
+    /// SYNs this listener refused because its backlog was full.
+    pub fn refused_count(&self, listener: ListenerId) -> u64 {
+        self.listeners.get(&listener).map_or(0, |l| l.refused)
+    }
+
+    // ------------------------------------------------------------------
+    // Connection API.
+    // ------------------------------------------------------------------
+
+    /// Starts a connection from `host` to `remote`.
+    ///
+    /// `extra_delay` is added one-way to every segment of this
+    /// connection, modelling a high-latency (modem-class) client.
+    pub fn connect(
+        &mut self,
+        now: SimTime,
+        host: HostId,
+        remote: SockAddr,
+        extra_delay: SimDuration,
+    ) -> Result<ConnId, ConnectError> {
+        let Some(port) = self.hosts[host.0].ports.alloc(now) else {
+            return Err(ConnectError::PortsExhausted);
+        };
+        let id = ConnId(self.next_conn);
+        self.next_conn += 1;
+        let conn = Conn {
+            state: ConnState::SynSent,
+            hosts: [host, remote.host],
+            ports: [port, remote.port],
+            eps: [Endpoint::new(now), Endpoint::new(now)],
+            extra_delay,
+            listener: None,
+            syn_sent: 0,
+            closed_first: None,
+            accept_queued: false,
+            accepted: false,
+            ports_freed: false,
+        };
+        self.conns.insert(id, conn);
+        self.stats.conns_started += 1;
+        self.transmit(
+            now,
+            Segment {
+                conn: id,
+                from: Side::Client,
+                kind: SegKind::Syn,
+            },
+        );
+        if let Some(c) = self.conns.get_mut(&id) {
+            c.syn_sent = 1;
+            // The SYN timer doubles as the client's data-RTO timer once
+            // the handshake completes, so mark it armed to avoid a
+            // duplicate from `pump`.
+            c.ep_mut(Side::Client).rto_armed = true;
+        }
+        self.arm(
+            now + self.cfg.syn_rto,
+            Timer::Rto {
+                conn: id,
+                side: Side::Client,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Writes application bytes into the endpoint's send buffer.
+    ///
+    /// Returns how many bytes were accepted (may be less than offered when
+    /// the buffer fills; a [`NetNotify::Writable`] will follow once space
+    /// frees).
+    pub fn send(&mut self, now: SimTime, ep: EndpointId, data: &[u8]) -> Result<usize, NetError> {
+        let accepted = {
+            let conn = self.conns.get_mut(&ep.conn).ok_or(NetError::Gone)?;
+            if conn.state == ConnState::Reset || conn.state == ConnState::Closed {
+                return Err(NetError::BadState);
+            }
+            let cfg = self.cfg;
+            let e = conn.ep_mut(ep.side);
+            if e.fin_at.is_some() {
+                return Err(NetError::BadState);
+            }
+            let space = e.send_space(&cfg);
+            let n = space.min(data.len());
+            e.out.extend(&data[..n]);
+            e.wrote += n as u64;
+            if n < data.len() {
+                e.blocked_writer = true;
+            }
+            n
+        };
+        if accepted > 0 {
+            self.pump(now, ep.conn, ep.side);
+        }
+        Ok(accepted)
+    }
+
+    /// Reads up to `max` bytes of in-order data.
+    pub fn recv(&mut self, _now: SimTime, ep: EndpointId, max: usize) -> Result<Vec<u8>, NetError> {
+        let conn = self.conns.get_mut(&ep.conn).ok_or(NetError::Gone)?;
+        let e = conn.ep_mut(ep.side);
+        let n = e.inbox.len().min(max);
+        Ok(e.inbox.drain(..n).collect())
+    }
+
+    /// Bytes available for `recv` right now.
+    pub fn readable_bytes(&self, ep: EndpointId) -> usize {
+        self.conns
+            .get(&ep.conn)
+            .map_or(0, |c| c.ep(ep.side).inbox.len())
+    }
+
+    /// Whether the peer has closed its sending direction (EOF after the
+    /// inbox drains).
+    pub fn peer_closed(&self, ep: EndpointId) -> bool {
+        self.conns
+            .get(&ep.conn)
+            .is_some_and(|c| c.ep(ep.side).recv_done())
+    }
+
+    /// Free space in the send buffer.
+    pub fn send_space(&self, ep: EndpointId) -> usize {
+        self.conns
+            .get(&ep.conn)
+            .map_or(0, |c| c.ep(ep.side).send_space(&self.cfg))
+    }
+
+    /// Whether the connection is established and not reset.
+    pub fn is_established(&self, conn: ConnId) -> bool {
+        self.conns
+            .get(&conn)
+            .is_some_and(|c| c.state == ConnState::Established)
+    }
+
+    /// Whether the connection still exists (reset tombstones awaiting
+    /// their RST delivery do not count).
+    pub fn exists(&self, conn: ConnId) -> bool {
+        self.conns
+            .get(&conn)
+            .is_some_and(|c| c.state != ConnState::Reset)
+    }
+
+    /// One-way base delay of the switch fabric.
+    fn link_base_delay(&self) -> SimDuration {
+        // All hosts share one link configuration; asking host 0 is fine.
+        self.base_delay
+    }
+
+    /// Half-closes the endpoint: all buffered data is sent, then a FIN.
+    pub fn close(&mut self, now: SimTime, ep: EndpointId) -> Result<(), NetError> {
+        {
+            let conn = self.conns.get_mut(&ep.conn).ok_or(NetError::Gone)?;
+            if conn.state == ConnState::Reset || conn.state == ConnState::Closed {
+                return Err(NetError::BadState);
+            }
+            let e = conn.ep_mut(ep.side);
+            if e.fin_at.is_some() {
+                return Err(NetError::BadState);
+            }
+            e.fin_at = Some(e.wrote);
+            if conn.closed_first.is_none() {
+                conn.closed_first = Some(ep.side);
+            }
+        }
+        self.pump(now, ep.conn, ep.side);
+        Ok(())
+    }
+
+    /// Aborts the connection: RST to the peer, local resources freed
+    /// immediately, no TIME_WAIT.
+    pub fn abort(&mut self, now: SimTime, ep: EndpointId) -> Result<(), NetError> {
+        let conn = self.conns.get_mut(&ep.conn).ok_or(NetError::Gone)?;
+        if conn.state == ConnState::Closed || conn.state == ConnState::Reset {
+            return Err(NetError::BadState);
+        }
+        conn.state = ConnState::Reset;
+        self.stats.conns_reset += 1;
+        let seg = Segment {
+            conn: ep.conn,
+            from: ep.side,
+            kind: SegKind::Rst,
+        };
+        // RSTs bypass the drop-tail queue: modelling their loss would only
+        // leak tombstones without adding any behaviour the paper measures.
+        let from_host = self.conns[&ep.conn].host(ep.side);
+        let extra = self.conns[&ep.conn].extra_delay;
+        let delay = self.hosts[from_host.0].tx.tx_time(seg.wire_bytes());
+        let base = self.link_base_delay();
+        self.arm(now + delay + base + extra, Timer::Deliver(seg));
+        self.free_conn_ports(ep.conn, None);
+        self.detach_listener(ep.conn);
+        // The tombstone is reaped when the RST delivers (`on_rst`).
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Internals: transmission and delivery.
+    // ------------------------------------------------------------------
+
+    fn transmit(&mut self, now: SimTime, seg: Segment) {
+        let Some(conn) = self.conns.get(&seg.conn) else {
+            return;
+        };
+        // Injected random loss (never applied to RSTs, which bypass the
+        // queue in `abort` for tombstone-reaping reasons).
+        if self.loss_prob > 0.0 && self.rng.gen_bool(self.loss_prob) {
+            self.stats.injected_losses += 1;
+            return;
+        }
+        let from_host = conn.host(seg.from);
+        let extra = conn.extra_delay;
+        match self.hosts[from_host.0].tx.offer(now, &seg, extra) {
+            TxOutcome::Deliver(at) => self.arm(at, Timer::Deliver(seg)),
+            TxOutcome::Dropped => {
+                // Loss: the retransmission machinery recovers.
+            }
+        }
+    }
+
+    fn deliver(&mut self, now: SimTime, seg: Segment) {
+        let Some(conn) = self.conns.get(&seg.conn) else {
+            return; // Connection vanished (aborted); stale segment.
+        };
+        let to_side = seg.from.other();
+        let host = conn.host(to_side);
+        {
+            let h = &mut self.hosts[host.0];
+            h.segments_in += 1;
+            h.bytes_in += seg.wire_bytes() as u64;
+        }
+        self.out.push(NetNotify::SegmentArrived {
+            host,
+            wire_bytes: seg.wire_bytes(),
+        });
+        match seg.kind {
+            SegKind::Syn => self.on_syn(now, seg.conn),
+            SegKind::SynAck => self.on_synack(now, seg.conn),
+            SegKind::Ack { ack } => self.on_ack(now, seg.conn, to_side, ack),
+            SegKind::Data { seq, len } => self.on_data(now, seg.conn, to_side, seq, len),
+            SegKind::Fin { seq } => self.on_fin(now, seg.conn, to_side, seq),
+            SegKind::Rst => self.on_rst(now, seg.conn, to_side),
+        }
+    }
+
+    fn on_syn(&mut self, now: SimTime, conn_id: ConnId) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        if conn.listener.is_some() {
+            if !conn.accept_queued {
+                // Duplicate SYN (client retransmission): re-answer.
+                let seg = Segment {
+                    conn: conn_id,
+                    from: Side::Server,
+                    kind: SegKind::SynAck,
+                };
+                self.transmit(now, seg);
+            }
+            return;
+        }
+        let addr = SockAddr::new(conn.host(Side::Server), conn.port(Side::Server));
+        let Some(&lid) = self.listen_by_addr.get(&addr) else {
+            // No listener: refuse.
+            let seg = Segment {
+                conn: conn_id,
+                from: Side::Server,
+                kind: SegKind::Rst,
+            };
+            self.transmit(now, seg);
+            return;
+        };
+        let l = self.listeners.get_mut(&lid).expect("listener exists");
+        if l.syn_rcvd.len() + l.accept_q.len() >= l.backlog {
+            l.refused += 1;
+            self.stats.syn_drops += 1;
+            self.out.push(NetNotify::SynDropped { listener: lid });
+            if self.cfg.rst_on_backlog_full {
+                let seg = Segment {
+                    conn: conn_id,
+                    from: Side::Server,
+                    kind: SegKind::Rst,
+                };
+                self.transmit(now, seg);
+            }
+            return;
+        }
+        l.syn_rcvd.insert(conn_id);
+        let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+        conn.listener = Some(lid);
+        let seg = Segment {
+            conn: conn_id,
+            from: Side::Server,
+            kind: SegKind::SynAck,
+        };
+        self.transmit(now, seg);
+    }
+
+    fn on_synack(&mut self, now: SimTime, conn_id: ConnId) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        match conn.state {
+            ConnState::SynSent => {
+                conn.state = ConnState::Established;
+                conn.ep_mut(Side::Client).last_progress = now;
+                self.stats.conns_established += 1;
+                self.out.push(NetNotify::ConnectDone {
+                    ep: EndpointId::new(conn_id, Side::Client),
+                });
+                let seg = Segment {
+                    conn: conn_id,
+                    from: Side::Client,
+                    kind: SegKind::Ack { ack: 0 },
+                };
+                self.transmit(now, seg);
+                // Data may already be buffered (connect-then-write).
+                self.pump(now, conn_id, Side::Client);
+            }
+            ConnState::Established => {
+                // Duplicate SYN-ACK: re-ack the handshake.
+                let seg = Segment {
+                    conn: conn_id,
+                    from: Side::Client,
+                    kind: SegKind::Ack { ack: 0 },
+                };
+                self.transmit(now, seg);
+            }
+            _ => {}
+        }
+    }
+
+    /// Promotes a server-side connection onto the accept queue (on the
+    /// handshake ack, or on first data/FIN doing double duty when the ack
+    /// was lost).
+    fn promote_server(&mut self, now: SimTime, conn_id: ConnId) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        let Some(lid) = conn.listener else {
+            return; // No SYN seen yet (cannot happen in a FIFO network).
+        };
+        if conn.accept_queued {
+            return;
+        }
+        conn.ep_mut(Side::Server).last_progress = now;
+        conn.accept_queued = true;
+        let l = self.listeners.get_mut(&lid).expect("listener exists");
+        l.syn_rcvd.remove(&conn_id);
+        l.accept_q.push_back(conn_id);
+        self.out.push(NetNotify::AcceptReady { listener: lid });
+    }
+
+    fn on_ack(&mut self, now: SimTime, conn_id: ConnId, to_side: Side, ack: u64) {
+        if to_side == Side::Server {
+            self.promote_server(now, conn_id);
+        }
+        let cfg = self.cfg;
+        let mut became_writable = false;
+        let mut fin_now_acked = false;
+        {
+            let Some(conn) = self.conns.get_mut(&conn_id) else {
+                return;
+            };
+            let e = conn.ep_mut(to_side);
+            if ack > e.snd_una {
+                e.snd_una = ack.min(e.snd_nxt);
+                e.last_progress = now;
+                e.retries = 0;
+                // Trim acknowledged bytes (the FIN occupies one virtual
+                // sequence slot past `wrote`, so clamp).
+                let trim_to = e.snd_una.min(e.wrote);
+                while e.out_base < trim_to {
+                    e.out.pop_front();
+                    e.out_base += 1;
+                }
+                if let Some(fin) = e.fin_at {
+                    if e.snd_una > fin {
+                        if !e.fin_acked {
+                            fin_now_acked = true;
+                        }
+                        e.fin_acked = true;
+                    }
+                }
+                if e.blocked_writer && e.send_space(&cfg) > 0 {
+                    e.blocked_writer = false;
+                    became_writable = true;
+                }
+            }
+        }
+        if became_writable {
+            self.out.push(NetNotify::Writable {
+                ep: EndpointId::new(conn_id, to_side),
+            });
+        }
+        // More window may be open now.
+        self.pump(now, conn_id, to_side);
+        if fin_now_acked {
+            self.check_full_close(now, conn_id);
+        }
+    }
+
+    fn on_data(&mut self, now: SimTime, conn_id: ConnId, to_side: Side, seq: u64, len: u32) {
+        if to_side == Side::Server {
+            self.promote_server(now, conn_id);
+        }
+        let mut readable = false;
+        let ack;
+        {
+            let Some(conn) = self.conns.get_mut(&conn_id) else {
+                return;
+            };
+            if conn.state != ConnState::Established {
+                return;
+            }
+            // Copy the in-order payload from the peer's stream buffer.
+            if seq == conn.ep(to_side).rcv_nxt {
+                let payload: Vec<u8> = {
+                    let peer = conn.ep(to_side.other());
+                    let start = (seq - peer.out_base) as usize;
+                    peer.out
+                        .iter()
+                        .skip(start)
+                        .take(len as usize)
+                        .copied()
+                        .collect()
+                };
+                debug_assert_eq!(payload.len(), len as usize, "stream bytes missing");
+                let e = conn.ep_mut(to_side);
+                e.inbox.extend(payload);
+                e.rcv_nxt = seq + len as u64;
+                readable = true;
+            }
+            ack = conn.ep(to_side).rcv_nxt;
+        }
+        if readable {
+            self.out.push(NetNotify::Readable {
+                ep: EndpointId::new(conn_id, to_side),
+            });
+        }
+        let seg = Segment {
+            conn: conn_id,
+            from: to_side,
+            kind: SegKind::Ack { ack },
+        };
+        self.transmit(now, seg);
+    }
+
+    fn on_fin(&mut self, now: SimTime, conn_id: ConnId, to_side: Side, seq: u64) {
+        if to_side == Side::Server {
+            self.promote_server(now, conn_id);
+        }
+        let mut saw_fin = false;
+        let ack;
+        {
+            let Some(conn) = self.conns.get_mut(&conn_id) else {
+                return;
+            };
+            let e = conn.ep_mut(to_side);
+            if seq == e.rcv_nxt && e.peer_fin.is_none() {
+                e.peer_fin = Some(seq);
+                e.rcv_nxt = seq + 1;
+                saw_fin = true;
+            }
+            ack = conn.ep(to_side).rcv_nxt;
+        }
+        if saw_fin {
+            self.out.push(NetNotify::PeerClosed {
+                ep: EndpointId::new(conn_id, to_side),
+            });
+        }
+        let seg = Segment {
+            conn: conn_id,
+            from: to_side,
+            kind: SegKind::Ack { ack },
+        };
+        self.transmit(now, seg);
+        if saw_fin {
+            self.check_full_close(now, conn_id);
+        }
+    }
+
+    fn on_rst(&mut self, now: SimTime, conn_id: ConnId, to_side: Side) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        let was_syn_sent = conn.state == ConnState::SynSent;
+        if conn.state != ConnState::Reset {
+            self.stats.conns_reset += 1;
+        }
+        conn.state = ConnState::Reset;
+        if was_syn_sent {
+            let host = conn.host(Side::Client);
+            self.out.push(NetNotify::ConnectFailed {
+                conn: conn_id,
+                host,
+                reason: ConnectError::Refused,
+            });
+        } else {
+            self.out.push(NetNotify::ConnReset {
+                ep: EndpointId::new(conn_id, to_side),
+            });
+        }
+        let _ = now;
+        self.free_conn_ports(conn_id, None);
+        self.detach_listener(conn_id);
+        self.conns.remove(&conn_id);
+    }
+
+    /// Sends whatever the window allows: data first, then the FIN.
+    fn pump(&mut self, now: SimTime, conn_id: ConnId, side: Side) {
+        let mut to_send: Vec<Segment> = Vec::new();
+        let mut arm_rto = false;
+        {
+            let Some(conn) = self.conns.get_mut(&conn_id) else {
+                return;
+            };
+            if conn.state != ConnState::Established {
+                return; // Data flows only once established.
+            }
+            let cfg = self.cfg;
+            let window = cfg.window_segments as u64 * cfg.mss as u64;
+            let e = conn.ep_mut(side);
+            while e.snd_nxt < e.wrote && e.in_flight() < window {
+                let len = (e.wrote - e.snd_nxt).min(cfg.mss as u64) as u32;
+                to_send.push(Segment {
+                    conn: conn_id,
+                    from: side,
+                    kind: SegKind::Data {
+                        seq: e.snd_nxt,
+                        len,
+                    },
+                });
+                e.snd_nxt += len as u64;
+            }
+            if let Some(fin) = e.fin_at {
+                if e.snd_nxt == fin && !e.fin_sent && e.in_flight() < window + 1 {
+                    to_send.push(Segment {
+                        conn: conn_id,
+                        from: side,
+                        kind: SegKind::Fin { seq: fin },
+                    });
+                    e.fin_sent = true;
+                    e.snd_nxt = fin + 1;
+                }
+            }
+            if e.in_flight() > 0 && !e.rto_armed {
+                e.rto_armed = true;
+                arm_rto = true;
+            }
+        }
+        for seg in to_send {
+            self.transmit(now, seg);
+        }
+        if arm_rto {
+            self.arm(
+                now + self.cfg.rto_initial,
+                Timer::Rto {
+                    conn: conn_id,
+                    side,
+                },
+            );
+        }
+    }
+
+    fn rto_fire(&mut self, now: SimTime, conn_id: ConnId, side: Side) {
+        enum Action {
+            None,
+            ConnectTimeout,
+            ResendSyn { rearm: SimDuration },
+            ResetBoth,
+            Retransmit { rearm: SimDuration },
+            Rearm { at: SimTime },
+        }
+        let action;
+        {
+            let Some(conn) = self.conns.get_mut(&conn_id) else {
+                return;
+            };
+            let cfg = self.cfg;
+            match conn.state {
+                ConnState::SynSent if side == Side::Client => {
+                    if conn.syn_sent > cfg.syn_retries {
+                        action = Action::ConnectTimeout;
+                    } else {
+                        conn.syn_sent += 1;
+                        let backoff = cfg.syn_rto * (1 << (conn.syn_sent - 1).min(4)) as u64;
+                        action = Action::ResendSyn {
+                            rearm: backoff.min(cfg.rto_max),
+                        };
+                    }
+                }
+                ConnState::Established => {
+                    let e = conn.ep_mut(side);
+                    if e.in_flight() == 0 {
+                        e.rto_armed = false;
+                        action = Action::None;
+                    } else {
+                        let rto = cfg
+                            .rto_initial
+                            .mul_f64((1u64 << e.retries.min(6)) as f64)
+                            .min(cfg.rto_max);
+                        let age = now.saturating_duration_since(e.last_progress);
+                        if age >= rto {
+                            if e.retries >= cfg.data_retries {
+                                action = Action::ResetBoth;
+                            } else {
+                                e.retries += 1;
+                                e.snd_nxt = e.snd_una; // Go-back-N.
+                                if let Some(fin) = e.fin_at {
+                                    if e.snd_una <= fin {
+                                        e.fin_sent = false;
+                                    }
+                                }
+                                let next = cfg
+                                    .rto_initial
+                                    .mul_f64((1u64 << e.retries.min(6)) as f64)
+                                    .min(cfg.rto_max);
+                                action = Action::Retransmit { rearm: next };
+                            }
+                        } else {
+                            action = Action::Rearm {
+                                at: e.last_progress + rto,
+                            };
+                        }
+                    }
+                }
+                _ => {
+                    // Handshake completed or connection tearing down:
+                    // disarm quietly.
+                    let e = conn.ep_mut(side);
+                    e.rto_armed = false;
+                    action = Action::None;
+                }
+            }
+        }
+        match action {
+            Action::None => {}
+            Action::ConnectTimeout => {
+                let conn = self.conns.get(&conn_id).expect("checked above");
+                let host = conn.host(Side::Client);
+                self.out.push(NetNotify::ConnectFailed {
+                    conn: conn_id,
+                    host,
+                    reason: ConnectError::Timeout,
+                });
+                self.free_conn_ports(conn_id, None);
+                self.conns.remove(&conn_id);
+            }
+            Action::ResendSyn { rearm } => {
+                self.transmit(
+                    now,
+                    Segment {
+                        conn: conn_id,
+                        from: Side::Client,
+                        kind: SegKind::Syn,
+                    },
+                );
+                self.arm(now + rearm, Timer::Rto { conn: conn_id, side });
+            }
+            Action::ResetBoth => {
+                let conn = self.conns.get_mut(&conn_id).expect("checked above");
+                conn.state = ConnState::Reset;
+                self.stats.conns_reset += 1;
+                self.out.push(NetNotify::ConnReset {
+                    ep: EndpointId::new(conn_id, side),
+                });
+                self.out.push(NetNotify::ConnReset {
+                    ep: EndpointId::new(conn_id, side.other()),
+                });
+                self.free_conn_ports(conn_id, None);
+                self.detach_listener(conn_id);
+                self.conns.remove(&conn_id);
+            }
+            Action::Retransmit { rearm } => {
+                self.stats.retransmits += 1;
+                self.pump_retransmit(now, conn_id, side);
+                self.arm(now + rearm, Timer::Rto { conn: conn_id, side });
+            }
+            Action::Rearm { at } => {
+                self.arm(at, Timer::Rto { conn: conn_id, side });
+            }
+        }
+    }
+
+    /// Re-sends everything from `snd_una` (go-back-N restart).
+    fn pump_retransmit(&mut self, now: SimTime, conn_id: ConnId, side: Side) {
+        // `pump` resends from `snd_nxt`, which the RTO handler rewound.
+        self.pump(now, conn_id, side);
+    }
+
+    fn check_full_close(&mut self, now: SimTime, conn_id: ConnId) {
+        let done = self
+            .conns
+            .get(&conn_id)
+            .is_some_and(|c| c.fully_closed());
+        if !done {
+            return;
+        }
+        self.stats.conns_closed += 1;
+        self.out.push(NetNotify::ConnClosed {
+            ep: EndpointId::new(conn_id, Side::Client),
+        });
+        self.out.push(NetNotify::ConnClosed {
+            ep: EndpointId::new(conn_id, Side::Server),
+        });
+        // TIME_WAIT is per connection tuple; whichever side closed first,
+        // the tuple — and hence the client's ephemeral port — cannot be
+        // reused for `time_wait`. Parking the client port models that.
+        self.free_conn_ports(conn_id, Some((Side::Client, now + self.cfg.time_wait)));
+        self.detach_listener(conn_id);
+        if let Some(c) = self.conns.get_mut(&conn_id) {
+            c.state = ConnState::Closed;
+        }
+        self.conns.remove(&conn_id);
+    }
+
+    /// Releases both ports; the side in `time_wait` (if any) holds its
+    /// port until the given expiry.
+    fn free_conn_ports(&mut self, conn_id: ConnId, time_wait: Option<(Side, SimTime)>) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        if conn.ports_freed {
+            return;
+        }
+        conn.ports_freed = true;
+        let conn = &self.conns[&conn_id];
+        for side in [Side::Client, Side::Server] {
+            let host = conn.host(side);
+            let port = conn.port(side);
+            // A listener's well-known port is shared by many connections;
+            // only ephemeral (client-allocated) ports are released.
+            let is_listener_port = self
+                .listen_by_addr
+                .contains_key(&SockAddr::new(host, port));
+            if is_listener_port {
+                continue;
+            }
+            match time_wait {
+                Some((tw_side, until)) if tw_side == side => {
+                    self.hosts[host.0].ports.release_time_wait(port, until);
+                }
+                _ => self.hosts[host.0].ports.release(port),
+            }
+        }
+    }
+
+    fn detach_listener(&mut self, conn_id: ConnId) {
+        let Some(conn) = self.conns.get(&conn_id) else {
+            return;
+        };
+        if let Some(lid) = conn.listener {
+            if let Some(l) = self.listeners.get_mut(&lid) {
+                l.syn_rcvd.remove(&conn_id);
+                if !conn.accepted {
+                    l.accept_q.retain(|c| *c != conn_id);
+                }
+            }
+        }
+    }
+}

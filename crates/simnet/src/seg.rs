@@ -1,0 +1,86 @@
+//! TCP segments as modelled on the wire.
+//!
+//! The model is deliberately simplified: segments carry byte *counts* and
+//! sequence numbers, not payload bytes (payload lives in the sender's
+//! stream buffer and is handed to the receiver when the sequence range
+//! completes, see [`crate::tcp`]). Sizes still matter — transmission time
+//! and interrupt load are charged per segment.
+
+use crate::addr::{ConnId, Side};
+
+/// Bytes of TCP/IP header overhead charged per segment on the wire.
+pub const HEADER_BYTES: u32 = 40;
+
+/// Default maximum segment size (Ethernet MTU minus headers).
+pub const DEFAULT_MSS: u32 = 1460;
+
+/// The kind of a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegKind {
+    /// Connection request.
+    Syn,
+    /// Connection accept.
+    SynAck,
+    /// Final handshake ack (also used as pure ack of a FIN).
+    Ack {
+        /// Cumulative ack: the next sequence number expected.
+        ack: u64,
+    },
+    /// In-stream data.
+    Data {
+        /// First sequence number of the payload.
+        seq: u64,
+        /// Payload length in bytes.
+        len: u32,
+    },
+    /// End of stream. `seq` is the sequence number after the last data
+    /// byte (the FIN occupies one virtual sequence position).
+    Fin {
+        /// Sequence number of the FIN itself.
+        seq: u64,
+    },
+    /// Connection reset.
+    Rst,
+}
+
+/// A segment in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// The connection this segment belongs to.
+    pub conn: ConnId,
+    /// The side that *sent* the segment.
+    pub from: Side,
+    /// What the segment carries.
+    pub kind: SegKind,
+}
+
+impl Segment {
+    /// Total wire size in bytes (headers plus payload).
+    pub fn wire_bytes(&self) -> u32 {
+        match self.kind {
+            SegKind::Data { len, .. } => HEADER_BYTES + len,
+            _ => HEADER_BYTES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_counts_headers() {
+        let d = Segment {
+            conn: ConnId(0),
+            from: Side::Client,
+            kind: SegKind::Data { seq: 0, len: 1000 },
+        };
+        assert_eq!(d.wire_bytes(), 1040);
+        let a = Segment {
+            conn: ConnId(0),
+            from: Side::Server,
+            kind: SegKind::Ack { ack: 1000 },
+        };
+        assert_eq!(a.wire_bytes(), 40);
+    }
+}

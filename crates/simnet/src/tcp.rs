@@ -1,0 +1,259 @@
+//! Simplified TCP: connection and endpoint state.
+//!
+//! The transport is a go-back-N reliable byte stream with a fixed
+//! in-flight window, cumulative acks, coarse retransmission timeouts, and
+//! the connection-lifecycle states that matter to the paper's benchmark:
+//! the three-way handshake (with listener backlog and SYN drop under
+//! overload), FIN teardown, abortive RST, and a 60-second TIME_WAIT that
+//! pins the closing side's port.
+//!
+//! What is deliberately *not* modelled: congestion control dynamics
+//! (the window is fixed), selective acknowledgement, and receiver-side
+//! flow control (server applications in the benchmark always drain their
+//! buffers; inactive connections never send). None of these influence the
+//! event-notification costs the paper measures.
+
+use std::collections::VecDeque;
+
+use simcore::time::{SimDuration, SimTime};
+
+use crate::addr::{HostId, ListenerId, Port, Side};
+
+/// Transport configuration shared by every connection.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpConfig {
+    /// Maximum segment size for data segments.
+    pub mss: u32,
+    /// Maximum unacknowledged bytes in flight, in segments of `mss`.
+    pub window_segments: u32,
+    /// Application send-buffer size in bytes.
+    pub send_buf: usize,
+    /// Initial retransmission timeout for data and FIN.
+    pub rto_initial: SimDuration,
+    /// Upper bound on the (exponentially backed-off) RTO.
+    pub rto_max: SimDuration,
+    /// Retransmission timeout for SYN.
+    pub syn_rto: SimDuration,
+    /// SYN retransmissions before the connect fails.
+    pub syn_retries: u32,
+    /// Data/FIN retransmissions before the connection is reset.
+    pub data_retries: u32,
+    /// TIME_WAIT duration (60 s on the paper's Linux 2.2.14).
+    pub time_wait: SimDuration,
+    /// If `true`, a listener with a full backlog answers SYN with RST
+    /// ("connection refused"); if `false` it drops the SYN silently and
+    /// the client retries (stock Linux 2.2 behaviour).
+    pub rst_on_backlog_full: bool,
+}
+
+impl Default for TcpConfig {
+    fn default() -> TcpConfig {
+        TcpConfig {
+            mss: crate::seg::DEFAULT_MSS,
+            window_segments: 8,
+            send_buf: 16 * 1024,
+            rto_initial: SimDuration::from_millis(200),
+            rto_max: SimDuration::from_secs(30),
+            syn_rto: SimDuration::from_secs(3),
+            syn_retries: 4,
+            data_retries: 8,
+            time_wait: SimDuration::from_secs(60),
+            rst_on_backlog_full: false,
+        }
+    }
+}
+
+/// Why a `connect` attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectError {
+    /// The client host has no free ephemeral ports (all in use or in
+    /// TIME_WAIT) — the paper's 60000-socket limitation.
+    PortsExhausted,
+    /// SYN (re)transmissions were exhausted without an answer.
+    Timeout,
+    /// The server answered with RST.
+    Refused,
+}
+
+/// Overall connection lifecycle phase.
+///
+/// Handshake progress on the server side is tracked separately (whether
+/// the SYN was seen, whether the connection was promoted to the accept
+/// queue); `state` flips to `Established` when the *client* completes the
+/// handshake, which gates data flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Client sent SYN, awaiting SYN-ACK.
+    SynSent,
+    /// Both directions open (possibly half-closed during teardown).
+    Established,
+    /// Fully closed (both FINs delivered and acknowledged).
+    Closed,
+    /// Torn down by RST or retry exhaustion.
+    Reset,
+}
+
+/// One directional half of a connection's state.
+#[derive(Debug, Clone)]
+pub struct Endpoint {
+    /// Outgoing stream bytes not yet trimmed; front is at `out_base`.
+    pub(crate) out: VecDeque<u8>,
+    /// Sequence number of `out.front()`.
+    pub(crate) out_base: u64,
+    /// Total bytes accepted from the application.
+    pub(crate) wrote: u64,
+    /// Next sequence number to transmit.
+    pub(crate) snd_nxt: u64,
+    /// Oldest unacknowledged sequence number.
+    pub(crate) snd_una: u64,
+    /// Sequence of our FIN once `close` was called (== `wrote` at close).
+    pub(crate) fin_at: Option<u64>,
+    /// Whether the FIN has been transmitted at least once.
+    pub(crate) fin_sent: bool,
+    /// Whether the FIN has been acknowledged.
+    pub(crate) fin_acked: bool,
+    /// Incoming stream delivered in order and not yet read.
+    pub(crate) inbox: VecDeque<u8>,
+    /// Next sequence number expected from the peer.
+    pub(crate) rcv_nxt: u64,
+    /// Sequence of the peer's FIN once received in order.
+    pub(crate) peer_fin: Option<u64>,
+    /// Timestamp of the last forward progress (for RTO age checks).
+    pub(crate) last_progress: SimTime,
+    /// Consecutive retransmissions without progress.
+    pub(crate) retries: u32,
+    /// `true` while an RTO timer event is outstanding for this endpoint.
+    pub(crate) rto_armed: bool,
+    /// `true` if the last `send` could not accept all bytes (so a
+    /// `Writable` notification fires when space frees).
+    pub(crate) blocked_writer: bool,
+}
+
+impl Endpoint {
+    pub(crate) fn new(now: SimTime) -> Endpoint {
+        Endpoint {
+            out: VecDeque::new(),
+            out_base: 0,
+            wrote: 0,
+            snd_nxt: 0,
+            snd_una: 0,
+            fin_at: None,
+            fin_sent: false,
+            fin_acked: false,
+            inbox: VecDeque::new(),
+            rcv_nxt: 0,
+            peer_fin: None,
+            last_progress: now,
+            retries: 0,
+            rto_armed: false,
+            blocked_writer: false,
+        }
+    }
+
+    /// Bytes in flight (sent, not yet acknowledged), including a FIN.
+    pub(crate) fn in_flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Bytes the application may still write before the buffer is full.
+    pub(crate) fn send_space(&self, cfg: &TcpConfig) -> usize {
+        cfg.send_buf.saturating_sub(self.out.len())
+    }
+
+    /// Whether this half has finished sending (FIN acknowledged).
+    pub(crate) fn send_done(&self) -> bool {
+        self.fin_acked
+    }
+
+    /// Whether this half has seen the peer's FIN.
+    pub(crate) fn recv_done(&self) -> bool {
+        self.peer_fin.is_some()
+    }
+}
+
+/// A full connection: both halves plus routing metadata.
+#[derive(Debug, Clone)]
+pub struct Conn {
+    /// Lifecycle phase.
+    pub(crate) state: ConnState,
+    /// `[client host, server host]`.
+    pub(crate) hosts: [HostId; 2],
+    /// `[client port, server port]`.
+    pub(crate) ports: [Port; 2],
+    /// `[client endpoint, server endpoint]`.
+    pub(crate) eps: [Endpoint; 2],
+    /// Extra one-way latency for this connection's path (high-latency
+    /// client simulation).
+    pub(crate) extra_delay: SimDuration,
+    /// The listener that spawned the server half.
+    pub(crate) listener: Option<ListenerId>,
+    /// SYN (re)transmissions so far.
+    pub(crate) syn_sent: u32,
+    /// Which side closed first (owns the TIME_WAIT).
+    pub(crate) closed_first: Option<Side>,
+    /// Whether the server half was pushed to the accept queue.
+    pub(crate) accept_queued: bool,
+    /// Whether the server half was actually accepted by the application.
+    pub(crate) accepted: bool,
+    /// Ports already returned to their allocators (guards double-free
+    /// when an abort tombstone is later reaped by its own RST delivery).
+    pub(crate) ports_freed: bool,
+}
+
+impl Conn {
+    pub(crate) fn ep(&self, side: Side) -> &Endpoint {
+        &self.eps[side.index()]
+    }
+
+    pub(crate) fn ep_mut(&mut self, side: Side) -> &mut Endpoint {
+        &mut self.eps[side.index()]
+    }
+
+    pub(crate) fn host(&self, side: Side) -> HostId {
+        self.hosts[side.index()]
+    }
+
+    pub(crate) fn port(&self, side: Side) -> Port {
+        self.ports[side.index()]
+    }
+
+    /// Both directions fully shut down?
+    pub(crate) fn fully_closed(&self) -> bool {
+        self.eps.iter().all(|e| e.send_done() && e.recv_done())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_send_space_tracks_buffer() {
+        let cfg = TcpConfig {
+            send_buf: 10,
+            ..TcpConfig::default()
+        };
+        let mut ep = Endpoint::new(SimTime::ZERO);
+        assert_eq!(ep.send_space(&cfg), 10);
+        ep.out.extend([0u8; 4]);
+        assert_eq!(ep.send_space(&cfg), 6);
+        ep.out.extend([0u8; 10]);
+        assert_eq!(ep.send_space(&cfg), 0);
+    }
+
+    #[test]
+    fn endpoint_in_flight() {
+        let mut ep = Endpoint::new(SimTime::ZERO);
+        ep.snd_nxt = 100;
+        ep.snd_una = 40;
+        assert_eq!(ep.in_flight(), 60);
+    }
+
+    #[test]
+    fn default_config_matches_paper_environment() {
+        let cfg = TcpConfig::default();
+        assert_eq!(cfg.time_wait, SimDuration::from_secs(60));
+        assert_eq!(cfg.mss, 1460);
+        assert!(!cfg.rst_on_backlog_full, "Linux 2.2 drops SYNs");
+    }
+}

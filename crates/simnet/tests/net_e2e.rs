@@ -1,0 +1,394 @@
+//! End-to-end tests of the network: full connection lifecycles driven the
+//! way the orchestrator drives it (`next_deadline` + `advance`).
+
+use simcore::time::{SimDuration, SimTime};
+use simnet::{
+    ConnectError, EndpointId, HostId, LinkConfig, NetNotify, Network, Side, SockAddr, TcpConfig,
+};
+
+const CLIENT: HostId = HostId(0);
+const SERVER: HostId = HostId(1);
+
+fn network() -> Network {
+    Network::new(TcpConfig::default(), LinkConfig::default(), 2)
+}
+
+/// Runs the network until it has no work left or `horizon` passes,
+/// collecting every notification.
+fn run(net: &mut Network, horizon: SimTime) -> (Vec<NetNotify>, SimTime) {
+    let mut all = Vec::new();
+    let mut now = SimTime::ZERO;
+    loop {
+        match net.next_deadline() {
+            Some(t) if t <= horizon => {
+                now = t;
+                all.extend(net.advance(now));
+            }
+            _ => break,
+        }
+    }
+    all.extend(net.advance(horizon));
+    (all, now)
+}
+
+#[test]
+fn handshake_establishes_and_accepts() {
+    let mut net = network();
+    let listener = net.listen(SERVER, 80, 128).unwrap();
+    let conn = net
+        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .unwrap();
+    let (events, _) = run(&mut net, SimTime::from_secs(1));
+
+    let client_ep = EndpointId::new(conn, Side::Client);
+    assert!(events.contains(&NetNotify::ConnectDone { ep: client_ep }));
+    assert!(events.contains(&NetNotify::AcceptReady { listener }));
+    let server_ep = net.accept(listener).expect("accept queue non-empty");
+    assert_eq!(server_ep.conn, conn);
+    assert!(net.is_established(conn));
+}
+
+#[test]
+fn data_flows_both_directions() {
+    let mut net = network();
+    let listener = net.listen(SERVER, 80, 128).unwrap();
+    let conn = net
+        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .unwrap();
+    let (_, mut now) = run(&mut net, SimTime::from_millis(50));
+    let server_ep = net.accept(listener).unwrap();
+    let client_ep = EndpointId::new(conn, Side::Client);
+
+    // Client sends a request.
+    let req = b"GET / HTTP/1.0\r\n\r\n";
+    assert_eq!(net.send(now, client_ep, req).unwrap(), req.len());
+    let (events, t) = run(&mut net, now + SimDuration::from_millis(50));
+    now = t;
+    assert!(events.contains(&NetNotify::Readable { ep: server_ep }));
+    let got = net.recv(now, server_ep, 4096).unwrap();
+    assert_eq!(got, req);
+
+    // Server responds with 6 KB (the paper's document size).
+    let resp = vec![0xAB; 6 * 1024];
+    assert_eq!(net.send(now, server_ep, &resp).unwrap(), resp.len());
+    let (_, t2) = run(&mut net, now + SimDuration::from_millis(100));
+    let got = net.recv(t2, client_ep, 10_000).unwrap();
+    assert_eq!(got.len(), resp.len());
+    assert!(got.iter().all(|&b| b == 0xAB));
+}
+
+#[test]
+fn clean_close_enters_time_wait_on_client_port() {
+    let mut net = network();
+    let listener = net.listen(SERVER, 80, 128).unwrap();
+    let conn = net
+        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .unwrap();
+    let (_, now) = run(&mut net, SimTime::from_millis(50));
+    let server_ep = net.accept(listener).unwrap();
+    let client_ep = EndpointId::new(conn, Side::Client);
+
+    // HTTP/1.0 style: server closes first, client closes after EOF.
+    net.close(now, server_ep).unwrap();
+    let (events, now) = run(&mut net, now + SimDuration::from_millis(50));
+    assert!(events.contains(&NetNotify::PeerClosed { ep: client_ep }));
+    net.close(now, client_ep).unwrap();
+    let (events, _) = run(&mut net, now + SimDuration::from_millis(50));
+    assert!(events.contains(&NetNotify::ConnClosed { ep: client_ep }));
+    assert!(!net.exists(conn));
+    assert_eq!(net.time_wait_count(CLIENT), 1);
+    assert_eq!(net.stats().conns_closed, 1);
+
+    // The port frees after TIME_WAIT.
+    let _ = net.advance(SimTime::from_secs(61));
+    assert_eq!(net.time_wait_count(CLIENT), 0);
+}
+
+#[test]
+fn backlog_overflow_drops_syns() {
+    let mut net = network();
+    let listener = net.listen(SERVER, 80, 2).unwrap();
+    for _ in 0..5 {
+        net.connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+            .unwrap();
+    }
+    let (events, _) = run(&mut net, SimTime::from_millis(10));
+    let drops = events
+        .iter()
+        .filter(|e| matches!(e, NetNotify::SynDropped { .. }))
+        .count();
+    assert_eq!(drops, 3);
+    assert_eq!(net.refused_count(listener), 3);
+    assert_eq!(net.accept_queue_len(listener), 2);
+}
+
+#[test]
+fn rst_on_backlog_full_refuses_connect() {
+    let cfg = TcpConfig {
+        rst_on_backlog_full: true,
+        ..TcpConfig::default()
+    };
+    let mut net = Network::new(cfg, LinkConfig::default(), 2);
+    net.listen(SERVER, 80, 1).unwrap();
+    net.connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .unwrap();
+    let refused_conn = net
+        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .unwrap();
+    let (events, _) = run(&mut net, SimTime::from_millis(10));
+    assert!(events.iter().any(|e| matches!(
+        e,
+        NetNotify::ConnectFailed { conn, reason: ConnectError::Refused, .. } if *conn == refused_conn
+    )));
+}
+
+#[test]
+fn connect_to_closed_port_is_refused() {
+    let mut net = network();
+    let conn = net
+        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 81), SimDuration::ZERO)
+        .unwrap();
+    let (events, _) = run(&mut net, SimTime::from_millis(10));
+    assert!(events.iter().any(|e| matches!(
+        e,
+        NetNotify::ConnectFailed { conn: c, reason: ConnectError::Refused, .. } if *c == conn
+    )));
+    assert!(!net.exists(conn));
+}
+
+#[test]
+fn extra_delay_slows_the_path() {
+    let mut net = network();
+    net.listen(SERVER, 80, 128).unwrap();
+    // LAN client.
+    net.connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .unwrap();
+    let (events, _) = run(&mut net, SimTime::from_millis(5));
+    let lan_done = events
+        .iter()
+        .any(|e| matches!(e, NetNotify::ConnectDone { .. }));
+    assert!(lan_done, "LAN handshake finishes within 5 ms");
+
+    // Modem-class client: 100 ms each way means the handshake needs
+    // at least 200 ms.
+    let mut net2 = network();
+    net2.listen(SERVER, 80, 128).unwrap();
+    net2.connect(
+        SimTime::ZERO,
+        CLIENT,
+        SockAddr::new(SERVER, 80),
+        SimDuration::from_millis(100),
+    )
+    .unwrap();
+    let (events, _) = run(&mut net2, SimTime::from_millis(150));
+    assert!(
+        !events.iter().any(|e| matches!(e, NetNotify::ConnectDone { .. })),
+        "high-latency handshake cannot finish in 150 ms"
+    );
+    let (events, _) = run(&mut net2, SimTime::from_millis(300));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, NetNotify::ConnectDone { .. })));
+}
+
+#[test]
+fn abort_frees_port_without_time_wait() {
+    let mut net = network();
+    net.listen(SERVER, 80, 128).unwrap();
+    let conn = net
+        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .unwrap();
+    let (_, now) = run(&mut net, SimTime::from_millis(10));
+    net.abort(now, EndpointId::new(conn, Side::Client)).unwrap();
+    assert!(!net.exists(conn));
+    assert_eq!(net.time_wait_count(CLIENT), 0);
+    assert_eq!(net.stats().conns_reset, 1);
+}
+
+#[test]
+fn abort_notifies_peer_with_reset() {
+    let mut net = network();
+    let listener = net.listen(SERVER, 80, 128).unwrap();
+    let conn = net
+        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .unwrap();
+    let (_, now) = run(&mut net, SimTime::from_millis(10));
+    let server_ep = net.accept(listener).unwrap();
+    net.abort(now, EndpointId::new(conn, Side::Client)).unwrap();
+    let (events, _) = run(&mut net, now + SimDuration::from_millis(10));
+    assert!(events.contains(&NetNotify::ConnReset { ep: server_ep }));
+}
+
+#[test]
+fn send_buffer_backpressure_and_writable() {
+    let cfg = TcpConfig {
+        send_buf: 4096,
+        ..TcpConfig::default()
+    };
+    let mut net = Network::new(cfg, LinkConfig::default(), 2);
+    let listener = net.listen(SERVER, 80, 128).unwrap();
+    let conn = net
+        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .unwrap();
+    let (_, now) = run(&mut net, SimTime::from_millis(10));
+    let _server_ep = net.accept(listener).unwrap();
+    let client_ep = EndpointId::new(conn, Side::Client);
+
+    let big = vec![0u8; 10_000];
+    let n = net.send(now, client_ep, &big).unwrap();
+    assert_eq!(n, 4096, "send buffer caps the write");
+    let (events, _) = run(&mut net, now + SimDuration::from_millis(100));
+    assert!(
+        events.contains(&NetNotify::Writable { ep: client_ep }),
+        "writable fires once acks free buffer space"
+    );
+}
+
+#[test]
+fn segment_arrivals_are_accounted_per_host() {
+    let mut net = network();
+    net.listen(SERVER, 80, 128).unwrap();
+    net.connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .unwrap();
+    let (events, _) = run(&mut net, SimTime::from_millis(10));
+    let server_arrivals = events
+        .iter()
+        .filter(|e| matches!(e, NetNotify::SegmentArrived { host, .. } if *host == SERVER))
+        .count();
+    let client_arrivals = events
+        .iter()
+        .filter(|e| matches!(e, NetNotify::SegmentArrived { host, .. } if *host == CLIENT))
+        .count();
+    // Handshake: SYN + ACK reach the server; SYN-ACK reaches the client.
+    assert_eq!(server_arrivals, 2);
+    assert_eq!(client_arrivals, 1);
+    let (segs, bytes) = net.host_rx(SERVER);
+    assert_eq!(segs, 2);
+    assert_eq!(bytes, 80);
+}
+
+#[test]
+fn large_transfer_respects_bandwidth_ceiling() {
+    // 1 MB at 100 Mbit/s takes at least ~84 ms on the wire.
+    let mut net = network();
+    let listener = net.listen(SERVER, 80, 128).unwrap();
+    let conn = net
+        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .unwrap();
+    let (_, now) = run(&mut net, SimTime::from_millis(10));
+    let server_ep = net.accept(listener).unwrap();
+    let client_ep = EndpointId::new(conn, Side::Client);
+
+    let total = 1_000_000usize;
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    let mut t = now;
+    let chunk = vec![0u8; 8192];
+    let deadline = now + SimDuration::from_secs(10);
+    let mut finished_at = None;
+    while t < deadline {
+        if sent < total {
+            sent += net
+                .send(t, server_ep, &chunk[..chunk.len().min(total - sent)])
+                .unwrap();
+        }
+        match net.next_deadline() {
+            Some(next) => {
+                t = next;
+                let _ = net.advance(t);
+                received += net.recv(t, client_ep, usize::MAX).unwrap().len();
+                if received >= total && finished_at.is_none() {
+                    finished_at = Some(t);
+                    break;
+                }
+            }
+            None => break,
+        }
+    }
+    let finished_at = finished_at.expect("transfer completes");
+    let elapsed = finished_at.saturating_duration_since(now);
+    assert!(
+        elapsed >= SimDuration::from_millis(80),
+        "1 MB cannot beat the 100 Mbit/s wire: took {elapsed}"
+    );
+    assert!(
+        elapsed <= SimDuration::from_millis(500),
+        "transfer should still be wire-dominated: took {elapsed}"
+    );
+}
+
+#[test]
+fn lossy_overload_recovers_via_retransmission() {
+    // A tiny egress queue forces drops; go-back-N must still deliver
+    // everything.
+    let link = LinkConfig {
+        queue_cap: 2,
+        ..LinkConfig::default()
+    };
+    let mut net = Network::new(TcpConfig::default(), link, 2);
+    let listener = net.listen(SERVER, 80, 128).unwrap();
+    let conn = net
+        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .unwrap();
+    let (_, now) = run(&mut net, SimTime::from_millis(10));
+    let server_ep = net.accept(listener).unwrap();
+    let client_ep = EndpointId::new(conn, Side::Client);
+
+    let payload = vec![7u8; 40_000];
+    let mut sent = 0;
+    let mut received = Vec::new();
+    let mut t = now;
+    let deadline = now + SimDuration::from_secs(30);
+    while t < deadline && received.len() < payload.len() {
+        if sent < payload.len() {
+            sent += net.send(t, server_ep, &payload[sent..]).unwrap();
+        }
+        match net.next_deadline() {
+            Some(next) if next <= deadline => {
+                t = next;
+                let _ = net.advance(t);
+                received.extend(net.recv(t, client_ep, usize::MAX).unwrap());
+            }
+            _ => break,
+        }
+    }
+    assert_eq!(received.len(), payload.len(), "all bytes delivered");
+    assert!(received.iter().all(|&b| b == 7));
+    assert!(net.stats().retransmits > 0, "loss actually happened");
+    assert!(net.host_tx_drops(SERVER) > 0);
+}
+
+#[test]
+fn double_close_is_bad_state() {
+    let mut net = network();
+    let listener = net.listen(SERVER, 80, 128).unwrap();
+    let conn = net
+        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .unwrap();
+    let (_, now) = run(&mut net, SimTime::from_millis(10));
+    let _ = net.accept(listener).unwrap();
+    let client_ep = EndpointId::new(conn, Side::Client);
+    net.close(now, client_ep).unwrap();
+    assert_eq!(net.close(now, client_ep), Err(simnet::NetError::BadState));
+}
+
+#[test]
+fn listen_twice_on_same_port_fails() {
+    let mut net = network();
+    net.listen(SERVER, 80, 8).unwrap();
+    assert!(net.listen(SERVER, 80, 8).is_err());
+}
+
+#[test]
+fn send_after_close_fails() {
+    let mut net = network();
+    let listener = net.listen(SERVER, 80, 128).unwrap();
+    let conn = net
+        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .unwrap();
+    let (_, now) = run(&mut net, SimTime::from_millis(10));
+    let _ = net.accept(listener).unwrap();
+    let client_ep = EndpointId::new(conn, Side::Client);
+    net.close(now, client_ep).unwrap();
+    assert!(net.send(now, client_ep, b"late").is_err());
+}

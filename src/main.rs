@@ -1,0 +1,172 @@
+//! `scalable-net-io` — command-line front end for the benchmark testbed.
+//!
+//! ```text
+//! scalable-net-io run     --server devpoll --rate 900 --inactive 251
+//! scalable-net-io compare --rate 900 --inactive 251
+//! scalable-net-io sweep   --server poll --inactive 501
+//! ```
+//!
+//! Figures and ablations live in the bench crate:
+//! `cargo run --release -p bench --bin figures -- all`.
+
+use scalable_net_io::httperf::{run_one, LoadShape, RunParams, ServerKind};
+use scalable_net_io::simcore::time::SimDuration;
+use scalable_net_io::simkernel::AcceptWake;
+
+struct Opts {
+    server: String,
+    rate: f64,
+    inactive: usize,
+    conns: u64,
+    seed: u64,
+    loss: f64,
+    doc_bytes: Option<usize>,
+    bursty: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Opts {
+        Opts {
+            server: "devpoll".to_string(),
+            rate: 700.0,
+            inactive: 251,
+            conns: 8_000,
+            seed: 42,
+            loss: 0.0,
+            doc_bytes: None,
+            bursty: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scalable-net-io <run|compare|sweep> [options]\n\
+         \n\
+         options:\n\
+           --server KIND     select|poll|devpoll|devpoll-sendfile|phhttpd|\n\
+                             phhttpd-batch|hybrid|prefork-herd|prefork-excl\n\
+           --rate R          targeted requests per second (default 700)\n\
+           --inactive N      inactive connection population (default 251)\n\
+           --conns N         connections per run (default 8000)\n\
+           --seed S          RNG seed (default 42)\n\
+           --loss P          random segment loss probability (default 0)\n\
+           --doc-bytes N     served document size (default 6144)\n\
+           --bursty          on/off burst arrivals instead of constant\n\
+         \n\
+         figures: cargo run --release -p bench --bin figures -- all\n\
+         checks:  cargo run --release -p bench --bin verify_repro"
+    );
+    std::process::exit(2);
+}
+
+fn parse_kind(name: &str) -> Option<ServerKind> {
+    Some(match name {
+        "select" => ServerKind::ThttpdSelect,
+        "poll" => ServerKind::ThttpdPoll,
+        "devpoll" => ServerKind::ThttpdDevPoll,
+        "devpoll-sendfile" => ServerKind::ThttpdDevPollSendfile,
+        "phhttpd" => ServerKind::Phhttpd,
+        "phhttpd-batch" => ServerKind::PhhttpdBatch(16),
+        "hybrid" => ServerKind::Hybrid,
+        "prefork-herd" => ServerKind::PreforkDevPoll {
+            workers: 4,
+            wake: AcceptWake::Herd,
+        },
+        "prefork-excl" => ServerKind::PreforkDevPoll {
+            workers: 4,
+            wake: AcceptWake::Exclusive,
+        },
+        _ => return None,
+    })
+}
+
+fn params(kind: ServerKind, opts: &Opts, rate: f64) -> RunParams {
+    let mut p = RunParams::paper(kind, rate, opts.inactive)
+        .with_conns(opts.conns)
+        .with_seed(opts.seed);
+    if opts.loss > 0.0 {
+        p = p.with_loss(opts.loss);
+    }
+    if let Some(n) = opts.doc_bytes {
+        p = p.with_doc_bytes(n);
+    }
+    if opts.bursty {
+        p.load.shape = LoadShape::Bursty {
+            period: SimDuration::from_millis(500),
+            duty: 0.25,
+        };
+    }
+    p
+}
+
+fn header() {
+    println!(
+        "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>10} {:>10}",
+        "server", "rate", "avg r/s", "min r/s", "max r/s", "err %", "median ms", "p90 ms"
+    );
+}
+
+fn row(report: &mut scalable_net_io::httperf::RunReport) {
+    let err = report.error_percent();
+    let med = report.median_latency_ms();
+    let p90 = report.latency_quantile_ms(0.9);
+    println!(
+        "{:<24} {:>7.0} {:>9.1} {:>9.1} {:>9.1} {:>7.1} {:>10.2} {:>10.2}",
+        report.server,
+        report.target_rate,
+        report.rate.avg,
+        report.rate.min,
+        report.rate.max,
+        err,
+        med,
+        p90,
+    );
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else { usage() };
+    let mut opts = Opts::default();
+    while let Some(a) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--server" => opts.server = val(),
+            "--rate" => opts.rate = val().parse().unwrap_or_else(|_| usage()),
+            "--inactive" => opts.inactive = val().parse().unwrap_or_else(|_| usage()),
+            "--conns" => opts.conns = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--loss" => opts.loss = val().parse().unwrap_or_else(|_| usage()),
+            "--doc-bytes" => opts.doc_bytes = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--bursty" => opts.bursty = true,
+            _ => usage(),
+        }
+    }
+
+    match cmd.as_str() {
+        "run" => {
+            let Some(kind) = parse_kind(&opts.server) else { usage() };
+            header();
+            let mut r = run_one(params(kind, &opts, opts.rate));
+            row(&mut r);
+        }
+        "compare" => {
+            header();
+            for name in ["select", "poll", "devpoll", "phhttpd", "hybrid"] {
+                let kind = parse_kind(name).expect("built-in kind");
+                let mut r = run_one(params(kind, &opts, opts.rate));
+                row(&mut r);
+            }
+        }
+        "sweep" => {
+            let Some(kind) = parse_kind(&opts.server) else { usage() };
+            header();
+            for step in 0..=6 {
+                let rate = 500.0 + 100.0 * step as f64;
+                let mut r = run_one(params(kind, &opts, rate));
+                row(&mut r);
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,113 @@
+//! Shape tests comparing event models (§5.2, Figs. 11–14): phhttpd's
+//! knee moves earlier with inactive load and its latency explodes past
+//! the knee, while the hybrid of §4 combines the strengths of both
+//! constituents.
+
+use scalable_net_io::httperf::{run_one, RunParams, ServerKind};
+
+const CONNS: u64 = 3_000;
+
+fn point(kind: ServerKind, rate: f64, inactive: usize) -> scalable_net_io::httperf::RunReport {
+    run_one(RunParams::paper(kind, rate, inactive).with_conns(CONNS))
+}
+
+#[test]
+fn phhttpd_clean_at_light_load() {
+    // Fig. 11 low end: "Performance at lower request rates compares with
+    // the best performance of other servers."
+    let r = point(ServerKind::Phhttpd, 600.0, 1);
+    assert!(r.rate.avg > 0.97 * 600.0, "avg {}", r.rate.avg);
+    assert!(r.error_percent() < 1.0);
+}
+
+#[test]
+fn phhttpd_latency_jumps_past_the_knee() {
+    // Fig. 14: below ~900 req/s at load 251 phhttpd responds quickly;
+    // past the knee its median leaps by an order of magnitude.
+    let mut before = point(ServerKind::Phhttpd, 700.0, 251);
+    let mut after = point(ServerKind::Phhttpd, 1100.0, 251);
+    let (b, a) = (before.median_latency_ms(), after.median_latency_ms());
+    assert!(b < 10.0, "pre-knee median should be small: {b} ms");
+    assert!(
+        a > 5.0 * b,
+        "post-knee median must jump (paper: >120 ms): {b} -> {a} ms"
+    );
+}
+
+#[test]
+fn phhttpd_degrades_more_with_inactive_load_than_devpoll() {
+    // Figs. 12/13: inactive connections hurt phhttpd (per-event linear
+    // costs) but not devpoll.
+    let mut ph = point(ServerKind::Phhttpd, 900.0, 501);
+    let mut dev = point(ServerKind::ThttpdDevPoll, 900.0, 501);
+    let (p, d) = (ph.median_latency_ms(), dev.median_latency_ms());
+    assert!(
+        p > 2.0 * d,
+        "phhttpd at 501 should respond slower than devpoll: {p} vs {d} ms"
+    );
+    assert!(
+        ph.rate.stddev > dev.rate.stddev,
+        "phhttpd rate should be noisier: {} vs {}",
+        ph.rate.stddev,
+        dev.rate.stddev
+    );
+}
+
+#[test]
+fn phhttpd_overflow_melts_down_to_polling_mode() {
+    // §2/§6: queue overflow hands everything to the poll sibling and the
+    // server never switches back.
+    let r = point(ServerKind::Phhttpd, 1100.0, 501);
+    assert!(
+        r.server_metrics.overflows >= 1,
+        "high load must overflow the RT queue: {:?}",
+        r.server_metrics
+    );
+}
+
+#[test]
+fn sigtimedwait4_batching_reduces_syscall_pressure() {
+    // §6: dequeuing signals in groups cuts per-event syscall overhead.
+    // At a rate past the one-at-a-time knee, batching must not do worse.
+    let mut single = point(ServerKind::Phhttpd, 1000.0, 251);
+    let mut batch = point(ServerKind::PhhttpdBatch(16), 1000.0, 251);
+    assert!(
+        batch.rate.avg >= single.rate.avg * 0.98,
+        "batching should not lose throughput: {} vs {}",
+        batch.rate.avg,
+        single.rate.avg
+    );
+    let (s, b) = (single.median_latency_ms(), batch.median_latency_ms());
+    assert!(
+        b <= s * 1.05,
+        "batching should not increase latency: {b} vs {s} ms"
+    );
+}
+
+#[test]
+fn hybrid_matches_devpoll_throughput_under_load() {
+    // §4's conjecture: the hybrid keeps devpoll-class throughput.
+    let hybrid = point(ServerKind::Hybrid, 1000.0, 251);
+    let dev = point(ServerKind::ThttpdDevPoll, 1000.0, 251);
+    assert!(
+        hybrid.rate.avg > 0.97 * dev.rate.avg,
+        "hybrid {} vs devpoll {}",
+        hybrid.rate.avg,
+        dev.rate.avg
+    );
+    assert!(hybrid.error_percent() < 1.0);
+}
+
+#[test]
+fn hybrid_avoids_phhttpd_meltdown() {
+    // Where phhttpd's latency explodes, the hybrid switches to batching
+    // and stays composed.
+    let mut hybrid = point(ServerKind::Hybrid, 1100.0, 501);
+    let mut ph = point(ServerKind::Phhttpd, 1100.0, 501);
+    let (h, p) = (hybrid.median_latency_ms(), ph.median_latency_ms());
+    assert!(
+        h < p / 2.0,
+        "hybrid should dodge the meltdown: {h} vs {p} ms"
+    );
+    assert!(hybrid.rate.avg > ph.rate.avg * 0.98);
+}

@@ -1,0 +1,107 @@
+//! Shape tests for the paper's central result (§5.1, Figs. 4–10): with
+//! many inactive connections, `/dev/poll` keeps serving while stock
+//! `poll()` collapses. These assert *orderings and knees*, not absolute
+//! numbers — the calibration contract recorded in DESIGN.md §6.
+
+use scalable_net_io::httperf::{run_one, RunParams, ServerKind};
+
+const CONNS: u64 = 3_000;
+
+fn point(kind: ServerKind, rate: f64, inactive: usize) -> scalable_net_io::httperf::RunReport {
+    run_one(RunParams::paper(kind, rate, inactive).with_conns(CONNS))
+}
+
+#[test]
+fn both_servers_clean_at_light_load() {
+    // Fig. 4/5 low end: everyone tracks the target at 500 req/s, load 1.
+    for kind in [ServerKind::ThttpdPoll, ServerKind::ThttpdDevPoll] {
+        let r = point(kind, 500.0, 1);
+        assert!(
+            r.rate.avg > 0.97 * 500.0,
+            "{kind:?} avg {} at light load",
+            r.rate.avg
+        );
+        assert!(r.error_percent() < 1.0, "{kind:?} errors {}", r.error_percent());
+    }
+}
+
+#[test]
+fn stock_poll_collapses_under_inactive_load() {
+    // Fig. 8: 501 inactive connections break stock poll() at moderate
+    // rates.
+    let r = point(ServerKind::ThttpdPoll, 900.0, 501);
+    assert!(
+        r.rate.avg < 0.75 * 900.0,
+        "stock poll should collapse: avg {}",
+        r.rate.avg
+    );
+    assert!(
+        r.error_percent() > 15.0,
+        "collapse must produce errors: {}%",
+        r.error_percent()
+    );
+}
+
+#[test]
+fn devpoll_unaffected_by_inactive_load() {
+    // Fig. 9: the same workload leaves /dev/poll untouched.
+    let r = point(ServerKind::ThttpdDevPoll, 900.0, 501);
+    assert!(
+        r.rate.avg > 0.97 * 900.0,
+        "devpoll should keep up: avg {}",
+        r.rate.avg
+    );
+    assert!(r.error_percent() < 1.0, "errors {}%", r.error_percent());
+}
+
+#[test]
+fn error_rates_match_figure_10_shape() {
+    // Fig. 10: stock errors grow toward ~60 % with rate at load 501;
+    // devpoll shows none at 251.
+    let stock_mid = point(ServerKind::ThttpdPoll, 800.0, 501);
+    let stock_high = point(ServerKind::ThttpdPoll, 1100.0, 501);
+    assert!(
+        stock_high.error_percent() > stock_mid.error_percent(),
+        "errors must grow with rate: {} vs {}",
+        stock_mid.error_percent(),
+        stock_high.error_percent()
+    );
+    assert!(
+        stock_high.error_percent() > 40.0,
+        "errors should approach the paper's 60%: {}",
+        stock_high.error_percent()
+    );
+    let dev = point(ServerKind::ThttpdDevPoll, 1100.0, 251);
+    assert!(
+        dev.error_percent() < 1.0,
+        "devpoll at 251: no errors whatsoever (paper), got {}%",
+        dev.error_percent()
+    );
+}
+
+#[test]
+fn latency_ordering_devpoll_beats_stock_poll() {
+    // Fig. 14 at a pre-knee rate: normal poll sits well above devpoll.
+    let mut stock = point(ServerKind::ThttpdPoll, 700.0, 251);
+    let mut dev = point(ServerKind::ThttpdDevPoll, 700.0, 251);
+    let (s, d) = (stock.median_latency_ms(), dev.median_latency_ms());
+    assert!(
+        s > 2.0 * d,
+        "stock median {s} ms should be well above devpoll {d} ms"
+    );
+}
+
+#[test]
+fn stock_latency_grows_with_inactive_load() {
+    // The per-scan O(N) cost shows up directly in response latency even
+    // below the knee.
+    let mut lo = point(ServerKind::ThttpdPoll, 500.0, 1);
+    let mut mid = point(ServerKind::ThttpdPoll, 500.0, 251);
+    let mut hi = point(ServerKind::ThttpdPoll, 500.0, 501);
+    let (a, b, c) = (
+        lo.median_latency_ms(),
+        mid.median_latency_ms(),
+        hi.median_latency_ms(),
+    );
+    assert!(a < b && b < c, "medians must grow with load: {a}, {b}, {c}");
+}
