@@ -36,7 +36,12 @@ fn bench_network_transfer(c: &mut Criterion) {
             let mut net = Network::new(TcpConfig::default(), LinkConfig::default(), 2);
             let l = net.listen(HostId(1), 80, 16).unwrap();
             let conn = net
-                .connect(SimTime::ZERO, HostId(0), SockAddr::new(HostId(1), 80), SimDuration::ZERO)
+                .connect(
+                    SimTime::ZERO,
+                    HostId(0),
+                    SockAddr::new(HostId(1), 80),
+                    SimDuration::ZERO,
+                )
                 .unwrap();
             let client = EndpointId::new(conn, Side::Client);
             let payload = vec![0u8; 8192];
@@ -57,7 +62,10 @@ fn bench_network_transfer(c: &mut Criterion) {
                     Some(next) => {
                         t = next;
                         let _ = net.advance(t);
-                        got += net.recv(t, client, usize::MAX).map(|v| v.len()).unwrap_or(0);
+                        got += net
+                            .recv(t, client, usize::MAX)
+                            .map(|v| v.len())
+                            .unwrap_or(0);
                     }
                     None => break,
                 }

@@ -35,8 +35,13 @@ fn world_with_conns(n: usize) -> World {
     let mut fds = Vec::new();
     let mut now = SimTime::ZERO;
     for _ in 0..n {
-        net.connect(now, HostId(0), SockAddr::new(HostId(1), 80), SimDuration::ZERO)
-            .unwrap();
+        net.connect(
+            now,
+            HostId(0),
+            SockAddr::new(HostId(1), 80),
+            SimDuration::ZERO,
+        )
+        .unwrap();
         // Drain the handshake.
         while let Some(t) = net.next_deadline() {
             now = t;
@@ -112,28 +117,28 @@ fn bench_devpoll_scan(c: &mut Criterion) {
                 .write(&mut w.kernel, now, w.pid, dpfd, &entries)
                 .unwrap();
             // Settle the fresh-interest hints with one scan.
-            let _ = w
-                .registry
-                .dp_poll(&mut w.kernel, now, w.pid, dpfd, DvPoll::into_user_buffer(64, 0));
-            w.kernel.end_batch(now, w.pid);
-            g.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        w.kernel.begin_batch(now, w.pid);
-                        let out = w.registry.dp_poll(
-                            &mut w.kernel,
-                            now,
-                            w.pid,
-                            dpfd,
-                            DvPoll::into_user_buffer(64, 0),
-                        );
-                        w.kernel.end_batch(now, w.pid);
-                        black_box(out.unwrap().0)
-                    })
-                },
+            let _ = w.registry.dp_poll(
+                &mut w.kernel,
+                now,
+                w.pid,
+                dpfd,
+                DvPoll::into_user_buffer(64, 0),
             );
+            w.kernel.end_batch(now, w.pid);
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    w.kernel.begin_batch(now, w.pid);
+                    let out = w.registry.dp_poll(
+                        &mut w.kernel,
+                        now,
+                        w.pid,
+                        dpfd,
+                        DvPoll::into_user_buffer(64, 0),
+                    );
+                    w.kernel.end_batch(now, w.pid);
+                    black_box(out.unwrap().0)
+                })
+            });
         }
     }
     g.finish();

@@ -70,5 +70,10 @@ fn bench_overflow_flush(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_enqueue_dequeue, bench_batch_dequeue, bench_overflow_flush);
+criterion_group!(
+    benches,
+    bench_enqueue_dequeue,
+    bench_batch_dequeue,
+    bench_overflow_flush
+);
 criterion_main!(benches);

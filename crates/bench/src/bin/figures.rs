@@ -111,4 +111,51 @@ fn main() {
             }
         }
     }
+
+    // Kernel probe snapshots for every sweep that ran: one text table
+    // and one JSON-lines file per (server, inactive load), beside the
+    // CSVs. These carry the mechanism counters (devpoll.driver_polls_
+    // avoided, devpoll.cache_revalidations, rtsig.overflows, ...) that
+    // explain the curves.
+    for (key, reports) in runner.cached_sweeps() {
+        let (label, inactive) = key;
+        let base = format!("{}_load{}", sanitize(label), inactive);
+        let mut text = String::new();
+        let mut jsonl = String::new();
+        for r in reports {
+            text.push_str(&format!(
+                "## {} rate={} load={}\n",
+                r.server, r.target_rate, r.inactive
+            ));
+            text.push_str(&r.probe.to_text());
+            text.push('\n');
+            let rate = format!("{}", r.target_rate);
+            let load = format!("{inactive}");
+            jsonl.push_str(&r.probe.to_json_lines_with(&[
+                ("server", label.as_str()),
+                ("rate", rate.as_str()),
+                ("inactive", load.as_str()),
+            ]));
+        }
+        let txt_path = out_dir.join(format!("{base}.probes.txt"));
+        let jsonl_path = out_dir.join(format!("{base}.probes.jsonl"));
+        fs::write(&txt_path, text).expect("write probe text");
+        fs::write(&jsonl_path, jsonl).expect("write probe jsonl");
+        println!("[written {}]", txt_path.display());
+        println!("[written {}]", jsonl_path.display());
+    }
+}
+
+/// Makes a sweep label safe for a file name (`devpoll(h=0,m=1,c=0)` →
+/// `devpoll_h_0_m_1_c_0`).
+fn sanitize(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+            out.push(c);
+        } else if !out.ends_with('_') {
+            out.push('_');
+        }
+    }
+    out.trim_matches('_').to_string()
 }

@@ -29,8 +29,13 @@ fn world_with_conns(n: usize) -> World {
     let mut now = SimTime::ZERO;
     for i in 0..n {
         let at = SimTime::from_micros(i as u64 * 50);
-        net.connect(at.max(now), HostId(0), SockAddr::new(HostId(1), 80), SimDuration::ZERO)
-            .unwrap();
+        net.connect(
+            at.max(now),
+            HostId(0),
+            SockAddr::new(HostId(1), 80),
+            SimDuration::ZERO,
+        )
+        .unwrap();
         while let Some(t) = net.next_deadline() {
             now = t;
             for ntf in net.advance(t) {
@@ -88,7 +93,13 @@ fn main() {
             .map(|&fd| PollFd::new(fd, PollBits::POLLIN))
             .collect();
         let stock = charged(&mut w, |w| {
-            let _ = sys_poll(&mut w.kernel, SimTime::from_secs(100), w.pid, &mut pollfds, 0);
+            let _ = sys_poll(
+                &mut w.kernel,
+                SimTime::from_secs(100),
+                w.pid,
+                &mut pollfds,
+                0,
+            );
         });
 
         // /dev/poll with hints: steady state, nothing hinted.
@@ -122,9 +133,13 @@ fn main() {
             .write(&mut w.kernel, now, w.pid, dp_none, &entries)
             .unwrap();
         // Settle fresh-interest hints.
-        let _ = w
-            .registry
-            .dp_poll(&mut w.kernel, now, w.pid, dp_hints, DvPoll::into_user_buffer(64, 0));
+        let _ = w.registry.dp_poll(
+            &mut w.kernel,
+            now,
+            w.pid,
+            dp_hints,
+            DvPoll::into_user_buffer(64, 0),
+        );
         w.kernel.end_batch(now, w.pid);
 
         let hints = charged(&mut w, |w| {
@@ -233,8 +248,14 @@ fn main() {
                 DvPoll::into_mmap(64, 0),
             );
         });
-        println!("  user-buffer copy-out: {:>8.1}us", copyout.as_nanos() as f64 / 1e3);
-        println!("  shared mmap area:     {:>8.1}us", mmap.as_nanos() as f64 / 1e3);
+        println!(
+            "  user-buffer copy-out: {:>8.1}us",
+            copyout.as_nanos() as f64 / 1e3
+        );
+        println!(
+            "  shared mmap area:     {:>8.1}us",
+            mmap.as_nanos() as f64 / 1e3
+        );
     }
 
     println!();

@@ -8,6 +8,7 @@
 //! Exit code 0 iff every claim holds.
 
 use httperf::{run_one, RunParams, RunReport, ServerKind};
+use simcore::probe::Snapshot;
 use simkernel::AcceptWake;
 
 struct Checker {
@@ -23,6 +24,17 @@ impl Checker {
         } else {
             self.failures += 1;
             println!("FAIL  {name}  ({detail})");
+        }
+    }
+
+    /// Like [`Checker::check`], but on FAIL ships the run's kernel probe
+    /// snapshot so the regression is diagnosable from the log alone.
+    fn check_probe(&mut self, name: &str, ok: bool, detail: String, probe: &Snapshot) {
+        self.check(name, ok, detail);
+        if !ok {
+            for line in probe.to_text().lines() {
+                println!("      | {line}");
+            }
         }
     }
 }
@@ -49,56 +61,71 @@ fn main() {
     // -------- Figs. 4/5: light load, both clean --------
     for kind in [ServerKind::ThttpdPoll, ServerKind::ThttpdDevPoll] {
         let r = point(kind, 900.0, 1);
-        c.check(
+        c.check_probe(
             &format!("fig4/5 {} clean at 900/1", r.server),
             r.rate.avg > 0.97 * 900.0 && r.error_percent() < 1.0,
             format!("avg {:.0}, err {:.1}%", r.rate.avg, r.error_percent()),
+            &r.probe,
         );
     }
 
     // -------- Figs. 6/8: stock collapses under inactive load --------
     let stock_251 = point(ServerKind::ThttpdPoll, 1000.0, 251);
-    c.check(
+    c.check_probe(
         "fig6 stock collapses at 1000/251",
         stock_251.rate.avg < 0.7 * 1000.0 && stock_251.error_percent() > 20.0,
-        format!("avg {:.0}, err {:.1}%", stock_251.rate.avg, stock_251.error_percent()),
+        format!(
+            "avg {:.0}, err {:.1}%",
+            stock_251.rate.avg,
+            stock_251.error_percent()
+        ),
+        &stock_251.probe,
     );
     let stock_501 = point(ServerKind::ThttpdPoll, 800.0, 501);
-    c.check(
+    c.check_probe(
         "fig8 stock collapses at 800/501",
         stock_501.rate.avg < 0.75 * 800.0 && stock_501.error_percent() > 20.0,
-        format!("avg {:.0}, err {:.1}%", stock_501.rate.avg, stock_501.error_percent()),
+        format!(
+            "avg {:.0}, err {:.1}%",
+            stock_501.rate.avg,
+            stock_501.error_percent()
+        ),
+        &stock_501.probe,
     );
 
     // -------- Figs. 7/9: devpoll unaffected --------
     for (rate, inactive) in [(1000.0, 251), (1000.0, 501)] {
         let r = point(ServerKind::ThttpdDevPoll, rate, inactive);
-        c.check(
+        c.check_probe(
             &format!("fig7/9 devpoll clean at {rate:.0}/{inactive}"),
             r.rate.avg > 0.97 * rate && r.error_percent() < 1.0,
             format!("avg {:.0}, err {:.1}%", r.rate.avg, r.error_percent()),
+            &r.probe,
         );
     }
 
     // -------- Fig. 10: error ordering --------
     let stock_1100 = point(ServerKind::ThttpdPoll, 1100.0, 501);
-    c.check(
+    c.check_probe(
         "fig10 stock errors approach 60% at 1100/501",
         stock_1100.error_percent() > 40.0,
         format!("err {:.1}%", stock_1100.error_percent()),
+        &stock_1100.probe,
     );
 
     // -------- Figs. 12/13: phhttpd knees --------
     let ph_501 = point(ServerKind::Phhttpd, 1000.0, 501);
-    c.check(
+    c.check_probe(
         "fig13 phhttpd capped below target at 1000/501",
         ph_501.rate.avg < 0.95 * 1000.0,
         format!("avg {:.0}", ph_501.rate.avg),
+        &ph_501.probe,
     );
-    c.check(
+    c.check_probe(
         "fig13 phhttpd overflow meltdown happened",
         ph_501.server_metrics.overflows >= 1,
         format!("overflows {}", ph_501.server_metrics.overflows),
+        &ph_501.probe,
     );
 
     // -------- Fig. 14: latency ordering --------
@@ -107,24 +134,27 @@ fn main() {
     let mut ph_lo = point(ServerKind::Phhttpd, 700.0, 251);
     let mut ph_hi = point(ServerKind::Phhttpd, 1100.0, 251);
     let (d, s) = (dev.median_latency_ms(), stock.median_latency_ms());
-    c.check(
+    c.check_probe(
         "fig14 normal poll well above devpoll pre-knee",
         s > 2.0 * d,
         format!("poll {s:.2} ms vs devpoll {d:.2} ms"),
+        &stock.probe,
     );
     let (pl, ph) = (ph_lo.median_latency_ms(), ph_hi.median_latency_ms());
-    c.check(
+    c.check_probe(
         "fig14 phhttpd latency jumps past the knee",
         ph > 5.0 * pl,
         format!("{pl:.2} -> {ph:.2} ms"),
+        &ph_hi.probe,
     );
 
     // -------- Extensions --------
     let hybrid = point(ServerKind::Hybrid, 1100.0, 251);
-    c.check(
+    c.check_probe(
         "hybrid keeps devpoll-class throughput at 1100/251",
         hybrid.rate.avg > 0.97 * 1100.0 && hybrid.error_percent() < 1.0,
         format!("avg {:.0}", hybrid.rate.avg),
+        &hybrid.probe,
     );
     let herd = point(
         ServerKind::PreforkDevPoll {
@@ -142,10 +172,14 @@ fn main() {
         500.0,
         251,
     );
-    c.check(
+    c.check_probe(
         "thundering herd: exclusive wake cuts wakeups",
         herd.kernel_wakeups as f64 > 1.5 * excl.kernel_wakeups as f64,
-        format!("herd {} vs exclusive {}", herd.kernel_wakeups, excl.kernel_wakeups),
+        format!(
+            "herd {} vs exclusive {}",
+            herd.kernel_wakeups, excl.kernel_wakeups
+        ),
+        &herd.probe,
     );
     let no_hints = point(
         ServerKind::ThttpdDevPollWith {
@@ -159,10 +193,11 @@ fn main() {
         1000.0,
         501,
     );
-    c.check(
+    c.check_probe(
         "ablation: hints are load-bearing (no-hints devpoll collapses)",
         no_hints.rate.avg < 0.7 * 1000.0,
         format!("avg {:.0}", no_hints.rate.avg),
+        &no_hints.probe,
     );
 
     println!("\n{} checks, {} failures", c.checks, c.failures);

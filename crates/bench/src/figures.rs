@@ -61,6 +61,15 @@ impl FigureRunner {
         }
     }
 
+    /// Every cached sweep in deterministic (label, inactive) order —
+    /// used by the CLI to dump one probe-snapshot file per sweep after
+    /// the figures are built.
+    pub fn cached_sweeps(&self) -> Vec<(&(String, usize), &Vec<RunReport>)> {
+        let mut v: Vec<_> = self.cache.iter().collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
+        v
+    }
+
     /// The sweep for `kind` at `inactive`, cached.
     pub fn sweep(&mut self, kind: ServerKind, inactive: usize) -> &[RunReport] {
         let key = (kind.label(), inactive);

@@ -125,7 +125,12 @@ impl DevPollRegistry {
         Ok(fd)
     }
 
-    fn resolve(&mut self, kernel: &Kernel, pid: Pid, dpfd: Fd) -> Result<&mut DevPollDevice, Errno> {
+    fn resolve(
+        &mut self,
+        kernel: &Kernel,
+        pid: Pid,
+        dpfd: Fd,
+    ) -> Result<&mut DevPollDevice, Errno> {
         let handle = match kernel.process(pid).fds.get(dpfd)?.kind {
             FileKind::DevPoll(h) => h,
             _ => return Err(Errno::EINVAL),
@@ -165,7 +170,7 @@ impl DevPollRegistry {
     fn write_inner(
         &mut self,
         kernel: &mut Kernel,
-        _now: SimTime,
+        now: SimTime,
         pid: Pid,
         dpfd: Fd,
         entries: &[PollFd],
@@ -175,12 +180,16 @@ impl DevPollRegistry {
         if charge_syscall {
             kernel.charge_app(pid, cost.syscall);
         }
-        kernel.charge_app(pid, cost.copy_per_byte * (entries.len() * PollFd::BYTES) as u64);
+        kernel.charge_app(
+            pid,
+            cost.copy_per_byte * (entries.len() * PollFd::BYTES) as u64,
+        );
         // Interest-set modification takes the backmap write lock.
         kernel.charge_app(pid, cost.backmap_wlock);
 
         let dev = self.resolve(kernel, pid, dpfd)?;
         let or_semantics = dev.config.or_semantics;
+        let grows_before = dev.interest.grow_count();
         let mut to_watch = Vec::new();
         let mut to_unwatch = Vec::new();
         for e in entries {
@@ -193,7 +202,28 @@ impl DevPollRegistry {
                 to_watch.push(e.fd);
             }
         }
+        let grows = dev.interest.grow_count() - grows_before;
+        let (len, buckets, max_bucket) = (
+            dev.interest.len() as u64,
+            dev.interest.bucket_count() as u64,
+            dev.interest.max_bucket_len() as u64,
+        );
         kernel.charge_app(pid, cost.devpoll_hash_op * entries.len() as u64);
+        let probe = kernel.probe_mut();
+        probe.add("devpoll.interest.ops", entries.len() as u64);
+        probe.add("devpoll.interest.lookups", entries.len() as u64);
+        probe.add("devpoll.interest.resizes", u64::from(grows));
+        probe.gauge_set("devpoll.interest.len", len);
+        probe.gauge_set("devpoll.interest.buckets", buckets);
+        probe.gauge_set("devpoll.interest.max_bucket", max_bucket);
+        if kernel.trace().wants("devpoll") {
+            let (adds, removes) = (to_watch.len(), to_unwatch.len());
+            kernel.trace_mut().record(
+                now,
+                "devpoll",
+                format!("write: +{adds} -{removes} (len {len}, {buckets} buckets)"),
+            );
+        }
         for fd in to_watch {
             kernel.watch(pid, fd);
         }
@@ -264,7 +294,7 @@ impl DevPollRegistry {
     pub fn dp_poll(
         &mut self,
         kernel: &mut Kernel,
-        _now: SimTime,
+        now: SimTime,
         pid: Pid,
         dpfd: Fd,
         args: DvPoll,
@@ -285,20 +315,34 @@ impl DevPollRegistry {
             .filter(|e| !hints || e.hinted || !e.cached.is_empty())
             .map(|e| (e.fd, e.events))
             .collect();
-        let avoided = dev.interest.len() - candidates.len();
+        // Cached-ready entries with no fresh hint re-enter the scan only
+        // to be revalidated ("[they have] to be reevaluated each time").
+        let revalidated = if hints {
+            dev.interest
+                .iter()
+                .filter(|e| !e.hinted && !e.cached.is_empty())
+                .count() as u64
+        } else {
+            0
+        };
+        let polled = candidates.len();
+        let avoided = dev.interest.len() - polled;
         let total = dev.interest.len();
         dev.stats.scans += 1;
-        dev.stats.driver_polls += candidates.len() as u64;
+        dev.stats.driver_polls += polled as u64;
         dev.stats.driver_polls_avoided += avoided as u64;
+        let probe = kernel.probe_mut();
+        probe.inc("devpoll.scans");
+        probe.add("devpoll.driver_polls", polled as u64);
+        probe.add("devpoll.driver_polls_avoided", avoided as u64);
+        probe.add("devpoll.cache_revalidations", revalidated);
+        probe.add("devpoll.interest.lookups", polled as u64);
 
         // Charge the scan: hint-flag walk per candidate plus one driver
         // poll callback each; a read-lock acquisition covers the
         // backmap consultation. Without hints the entire set pays the
         // driver callback (and no hint machinery exists to walk).
-        let lock_cost = if self
-            .device_config(kernel, pid, dpfd)?
-            .per_socket_locks
-        {
+        let lock_cost = if self.device_config(kernel, pid, dpfd)?.per_socket_locks {
             cost.backmap_rlock / 2
         } else {
             cost.backmap_rlock
@@ -319,7 +363,11 @@ impl DevPollRegistry {
                 e.hinted = false;
             }
             if !revents.is_empty() {
-                results.push(PollFd { fd, events, revents });
+                results.push(PollFd {
+                    fd,
+                    events,
+                    revents,
+                });
             }
         }
 
@@ -330,14 +378,35 @@ impl DevPollRegistry {
         };
         results.truncate(cap);
         dev.stats.results += results.len() as u64;
+        let result_bytes = (results.len() * PollFd::BYTES) as u64;
         if args.null_dp_fds {
             dev.stats.mmap_results += results.len() as u64;
             kernel.charge_app(pid, cost.mmap_result_write * results.len() as u64);
+            kernel
+                .probe_mut()
+                .add("devpoll.mmap_result_bytes", result_bytes);
         } else {
             kernel.charge_app(
                 pid,
                 (cost.pollfd_copyout + cost.copy_per_byte * PollFd::BYTES as u64)
                     * results.len() as u64,
+            );
+            kernel
+                .probe_mut()
+                .add("devpoll.copyout_bytes", result_bytes);
+        }
+        kernel
+            .probe_mut()
+            .add("devpoll.results", results.len() as u64);
+        if kernel.trace().wants("devpoll") {
+            let ready = results.len();
+            kernel.trace_mut().record(
+                now,
+                "devpoll",
+                format!(
+                    "DP_POLL: {total} interests, {polled} polled, {avoided} skipped, \
+                     {revalidated} revalidated, {ready} ready"
+                ),
             );
         }
 
@@ -370,15 +439,13 @@ impl DevPollRegistry {
             }
             if dev.interest.mark_hint(fd) {
                 dev.stats.hints_marked += 1;
+                kernel.probe_mut().inc("devpoll.hints_marked");
                 let lock = if dev.config.per_socket_locks {
                     cost.backmap_rlock / 2
                 } else {
                     cost.backmap_rlock
                 };
-                kernel.charge_softirq(
-                    now,
-                    SimDuration::from_nanos(cost.backmap_mark + lock),
-                );
+                kernel.charge_softirq(now, SimDuration::from_nanos(cost.backmap_mark + lock));
             }
         }
     }

@@ -89,6 +89,12 @@ impl InterestTable {
         self.grows
     }
 
+    /// Length of the fullest bucket (diagnostic: chain-length worst case
+    /// the doubling policy is meant to bound).
+    pub fn max_bucket_len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
     /// Inserts or updates the interest for `fd`.
     ///
     /// With `or_semantics == false` (the paper's Linux behaviour) the new
@@ -98,7 +104,11 @@ impl InterestTable {
         let b = self.bucket_of(fd);
         for e in &mut self.buckets[b] {
             if e.fd == fd {
-                e.events = if or_semantics { e.events | events } else { events };
+                e.events = if or_semantics {
+                    e.events | events
+                } else {
+                    events
+                };
                 // An interest change invalidates the cached result.
                 e.cached = PollBits::EMPTY;
                 e.hinted = true;
@@ -212,7 +222,10 @@ mod tests {
         let mut t = InterestTable::new();
         t.set(3, PollBits::POLLIN, true);
         t.set(3, PollBits::POLLOUT, true);
-        assert_eq!(t.get(3).unwrap().events, PollBits::POLLIN | PollBits::POLLOUT);
+        assert_eq!(
+            t.get(3).unwrap().events,
+            PollBits::POLLIN | PollBits::POLLOUT
+        );
     }
 
     #[test]

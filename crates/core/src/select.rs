@@ -105,6 +105,9 @@ pub fn sys_select(
     kernel.charge_app(pid, cost.wq_remove * removed as u64);
 
     let nfds = read_set.nfds().max(write_set.nfds());
+    let probe = kernel.probe_mut();
+    probe.inc("select.calls");
+    probe.add("select.bit_walk", nfds as u64);
     // Three bitmaps in, three out: readfds, writefds, exceptfds.
     let bitmap_bytes = nfds.div_ceil(8) as u64;
     kernel.charge_app(pid, cost.copy_per_byte * bitmap_bytes * 6);

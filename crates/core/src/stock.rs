@@ -43,6 +43,12 @@ pub fn sys_poll(
 ) -> PollOutcome {
     let cost = *kernel.cost_model();
     kernel.charge_app(pid, cost.syscall);
+    let probe = kernel.probe_mut();
+    probe.inc("poll.calls");
+    // Stock poll() pays one driver callback per descriptor per call —
+    // the baseline the devpoll.driver_polls_avoided counter is judged
+    // against.
+    probe.add("poll.driver_polls", fds.len() as u64);
 
     // Deregister wait-queue entries left by a previous sleeping poll.
     let removed = kernel.unwatch_all(pid);
@@ -95,10 +101,17 @@ mod tests {
         let mut kernel = Kernel::new(SERVER, CostModel::k6_2_400mhz());
         let pid = kernel.spawn_default();
         kernel.begin_batch(SimTime::ZERO, pid);
-        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        let lfd = kernel
+            .sys_listen(&mut net, SimTime::ZERO, pid, 80, 128)
+            .unwrap();
         kernel.end_batch(SimTime::ZERO, pid);
         let conn = net
-            .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+            .connect(
+                SimTime::ZERO,
+                CLIENT,
+                SockAddr::new(SERVER, 80),
+                SimDuration::ZERO,
+            )
             .unwrap();
         // Pump the handshake.
         let mut t = SimTime::ZERO;
@@ -116,7 +129,13 @@ mod tests {
         let fd = kernel.sys_accept(&mut net, t, pid, lfd).unwrap();
         kernel.end_batch(t, pid);
         let _ = kernel.advance(SimTime::from_millis(20));
-        (net, kernel, pid, fd, simnet::EndpointId::new(conn, simnet::Side::Client))
+        (
+            net,
+            kernel,
+            pid,
+            fd,
+            simnet::EndpointId::new(conn, simnet::Side::Client),
+        )
     }
 
     #[test]

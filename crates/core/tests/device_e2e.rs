@@ -48,7 +48,9 @@ fn world() -> World {
     let mut kernel = Kernel::new(SERVER, CostModel::k6_2_400mhz());
     let pid = kernel.spawn_default();
     kernel.begin_batch(SimTime::ZERO, pid);
-    let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+    let lfd = kernel
+        .sys_listen(&mut net, SimTime::ZERO, pid, 80, 128)
+        .unwrap();
     kernel.end_batch(SimTime::ZERO, pid);
     World {
         net,
@@ -91,12 +93,24 @@ fn interest_add_scan_and_remove() {
     let t = SimTime::from_millis(20);
     w.kernel.begin_batch(t, w.pid);
     w.registry
-        .write(&mut w.kernel, t, w.pid, dpfd, &[PollFd::new(fd, PollBits::POLLIN)])
+        .write(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            &[PollFd::new(fd, PollBits::POLLIN)],
+        )
         .unwrap();
     // Nothing ready yet.
     let (out, res) = w
         .registry
-        .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(64, 0))
+        .dp_poll(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            DvPoll::into_user_buffer(64, 0),
+        )
         .unwrap();
     assert_eq!(out, PollOutcome::Ready(0));
     assert!(res.is_empty());
@@ -110,7 +124,13 @@ fn interest_add_scan_and_remove() {
     w.kernel.begin_batch(t, w.pid);
     let (out, res) = w
         .registry
-        .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(64, 0))
+        .dp_poll(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            DvPoll::into_user_buffer(64, 0),
+        )
         .unwrap();
     assert_eq!(out, PollOutcome::Ready(1));
     assert_eq!(res.len(), 1);
@@ -123,7 +143,13 @@ fn interest_add_scan_and_remove() {
         .unwrap();
     let (out, res) = w
         .registry
-        .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(64, 0))
+        .dp_poll(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            DvPoll::into_user_buffer(64, 0),
+        )
         .unwrap();
     assert_eq!(out, PollOutcome::Ready(0));
     assert!(res.is_empty());
@@ -143,13 +169,24 @@ fn hints_avoid_driver_polls_for_idle_descriptors() {
     }
     let t = SimTime::from_millis(200);
     w.kernel.begin_batch(t, w.pid);
-    let entries: Vec<PollFd> = fds.iter().map(|&fd| PollFd::new(fd, PollBits::POLLIN)).collect();
-    w.registry.write(&mut w.kernel, t, w.pid, dpfd, &entries).unwrap();
+    let entries: Vec<PollFd> = fds
+        .iter()
+        .map(|&fd| PollFd::new(fd, PollBits::POLLIN))
+        .collect();
+    w.registry
+        .write(&mut w.kernel, t, w.pid, dpfd, &entries)
+        .unwrap();
 
     // First scan: every (fresh) interest is hinted, all pay a callback.
     let _ = w
         .registry
-        .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(64, 0))
+        .dp_poll(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            DvPoll::into_user_buffer(64, 0),
+        )
         .unwrap();
     let s1 = w.registry.device(&w.kernel, w.pid, dpfd).unwrap().stats();
     assert_eq!(s1.driver_polls, 50);
@@ -157,7 +194,13 @@ fn hints_avoid_driver_polls_for_idle_descriptors() {
     // Second scan: nothing changed, nothing hinted, all avoided.
     let _ = w
         .registry
-        .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(64, 0))
+        .dp_poll(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            DvPoll::into_user_buffer(64, 0),
+        )
         .unwrap();
     let s2 = w.registry.device(&w.kernel, w.pid, dpfd).unwrap().stats();
     assert_eq!(s2.driver_polls, 50, "no further callbacks");
@@ -188,7 +231,13 @@ fn hint_marks_trigger_revalidation_of_exactly_the_active_fd() {
         .unwrap();
     let _ = w
         .registry
-        .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(64, 0))
+        .dp_poll(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            DvPoll::into_user_buffer(64, 0),
+        )
         .unwrap();
     w.kernel.end_batch(t, w.pid);
     let base = w.registry.device(&w.kernel, w.pid, dpfd).unwrap().stats();
@@ -197,14 +246,25 @@ fn hint_marks_trigger_revalidation_of_exactly_the_active_fd() {
     // Activity on A only.
     w.net.send(t, ep_a, b"x").unwrap();
     pump(&mut w, t + SimDuration::from_millis(10));
-    let hints = w.registry.device(&w.kernel, w.pid, dpfd).unwrap().stats().hints_marked;
+    let hints = w
+        .registry
+        .device(&w.kernel, w.pid, dpfd)
+        .unwrap()
+        .stats()
+        .hints_marked;
     assert!(hints >= 1, "driver marked a hint");
 
     let t = t + SimDuration::from_millis(10);
     w.kernel.begin_batch(t, w.pid);
     let (out, res) = w
         .registry
-        .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(64, 0))
+        .dp_poll(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            DvPoll::into_user_buffer(64, 0),
+        )
         .unwrap();
     w.kernel.end_batch(t, w.pid);
     assert_eq!(out, PollOutcome::Ready(1));
@@ -226,23 +286,51 @@ fn cached_ready_results_are_revalidated_each_scan() {
     let t = SimTime::from_millis(30);
     w.kernel.begin_batch(t, w.pid);
     w.registry
-        .write(&mut w.kernel, t, w.pid, dpfd, &[PollFd::new(fd, PollBits::POLLIN)])
+        .write(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            &[PollFd::new(fd, PollBits::POLLIN)],
+        )
         .unwrap();
     let (_, res) = w
         .registry
-        .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(64, 0))
+        .dp_poll(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            DvPoll::into_user_buffer(64, 0),
+        )
         .unwrap();
     assert_eq!(res.len(), 1);
-    let polls_after_first = w.registry.device(&w.kernel, w.pid, dpfd).unwrap().stats().driver_polls;
+    let polls_after_first = w
+        .registry
+        .device(&w.kernel, w.pid, dpfd)
+        .unwrap()
+        .stats()
+        .driver_polls;
 
     // Scan again without new events: the ready result must be
     // revalidated (one more driver poll) and still reported.
     let (_, res) = w
         .registry
-        .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(64, 0))
+        .dp_poll(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            DvPoll::into_user_buffer(64, 0),
+        )
         .unwrap();
     assert_eq!(res.len(), 1, "still readable, still reported");
-    let polls_after_second = w.registry.device(&w.kernel, w.pid, dpfd).unwrap().stats().driver_polls;
+    let polls_after_second = w
+        .registry
+        .device(&w.kernel, w.pid, dpfd)
+        .unwrap()
+        .stats()
+        .driver_polls;
     assert_eq!(polls_after_second, polls_after_first + 1);
 
     // Drain the data: the next scan revalidates once more, finds the fd
@@ -250,16 +338,37 @@ fn cached_ready_results_are_revalidated_each_scan() {
     let _ = w.kernel.sys_read(&mut w.net, t, w.pid, fd, 4096).unwrap();
     let (_, res) = w
         .registry
-        .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(64, 0))
+        .dp_poll(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            DvPoll::into_user_buffer(64, 0),
+        )
         .unwrap();
     assert!(res.is_empty());
     let (_, res) = w
         .registry
-        .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(64, 0))
+        .dp_poll(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            DvPoll::into_user_buffer(64, 0),
+        )
         .unwrap();
     assert!(res.is_empty());
-    let polls_final = w.registry.device(&w.kernel, w.pid, dpfd).unwrap().stats().driver_polls;
-    assert_eq!(polls_final, polls_after_second + 1, "idle fd dropped from scans");
+    let polls_final = w
+        .registry
+        .device(&w.kernel, w.pid, dpfd)
+        .unwrap()
+        .stats()
+        .driver_polls;
+    assert_eq!(
+        polls_final,
+        polls_after_second + 1,
+        "idle fd dropped from scans"
+    );
     w.kernel.end_batch(t, w.pid);
 }
 
@@ -278,10 +387,22 @@ fn mmap_results_require_alloc_and_are_cheaper() {
             .unwrap_err(),
         Errno::EINVAL
     );
-    w.registry.dp_alloc_mmap(&mut w.kernel, t, w.pid, dpfd, 64).unwrap();
-    assert!(w.registry.device(&w.kernel, w.pid, dpfd).unwrap().has_mmap());
     w.registry
-        .write(&mut w.kernel, t, w.pid, dpfd, &[PollFd::new(fd, PollBits::POLLIN)])
+        .dp_alloc_mmap(&mut w.kernel, t, w.pid, dpfd, 64)
+        .unwrap();
+    assert!(w
+        .registry
+        .device(&w.kernel, w.pid, dpfd)
+        .unwrap()
+        .has_mmap());
+    w.registry
+        .write(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            &[PollFd::new(fd, PollBits::POLLIN)],
+        )
         .unwrap();
     w.kernel.end_batch(t, w.pid);
 
@@ -322,10 +443,22 @@ fn multiple_independent_interest_sets() {
     let t = SimTime::from_millis(30);
     w.kernel.begin_batch(t, w.pid);
     w.registry
-        .write(&mut w.kernel, t, w.pid, dp1, &[PollFd::new(fd_a, PollBits::POLLIN)])
+        .write(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dp1,
+            &[PollFd::new(fd_a, PollBits::POLLIN)],
+        )
         .unwrap();
     w.registry
-        .write(&mut w.kernel, t, w.pid, dp2, &[PollFd::new(fd_b, PollBits::POLLIN)])
+        .write(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dp2,
+            &[PollFd::new(fd_b, PollBits::POLLIN)],
+        )
         .unwrap();
     w.kernel.end_batch(t, w.pid);
 
@@ -337,11 +470,23 @@ fn multiple_independent_interest_sets() {
     w.kernel.begin_batch(t, w.pid);
     let (_, r1) = w
         .registry
-        .dp_poll(&mut w.kernel, t, w.pid, dp1, DvPoll::into_user_buffer(64, 0))
+        .dp_poll(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dp1,
+            DvPoll::into_user_buffer(64, 0),
+        )
         .unwrap();
     let (_, r2) = w
         .registry
-        .dp_poll(&mut w.kernel, t, w.pid, dp2, DvPoll::into_user_buffer(64, 0))
+        .dp_poll(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dp2,
+            DvPoll::into_user_buffer(64, 0),
+        )
         .unwrap();
     w.kernel.end_batch(t, w.pid);
     assert_eq!(r1.iter().map(|p| p.fd).collect::<Vec<_>>(), vec![fd_a]);
@@ -379,12 +524,21 @@ fn close_releases_device_and_fd() {
     w.registry.close(&mut w.kernel, t, w.pid, dpfd).unwrap();
     assert_eq!(
         w.registry
-            .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(4, 0))
+            .dp_poll(
+                &mut w.kernel,
+                t,
+                w.pid,
+                dpfd,
+                DvPoll::into_user_buffer(4, 0)
+            )
             .unwrap_err(),
         Errno::EBADF
     );
     // The fd slot is reusable.
-    let dp2 = w.registry.open(&mut w.kernel, t, w.pid, DevPollConfig::default()).unwrap();
+    let dp2 = w
+        .registry
+        .open(&mut w.kernel, t, w.pid, DevPollConfig::default())
+        .unwrap();
     assert_eq!(dp2, dpfd);
     w.kernel.end_batch(t, w.pid);
 }
@@ -400,8 +554,13 @@ fn result_cap_respects_dp_nfds() {
     }
     let t = SimTime::from_millis(60);
     w.kernel.begin_batch(t, w.pid);
-    let entries: Vec<PollFd> = eps.iter().map(|&(fd, _)| PollFd::new(fd, PollBits::POLLIN)).collect();
-    w.registry.write(&mut w.kernel, t, w.pid, dpfd, &entries).unwrap();
+    let entries: Vec<PollFd> = eps
+        .iter()
+        .map(|&(fd, _)| PollFd::new(fd, PollBits::POLLIN))
+        .collect();
+    w.registry
+        .write(&mut w.kernel, t, w.pid, dpfd, &entries)
+        .unwrap();
     w.kernel.end_batch(t, w.pid);
     for &(_, ep) in &eps {
         w.net.send(t, ep, b"z").unwrap();
@@ -412,7 +571,13 @@ fn result_cap_respects_dp_nfds() {
     w.kernel.begin_batch(t, w.pid);
     let (out, res) = w
         .registry
-        .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(4, 0))
+        .dp_poll(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            DvPoll::into_user_buffer(4, 0),
+        )
         .unwrap();
     w.kernel.end_batch(t, w.pid);
     assert_eq!(out, PollOutcome::Ready(4));
@@ -436,11 +601,19 @@ fn no_hints_config_scans_everything() {
     }
     let t = SimTime::from_millis(80);
     w.kernel.begin_batch(t, w.pid);
-    w.registry.write(&mut w.kernel, t, w.pid, dpfd, &entries).unwrap();
+    w.registry
+        .write(&mut w.kernel, t, w.pid, dpfd, &entries)
+        .unwrap();
     for _ in 0..3 {
         let _ = w
             .registry
-            .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(64, 0))
+            .dp_poll(
+                &mut w.kernel,
+                t,
+                w.pid,
+                dpfd,
+                DvPoll::into_user_buffer(64, 0),
+            )
             .unwrap();
     }
     w.kernel.end_batch(t, w.pid);

@@ -38,7 +38,9 @@ fn world() -> World {
     let mut kernel = Kernel::new(SERVER, CostModel::k6_2_400mhz());
     let pid = kernel.spawn_default();
     kernel.begin_batch(SimTime::ZERO, pid);
-    let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+    let lfd = kernel
+        .sys_listen(&mut net, SimTime::ZERO, pid, 80, 128)
+        .unwrap();
     kernel.end_batch(SimTime::ZERO, pid);
     World {
         net,
@@ -82,17 +84,35 @@ fn solaris_or_semantics_accumulate_interest() {
         .unwrap();
     // Two writes: POLLIN then POLLOUT. Solaris ORs them together.
     w.registry
-        .write(&mut w.kernel, t, w.pid, dpfd, &[PollFd::new(fd, PollBits::POLLIN)])
+        .write(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            &[PollFd::new(fd, PollBits::POLLIN)],
+        )
         .unwrap();
     w.registry
-        .write(&mut w.kernel, t, w.pid, dpfd, &[PollFd::new(fd, PollBits::POLLOUT)])
+        .write(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            &[PollFd::new(fd, PollBits::POLLOUT)],
+        )
         .unwrap();
     // The socket is writable (empty send buffer): POLLOUT must report
     // even though the *last* write only named POLLOUT... and once data
     // arrives POLLIN reports too, proving the OR.
     let (_, res) = w
         .registry
-        .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(8, 0))
+        .dp_poll(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            DvPoll::into_user_buffer(8, 0),
+        )
         .unwrap();
     assert!(res[0].revents.contains(PollBits::POLLOUT));
     w.kernel.end_batch(t, w.pid);
@@ -103,7 +123,13 @@ fn solaris_or_semantics_accumulate_interest() {
     w.kernel.begin_batch(t, w.pid);
     let (_, res) = w
         .registry
-        .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(8, 0))
+        .dp_poll(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            DvPoll::into_user_buffer(8, 0),
+        )
         .unwrap();
     w.kernel.end_batch(t, w.pid);
     assert!(res[0].revents.contains(PollBits::POLLIN));
@@ -121,11 +147,23 @@ fn linux_replace_semantics_drop_old_interest() {
         .open(&mut w.kernel, t, w.pid, DevPollConfig::default())
         .unwrap();
     w.registry
-        .write(&mut w.kernel, t, w.pid, dpfd, &[PollFd::new(fd, PollBits::POLLIN)])
+        .write(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            &[PollFd::new(fd, PollBits::POLLIN)],
+        )
         .unwrap();
     // Replace with POLLOUT only.
     w.registry
-        .write(&mut w.kernel, t, w.pid, dpfd, &[PollFd::new(fd, PollBits::POLLOUT)])
+        .write(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            &[PollFd::new(fd, PollBits::POLLOUT)],
+        )
         .unwrap();
     w.kernel.end_batch(t, w.pid);
 
@@ -135,7 +173,13 @@ fn linux_replace_semantics_drop_old_interest() {
     w.kernel.begin_batch(t, w.pid);
     let (_, res) = w
         .registry
-        .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(8, 0))
+        .dp_poll(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            DvPoll::into_user_buffer(8, 0),
+        )
         .unwrap();
     w.kernel.end_batch(t, w.pid);
     // POLLIN was replaced away: only POLLOUT may report.
@@ -169,11 +213,19 @@ fn combined_update_poll_charges_one_syscall_less() {
                 .write_combined(&mut w.kernel, t, w.pid, dpfd, &upd)
                 .unwrap();
         } else {
-            w.registry.write(&mut w.kernel, t, w.pid, dpfd, &upd).unwrap();
+            w.registry
+                .write(&mut w.kernel, t, w.pid, dpfd, &upd)
+                .unwrap();
         }
         let _ = w
             .registry
-            .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(8, 0))
+            .dp_poll(
+                &mut w.kernel,
+                t,
+                w.pid,
+                dpfd,
+                DvPoll::into_user_buffer(8, 0),
+            )
             .unwrap();
         let acc = w.kernel.process(w.pid).batch_acc.unwrap().as_nanos();
         w.kernel.end_batch(t, w.pid);
@@ -208,14 +260,26 @@ fn per_socket_locks_halve_lock_cost() {
         .unwrap();
     for dpfd in [global, per_sock] {
         w.registry
-            .write(&mut w.kernel, t, w.pid, dpfd, &[PollFd::new(fd, PollBits::POLLIN)])
+            .write(
+                &mut w.kernel,
+                t,
+                w.pid,
+                dpfd,
+                &[PollFd::new(fd, PollBits::POLLIN)],
+            )
             .unwrap();
     }
     let cost_of = |w: &mut World, dpfd: Fd| -> u64 {
         let before = w.kernel.process(w.pid).batch_acc.unwrap().as_nanos();
         let _ = w
             .registry
-            .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(8, 0))
+            .dp_poll(
+                &mut w.kernel,
+                t,
+                w.pid,
+                dpfd,
+                DvPoll::into_user_buffer(8, 0),
+            )
             .unwrap();
         w.kernel.process(w.pid).batch_acc.unwrap().as_nanos() - before
     };
@@ -237,7 +301,13 @@ fn zero_dp_nfds_returns_no_results() {
         .open(&mut w.kernel, t, w.pid, DevPollConfig::default())
         .unwrap();
     w.registry
-        .write(&mut w.kernel, t, w.pid, dpfd, &[PollFd::new(fd, PollBits::POLLIN)])
+        .write(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            &[PollFd::new(fd, PollBits::POLLIN)],
+        )
         .unwrap();
     w.kernel.end_batch(t, w.pid);
     w.net.send(t, ep, b"x").unwrap();
@@ -246,7 +316,13 @@ fn zero_dp_nfds_returns_no_results() {
     w.kernel.begin_batch(t, w.pid);
     let (out, res) = w
         .registry
-        .dp_poll(&mut w.kernel, t, w.pid, dpfd, DvPoll::into_user_buffer(0, 0))
+        .dp_poll(
+            &mut w.kernel,
+            t,
+            w.pid,
+            dpfd,
+            DvPoll::into_user_buffer(0, 0),
+        )
         .unwrap();
     w.kernel.end_batch(t, w.pid);
     assert_eq!(out, PollOutcome::Ready(0));
@@ -268,7 +344,11 @@ fn pollremove_of_unknown_fd_is_harmless() {
         .unwrap();
     assert_eq!(n, 1, "entry processed even though nothing matched");
     assert_eq!(
-        w.registry.device(&w.kernel, w.pid, dpfd).unwrap().interest().len(),
+        w.registry
+            .device(&w.kernel, w.pid, dpfd)
+            .unwrap()
+            .interest()
+            .len(),
         0
     );
     w.kernel.end_batch(t, w.pid);
@@ -281,7 +361,9 @@ fn open_fails_cleanly_when_fd_table_full() {
     let mut registry = DevPollRegistry::new();
     let pid = kernel.spawn(1, 16);
     kernel.begin_batch(SimTime::ZERO, pid);
-    let _lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 8).unwrap();
+    let _lfd = kernel
+        .sys_listen(&mut net, SimTime::ZERO, pid, 80, 8)
+        .unwrap();
     assert_eq!(
         registry
             .open(&mut kernel, SimTime::ZERO, pid, DevPollConfig::default())

@@ -353,7 +353,10 @@ impl LoadGen {
             }
             Err(_) => {
                 // Retry shortly; the population must stay constant.
-                vec![(now + SimDuration::from_millis(100), LoadTimer::ReopenInactive)]
+                vec![(
+                    now + SimDuration::from_millis(100),
+                    LoadTimer::ReopenInactive,
+                )]
             }
         }
     }
@@ -524,7 +527,10 @@ impl LoadGen {
                 let _ = net.close(now, ep);
                 self.conns.remove(&ep.conn);
                 self.inactive_open -= 1;
-                vec![(now + SimDuration::from_millis(50), LoadTimer::ReopenInactive)]
+                vec![(
+                    now + SimDuration::from_millis(50),
+                    LoadTimer::ReopenInactive,
+                )]
             }
         }
     }
@@ -565,7 +571,10 @@ mod tests {
         for _ in 0..1000 {
             let g = lg.gap();
             let ns = g.as_nanos();
-            assert!((950_000..=1_050_000).contains(&ns), "gap {ns}ns out of bounds");
+            assert!(
+                (950_000..=1_050_000).contains(&ns),
+                "gap {ns}ns out of bounds"
+            );
         }
     }
 
@@ -577,7 +586,11 @@ mod tests {
             warmup: SimDuration::ZERO,
             ..LoadConfig::default()
         };
-        let mut net = Network::new(simnet::TcpConfig::default(), simnet::LinkConfig::default(), 2);
+        let mut net = Network::new(
+            simnet::TcpConfig::default(),
+            simnet::LinkConfig::default(),
+            2,
+        );
         let _listener = net.listen(HostId(1), 80, 8).unwrap();
         let mut lg = LoadGen::new(cfg, HostId(0), SockAddr::new(HostId(1), 80));
         let timers = lg.on_timer(&mut net, SimTime::from_millis(1), LoadTimer::NextArrival);
@@ -627,7 +640,11 @@ mod tests {
             warmup: SimDuration::ZERO,
             ..LoadConfig::default()
         };
-        let mut net = Network::new(simnet::TcpConfig::default(), simnet::LinkConfig::default(), 2);
+        let mut net = Network::new(
+            simnet::TcpConfig::default(),
+            simnet::LinkConfig::default(),
+            2,
+        );
         let _listener = net.listen(HostId(1), 80, 8).unwrap();
         let mut lg = LoadGen::new(cfg, HostId(0), SockAddr::new(HostId(1), 80));
         // First launch occupies the single fd; the next two fail.
@@ -674,7 +691,11 @@ mod tests {
             rate: 1000.0,
             ..LoadConfig::default()
         };
-        let mut net = Network::new(simnet::TcpConfig::default(), simnet::LinkConfig::default(), 2);
+        let mut net = Network::new(
+            simnet::TcpConfig::default(),
+            simnet::LinkConfig::default(),
+            2,
+        );
         // No listener: the connect will eventually fail, but not yet.
         let mut lg = LoadGen::new(cfg, HostId(0), SockAddr::new(HostId(1), 80));
         assert!(!lg.done());
@@ -683,6 +704,8 @@ mod tests {
         assert!(!lg.done());
         assert_eq!(lg.attempted(), 1);
         // Timeout timer scheduled.
-        assert!(timers.iter().any(|(_, t)| matches!(t, LoadTimer::Timeout(_))));
+        assert!(timers
+            .iter()
+            .any(|(_, t)| matches!(t, LoadTimer::Timeout(_))));
     }
 }

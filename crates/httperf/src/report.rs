@@ -1,5 +1,6 @@
 //! Measurement results: the numbers the paper plots.
 
+use simcore::probe::Snapshot;
 use simcore::stats::{Quantiles, RateSummary};
 
 /// Why a connection was aborted, matching §5.1: "Connection errors can
@@ -52,6 +53,12 @@ pub struct RunReport {
     /// Kernel wakeups delivered to server processes (thundering-herd
     /// diagnostics: spurious wakeups inflate this).
     pub kernel_wakeups: u64,
+    /// Probe snapshot of the server kernel's metric registry at the end
+    /// of the run (syscall, devpoll, rtsig, server and tcp counters).
+    pub probe: Snapshot,
+    /// Rendered event trace (empty unless categories were enabled via
+    /// `RunParams::with_trace`).
+    pub trace: String,
 }
 
 impl RunReport {
@@ -114,6 +121,8 @@ mod tests {
             sim_secs: 1.0,
             server_metrics: servers::ServerMetrics::default(),
             kernel_wakeups: 0,
+            probe: Snapshot::default(),
+            trace: String::new(),
         };
         assert_eq!(r.errors.total(), 50);
         assert!((r.error_percent() - 25.0).abs() < 1e-9);

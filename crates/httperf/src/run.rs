@@ -3,8 +3,8 @@
 //! integration tests are thin loops over [`run_one`].
 
 use devpoll::{DevPollBackend, DevPollConfig, SelectBackend, StockPollBackend};
-use simkernel::AcceptWake;
 use simcore::time::{SimDuration, SimTime};
+use simkernel::AcceptWake;
 use simkernel::CostModel;
 use simnet::{LinkConfig, TcpConfig};
 
@@ -62,7 +62,11 @@ impl ServerKind {
             ServerKind::ThttpdPoll => "poll".into(),
             ServerKind::ThttpdSelect => "select".into(),
             ServerKind::ThttpdDevPoll => "devpoll".into(),
-            ServerKind::ThttpdDevPollWith { config, mmap, combined } => format!(
+            ServerKind::ThttpdDevPollWith {
+                config,
+                mmap,
+                combined,
+            } => format!(
                 "devpoll(h={},m={},c={})",
                 config.hints as u8, *mmap as u8, *combined as u8
             ),
@@ -101,6 +105,10 @@ pub struct RunParams {
     /// Override the served document size (bytes); `None` keeps the
     /// paper's 6 KB CITI index.
     pub doc_bytes: Option<usize>,
+    /// Trace categories to enable on the server kernel (see
+    /// [`simcore::trace::CATEGORIES`]); the rendered trace lands in
+    /// [`RunReport::trace`].
+    pub trace: Vec<String>,
 }
 
 impl RunParams {
@@ -120,6 +128,7 @@ impl RunParams {
             server: ServerConfig::default(),
             horizon: SimTime::from_secs(600),
             doc_bytes: None,
+            trace: Vec::new(),
         }
     }
 
@@ -150,11 +159,25 @@ impl RunParams {
         self.link.loss_prob = prob;
         self
     }
+
+    /// Enables the given trace categories (`"devpoll"`, `"rtsig"`,
+    /// `"tcp"`, `"sched"`, or `"all"`) for this run.
+    pub fn with_trace<I, S>(mut self, categories: I) -> RunParams
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.trace.extend(categories.into_iter().map(Into::into));
+        self
+    }
 }
 
 /// Executes one benchmark run and returns its report.
 pub fn run_one(params: RunParams) -> RunReport {
     let mut bed = Testbed::new(params.cost, params.tcp, params.link, params.load);
+    for cat in &params.trace {
+        bed.kernel.trace_mut().enable_by_name(cat);
+    }
     let mut server_cfg = params.server;
     if params.kind == ServerKind::ThttpdDevPollSendfile {
         server_cfg.use_sendfile = true;
@@ -189,7 +212,11 @@ pub fn run_one(params: RunParams) -> RunReport {
                 s.set_content(content);
                 Box::new(s)
             }
-            ServerKind::ThttpdDevPollWith { config, mmap, combined } => {
+            ServerKind::ThttpdDevPollWith {
+                config,
+                mmap,
+                combined,
+            } => {
                 let mut s = Thttpd::new(
                     &mut ctx,
                     DevPollBackend::with_config(config, mmap, 512, combined),
@@ -228,7 +255,12 @@ pub fn run_one(params: RunParams) -> RunReport {
 
 /// Runs a rate sweep (one run per rate) and returns the reports in rate
 /// order — one paper figure's worth of data.
-pub fn sweep(kind: ServerKind, rates: &[f64], inactive: usize, conns_per_run: u64) -> Vec<RunReport> {
+pub fn sweep(
+    kind: ServerKind,
+    rates: &[f64],
+    inactive: usize,
+    conns_per_run: u64,
+) -> Vec<RunReport> {
     rates
         .iter()
         .map(|&rate| {

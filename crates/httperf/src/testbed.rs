@@ -172,8 +172,23 @@ impl Testbed {
 
     /// Produces the run report.
     pub fn report(self, server: &dyn Server) -> RunReport {
-        let Testbed { load, now, kernel, .. } = self;
+        let Testbed {
+            load,
+            now,
+            mut kernel,
+            net,
+            ..
+        } = self;
         let kernel_wakeups = kernel.stats().wakeups;
+        // Fold the subsystem counters that live outside the kernel into
+        // its registry so one snapshot carries the whole run.
+        server.metrics().fold_into(kernel.probe_mut());
+        net.stats().fold_into(kernel.probe_mut());
+        kernel
+            .probe_mut()
+            .gauge_set("tcp.time_wait", net.time_wait_count(SERVER_HOST) as u64);
+        let probe = kernel.probe().snapshot();
+        let trace = kernel.trace().dump();
         // The measured interval is the arrival period: stragglers resolve
         // (as errors) up to a client-timeout later, but windows after the
         // last launched request would only dilute the rate statistics.
@@ -202,6 +217,8 @@ impl Testbed {
             sim_secs: sim_end.as_secs_f64(),
             server_metrics: server.metrics(),
             kernel_wakeups,
+            probe,
+            trace,
         }
     }
 }

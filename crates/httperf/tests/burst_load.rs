@@ -71,5 +71,9 @@ fn bursts_hurt_stock_poll_more_than_devpoll() {
         s_med > 3.0 * d_med,
         "stock burst median {s_med} ms vs devpoll {d_med} ms"
     );
-    assert!(dev.error_percent() < 1.0, "devpoll errors {}", dev.error_percent());
+    assert!(
+        dev.error_percent() < 1.0,
+        "devpoll errors {}",
+        dev.error_percent()
+    );
 }

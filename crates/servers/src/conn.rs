@@ -208,10 +208,17 @@ mod tests {
         let mut kernel = Kernel::new(SERVER, CostModel::k6_2_400mhz());
         let pid = kernel.spawn_default();
         kernel.begin_batch(SimTime::ZERO, pid);
-        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        let lfd = kernel
+            .sys_listen(&mut net, SimTime::ZERO, pid, 80, 128)
+            .unwrap();
         kernel.end_batch(SimTime::ZERO, pid);
         let conn_id = net
-            .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+            .connect(
+                SimTime::ZERO,
+                CLIENT,
+                SockAddr::new(SERVER, 80),
+                SimDuration::ZERO,
+            )
             .unwrap();
         pump(&mut net, &mut kernel, SimTime::from_millis(10));
         let t = SimTime::from_millis(10);
@@ -220,7 +227,8 @@ mod tests {
         kernel.end_batch(t, pid);
 
         let client_ep = EndpointId::new(conn_id, simnet::Side::Client);
-        net.send(t, client_ep, b"GET /index.html HTTP/1.0\r\n\r\n").unwrap();
+        net.send(t, client_ep, b"GET /index.html HTTP/1.0\r\n\r\n")
+            .unwrap();
         pump(&mut net, &mut kernel, SimTime::from_millis(20));
 
         let t = SimTime::from_millis(20);
@@ -236,7 +244,9 @@ mod tests {
         assert_eq!(nf, 0);
 
         pump(&mut net, &mut kernel, SimTime::from_millis(120));
-        let body = net.recv(SimTime::from_millis(120), client_ep, usize::MAX).unwrap();
+        let body = net
+            .recv(SimTime::from_millis(120), client_ep, usize::MAX)
+            .unwrap();
         let text = String::from_utf8_lossy(&body);
         assert!(text.starts_with("HTTP/1.0 200 OK"));
         assert!(text.contains("Content-Length: 6144"));
@@ -249,10 +259,17 @@ mod tests {
         let mut kernel = Kernel::new(SERVER, CostModel::k6_2_400mhz());
         let pid = kernel.spawn_default();
         kernel.begin_batch(SimTime::ZERO, pid);
-        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        let lfd = kernel
+            .sys_listen(&mut net, SimTime::ZERO, pid, 80, 128)
+            .unwrap();
         kernel.end_batch(SimTime::ZERO, pid);
         let conn_id = net
-            .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+            .connect(
+                SimTime::ZERO,
+                CLIENT,
+                SockAddr::new(SERVER, 80),
+                SimDuration::ZERO,
+            )
             .unwrap();
         pump(&mut net, &mut kernel, SimTime::from_millis(10));
         let t = SimTime::from_millis(10);
@@ -260,7 +277,8 @@ mod tests {
         let fd = kernel.sys_accept(&mut net, t, pid, lfd).unwrap();
         kernel.end_batch(t, pid);
         let client_ep = EndpointId::new(conn_id, simnet::Side::Client);
-        net.send(t, client_ep, b"GET /nope.html HTTP/1.0\r\n\r\n").unwrap();
+        net.send(t, client_ep, b"GET /nope.html HTTP/1.0\r\n\r\n")
+            .unwrap();
         pump(&mut net, &mut kernel, SimTime::from_millis(20));
 
         let t = SimTime::from_millis(20);
@@ -280,10 +298,17 @@ mod tests {
         let mut kernel = Kernel::new(SERVER, CostModel::k6_2_400mhz());
         let pid = kernel.spawn_default();
         kernel.begin_batch(SimTime::ZERO, pid);
-        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        let lfd = kernel
+            .sys_listen(&mut net, SimTime::ZERO, pid, 80, 128)
+            .unwrap();
         kernel.end_batch(SimTime::ZERO, pid);
         let conn_id = net
-            .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+            .connect(
+                SimTime::ZERO,
+                CLIENT,
+                SockAddr::new(SERVER, 80),
+                SimDuration::ZERO,
+            )
             .unwrap();
         pump(&mut net, &mut kernel, SimTime::from_millis(10));
         let t = SimTime::from_millis(10);

@@ -114,8 +114,14 @@ mod tests {
 
     #[test]
     fn incomplete_until_blank_line() {
-        assert_eq!(parse_request(b"GET / HTTP/1.0\r\n"), ParseOutcome::Incomplete);
-        assert_eq!(parse_request(b"GET / HTTP/1.0\r\nHost:"), ParseOutcome::Incomplete);
+        assert_eq!(
+            parse_request(b"GET / HTTP/1.0\r\n"),
+            ParseOutcome::Incomplete
+        );
+        assert_eq!(
+            parse_request(b"GET / HTTP/1.0\r\nHost:"),
+            ParseOutcome::Incomplete
+        );
         assert!(matches!(
             parse_request(b"GET / HTTP/1.0\r\n\r\n"),
             ParseOutcome::Complete(_)
@@ -124,7 +130,10 @@ mod tests {
 
     #[test]
     fn malformed_inputs_rejected() {
-        assert_eq!(parse_request(b"FROB / HTTP/1.0\r\n\r\n"), ParseOutcome::Malformed);
+        assert_eq!(
+            parse_request(b"FROB / HTTP/1.0\r\n\r\n"),
+            ParseOutcome::Malformed
+        );
         assert_eq!(parse_request(b"GET\r\n\r\n"), ParseOutcome::Malformed);
         assert_eq!(parse_request(b"\xff\xfe\r\n\r\n"), ParseOutcome::Malformed);
     }

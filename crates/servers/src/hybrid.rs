@@ -65,7 +65,11 @@ pub struct HybridServer {
 
 impl HybridServer {
     /// Creates the server (spawning its process).
-    pub fn new(ctx: &mut ServerCtx<'_>, config: ServerConfig, hybrid: HybridConfig) -> HybridServer {
+    pub fn new(
+        ctx: &mut ServerCtx<'_>,
+        config: ServerConfig,
+        hybrid: HybridConfig,
+    ) -> HybridServer {
         let pid = ctx.kernel.spawn(config.fd_limit, config.rt_queue_max);
         HybridServer {
             pid,
@@ -259,6 +263,9 @@ impl HybridServer {
                 .end_batch_sleep(ctx.now, self.pid, Some(self.config.scan_interval));
         } else {
             self.metrics.busy_batches += 1;
+            ctx.kernel
+                .probe_mut()
+                .observe("server.batch_events", processed as u64);
             ctx.kernel.end_batch(ctx.now, self.pid);
         }
     }
@@ -283,6 +290,9 @@ impl HybridServer {
             Ok(WaitResult::Events(evs)) => {
                 self.metrics.busy_batches += 1;
                 let n = evs.len();
+                ctx.kernel
+                    .probe_mut()
+                    .observe("server.batch_events", n as u64);
                 for ev in evs {
                     self.dispatch(ctx, ev.fd, ev.revents);
                 }
@@ -313,10 +323,15 @@ impl Server for HybridServer {
 
     fn start(&mut self, ctx: &mut ServerCtx<'_>) -> Result<(), Errno> {
         ctx.kernel.begin_batch(ctx.now, self.pid);
-        self.lfd = ctx
-            .kernel
-            .sys_listen(ctx.net, ctx.now, self.pid, self.config.port, self.config.backlog)?;
-        self.backend.init(ctx.kernel, ctx.registry, ctx.now, self.pid)?;
+        self.lfd = ctx.kernel.sys_listen(
+            ctx.net,
+            ctx.now,
+            self.pid,
+            self.config.port,
+            self.config.backlog,
+        )?;
+        self.backend
+            .init(ctx.kernel, ctx.registry, ctx.now, self.pid)?;
         self.backend.set_interest(
             ctx.kernel,
             ctx.registry,

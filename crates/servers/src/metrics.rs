@@ -1,5 +1,7 @@
 //! Server-side counters used by the benchmark reports and tests.
 
+use simcore::probe::MetricRegistry;
+
 /// Counters one server accumulates over a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerMetrics {
@@ -30,6 +32,22 @@ impl ServerMetrics {
     /// All connections terminated for any reason.
     pub fn closed_total(&self) -> u64 {
         self.replies + self.read_errors + self.idle_closed + self.client_closed_early
+    }
+
+    /// Folds these counters into a probe registry under `server.*`
+    /// names (called once at report time; `add` keeps it idempotent-ish
+    /// for registries that fold exactly once, which the testbed does).
+    pub fn fold_into(&self, probe: &mut MetricRegistry) {
+        probe.add("server.accepted", self.accepted);
+        probe.add("server.replies", self.replies);
+        probe.add("server.read_errors", self.read_errors);
+        probe.add("server.idle_closed", self.idle_closed);
+        probe.add("server.client_closed_early", self.client_closed_early);
+        probe.add("server.not_found", self.not_found);
+        probe.add("server.stale_events", self.stale_events);
+        probe.add("server.overflows", self.overflows);
+        probe.add("server.mode_switches", self.mode_switches);
+        probe.add("server.busy_batches", self.busy_batches);
     }
 }
 

@@ -162,9 +162,9 @@ impl Phhttpd {
 
     fn finish_conn(&mut self, ctx: &mut ServerCtx<'_>, fd: Fd, kind: FinishKind) {
         if self.mode == PhMode::Polling {
-            let _ = self
-                .poll_backend
-                .remove_interest(ctx.kernel, ctx.registry, ctx.now, self.pid, fd);
+            let _ =
+                self.poll_backend
+                    .remove_interest(ctx.kernel, ctx.registry, ctx.now, self.pid, fd);
         }
         match kind {
             FinishKind::Replied => {
@@ -257,9 +257,9 @@ impl Phhttpd {
             })
             .collect();
         for (fd, ev) in fds {
-            let _ = self
-                .poll_backend
-                .set_interest(ctx.kernel, ctx.registry, ctx.now, self.pid, fd, ev);
+            let _ =
+                self.poll_backend
+                    .set_interest(ctx.kernel, ctx.registry, ctx.now, self.pid, fd, ev);
         }
     }
 
@@ -283,9 +283,13 @@ impl Phhttpd {
             .collect();
         for fd in idle {
             if self.mode == PhMode::Polling {
-                let _ = self
-                    .poll_backend
-                    .remove_interest(ctx.kernel, ctx.registry, ctx.now, self.pid, fd);
+                let _ = self.poll_backend.remove_interest(
+                    ctx.kernel,
+                    ctx.registry,
+                    ctx.now,
+                    self.pid,
+                    fd,
+                );
             }
             let _ = ctx.kernel.sys_close(ctx.net, ctx.now, self.pid, fd);
             self.conns.remove(&fd);
@@ -325,6 +329,9 @@ impl Phhttpd {
                 .end_batch_sleep(ctx.now, self.pid, Some(self.config.scan_interval));
         } else {
             self.metrics.busy_batches += 1;
+            ctx.kernel
+                .probe_mut()
+                .observe("server.batch_events", processed as u64);
             ctx.kernel.end_batch(ctx.now, self.pid);
         }
     }
@@ -344,6 +351,9 @@ impl Phhttpd {
             }
             Ok(WaitResult::Events(evs)) => {
                 self.metrics.busy_batches += 1;
+                ctx.kernel
+                    .probe_mut()
+                    .observe("server.batch_events", evs.len() as u64);
                 for ev in evs {
                     if ev.fd == self.lfd {
                         self.accept_all(ctx);
@@ -396,9 +406,13 @@ impl Server for Phhttpd {
 
     fn start(&mut self, ctx: &mut ServerCtx<'_>) -> Result<(), Errno> {
         ctx.kernel.begin_batch(ctx.now, self.pid);
-        self.lfd = ctx
-            .kernel
-            .sys_listen(ctx.net, ctx.now, self.pid, self.config.port, self.config.backlog)?;
+        self.lfd = ctx.kernel.sys_listen(
+            ctx.net,
+            ctx.now,
+            self.pid,
+            self.config.port,
+            self.config.backlog,
+        )?;
         self.rtapi.register(ctx.kernel, self.pid, self.lfd)?;
         ctx.kernel.end_batch(ctx.now, self.pid);
         self.last_scan = ctx.now;

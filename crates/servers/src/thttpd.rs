@@ -68,7 +68,8 @@ impl<B: EventBackend> Thttpd<B> {
         assert!(!self.started, "start called twice");
         ctx.kernel.begin_batch(ctx.now, self.pid);
         self.lfd = ctx.kernel.sys_share_listener(ctx.now, self.pid, listener)?;
-        self.backend.init(ctx.kernel, ctx.registry, ctx.now, self.pid)?;
+        self.backend
+            .init(ctx.kernel, ctx.registry, ctx.now, self.pid)?;
         self.backend.set_interest(
             ctx.kernel,
             ctx.registry,
@@ -216,10 +217,15 @@ impl<B: EventBackend> Server for Thttpd<B> {
     fn start(&mut self, ctx: &mut ServerCtx<'_>) -> Result<(), Errno> {
         assert!(!self.started, "start called twice");
         ctx.kernel.begin_batch(ctx.now, self.pid);
-        self.lfd = ctx
-            .kernel
-            .sys_listen(ctx.net, ctx.now, self.pid, self.config.port, self.config.backlog)?;
-        self.backend.init(ctx.kernel, ctx.registry, ctx.now, self.pid)?;
+        self.lfd = ctx.kernel.sys_listen(
+            ctx.net,
+            ctx.now,
+            self.pid,
+            self.config.port,
+            self.config.backlog,
+        )?;
+        self.backend
+            .init(ctx.kernel, ctx.registry, ctx.now, self.pid)?;
         self.backend.set_interest(
             ctx.kernel,
             ctx.registry,
@@ -251,6 +257,9 @@ impl<B: EventBackend> Server for Thttpd<B> {
             }
             Ok(WaitResult::Events(evs)) => {
                 self.metrics.busy_batches += 1;
+                ctx.kernel
+                    .probe_mut()
+                    .observe("server.batch_events", evs.len() as u64);
                 for ev in evs {
                     self.dispatch(ctx, ev.fd, ev.revents);
                 }

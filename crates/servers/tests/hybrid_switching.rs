@@ -52,7 +52,8 @@ impl Rig {
                 for e in events {
                     match e {
                         KernelEvent::FdEvent { pid, fd, .. } => {
-                            self.registry.on_fd_event(&mut self.kernel, self.now, pid, fd);
+                            self.registry
+                                .on_fd_event(&mut self.kernel, self.now, pid, fd);
                         }
                         KernelEvent::ProcRunnable { pid } if server.handles(pid) => {
                             let mut ctx = ServerCtx {
@@ -74,7 +75,12 @@ impl Rig {
     fn connect_and_request(&mut self, server: &mut dyn Server) -> ConnId {
         let conn = self
             .net
-            .connect(self.now, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+            .connect(
+                self.now,
+                CLIENT,
+                SockAddr::new(SERVER, 80),
+                SimDuration::ZERO,
+            )
             .unwrap();
         self.run(server, self.now + SimDuration::from_millis(2));
         let ep = EndpointId::new(conn, Side::Client);
@@ -137,7 +143,12 @@ fn burst_flips_to_polling_and_back() {
     for _ in 0..20 {
         let conn = rig
             .net
-            .connect(rig.now, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+            .connect(
+                rig.now,
+                CLIENT,
+                SockAddr::new(SERVER, 80),
+                SimDuration::ZERO,
+            )
             .unwrap();
         conns.push(conn);
     }
@@ -170,14 +181,21 @@ fn hybrid_never_counts_rt_losses_as_failures() {
     for _ in 0..30 {
         conns.push(
             rig.net
-                .connect(rig.now, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+                .connect(
+                    rig.now,
+                    CLIENT,
+                    SockAddr::new(SERVER, 80),
+                    SimDuration::ZERO,
+                )
                 .unwrap(),
         );
     }
     rig.run(&mut server, rig.now + SimDuration::from_millis(3));
     for &conn in &conns {
         let ep = EndpointId::new(conn, Side::Client);
-        let _ = rig.net.send(rig.now, ep, b"GET /index.html HTTP/1.0\r\n\r\n");
+        let _ = rig
+            .net
+            .send(rig.now, ep, b"GET /index.html HTTP/1.0\r\n\r\n");
     }
     rig.run(&mut server, rig.now + SimDuration::from_millis(800));
     assert_eq!(server.metrics().replies, 30, "{:?}", server.metrics());

@@ -61,7 +61,8 @@ impl Rig {
                 for e in events {
                     match e {
                         KernelEvent::FdEvent { pid, fd, .. } => {
-                            self.registry.on_fd_event(&mut self.kernel, self.now, pid, fd);
+                            self.registry
+                                .on_fd_event(&mut self.kernel, self.now, pid, fd);
                         }
                         KernelEvent::ProcRunnable { pid } if server.handles(pid) => {
                             let mut ctx = ServerCtx {
@@ -102,11 +103,7 @@ impl Rig {
     }
 }
 
-fn request_response(
-    rig: &mut Rig,
-    server: &mut dyn Server,
-    path: &str,
-) -> (ConnId, Vec<u8>) {
+fn request_response(rig: &mut Rig, server: &mut dyn Server, path: &str) -> (ConnId, Vec<u8>) {
     let conn = rig.connect(0);
     let t0 = rig.now;
     rig.run(server, t0 + SimDuration::from_millis(10));

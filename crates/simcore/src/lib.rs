@@ -12,12 +12,15 @@
 //! * [`stats`] — measurement primitives (online moments, exact quantiles,
 //!   the per-window [`stats::RateSampler`] behind the paper's reply-rate
 //!   plots);
-//! * [`series`] — figure/series containers with CSV and ASCII rendering.
+//! * [`series`] — figure/series containers with CSV and ASCII rendering;
+//! * [`probe`] — the cross-crate metric registry (counters, gauges,
+//!   log2 histograms) behind every run's observability snapshot.
 //!
 //! Everything is single-threaded and deterministic: a run is exactly
 //! reproducible from its RNG seed.
 
 pub mod engine;
+pub mod probe;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -25,7 +28,8 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Engine, EventFn, EventId};
+pub use probe::{Gauge, Histogram, MetricRegistry, Snapshot};
 pub use rng::SimRng;
 pub use stats::{OnlineStats, Quantiles, RateSampler, RateSummary};
-pub use trace::{Trace, TraceEntry};
 pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEntry};

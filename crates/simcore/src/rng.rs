@@ -189,7 +189,10 @@ mod tests {
         let mean = 4.0;
         let sum: f64 = (0..n).map(|_| r.exp(mean)).sum();
         let got = sum / n as f64;
-        assert!((got - mean).abs() < 0.1, "sample mean {got} far from {mean}");
+        assert!(
+            (got - mean).abs() < 0.1,
+            "sample mean {got} far from {mean}"
+        );
     }
 
     #[test]

@@ -323,7 +323,10 @@ mod tests {
 
     #[test]
     fn saturating_ops_clamp() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimDuration::MAX.saturating_add(SimDuration::from_nanos(1)),
             SimDuration::MAX

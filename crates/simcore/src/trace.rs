@@ -25,6 +25,10 @@ use std::collections::VecDeque;
 
 use crate::time::SimTime;
 
+/// The trace categories the simulation stack records under. CLI flags
+/// map user strings onto these statics via [`Trace::enable_by_name`].
+pub const CATEGORIES: &[&str] = &["devpoll", "rtsig", "tcp", "sched"];
+
 /// One trace entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEntry {
@@ -64,6 +68,24 @@ impl Trace {
     /// Enables every category.
     pub fn enable_all(&mut self) {
         self.all = true;
+    }
+
+    /// Enables a category named by a runtime string (CLI input).
+    ///
+    /// `"all"` enables everything. Returns `false` for names outside
+    /// [`CATEGORIES`], leaving the trace unchanged.
+    pub fn enable_by_name(&mut self, name: &str) -> bool {
+        if name == "all" {
+            self.enable_all();
+            return true;
+        }
+        match CATEGORIES.iter().find(|&&c| c == name) {
+            Some(&c) => {
+                self.enable(c);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Disables one category.
@@ -191,6 +213,17 @@ mod tests {
         let first = t.iter().next().unwrap();
         assert_eq!(first.message, "e2");
         assert_eq!(t.count("x"), 5, "counts include evicted entries");
+    }
+
+    #[test]
+    fn enable_by_name_maps_cli_strings() {
+        let mut t = Trace::new(8);
+        assert!(t.enable_by_name("devpoll"));
+        assert!(t.wants("devpoll"));
+        assert!(!t.enable_by_name("bogus"));
+        assert!(!t.wants("tcp"));
+        assert!(t.enable_by_name("all"));
+        assert!(t.wants("tcp"));
     }
 
     #[test]

@@ -207,7 +207,9 @@ impl CostModel {
 
     /// Softirq cost of receiving one segment of `wire_bytes`.
     pub fn softirq_rx(&self, wire_bytes: u32) -> SimDuration {
-        SimDuration::from_nanos(self.softirq_per_segment + self.softirq_per_byte * wire_bytes as u64)
+        SimDuration::from_nanos(
+            self.softirq_per_segment + self.softirq_per_byte * wire_bytes as u64,
+        )
     }
 
     /// Cost of copying `n` bytes across the user/kernel boundary.

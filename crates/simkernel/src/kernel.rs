@@ -25,7 +25,9 @@
 use std::collections::HashMap;
 use std::collections::HashSet;
 
+use simcore::probe::MetricRegistry;
 use simcore::time::{SimDuration, SimTime};
+use simcore::trace::Trace;
 use simnet::{EndpointId, ListenerId, NetNotify, Network, Port};
 
 use crate::cost::CostModel;
@@ -131,6 +133,13 @@ pub struct Kernel {
     watchers: HashMap<Pid, HashSet<Fd>>,
     events_out: Vec<KernelEvent>,
     stats: KernelStats,
+    /// Central metric registry every subsystem records into (syscalls
+    /// here; `/dev/poll` scan and cache counters via [`Kernel::probe_mut`];
+    /// server and TCP metrics folded in at report time).
+    probe: MetricRegistry,
+    /// Event trace shared by the kernel (`rtsig`, `tcp`, `sched`) and the
+    /// `/dev/poll` device layer (`devpoll`).
+    trace: Trace,
 }
 
 impl Kernel {
@@ -151,6 +160,8 @@ impl Kernel {
             watchers: HashMap::new(),
             events_out: Vec::new(),
             stats: KernelStats::default(),
+            probe: MetricRegistry::new(),
+            trace: Trace::new(4096),
         }
     }
 
@@ -177,6 +188,28 @@ impl Kernel {
     /// Aggregate statistics.
     pub fn stats(&self) -> KernelStats {
         self.stats
+    }
+
+    /// The metric registry (read side: snapshots, assertions).
+    pub fn probe(&self) -> &MetricRegistry {
+        &self.probe
+    }
+
+    /// The metric registry (write side, for subsystems layered on the
+    /// kernel such as the `/dev/poll` device and poll emulations).
+    pub fn probe_mut(&mut self) -> &mut MetricRegistry {
+        &mut self.probe
+    }
+
+    /// The event trace (read side).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The event trace (write side: enabling categories, recording from
+    /// subsystems layered on the kernel).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
     }
 
     // ------------------------------------------------------------------
@@ -273,7 +306,7 @@ impl Kernel {
     }
 
     /// Wakes a sleeping process (readiness event, signal arrival).
-    pub fn wake(&mut self, _now: SimTime, pid: Pid) {
+    pub fn wake(&mut self, now: SimTime, pid: Pid) {
         let Some(p) = self.procs.get_mut(&pid) else {
             return;
         };
@@ -282,7 +315,12 @@ impl Kernel {
                 p.state = ProcState::Idle;
                 p.pending_wake = false;
                 self.stats.wakeups += 1;
+                self.probe.inc("kernel.wakeups");
                 self.events_out.push(KernelEvent::ProcRunnable { pid });
+                if self.trace.wants("sched") {
+                    self.trace
+                        .record(now, "sched", format!("wake pid {pid} (sleeping -> idle)"));
+                }
             }
             ProcState::Running {
                 then: AfterBatch::Sleep { .. },
@@ -292,6 +330,11 @@ impl Kernel {
                 // cancel the sleep.
                 p.pending_wake = true;
                 self.stats.wakeups += 1;
+                self.probe.inc("kernel.wakeups");
+                if self.trace.wants("sched") {
+                    self.trace
+                        .record(now, "sched", format!("wake pid {pid} (sleep cancelled)"));
+                }
             }
             _ => {}
         }
@@ -425,6 +468,21 @@ impl Kernel {
 
     /// Routes one network notification into the kernel.
     pub fn on_net(&mut self, now: SimTime, notify: &NetNotify) {
+        if self.trace.wants("tcp") {
+            match *notify {
+                NetNotify::PeerClosed { ep } => {
+                    self.trace.record(now, "tcp", format!("FIN {ep:?}"));
+                }
+                NetNotify::ConnReset { ep } => {
+                    self.trace.record(now, "tcp", format!("RST {ep:?}"));
+                }
+                NetNotify::AcceptReady { listener } => {
+                    self.trace
+                        .record(now, "tcp", format!("accept-ready {listener:?}"));
+                }
+                _ => {}
+            }
+        }
         match *notify {
             NetNotify::SegmentArrived { host, wire_bytes } => {
                 if host == self.host {
@@ -482,9 +540,7 @@ impl Kernel {
                         self.accept_rr = (self.accept_rr + 1) % n;
                         let pick = (0..n)
                             .map(|i| owners[(start + i) % n])
-                            .find(|&(pid, _)| {
-                                self.procs.get(&pid).is_some_and(|p| p.is_sleeping())
-                            })
+                            .find(|&(pid, _)| self.procs.get(&pid).is_some_and(|p| p.is_sleeping()))
                             .unwrap_or(owners[start % n]);
                         self.raise_fd_event(now, pick.0, pick.1, PollBits::POLLIN);
                     }
@@ -529,12 +585,24 @@ impl Kernel {
             let sigio_cost = SimDuration::from_nanos(self.cost.sigio_raise);
             let p = self.proc_mut(pid);
             let ok = p.signals.enqueue_rt(Siginfo { signo, fd, band });
+            let depth = p.signals.queue_len() as u64;
             self.cpu.charge_softirq(now, rt_cost);
             if ok {
                 self.stats.rt_signals += 1;
+                self.probe.inc("rtsig.enqueued");
             } else {
                 self.stats.rt_overflows += 1;
+                self.probe.inc("rtsig.overflows");
                 self.cpu.charge_softirq(now, sigio_cost);
+            }
+            self.probe.gauge_set("rtsig.queue_depth", depth);
+            if self.trace.wants("rtsig") {
+                let state = if ok { "queued" } else { "OVERFLOW -> SIGIO" };
+                self.trace.record(
+                    now,
+                    "rtsig",
+                    format!("sig {signo} fd {fd} {band} {state} (depth {depth})"),
+                );
             }
             // A signal (RT or the overflow SIGIO) is deliverable: wake a
             // process blocked in sigwaitinfo.
@@ -542,11 +610,7 @@ impl Kernel {
         }
 
         // Wait-queue wakeup for poll-style sleepers.
-        if self
-            .watchers
-            .get(&pid)
-            .is_some_and(|set| set.contains(&fd))
-        {
+        if self.watchers.get(&pid).is_some_and(|set| set.contains(&fd)) {
             self.wake(now, pid);
         }
     }
@@ -563,6 +627,33 @@ impl Kernel {
         self.stats.syscalls += 1;
     }
 
+    /// Counts a syscall entry and charges its base cost. Returns the
+    /// batch accumulator at entry so [`Kernel::syscall_exit`] can observe
+    /// the syscall's full simulated latency (base plus any per-byte or
+    /// per-item charges added before the exit).
+    fn syscall_enter(&mut self, pid: Pid, counter: &'static str, extra: u64) -> SimDuration {
+        self.probe.inc(counter);
+        let entry = self
+            .procs
+            .get(&pid)
+            .and_then(|p| p.batch_acc)
+            .unwrap_or(SimDuration::ZERO);
+        self.charge_syscall(pid, extra);
+        entry
+    }
+
+    /// Observes the simulated latency accumulated since `entry` into the
+    /// named histogram (happy-path exits only; error paths still count
+    /// the entry).
+    fn syscall_exit(&mut self, pid: Pid, entry: SimDuration, hist: &'static str) {
+        let acc = self
+            .procs
+            .get(&pid)
+            .and_then(|p| p.batch_acc)
+            .unwrap_or(entry);
+        self.probe.observe(hist, (acc - entry).as_nanos());
+    }
+
     /// `socket` + `bind` + `listen` in one step: opens a listening
     /// descriptor on this host.
     pub fn sys_listen(
@@ -573,13 +664,17 @@ impl Kernel {
         port: Port,
         backlog: usize,
     ) -> Result<Fd, Errno> {
-        self.charge_syscall(pid, self.cost.accept);
+        let t0 = self.syscall_enter(pid, "syscall.listen", self.cost.accept);
         let listener = net
             .listen(self.host, port, backlog)
             .map_err(|_| Errno::EADDRINUSE)?;
         let fd = self.proc_mut(pid).fds.alloc(FileKind::Listener(listener))?;
-        self.listener_owner.entry(listener).or_default().push((pid, fd));
+        self.listener_owner
+            .entry(listener)
+            .or_default()
+            .push((pid, fd));
         self.listen_ready.insert(listener, false);
+        self.syscall_exit(pid, t0, "syscall_ns.listen");
         Ok(fd)
     }
 
@@ -592,12 +687,16 @@ impl Kernel {
         pid: Pid,
         listener: ListenerId,
     ) -> Result<Fd, Errno> {
-        self.charge_syscall(pid, self.cost.fcntl);
+        let t0 = self.syscall_enter(pid, "syscall.share_listener", self.cost.fcntl);
         if !self.listener_owner.contains_key(&listener) {
             return Err(Errno::EBADF);
         }
         let fd = self.proc_mut(pid).fds.alloc(FileKind::Listener(listener))?;
-        self.listener_owner.entry(listener).or_default().push((pid, fd));
+        self.listener_owner
+            .entry(listener)
+            .or_default()
+            .push((pid, fd));
+        self.syscall_exit(pid, t0, "syscall_ns.share_listener");
         Ok(fd)
     }
 
@@ -618,7 +717,7 @@ impl Kernel {
         pid: Pid,
         listen_fd: Fd,
     ) -> Result<Fd, Errno> {
-        self.charge_syscall(pid, self.cost.accept);
+        let t0 = self.syscall_enter(pid, "syscall.accept", self.cost.accept);
         let listener = match self.process(pid).fds.get(listen_fd)?.kind {
             FileKind::Listener(l) => l,
             _ => return Err(Errno::EINVAL),
@@ -650,6 +749,7 @@ impl Kernel {
                 err: false,
             },
         );
+        self.syscall_exit(pid, t0, "syscall_ns.accept");
         Ok(fd)
     }
 
@@ -665,7 +765,7 @@ impl Kernel {
         fd: Fd,
         max: usize,
     ) -> Result<Vec<u8>, Errno> {
-        self.charge_syscall(pid, self.cost.read_base);
+        let t0 = self.syscall_enter(pid, "syscall.read", self.cost.read_base);
         let ep = self.endpoint_of(pid, fd)?;
         if self.mirrors.get(&ep).is_some_and(|m| m.err) {
             return Err(Errno::ECONNRESET);
@@ -687,10 +787,12 @@ impl Kernel {
         }
         if data.is_empty() {
             if eof {
+                self.syscall_exit(pid, t0, "syscall_ns.read");
                 return Ok(Vec::new()); // EOF.
             }
             return Err(Errno::EAGAIN);
         }
+        self.syscall_exit(pid, t0, "syscall_ns.read");
         Ok(data)
     }
 
@@ -705,7 +807,7 @@ impl Kernel {
         fd: Fd,
         data: &[u8],
     ) -> Result<usize, Errno> {
-        self.charge_syscall(pid, self.cost.write_base);
+        let t0 = self.syscall_enter(pid, "syscall.write", self.cost.write_base);
         let ep = self.endpoint_of(pid, fd)?;
         if self.mirrors.get(&ep).is_some_and(|m| m.err) {
             return Err(Errno::ECONNRESET);
@@ -730,6 +832,7 @@ impl Kernel {
         if n == 0 {
             return Err(Errno::EAGAIN);
         }
+        self.syscall_exit(pid, t0, "syscall_ns.write");
         Ok(n)
     }
 
@@ -748,7 +851,7 @@ impl Kernel {
         fd: Fd,
         data: &[u8],
     ) -> Result<usize, Errno> {
-        self.charge_syscall(pid, self.cost.write_base);
+        let t0 = self.syscall_enter(pid, "syscall.sendfile", self.cost.write_base);
         let ep = self.endpoint_of(pid, fd)?;
         if self.mirrors.get(&ep).is_some_and(|m| m.err) {
             return Err(Errno::ECONNRESET);
@@ -776,6 +879,7 @@ impl Kernel {
         if n == 0 {
             return Err(Errno::EAGAIN);
         }
+        self.syscall_exit(pid, t0, "syscall_ns.sendfile");
         Ok(n)
     }
 
@@ -790,7 +894,7 @@ impl Kernel {
         pid: Pid,
         fd: Fd,
     ) -> Result<(), Errno> {
-        self.charge_syscall(pid, self.cost.close);
+        let t0 = self.syscall_enter(pid, "syscall.close", self.cost.close);
         let vnow = self.vnow(now, pid);
         let file = self.proc_mut(pid).fds.close(fd)?;
         match file.kind {
@@ -812,6 +916,7 @@ impl Kernel {
             FileKind::DevPoll(_) => {}
         }
         self.unwatch(pid, fd);
+        self.syscall_exit(pid, t0, "syscall_ns.close");
         Ok(())
     }
 
@@ -823,7 +928,7 @@ impl Kernel {
         pid: Pid,
         fd: Fd,
     ) -> Result<(), Errno> {
-        self.charge_syscall(pid, self.cost.close);
+        let t0 = self.syscall_enter(pid, "syscall.abort", self.cost.close);
         let vnow = self.vnow(now, pid);
         let file = self.proc_mut(pid).fds.close(fd)?;
         if let FileKind::Stream(ep) = file.kind {
@@ -832,13 +937,15 @@ impl Kernel {
             let _ = net.abort(vnow, ep);
         }
         self.unwatch(pid, fd);
+        self.syscall_exit(pid, t0, "syscall_ns.abort");
         Ok(())
     }
 
     /// `fcntl(fd, F_SETFL, O_NONBLOCK)`.
     pub fn sys_set_nonblock(&mut self, pid: Pid, fd: Fd) -> Result<(), Errno> {
-        self.charge_syscall(pid, self.cost.fcntl);
+        let t0 = self.syscall_enter(pid, "syscall.set_nonblock", self.cost.fcntl);
         self.proc_mut(pid).fds.get_mut(fd)?.nonblock = true;
+        self.syscall_exit(pid, t0, "syscall_ns.set_nonblock");
         Ok(())
     }
 
@@ -848,7 +955,7 @@ impl Kernel {
     /// Pass `None` to clear. The signal number must be in the RT range.
     pub fn sys_set_sig(&mut self, pid: Pid, fd: Fd, signo: Option<u8>) -> Result<(), Errno> {
         // F_SETSIG and F_SETOWN are two fcntl calls in the real API.
-        self.charge_syscall(pid, self.cost.fcntl);
+        let t0 = self.syscall_enter(pid, "syscall.set_sig", self.cost.fcntl);
         self.charge_syscall(pid, self.cost.fcntl);
         if let Some(s) = signo {
             if !(SIGRTMIN..=SIGRTMAX).contains(&s) {
@@ -856,35 +963,55 @@ impl Kernel {
             }
         }
         self.proc_mut(pid).fds.get_mut(fd)?.sig = signo;
+        self.syscall_exit(pid, t0, "syscall_ns.set_sig");
         Ok(())
     }
 
     /// `sigwaitinfo()`: dequeues the next pending signal, or `EAGAIN` if
     /// none (caller decides to sleep).
     pub fn sys_sigwaitinfo(&mut self, pid: Pid) -> Result<Siginfo, Errno> {
-        self.charge_syscall(pid, self.cost.rt_dequeue);
-        self.proc_mut(pid).signals.dequeue().ok_or(Errno::EAGAIN)
+        let t0 = self.syscall_enter(pid, "syscall.sigwaitinfo", self.cost.rt_dequeue);
+        let out = self.proc_mut(pid).signals.dequeue();
+        let depth = self.process(pid).signals.queue_len() as u64;
+        self.probe.gauge_set("rtsig.queue_depth", depth);
+        match out {
+            Some(info) => {
+                self.probe.inc("rtsig.dequeued");
+                self.syscall_exit(pid, t0, "syscall_ns.sigwaitinfo");
+                Ok(info)
+            }
+            None => Err(Errno::EAGAIN),
+        }
     }
 
     /// The paper's proposed `sigtimedwait4()`: dequeues up to `max`
     /// signals in one syscall (§6).
     pub fn sys_sigtimedwait4(&mut self, pid: Pid, max: usize) -> Result<Vec<Siginfo>, Errno> {
         // One syscall; per-signal dequeue work still applies.
-        self.charge_syscall(pid, 0);
+        let t0 = self.syscall_enter(pid, "syscall.sigtimedwait4", 0);
         let batch = self.proc_mut(pid).signals.dequeue_batch(max);
         let c = SimDuration::from_nanos(self.cost.rt_dequeue * batch.len() as u64);
         self.charge(pid, c);
+        let depth = self.process(pid).signals.queue_len() as u64;
+        self.probe.gauge_set("rtsig.queue_depth", depth);
         if batch.is_empty() {
             return Err(Errno::EAGAIN);
         }
+        self.probe.add("rtsig.dequeued", batch.len() as u64);
+        self.probe.observe("rtsig.batch_size", batch.len() as u64);
+        self.syscall_exit(pid, t0, "syscall_ns.sigtimedwait4");
         Ok(batch)
     }
 
     /// Flushes the RT queue (overflow recovery: handlers reset to
     /// `SIG_DFL`). Returns how many signals were discarded.
     pub fn sys_flush_rt(&mut self, pid: Pid) -> usize {
-        self.charge_syscall(pid, 0);
-        self.proc_mut(pid).signals.flush_rt()
+        let t0 = self.syscall_enter(pid, "syscall.flush_rt", 0);
+        let n = self.proc_mut(pid).signals.flush_rt();
+        self.probe.add("rtsig.flushed", n as u64);
+        self.probe.gauge_set("rtsig.queue_depth", 0);
+        self.syscall_exit(pid, t0, "syscall_ns.flush_rt");
+        n
     }
 
     /// Charges arbitrary application-level work (request parsing, file
@@ -954,7 +1081,12 @@ mod tests {
         listen_fd: Fd,
     ) -> (Fd, simnet::ConnId) {
         let conn = net
-            .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+            .connect(
+                SimTime::ZERO,
+                CLIENT,
+                SockAddr::new(SERVER, 80),
+                SimDuration::ZERO,
+            )
             .unwrap();
         pump(net, kernel, SimTime::from_millis(10));
         kernel.begin_batch(SimTime::from_millis(10), pid);
@@ -969,7 +1101,9 @@ mod tests {
     fn listen_accept_read_write_close_lifecycle() {
         let (mut net, mut kernel, pid) = setup();
         kernel.begin_batch(SimTime::ZERO, pid);
-        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        let lfd = kernel
+            .sys_listen(&mut net, SimTime::ZERO, pid, 80, 128)
+            .unwrap();
         kernel.end_batch(SimTime::ZERO, pid);
 
         let (fd, conn) = connect_one(&mut net, &mut kernel, pid, lfd);
@@ -987,13 +1121,17 @@ mod tests {
         assert_eq!(&data, b"GET / HTTP/1.0\r\n\r\n");
         // Drained: no longer readable.
         assert!(!kernel.readiness(pid, fd).contains(PollBits::POLLIN));
-        let n = kernel.sys_write(&mut net, t, pid, fd, &[0u8; 6144]).unwrap();
+        let n = kernel
+            .sys_write(&mut net, t, pid, fd, &[0u8; 6144])
+            .unwrap();
         assert_eq!(n, 6144);
         kernel.sys_close(&mut net, t, pid, fd).unwrap();
         kernel.end_batch(t, pid);
 
         pump(&mut net, &mut kernel, SimTime::from_millis(100));
-        let got = net.recv(SimTime::from_millis(100), client_ep, 10_000).unwrap();
+        let got = net
+            .recv(SimTime::from_millis(100), client_ep, 10_000)
+            .unwrap();
         assert_eq!(got.len(), 6144);
         assert!(net.peer_closed(client_ep));
     }
@@ -1002,14 +1140,19 @@ mod tests {
     fn read_empty_is_eagain_then_eof_after_fin() {
         let (mut net, mut kernel, pid) = setup();
         kernel.begin_batch(SimTime::ZERO, pid);
-        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        let lfd = kernel
+            .sys_listen(&mut net, SimTime::ZERO, pid, 80, 128)
+            .unwrap();
         kernel.end_batch(SimTime::ZERO, pid);
         let (fd, conn) = connect_one(&mut net, &mut kernel, pid, lfd);
         let client_ep = EndpointId::new(conn, simnet::Side::Client);
 
         let t = SimTime::from_millis(20);
         kernel.begin_batch(t, pid);
-        assert_eq!(kernel.sys_read(&mut net, t, pid, fd, 4096), Err(Errno::EAGAIN));
+        assert_eq!(
+            kernel.sys_read(&mut net, t, pid, fd, 4096),
+            Err(Errno::EAGAIN)
+        );
         kernel.end_batch(t, pid);
 
         net.close(t, client_ep).unwrap();
@@ -1026,7 +1169,9 @@ mod tests {
     fn batch_costs_delay_completion_and_count_syscalls() {
         let (mut net, mut kernel, pid) = setup();
         kernel.begin_batch(SimTime::ZERO, pid);
-        let _ = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        let _ = kernel
+            .sys_listen(&mut net, SimTime::ZERO, pid, 80, 128)
+            .unwrap();
         let done = kernel.end_batch(SimTime::ZERO, pid);
         assert!(done > SimTime::ZERO, "syscall work takes CPU time");
         assert_eq!(kernel.process(pid).syscall_count, 1);
@@ -1040,7 +1185,9 @@ mod tests {
     fn sleeping_process_wakes_on_readiness() {
         let (mut net, mut kernel, pid) = setup();
         kernel.begin_batch(SimTime::ZERO, pid);
-        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        let lfd = kernel
+            .sys_listen(&mut net, SimTime::ZERO, pid, 80, 128)
+            .unwrap();
         kernel.end_batch(SimTime::ZERO, pid);
         let _ = kernel.advance(SimTime::from_millis(1));
 
@@ -1060,7 +1207,9 @@ mod tests {
         )
         .unwrap();
         let evs = pump(&mut net, &mut kernel, SimTime::from_millis(10));
-        assert!(evs.iter().any(|e| matches!(e, KernelEvent::ProcRunnable { .. })));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, KernelEvent::ProcRunnable { .. })));
         assert!(!kernel.process(pid).is_sleeping());
         assert_eq!(kernel.stats().wakeups, 1);
     }
@@ -1095,7 +1244,9 @@ mod tests {
     fn f_setsig_queues_rt_signals_on_events() {
         let (mut net, mut kernel, pid) = setup();
         kernel.begin_batch(SimTime::ZERO, pid);
-        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        let lfd = kernel
+            .sys_listen(&mut net, SimTime::ZERO, pid, 80, 128)
+            .unwrap();
         kernel.end_batch(SimTime::ZERO, pid);
         let (fd, conn) = connect_one(&mut net, &mut kernel, pid, lfd);
         let t = SimTime::from_millis(20);
@@ -1122,7 +1273,9 @@ mod tests {
     fn set_sig_rejects_non_rt_numbers() {
         let (mut net, mut kernel, pid) = setup();
         kernel.begin_batch(SimTime::ZERO, pid);
-        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        let lfd = kernel
+            .sys_listen(&mut net, SimTime::ZERO, pid, 80, 128)
+            .unwrap();
         assert_eq!(kernel.sys_set_sig(pid, lfd, Some(5)), Err(Errno::EINVAL));
         kernel.end_batch(SimTime::ZERO, pid);
     }
@@ -1163,10 +1316,17 @@ mod tests {
         // Tiny queue to overflow quickly.
         let pid = kernel.spawn(1024, 2);
         kernel.begin_batch(SimTime::ZERO, pid);
-        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        let lfd = kernel
+            .sys_listen(&mut net, SimTime::ZERO, pid, 80, 128)
+            .unwrap();
         kernel.end_batch(SimTime::ZERO, pid);
         let conn = net
-            .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+            .connect(
+                SimTime::ZERO,
+                CLIENT,
+                SockAddr::new(SERVER, 80),
+                SimDuration::ZERO,
+            )
             .unwrap();
         pump(&mut net, &mut kernel, SimTime::from_millis(10));
         let t = SimTime::from_millis(10);
@@ -1201,7 +1361,9 @@ mod tests {
     fn sigtimedwait4_dequeues_in_one_syscall() {
         let (mut net, mut kernel, pid) = setup();
         kernel.begin_batch(SimTime::ZERO, pid);
-        let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        let lfd = kernel
+            .sys_listen(&mut net, SimTime::ZERO, pid, 80, 128)
+            .unwrap();
         kernel.end_batch(SimTime::ZERO, pid);
         let (fd, conn) = connect_one(&mut net, &mut kernel, pid, lfd);
         let t = SimTime::from_millis(20);
@@ -1220,7 +1382,11 @@ mod tests {
         kernel.begin_batch(t, pid);
         let batch = kernel.sys_sigtimedwait4(pid, 16).unwrap();
         kernel.end_batch(t, pid);
-        assert!(batch.len() >= 2, "multiple events in one call: {}", batch.len());
+        assert!(
+            batch.len() >= 2,
+            "multiple events in one call: {}",
+            batch.len()
+        );
         assert_eq!(kernel.process(pid).syscall_count, before + 1);
     }
 
@@ -1229,7 +1395,9 @@ mod tests {
         let (mut net, mut kernel, _pid) = setup();
         let pid = kernel.spawn(1, 16);
         kernel.begin_batch(SimTime::ZERO, pid);
-        let _l = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 128).unwrap();
+        let _l = kernel
+            .sys_listen(&mut net, SimTime::ZERO, pid, 80, 128)
+            .unwrap();
         // Table full (limit 1): next allocation fails.
         assert_eq!(
             kernel.sys_listen(&mut net, SimTime::ZERO, pid, 81, 128),

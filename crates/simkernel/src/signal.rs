@@ -277,7 +277,7 @@ mod tests {
         // LinuxThreads; the application-visible RT range must start
         // above it.
         assert_eq!(GLIBC_PTHREAD_SIGNAL, 32);
-        assert!(SIGRTMIN > GLIBC_PTHREAD_SIGNAL);
+        const { assert!(SIGRTMIN > GLIBC_PTHREAD_SIGNAL) };
     }
 
     #[test]

@@ -183,16 +183,28 @@ mod tests {
         let mut tx = Tx::new(cfg());
         let s = seg(1210);
         let d = tx.offer(SimTime::ZERO, &s, SimDuration::from_millis(50));
-        assert_eq!(d, TxOutcome::Deliver(SimTime::from_micros(100 + 100 + 50_000)));
+        assert_eq!(
+            d,
+            TxOutcome::Deliver(SimTime::from_micros(100 + 100 + 50_000))
+        );
     }
 
     #[test]
     fn queue_overflow_drops() {
         let mut tx = Tx::new(cfg()); // cap 2
         let s = seg(1210);
-        assert!(matches!(tx.offer(SimTime::ZERO, &s, SimDuration::ZERO), TxOutcome::Deliver(_)));
-        assert!(matches!(tx.offer(SimTime::ZERO, &s, SimDuration::ZERO), TxOutcome::Deliver(_)));
-        assert_eq!(tx.offer(SimTime::ZERO, &s, SimDuration::ZERO), TxOutcome::Dropped);
+        assert!(matches!(
+            tx.offer(SimTime::ZERO, &s, SimDuration::ZERO),
+            TxOutcome::Deliver(_)
+        ));
+        assert!(matches!(
+            tx.offer(SimTime::ZERO, &s, SimDuration::ZERO),
+            TxOutcome::Deliver(_)
+        ));
+        assert_eq!(
+            tx.offer(SimTime::ZERO, &s, SimDuration::ZERO),
+            TxOutcome::Dropped
+        );
         assert_eq!(tx.drops(), 1);
         assert_eq!(tx.sent(), 2);
     }

@@ -116,7 +116,6 @@ struct Host {
 
 #[derive(Debug)]
 struct Listener {
-
     backlog: usize,
     /// Handshakes in progress.
     syn_rcvd: HashSet<ConnId>,
@@ -143,6 +142,20 @@ pub struct NetStats {
     pub syn_drops: u64,
     /// Segments dropped by injected random loss.
     pub injected_losses: u64,
+}
+
+impl NetStats {
+    /// Folds these counters into a probe registry under `tcp.*` names
+    /// (called once at report time).
+    pub fn fold_into(&self, probe: &mut simcore::probe::MetricRegistry) {
+        probe.add("tcp.conns_started", self.conns_started);
+        probe.add("tcp.conns_established", self.conns_established);
+        probe.add("tcp.conns_reset", self.conns_reset);
+        probe.add("tcp.conns_closed", self.conns_closed);
+        probe.add("tcp.retransmits", self.retransmits);
+        probe.add("tcp.syn_drops", self.syn_drops);
+        probe.add("tcp.injected_losses", self.injected_losses);
+    }
 }
 
 /// The simulated network fabric connecting all hosts through one switch.
@@ -270,7 +283,12 @@ impl Network {
     // ------------------------------------------------------------------
 
     /// Opens a listening socket on `host:port` with the given backlog.
-    pub fn listen(&mut self, host: HostId, port: Port, backlog: usize) -> Result<ListenerId, NetError> {
+    pub fn listen(
+        &mut self,
+        host: HostId,
+        port: Port,
+        backlog: usize,
+    ) -> Result<ListenerId, NetError> {
         let addr = SockAddr::new(host, port);
         if self.listen_by_addr.contains_key(&addr) {
             return Err(NetError::AddrInUse);
@@ -966,7 +984,13 @@ impl Network {
                         kind: SegKind::Syn,
                     },
                 );
-                self.arm(now + rearm, Timer::Rto { conn: conn_id, side });
+                self.arm(
+                    now + rearm,
+                    Timer::Rto {
+                        conn: conn_id,
+                        side,
+                    },
+                );
             }
             Action::ResetBoth => {
                 let conn = self.conns.get_mut(&conn_id).expect("checked above");
@@ -985,10 +1009,22 @@ impl Network {
             Action::Retransmit { rearm } => {
                 self.stats.retransmits += 1;
                 self.pump_retransmit(now, conn_id, side);
-                self.arm(now + rearm, Timer::Rto { conn: conn_id, side });
+                self.arm(
+                    now + rearm,
+                    Timer::Rto {
+                        conn: conn_id,
+                        side,
+                    },
+                );
             }
             Action::Rearm { at } => {
-                self.arm(at, Timer::Rto { conn: conn_id, side });
+                self.arm(
+                    at,
+                    Timer::Rto {
+                        conn: conn_id,
+                        side,
+                    },
+                );
             }
         }
     }
@@ -1000,10 +1036,7 @@ impl Network {
     }
 
     fn check_full_close(&mut self, now: SimTime, conn_id: ConnId) {
-        let done = self
-            .conns
-            .get(&conn_id)
-            .is_some_and(|c| c.fully_closed());
+        let done = self.conns.get(&conn_id).is_some_and(|c| c.fully_closed());
         if !done {
             return;
         }
@@ -1041,9 +1074,7 @@ impl Network {
             let port = conn.port(side);
             // A listener's well-known port is shared by many connections;
             // only ephemeral (client-allocated) ports are released.
-            let is_listener_port = self
-                .listen_by_addr
-                .contains_key(&SockAddr::new(host, port));
+            let is_listener_port = self.listen_by_addr.contains_key(&SockAddr::new(host, port));
             if is_listener_port {
                 continue;
             }

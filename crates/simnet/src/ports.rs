@@ -218,7 +218,11 @@ mod tests {
                 }
             }
         }
-        assert_eq!(failed_at, Some(60_000), "exhausts exactly at the range size");
+        assert_eq!(
+            failed_at,
+            Some(60_000),
+            "exhausts exactly at the range size"
+        );
         // After the drain the allocator recovers fully.
         a.expire(t + SimDuration::from_secs(61));
         assert_eq!(a.in_time_wait(), 0);

@@ -36,7 +36,12 @@ fn handshake_establishes_and_accepts() {
     let mut net = network();
     let listener = net.listen(SERVER, 80, 128).unwrap();
     let conn = net
-        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .connect(
+            SimTime::ZERO,
+            CLIENT,
+            SockAddr::new(SERVER, 80),
+            SimDuration::ZERO,
+        )
         .unwrap();
     let (events, _) = run(&mut net, SimTime::from_secs(1));
 
@@ -53,7 +58,12 @@ fn data_flows_both_directions() {
     let mut net = network();
     let listener = net.listen(SERVER, 80, 128).unwrap();
     let conn = net
-        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .connect(
+            SimTime::ZERO,
+            CLIENT,
+            SockAddr::new(SERVER, 80),
+            SimDuration::ZERO,
+        )
         .unwrap();
     let (_, mut now) = run(&mut net, SimTime::from_millis(50));
     let server_ep = net.accept(listener).unwrap();
@@ -82,7 +92,12 @@ fn clean_close_enters_time_wait_on_client_port() {
     let mut net = network();
     let listener = net.listen(SERVER, 80, 128).unwrap();
     let conn = net
-        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .connect(
+            SimTime::ZERO,
+            CLIENT,
+            SockAddr::new(SERVER, 80),
+            SimDuration::ZERO,
+        )
         .unwrap();
     let (_, now) = run(&mut net, SimTime::from_millis(50));
     let server_ep = net.accept(listener).unwrap();
@@ -109,8 +124,13 @@ fn backlog_overflow_drops_syns() {
     let mut net = network();
     let listener = net.listen(SERVER, 80, 2).unwrap();
     for _ in 0..5 {
-        net.connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
-            .unwrap();
+        net.connect(
+            SimTime::ZERO,
+            CLIENT,
+            SockAddr::new(SERVER, 80),
+            SimDuration::ZERO,
+        )
+        .unwrap();
     }
     let (events, _) = run(&mut net, SimTime::from_millis(10));
     let drops = events
@@ -130,10 +150,20 @@ fn rst_on_backlog_full_refuses_connect() {
     };
     let mut net = Network::new(cfg, LinkConfig::default(), 2);
     net.listen(SERVER, 80, 1).unwrap();
-    net.connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
-        .unwrap();
+    net.connect(
+        SimTime::ZERO,
+        CLIENT,
+        SockAddr::new(SERVER, 80),
+        SimDuration::ZERO,
+    )
+    .unwrap();
     let refused_conn = net
-        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .connect(
+            SimTime::ZERO,
+            CLIENT,
+            SockAddr::new(SERVER, 80),
+            SimDuration::ZERO,
+        )
         .unwrap();
     let (events, _) = run(&mut net, SimTime::from_millis(10));
     assert!(events.iter().any(|e| matches!(
@@ -146,7 +176,12 @@ fn rst_on_backlog_full_refuses_connect() {
 fn connect_to_closed_port_is_refused() {
     let mut net = network();
     let conn = net
-        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 81), SimDuration::ZERO)
+        .connect(
+            SimTime::ZERO,
+            CLIENT,
+            SockAddr::new(SERVER, 81),
+            SimDuration::ZERO,
+        )
         .unwrap();
     let (events, _) = run(&mut net, SimTime::from_millis(10));
     assert!(events.iter().any(|e| matches!(
@@ -161,8 +196,13 @@ fn extra_delay_slows_the_path() {
     let mut net = network();
     net.listen(SERVER, 80, 128).unwrap();
     // LAN client.
-    net.connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
-        .unwrap();
+    net.connect(
+        SimTime::ZERO,
+        CLIENT,
+        SockAddr::new(SERVER, 80),
+        SimDuration::ZERO,
+    )
+    .unwrap();
     let (events, _) = run(&mut net, SimTime::from_millis(5));
     let lan_done = events
         .iter()
@@ -182,7 +222,9 @@ fn extra_delay_slows_the_path() {
     .unwrap();
     let (events, _) = run(&mut net2, SimTime::from_millis(150));
     assert!(
-        !events.iter().any(|e| matches!(e, NetNotify::ConnectDone { .. })),
+        !events
+            .iter()
+            .any(|e| matches!(e, NetNotify::ConnectDone { .. })),
         "high-latency handshake cannot finish in 150 ms"
     );
     let (events, _) = run(&mut net2, SimTime::from_millis(300));
@@ -196,7 +238,12 @@ fn abort_frees_port_without_time_wait() {
     let mut net = network();
     net.listen(SERVER, 80, 128).unwrap();
     let conn = net
-        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .connect(
+            SimTime::ZERO,
+            CLIENT,
+            SockAddr::new(SERVER, 80),
+            SimDuration::ZERO,
+        )
         .unwrap();
     let (_, now) = run(&mut net, SimTime::from_millis(10));
     net.abort(now, EndpointId::new(conn, Side::Client)).unwrap();
@@ -210,7 +257,12 @@ fn abort_notifies_peer_with_reset() {
     let mut net = network();
     let listener = net.listen(SERVER, 80, 128).unwrap();
     let conn = net
-        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .connect(
+            SimTime::ZERO,
+            CLIENT,
+            SockAddr::new(SERVER, 80),
+            SimDuration::ZERO,
+        )
         .unwrap();
     let (_, now) = run(&mut net, SimTime::from_millis(10));
     let server_ep = net.accept(listener).unwrap();
@@ -228,7 +280,12 @@ fn send_buffer_backpressure_and_writable() {
     let mut net = Network::new(cfg, LinkConfig::default(), 2);
     let listener = net.listen(SERVER, 80, 128).unwrap();
     let conn = net
-        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .connect(
+            SimTime::ZERO,
+            CLIENT,
+            SockAddr::new(SERVER, 80),
+            SimDuration::ZERO,
+        )
         .unwrap();
     let (_, now) = run(&mut net, SimTime::from_millis(10));
     let _server_ep = net.accept(listener).unwrap();
@@ -248,8 +305,13 @@ fn send_buffer_backpressure_and_writable() {
 fn segment_arrivals_are_accounted_per_host() {
     let mut net = network();
     net.listen(SERVER, 80, 128).unwrap();
-    net.connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
-        .unwrap();
+    net.connect(
+        SimTime::ZERO,
+        CLIENT,
+        SockAddr::new(SERVER, 80),
+        SimDuration::ZERO,
+    )
+    .unwrap();
     let (events, _) = run(&mut net, SimTime::from_millis(10));
     let server_arrivals = events
         .iter()
@@ -273,7 +335,12 @@ fn large_transfer_respects_bandwidth_ceiling() {
     let mut net = network();
     let listener = net.listen(SERVER, 80, 128).unwrap();
     let conn = net
-        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .connect(
+            SimTime::ZERO,
+            CLIENT,
+            SockAddr::new(SERVER, 80),
+            SimDuration::ZERO,
+        )
         .unwrap();
     let (_, now) = run(&mut net, SimTime::from_millis(10));
     let server_ep = net.accept(listener).unwrap();
@@ -328,7 +395,12 @@ fn lossy_overload_recovers_via_retransmission() {
     let mut net = Network::new(TcpConfig::default(), link, 2);
     let listener = net.listen(SERVER, 80, 128).unwrap();
     let conn = net
-        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .connect(
+            SimTime::ZERO,
+            CLIENT,
+            SockAddr::new(SERVER, 80),
+            SimDuration::ZERO,
+        )
         .unwrap();
     let (_, now) = run(&mut net, SimTime::from_millis(10));
     let server_ep = net.accept(listener).unwrap();
@@ -363,7 +435,12 @@ fn double_close_is_bad_state() {
     let mut net = network();
     let listener = net.listen(SERVER, 80, 128).unwrap();
     let conn = net
-        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .connect(
+            SimTime::ZERO,
+            CLIENT,
+            SockAddr::new(SERVER, 80),
+            SimDuration::ZERO,
+        )
         .unwrap();
     let (_, now) = run(&mut net, SimTime::from_millis(10));
     let _ = net.accept(listener).unwrap();
@@ -384,7 +461,12 @@ fn send_after_close_fails() {
     let mut net = network();
     let listener = net.listen(SERVER, 80, 128).unwrap();
     let conn = net
-        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .connect(
+            SimTime::ZERO,
+            CLIENT,
+            SockAddr::new(SERVER, 80),
+            SimDuration::ZERO,
+        )
         .unwrap();
     let (_, now) = run(&mut net, SimTime::from_millis(10));
     let _ = net.accept(listener).unwrap();

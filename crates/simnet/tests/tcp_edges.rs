@@ -22,7 +22,12 @@ fn run(net: &mut Network, horizon: SimTime) -> Vec<NetNotify> {
 fn established_pair(net: &mut Network) -> (EndpointId, EndpointId) {
     let listener = net.listen(SERVER, 80, 16).unwrap();
     let conn = net
-        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .connect(
+            SimTime::ZERO,
+            CLIENT,
+            SockAddr::new(SERVER, 80),
+            SimDuration::ZERO,
+        )
         .unwrap();
     run(net, SimTime::from_millis(10));
     let server_ep = net.accept(listener).expect("accepted");
@@ -92,7 +97,9 @@ fn unread_data_is_available_until_consumed() {
     let part = net.recv(SimTime::from_millis(50), client, 4).unwrap();
     assert_eq!(part, b"take");
     assert_eq!(net.readable_bytes(client), 10);
-    let rest = net.recv(SimTime::from_millis(50), client, usize::MAX).unwrap();
+    let rest = net
+        .recv(SimTime::from_millis(50), client, usize::MAX)
+        .unwrap();
     assert_eq!(rest, b" your time");
 }
 
@@ -101,10 +108,20 @@ fn backlog_of_one_admits_exactly_one_then_recovers() {
     let mut net = Network::new(TcpConfig::default(), LinkConfig::default(), 2);
     let listener = net.listen(SERVER, 80, 1).unwrap();
     let _c1 = net
-        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .connect(
+            SimTime::ZERO,
+            CLIENT,
+            SockAddr::new(SERVER, 80),
+            SimDuration::ZERO,
+        )
         .unwrap();
     let _c2 = net
-        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .connect(
+            SimTime::ZERO,
+            CLIENT,
+            SockAddr::new(SERVER, 80),
+            SimDuration::ZERO,
+        )
         .unwrap();
     run(&mut net, SimTime::from_millis(10));
     assert_eq!(net.accept_queue_len(listener), 1);
@@ -138,12 +155,20 @@ fn half_close_allows_server_to_keep_sending() {
     net.close(t, client).unwrap();
     run(&mut net, SimTime::from_millis(50));
     assert!(net.peer_closed(server), "server sees the half-close");
-    let req = net.recv(SimTime::from_millis(50), server, usize::MAX).unwrap();
+    let req = net
+        .recv(SimTime::from_millis(50), server, usize::MAX)
+        .unwrap();
     assert_eq!(req, b"request");
     // Server responds on its still-open direction.
-    assert_eq!(net.send(SimTime::from_millis(50), server, b"response").unwrap(), 8);
+    assert_eq!(
+        net.send(SimTime::from_millis(50), server, b"response")
+            .unwrap(),
+        8
+    );
     run(&mut net, SimTime::from_millis(100));
-    let resp = net.recv(SimTime::from_millis(100), client, usize::MAX).unwrap();
+    let resp = net
+        .recv(SimTime::from_millis(100), client, usize::MAX)
+        .unwrap();
     assert_eq!(resp, b"response");
     net.close(SimTime::from_millis(100), server).unwrap();
     run(&mut net, SimTime::from_millis(200));
@@ -162,7 +187,8 @@ fn listener_port_survives_connection_churn() {
         run(&mut net, t + SimDuration::from_millis(20));
         let server_ep = net.accept(listener).unwrap();
         let client_ep = EndpointId::new(conn, Side::Client);
-        net.close(t + SimDuration::from_millis(20), server_ep).unwrap();
+        net.close(t + SimDuration::from_millis(20), server_ep)
+            .unwrap();
         run(&mut net, t + SimDuration::from_millis(40));
         let _ = net.close(t + SimDuration::from_millis(40), client_ep);
         run(&mut net, t + SimDuration::from_millis(100));
@@ -199,9 +225,10 @@ fn window_limits_inflight_bytes() {
     let client_ep = EndpointId::new(conn, Side::Client);
     let t = SimTime::from_millis(400);
     net.send(t, server_ep, &vec![0u8; 14_600]).unwrap(); // 10 segments.
-    // One RTT later only ~2 segments have arrived.
+                                                         // One RTT later only ~2 segments have arrived.
     run(&mut net, t + SimDuration::from_millis(140));
-    let got_after_1rtt = net.recv(t + SimDuration::from_millis(140), client_ep, usize::MAX)
+    let got_after_1rtt = net
+        .recv(t + SimDuration::from_millis(140), client_ep, usize::MAX)
         .unwrap()
         .len();
     assert!(
@@ -213,7 +240,11 @@ fn window_limits_inflight_bytes() {
     for step in 0..40u64 {
         run(&mut net, t + SimDuration::from_millis(200 + step * 100));
         total += net
-            .recv(t + SimDuration::from_millis(200 + step * 100), client_ep, usize::MAX)
+            .recv(
+                t + SimDuration::from_millis(200 + step * 100),
+                client_ep,
+                usize::MAX,
+            )
             .unwrap()
             .len();
         if total >= 14_600 {
@@ -235,7 +266,12 @@ fn total_loss_turns_connect_into_timeout() {
     let mut net = Network::new(TcpConfig::default(), link, 2);
     let _l = net.listen(SERVER, 80, 8).unwrap();
     let conn = net
-        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .connect(
+            SimTime::ZERO,
+            CLIENT,
+            SockAddr::new(SERVER, 80),
+            SimDuration::ZERO,
+        )
         .unwrap();
     let events = run(&mut net, SimTime::from_secs(200));
     assert!(
@@ -258,7 +294,12 @@ fn moderate_loss_still_completes_requests() {
     let mut net = Network::new(TcpConfig::default(), link, 2);
     let listener = net.listen(SERVER, 80, 8).unwrap();
     let conn = net
-        .connect(SimTime::ZERO, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
+        .connect(
+            SimTime::ZERO,
+            CLIENT,
+            SockAddr::new(SERVER, 80),
+            SimDuration::ZERO,
+        )
         .unwrap();
     let client = EndpointId::new(conn, Side::Client);
     let mut server_ep = None;

@@ -27,12 +27,7 @@ fn main() {
         let med = r.median_latency_ms();
         println!(
             "{:<8} {:>9.1} {:>7.1} {:>11.2} {:>14} {:>10}",
-            rate,
-            r.rate.avg,
-            err,
-            med,
-            r.server_metrics.mode_switches,
-            r.server_metrics.overflows,
+            rate, r.rate.avg, err, med, r.server_metrics.mode_switches, r.server_metrics.overflows,
         );
     }
 

@@ -32,7 +32,10 @@ fn main() {
             let mut r = run_one(params);
             let err = r.error_percent();
             let med = r.median_latency_ms();
-            row.push_str(&format!(" {:>9.1} {:>7.1} {:>11.2} |", r.rate.avg, err, med));
+            row.push_str(&format!(
+                " {:>9.1} {:>7.1} {:>11.2} |",
+                r.rate.avg, err, med
+            ));
         }
         println!("{row}");
     }

@@ -41,13 +41,21 @@ fn main() {
     // listen(80) and open /dev/poll.
     let t0 = SimTime::ZERO;
     kernel.begin_batch(t0, pid);
-    let lfd = kernel.sys_listen(&mut net, t0, pid, 80, 128).expect("listen");
+    let lfd = kernel
+        .sys_listen(&mut net, t0, pid, 80, 128)
+        .expect("listen");
     let dpfd = registry
         .open(&mut kernel, t0, pid, DevPollConfig::default())
         .expect("open /dev/poll");
     // Declare interest in the listener.
     registry
-        .write(&mut kernel, t0, pid, dpfd, &[PollFd::new(lfd, PollBits::POLLIN)])
+        .write(
+            &mut kernel,
+            t0,
+            pid,
+            dpfd,
+            &[PollFd::new(lfd, PollBits::POLLIN)],
+        )
         .expect("write interest");
     kernel.end_batch(t0, pid);
     println!("server: listening on port 80, /dev/poll fd {dpfd}");
@@ -57,10 +65,24 @@ fn main() {
         .connect(t0, CLIENT, SockAddr::new(SERVER, 80), SimDuration::ZERO)
         .expect("connect");
     let client_ep = EndpointId::new(conn, Side::Client);
-    pump(&mut net, &mut kernel, &mut registry, SimTime::from_millis(5));
-    net.send(SimTime::from_millis(5), client_ep, b"GET / HTTP/1.0\r\n\r\n")
-        .expect("send request");
-    pump(&mut net, &mut kernel, &mut registry, SimTime::from_millis(10));
+    pump(
+        &mut net,
+        &mut kernel,
+        &mut registry,
+        SimTime::from_millis(5),
+    );
+    net.send(
+        SimTime::from_millis(5),
+        client_ep,
+        b"GET / HTTP/1.0\r\n\r\n",
+    )
+    .expect("send request");
+    pump(
+        &mut net,
+        &mut kernel,
+        &mut registry,
+        SimTime::from_millis(10),
+    );
 
     // DP_POLL reports the listener ready; accept and add the new socket
     // to the interest set.
@@ -74,13 +96,24 @@ fn main() {
     let fd = kernel.sys_accept(&mut net, t, pid, lfd).expect("accept");
     kernel.sys_set_nonblock(pid, fd).expect("nonblock");
     registry
-        .write(&mut kernel, t, pid, dpfd, &[PollFd::new(fd, PollBits::POLLIN)])
+        .write(
+            &mut kernel,
+            t,
+            pid,
+            dpfd,
+            &[PollFd::new(fd, PollBits::POLLIN)],
+        )
         .expect("add interest");
     kernel.end_batch(t, pid);
     println!("server: accepted connection as fd {fd}");
 
     // Wait for the request, read it, answer it, remove the interest.
-    pump(&mut net, &mut kernel, &mut registry, SimTime::from_millis(15));
+    pump(
+        &mut net,
+        &mut kernel,
+        &mut registry,
+        SimTime::from_millis(15),
+    );
     let t = SimTime::from_millis(15);
     kernel.begin_batch(t, pid);
     let (_, results) = registry
@@ -90,12 +123,13 @@ fn main() {
     let request = kernel.sys_read(&mut net, t, pid, fd, 4096).expect("read");
     println!("server: got {:?}", String::from_utf8_lossy(&request));
     let body = b"<html>hello from the simulated K6-2</html>";
-    let response = format!(
-        "HTTP/1.0 200 OK\r\nContent-Length: {}\r\n\r\n",
-        body.len()
-    );
-    kernel.sys_write(&mut net, t, pid, fd, response.as_bytes()).expect("write headers");
-    kernel.sys_write(&mut net, t, pid, fd, body).expect("write body");
+    let response = format!("HTTP/1.0 200 OK\r\nContent-Length: {}\r\n\r\n", body.len());
+    kernel
+        .sys_write(&mut net, t, pid, fd, response.as_bytes())
+        .expect("write headers");
+    kernel
+        .sys_write(&mut net, t, pid, fd, body)
+        .expect("write body");
     registry
         .write(&mut kernel, t, pid, dpfd, &[PollFd::remove(fd)])
         .expect("remove interest");
@@ -103,7 +137,12 @@ fn main() {
     kernel.end_batch(t, pid);
 
     // The client reads the reply.
-    pump(&mut net, &mut kernel, &mut registry, SimTime::from_millis(120));
+    pump(
+        &mut net,
+        &mut kernel,
+        &mut registry,
+        SimTime::from_millis(120),
+    );
     let reply = net
         .recv(SimTime::from_millis(120), client_ep, usize::MAX)
         .expect("recv");

@@ -11,6 +11,7 @@
 
 use scalable_net_io::httperf::{run_one, LoadShape, RunParams, ServerKind};
 use scalable_net_io::simcore::time::SimDuration;
+use scalable_net_io::simcore::trace::CATEGORIES;
 use scalable_net_io::simkernel::AcceptWake;
 
 struct Opts {
@@ -22,6 +23,8 @@ struct Opts {
     loss: f64,
     doc_bytes: Option<usize>,
     bursty: bool,
+    trace: Vec<String>,
+    json: bool,
 }
 
 impl Default for Opts {
@@ -35,13 +38,22 @@ impl Default for Opts {
             loss: 0.0,
             doc_bytes: None,
             bursty: false,
+            trace: Vec::new(),
+            json: false,
         }
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scalable-net-io <run|compare|sweep> [options]\n\
+        "usage: scalable-net-io <run|compare|sweep|stats> [options]\n\
+         \n\
+         commands:\n\
+           run               one run, summary row\n\
+           compare           one row per server architecture\n\
+           sweep             rate sweep for one server\n\
+           stats             one run, then the kernel probe snapshot\n\
+                             (counters, gauges, latency histograms)\n\
          \n\
          options:\n\
            --server KIND     select|poll|devpoll|devpoll-sendfile|phhttpd|\n\
@@ -53,6 +65,10 @@ fn usage() -> ! {
            --loss P          random segment loss probability (default 0)\n\
            --doc-bytes N     served document size (default 6144)\n\
            --bursty          on/off burst arrivals instead of constant\n\
+           --trace CATS      comma-separated event-trace categories:\n\
+                             devpoll,rtsig,tcp,sched or all (printed after\n\
+                             the run)\n\
+           --json            stats: emit JSON lines instead of the table\n\
          \n\
          figures: cargo run --release -p bench --bin figures -- all\n\
          checks:  cargo run --release -p bench --bin verify_repro"
@@ -84,7 +100,8 @@ fn parse_kind(name: &str) -> Option<ServerKind> {
 fn params(kind: ServerKind, opts: &Opts, rate: f64) -> RunParams {
     let mut p = RunParams::paper(kind, rate, opts.inactive)
         .with_conns(opts.conns)
-        .with_seed(opts.seed);
+        .with_seed(opts.seed)
+        .with_trace(opts.trace.iter().cloned());
     if opts.loss > 0.0 {
         p = p.with_loss(opts.loss);
     }
@@ -139,16 +156,66 @@ fn main() {
             "--loss" => opts.loss = val().parse().unwrap_or_else(|_| usage()),
             "--doc-bytes" => opts.doc_bytes = Some(val().parse().unwrap_or_else(|_| usage())),
             "--bursty" => opts.bursty = true,
-            _ => usage(),
+            "--trace" => {
+                let cats = val();
+                opts.trace.extend(cats.split(',').map(str::to_string));
+            }
+            "--json" => opts.json = true,
+            other => {
+                if let Some(cats) = other.strip_prefix("--trace=") {
+                    opts.trace.extend(cats.split(',').map(str::to_string));
+                } else {
+                    usage()
+                }
+            }
+        }
+    }
+    for cat in &opts.trace {
+        if cat != "all" && !CATEGORIES.contains(&cat.as_str()) {
+            eprintln!(
+                "unknown trace category {cat:?} (expected one of: {}, all)",
+                CATEGORIES.join(", ")
+            );
+            std::process::exit(2);
         }
     }
 
     match cmd.as_str() {
         "run" => {
-            let Some(kind) = parse_kind(&opts.server) else { usage() };
+            let Some(kind) = parse_kind(&opts.server) else {
+                usage()
+            };
             header();
             let mut r = run_one(params(kind, &opts, opts.rate));
             row(&mut r);
+            if !r.trace.is_empty() {
+                println!("\n{}", r.trace);
+            }
+        }
+        "stats" => {
+            let Some(kind) = parse_kind(&opts.server) else {
+                usage()
+            };
+            let mut r = run_one(params(kind, &opts, opts.rate));
+            if opts.json {
+                let rate = format!("{}", r.target_rate);
+                let load = format!("{}", r.inactive);
+                print!(
+                    "{}",
+                    r.probe.to_json_lines_with(&[
+                        ("server", r.server.as_str()),
+                        ("rate", rate.as_str()),
+                        ("inactive", load.as_str()),
+                    ])
+                );
+            } else {
+                header();
+                row(&mut r);
+                println!("\n{}", r.probe.to_text());
+            }
+            if !r.trace.is_empty() {
+                println!("\n{}", r.trace);
+            }
         }
         "compare" => {
             header();
@@ -159,7 +226,9 @@ fn main() {
             }
         }
         "sweep" => {
-            let Some(kind) = parse_kind(&opts.server) else { usage() };
+            let Some(kind) = parse_kind(&opts.server) else {
+                usage()
+            };
             header();
             for step in 0..=6 {
                 let rate = 500.0 + 100.0 * step as f64;

@@ -15,7 +15,9 @@ fn raw_devpoll_roundtrip_through_the_facade() {
     let pid = kernel.spawn_default();
 
     kernel.begin_batch(SimTime::ZERO, pid);
-    let lfd = kernel.sys_listen(&mut net, SimTime::ZERO, pid, 80, 16).unwrap();
+    let lfd = kernel
+        .sys_listen(&mut net, SimTime::ZERO, pid, 80, 16)
+        .unwrap();
     let dpfd = registry
         .open(&mut kernel, SimTime::ZERO, pid, DevPollConfig::default())
         .unwrap();
@@ -31,7 +33,12 @@ fn raw_devpoll_roundtrip_through_the_facade() {
     kernel.end_batch(SimTime::ZERO, pid);
 
     let conn = net
-        .connect(SimTime::ZERO, HostId(0), SockAddr::new(HostId(1), 80), SimDuration::ZERO)
+        .connect(
+            SimTime::ZERO,
+            HostId(0),
+            SockAddr::new(HostId(1), 80),
+            SimDuration::ZERO,
+        )
         .unwrap();
     while let Some(t) = net.next_deadline() {
         if t > SimTime::from_millis(10) {

@@ -21,7 +21,11 @@ fn both_servers_clean_at_light_load() {
             "{kind:?} avg {} at light load",
             r.rate.avg
         );
-        assert!(r.error_percent() < 1.0, "{kind:?} errors {}", r.error_percent());
+        assert!(
+            r.error_percent() < 1.0,
+            "{kind:?} errors {}",
+            r.error_percent()
+        );
     }
 }
 
