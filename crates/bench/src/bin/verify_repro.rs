@@ -35,6 +35,11 @@ impl Checker {
             for line in probe.to_text().lines() {
                 println!("      | {line}");
             }
+            println!(
+                "      | if backend readiness looks wrong, bisect with the differential \
+                 oracle: `cargo run -p simcheck -- oracle` (then `--replay <seed>` for \
+                 the minimal event script)"
+            );
         }
     }
 }

@@ -5,7 +5,7 @@
 //! benchmark sweeps; results are cached per (server, inactive-load) so
 //! `all` runs the 3×3 grid once.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use devpoll::DevPollConfig;
 use httperf::{run_one, RunParams, RunReport, ServerKind};
@@ -46,7 +46,7 @@ impl FigureConfig {
 /// Runs sweeps lazily and caches them per (server kind, inactive load).
 pub struct FigureRunner {
     config: FigureConfig,
-    cache: HashMap<(String, usize), Vec<RunReport>>,
+    cache: BTreeMap<(String, usize), Vec<RunReport>>,
     /// Logs one line per completed run when `true`.
     pub verbose: bool,
 }
@@ -56,18 +56,16 @@ impl FigureRunner {
     pub fn new(config: FigureConfig) -> FigureRunner {
         FigureRunner {
             config,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             verbose: true,
         }
     }
 
     /// Every cached sweep in deterministic (label, inactive) order —
     /// used by the CLI to dump one probe-snapshot file per sweep after
-    /// the figures are built.
+    /// the figures are built. `BTreeMap` iteration is already key-ordered.
     pub fn cached_sweeps(&self) -> Vec<(&(String, usize), &Vec<RunReport>)> {
-        let mut v: Vec<_> = self.cache.iter().collect();
-        v.sort_by(|a, b| a.0.cmp(b.0));
-        v
+        self.cache.iter().collect()
     }
 
     /// The sweep for `kind` at `inactive`, cached.

@@ -1,0 +1,181 @@
+//! The runtime invariant auditor: a checked mode for the `/dev/poll`
+//! core (enable with `--features simcheck`).
+//!
+//! Every operation on a device revalidates the paper's stated
+//! invariants instead of trusting the fast path:
+//!
+//! * cached-"ready" interests re-enter every scan ("\[they have\] to be
+//!   reevaluated each time", §3.2) — a stale cache served without a
+//!   driver poll is exactly the silent-wrong-results bug class this
+//!   mode exists for;
+//! * `POLLREMOVE` purges the interest from *both* the hash table and
+//!   the backmapping (watcher) registration;
+//! * a written `events` field **replaces** prior interest — the
+//!   documented divergence from Solaris' OR semantics (§3.1);
+//! * the interest hash table doubles at average bucket size two, stays
+//!   a power of two, and never shrinks (§3.1).
+//!
+//! Violations panic with a `simcheck audit:` message; check counts
+//! accumulate in the kernel probe under `audit.checks` so a run can
+//! prove the auditor was live. The functions are compiled
+//! unconditionally (they have their own tests); [`crate::device`] calls
+//! them only under the `simcheck` feature.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use simkernel::{Fd, Kernel, Pid, PollBits};
+
+use crate::device::DevPollDevice;
+use crate::pollfd::PollFd;
+
+/// Audits the table and backmap state after a `write(dpfd, ...)` batch.
+///
+/// `prev_buckets` is the device's bucket count before the batch;
+/// `removed` lists the fds whose interests the batch actually removed
+/// (a `POLLREMOVE` of an absent fd is a harmless no-op and must not be
+/// audited against the shared watcher registry — another backend may
+/// legitimately hold a watcher on that fd).
+/// Returns the number of checks performed; panics on any violation.
+pub fn check_write(
+    kernel: &Kernel,
+    pid: Pid,
+    dev: &DevPollDevice,
+    entries: &[PollFd],
+    removed: &[Fd],
+    or_semantics: bool,
+    prev_buckets: usize,
+) -> u64 {
+    let mut checks = 0u64;
+    // Later entries for the same fd win; audit final per-fd state only.
+    let mut last: BTreeMap<Fd, &PollFd> = BTreeMap::new();
+    for e in entries {
+        last.insert(e.fd, e);
+    }
+    let removed: BTreeSet<Fd> = removed.iter().copied().collect();
+    let table = dev.interest();
+    for (fd, e) in last {
+        if e.events.contains(PollBits::POLLREMOVE) {
+            checks += 1;
+            assert!(
+                table.get(fd).is_none(),
+                "simcheck audit: POLLREMOVE left fd {fd} in the interest hash table"
+            );
+            if removed.contains(&fd) {
+                checks += 1;
+                assert!(
+                    !kernel.is_watched(pid, fd),
+                    "simcheck audit: POLLREMOVE left fd {fd} on the backmapping (watcher) list"
+                );
+            }
+        } else {
+            let entry = table.get(fd).unwrap_or_else(|| {
+                panic!("simcheck audit: written interest for fd {fd} missing from the hash table")
+            });
+            checks += 4;
+            if !or_semantics {
+                assert_eq!(
+                    entry.events, e.events,
+                    "simcheck audit: events field must replace prior interest for fd {fd} \
+                     (Solaris OR semantics leaked in)"
+                );
+            } else {
+                assert!(
+                    entry.events.contains(e.events),
+                    "simcheck audit: OR semantics dropped requested bits for fd {fd}"
+                );
+            }
+            assert_eq!(
+                entry.cached,
+                PollBits::EMPTY,
+                "simcheck audit: interest update for fd {fd} did not invalidate the result cache"
+            );
+            assert!(
+                entry.hinted,
+                "simcheck audit: updated interest for fd {fd} not marked for rescan"
+            );
+            assert!(
+                kernel.is_watched(pid, fd),
+                "simcheck audit: written interest for fd {fd} has no backmap (watcher) entry"
+            );
+        }
+    }
+    checks += check_table_shape(dev, prev_buckets);
+    checks
+}
+
+/// Audits the hash table's doubling policy: power-of-two bucket count,
+/// average bucket size below two after every operation, never shrunk.
+pub fn check_table_shape(dev: &DevPollDevice, prev_buckets: usize) -> u64 {
+    let table = dev.interest();
+    let buckets = table.bucket_count();
+    assert!(
+        buckets.is_power_of_two(),
+        "simcheck audit: bucket count {buckets} is not a power of two"
+    );
+    assert!(
+        buckets >= prev_buckets,
+        "simcheck audit: hash table shrank from {prev_buckets} to {buckets} buckets \
+         (the paper's table is never shrunk)"
+    );
+    assert!(
+        table.len() < 2 * buckets,
+        "simcheck audit: {} interests in {buckets} buckets — average bucket size reached 2 \
+         without doubling",
+        table.len()
+    );
+    3
+}
+
+/// Audits a `DP_POLL` candidate set before the scan: with hints enabled,
+/// every cached-ready interest must be revalidated this scan.
+pub fn check_scan_candidates(dev: &DevPollDevice, candidates: &[(Fd, PollBits)]) -> u64 {
+    let set: BTreeSet<Fd> = candidates.iter().map(|&(fd, _)| fd).collect();
+    let mut checks = 0u64;
+    for e in dev.interest().iter() {
+        if !e.cached.is_empty() {
+            checks += 1;
+            assert!(
+                set.contains(&e.fd),
+                "simcheck audit: cached-ready fd {} skipped revalidation \
+                 (cached {:?} served stale)",
+                e.fd,
+                e.cached
+            );
+        }
+    }
+    checks
+}
+
+/// Audits a `DP_POLL` result set after the scan: every returned
+/// `revents` must match the kernel's current readiness truth, and every
+/// scanned interest must have its hint consumed.
+pub fn check_scan_results(
+    kernel: &Kernel,
+    pid: Pid,
+    dev: &DevPollDevice,
+    candidates: &[(Fd, PollBits)],
+    results: &[PollFd],
+) -> u64 {
+    let mut checks = 0u64;
+    for r in results {
+        checks += 1;
+        let truth = kernel.readiness(pid, r.fd) & (r.events | PollBits::always_reported());
+        assert_eq!(
+            r.revents, truth,
+            "simcheck audit: DP_POLL returned {:?} for fd {} but current readiness is {:?} \
+             (result not revalidated before return)",
+            r.revents, r.fd, truth
+        );
+    }
+    for &(fd, _) in candidates {
+        if let Some(e) = dev.interest().get(fd) {
+            checks += 1;
+            assert!(
+                !e.hinted,
+                "simcheck audit: scanned fd {fd} still carries its driver hint"
+            );
+        }
+    }
+    checks
+}

@@ -2,7 +2,7 @@
 //! `servers` crate) can run on stock `poll()` or on `/dev/poll`, exactly
 //! like the paper's stock vs. modified thttpd pair (§5.1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simcore::time::SimTime;
 use simkernel::{Errno, Fd, Kernel, Pid, PollBits};
@@ -73,9 +73,12 @@ pub trait EventBackend {
 
 /// Stock `poll()`: the interest set lives in user space and the whole
 /// array crosses into the kernel on every call.
+///
+/// Interest is kept ordered by fd so the rebuilt pollfd array — and
+/// therefore every result — is deterministic without a per-call sort.
 #[derive(Debug, Default)]
 pub struct StockPollBackend {
-    interest: HashMap<Fd, PollBits>,
+    interest: BTreeMap<Fd, PollBits>,
 }
 
 impl StockPollBackend {
@@ -137,13 +140,13 @@ impl EventBackend for StockPollBackend {
     ) -> Result<WaitResult, Errno> {
         // The application rebuilds its pollfd array each call (§6: "
         // Applications of this type often entirely rebuild their pollfd
-        // array each time they invoke poll()").
+        // array each time they invoke poll()"). BTreeMap iteration is
+        // already fd-ordered, so the array is deterministic.
         let mut fds: Vec<PollFd> = self
             .interest
             .iter()
             .map(|(&fd, &ev)| PollFd::new(fd, ev))
             .collect();
-        fds.sort_by_key(|f| f.fd); // Determinism.
         match sys_poll(kernel, now, pid, &mut fds, timeout_ms) {
             PollOutcome::WouldBlock => Ok(WaitResult::WouldBlock),
             PollOutcome::Ready(_) => {
@@ -166,7 +169,7 @@ impl EventBackend for StockPollBackend {
 /// nothing past [`FD_SETSIZE`] can be watched at all.
 #[derive(Debug, Default)]
 pub struct SelectBackend {
-    interest: HashMap<Fd, PollBits>,
+    interest: BTreeMap<Fd, PollBits>,
 }
 
 impl SelectBackend {
@@ -263,7 +266,7 @@ impl EventBackend for SelectBackend {
                         });
                     }
                 }
-                out.sort_by_key(|p| p.fd); // Determinism.
+                out.sort_by_key(|p| p.fd); // Read-then-write walk order.
                 out.truncate(max);
                 Ok(WaitResult::Events(out))
             }

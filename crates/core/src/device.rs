@@ -2,12 +2,14 @@
 //! by `write()`, scanning via `ioctl(DP_POLL)`, driver hints through
 //! backmapping lists (§3.2), and the shared `mmap` result area (§3.3).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simcore::time::{SimDuration, SimTime};
 use simkernel::{Errno, Fd, FileKind, Kernel, Pid, PollBits};
 
 use crate::interest::InterestTable;
+#[cfg(feature = "simcheck")]
+use crate::lockdep::{LockClass, LockGraph};
 use crate::pollfd::{DvPoll, PollFd};
 use crate::stock::PollOutcome;
 
@@ -88,8 +90,19 @@ impl DevPollDevice {
 /// independent interest sets" — each `open` yields a distinct device.
 #[derive(Debug, Default)]
 pub struct DevPollRegistry {
-    devices: HashMap<u64, DevPollDevice>,
+    /// Ordered by handle so multi-device walks ([`Self::on_fd_event`])
+    /// are deterministic.
+    devices: BTreeMap<u64, DevPollDevice>,
     next: u64,
+    /// Hidden fault-injection hook: when set, `DP_POLL` serves
+    /// cached-"ready" results *without* revalidating them — the §3.2 bug
+    /// the simcheck differential oracle exists to catch. Test-only.
+    #[doc(hidden)]
+    testhook_skip_revalidation: bool,
+    /// Lock-order recorder (checked mode): every simulated rwlock /
+    /// per-socket acquisition lands here so inverted orders are caught.
+    #[cfg(feature = "simcheck")]
+    lockdep: LockGraph,
 }
 
 impl DevPollRegistry {
@@ -123,6 +136,20 @@ impl DevPollRegistry {
             },
         );
         Ok(fd)
+    }
+
+    /// Fault injection for the simcheck differential oracle: serve
+    /// cached-"ready" results stale, skipping the mandatory
+    /// revalidation. Never enable outside a test.
+    #[doc(hidden)]
+    pub fn testhook_skip_revalidation(&mut self, on: bool) {
+        self.testhook_skip_revalidation = on;
+    }
+
+    /// The lock-order graph recorded so far (checked mode).
+    #[cfg(feature = "simcheck")]
+    pub fn lockdep(&self) -> &LockGraph {
+        &self.lockdep
     }
 
     fn resolve(
@@ -186,9 +213,16 @@ impl DevPollRegistry {
         );
         // Interest-set modification takes the backmap write lock.
         kernel.charge_app(pid, cost.backmap_wlock);
+        #[cfg(feature = "simcheck")]
+        {
+            self.lockdep.acquire(LockClass::Backmap);
+            self.lockdep.acquire(LockClass::InterestTable);
+        }
 
         let dev = self.resolve(kernel, pid, dpfd)?;
         let or_semantics = dev.config.or_semantics;
+        #[cfg(feature = "simcheck")]
+        let prev_buckets = dev.interest.bucket_count();
         let grows_before = dev.interest.grow_count();
         let mut to_watch = Vec::new();
         let mut to_unwatch = Vec::new();
@@ -224,11 +258,30 @@ impl DevPollRegistry {
                 format!("write: +{adds} -{removes} (len {len}, {buckets} buckets)"),
             );
         }
+        #[cfg(feature = "simcheck")]
+        {
+            self.lockdep.release(LockClass::InterestTable);
+            self.lockdep.release(LockClass::Backmap);
+        }
         for fd in to_watch {
             kernel.watch(pid, fd);
         }
-        for fd in to_unwatch {
-            kernel.unwatch(pid, fd);
+        for fd in &to_unwatch {
+            kernel.unwatch(pid, *fd);
+        }
+        #[cfg(feature = "simcheck")]
+        {
+            let dev = self.resolve(kernel, pid, dpfd)?;
+            let checks = crate::audit::check_write(
+                kernel,
+                pid,
+                dev,
+                entries,
+                &to_unwatch,
+                or_semantics,
+                prev_buckets,
+            );
+            kernel.probe_mut().add("audit.checks", checks);
         }
         Ok(entries.len())
     }
@@ -304,6 +357,19 @@ impl DevPollRegistry {
         if args.null_dp_fds && self.device(kernel, pid, dpfd)?.mmap_slots.is_none() {
             return Err(Errno::EINVAL);
         }
+        let skip_reval = self.testhook_skip_revalidation;
+        // The scan holds the backmap read lock, consults the interest
+        // table and invokes driver (socket) poll callbacks — in that
+        // order, which the checked mode's lockdep graph records.
+        #[cfg(feature = "simcheck")]
+        {
+            self.lockdep.acquire(LockClass::Backmap);
+            self.lockdep.acquire(LockClass::InterestTable);
+            self.lockdep.acquire(LockClass::Socket);
+            self.lockdep.release(LockClass::Socket);
+            self.lockdep.release(LockClass::InterestTable);
+            self.lockdep.release(LockClass::Backmap);
+        }
 
         // Gather readiness outside the device borrow (the kernel is the
         // "driver" here).
@@ -312,12 +378,32 @@ impl DevPollRegistry {
         let candidates: Vec<(Fd, PollBits)> = dev
             .interest
             .iter()
-            .filter(|e| !hints || e.hinted || !e.cached.is_empty())
+            .filter(|e| !hints || e.hinted || (!skip_reval && !e.cached.is_empty()))
             .map(|e| (e.fd, e.events))
             .collect();
+        // Under the fault-injection hook, cached-ready entries bypass
+        // the scan and their stale cached result is served as-is.
+        let stale: Vec<PollFd> = if skip_reval && hints {
+            dev.interest
+                .iter()
+                .filter(|e| !e.hinted && !e.cached.is_empty())
+                .map(|e| PollFd {
+                    fd: e.fd,
+                    events: e.events,
+                    revents: e.cached,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        #[cfg(feature = "simcheck")]
+        if hints && !skip_reval {
+            let checks = crate::audit::check_scan_candidates(dev, &candidates);
+            kernel.probe_mut().add("audit.checks", checks);
+        }
         // Cached-ready entries with no fresh hint re-enter the scan only
         // to be revalidated ("[they have] to be reevaluated each time").
-        let revalidated = if hints {
+        let revalidated = if hints && !skip_reval {
             dev.interest
                 .iter()
                 .filter(|e| !e.hinted && !e.cached.is_empty())
@@ -354,7 +440,7 @@ impl DevPollRegistry {
         kernel.charge_app(pid, cost.driver_poll * candidates.len() as u64);
 
         let mut results = Vec::new();
-        for (fd, events) in candidates {
+        for &(fd, events) in &candidates {
             let state = kernel.readiness(pid, fd);
             let revents = state & (events | PollBits::always_reported());
             let dev = self.resolve(kernel, pid, dpfd)?;
@@ -369,6 +455,17 @@ impl DevPollRegistry {
                     revents,
                 });
             }
+        }
+        results.extend(stale);
+        // Results are reported in ascending fd order regardless of the
+        // hash table's internal layout — determinism the simcheck
+        // differential oracle (and any consumer diffing runs) relies on.
+        results.sort_by_key(|r| r.fd);
+        #[cfg(feature = "simcheck")]
+        if !skip_reval {
+            let dev = self.device(kernel, pid, dpfd)?;
+            let checks = crate::audit::check_scan_results(kernel, pid, dev, &candidates, &results);
+            kernel.probe_mut().add("audit.checks", checks);
         }
 
         let dev = self.resolve(kernel, pid, dpfd)?;
@@ -430,6 +527,16 @@ impl DevPollRegistry {
     /// so the cost is charged to the CPU as interrupt work.
     pub fn on_fd_event(&mut self, kernel: &mut Kernel, now: SimTime, pid: Pid, fd: Fd) {
         let cost = *kernel.cost_model();
+        // The driver's hint path takes the backmap read lock, then
+        // touches the interest table — the same order as the scan path,
+        // so the lockdep graph stays acyclic.
+        #[cfg(feature = "simcheck")]
+        {
+            self.lockdep.acquire(LockClass::Backmap);
+            self.lockdep.acquire(LockClass::InterestTable);
+            self.lockdep.release(LockClass::InterestTable);
+            self.lockdep.release(LockClass::Backmap);
+        }
         for dev in self.devices.values_mut() {
             if dev.owner != pid {
                 continue;

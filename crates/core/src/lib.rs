@@ -22,9 +22,11 @@
 //! the same server can run on either, as the paper's stock and modified
 //! `thttpd` do.
 
+pub mod audit;
 pub mod backend;
 pub mod device;
 pub mod interest;
+pub mod lockdep;
 pub mod pollfd;
 pub mod rtsig;
 pub mod select;
@@ -33,6 +35,7 @@ pub mod stock;
 pub use backend::{DevPollBackend, EventBackend, SelectBackend, StockPollBackend, WaitResult};
 pub use device::{DevPollConfig, DevPollDevice, DevPollRegistry, DevPollStats};
 pub use interest::{Interest, InterestTable, SetOutcome};
+pub use lockdep::{LockClass, LockGraph, OrderViolation};
 pub use pollfd::{DvPoll, PollFd};
 pub use rtsig::{RtEvent, RtSignalApi, SignalAssignment};
 pub use select::{sys_select, FdSet, FD_SETSIZE};

@@ -72,7 +72,9 @@ impl Testbed {
             registry: &mut self.registry,
             now: self.now,
         };
-        server.start(&mut ctx).expect("server start failed");
+        server
+            .start(&mut ctx)
+            .expect("invariant: server start on a fresh testbed cannot fail");
         let timers = self.load.bootstrap(self.now);
         for (at, t) in timers {
             self.schedule(at, t);
@@ -128,7 +130,10 @@ impl Testbed {
                 if at > now {
                     break;
                 }
-                let Reverse((_, _, t)) = self.timers.pop().expect("peeked");
+                let Reverse((_, _, t)) = self
+                    .timers
+                    .pop()
+                    .expect("invariant: peeked timer still queued");
                 progressed = true;
                 let follow = self.load.on_timer(&mut self.net, now, t);
                 for (at, t) in follow {

@@ -28,6 +28,12 @@ pub mod prelude {
 pub struct Rng(u64);
 
 impl Rng {
+    /// Seeds directly from a caller-chosen 64-bit seed (for harnesses
+    /// that number their cases themselves, like the simcheck oracle).
+    pub fn from_seed(seed: u64) -> Rng {
+        Rng(seed ^ 0x6a09e667f3bcc909) // Avoid the all-zeros weak state.
+    }
+
     /// Seeds from the test's name and the case index.
     pub fn for_case(name: &str, case: u32) -> Rng {
         let mut h: u64 = 0xcbf29ce484222325;
@@ -252,6 +258,52 @@ pub mod prop {
     }
 }
 
+/// Minimises a failing input sequence, ddmin-style.
+///
+/// `still_fails` must return `true` when the candidate sequence still
+/// reproduces the failure. Starting from `items` (which must fail),
+/// chunks of decreasing size are removed greedily until no single
+/// element can be dropped; the result is 1-minimal with respect to
+/// element removal. This is the shrinking half the [`proptest!`] shim
+/// itself omits, exposed directly for harnesses (like the simcheck
+/// differential oracle) that shrink whole event scripts.
+pub fn shrink_sequence<T: Clone, F: FnMut(&[T]) -> bool>(
+    items: &[T],
+    mut still_fails: F,
+) -> Vec<T> {
+    let mut current: Vec<T> = items.to_vec();
+    debug_assert!(
+        still_fails(&current),
+        "shrink_sequence needs a failing input"
+    );
+    let mut chunk = current.len().div_ceil(2).max(1);
+    loop {
+        let mut shrunk = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if !candidate.is_empty() && still_fails(&candidate) {
+                current = candidate;
+                shrunk = true;
+                // Re-test from the same offset: the next chunk slid in.
+            } else if candidate.is_empty() && still_fails(&candidate) {
+                return candidate;
+            } else {
+                start = end;
+            }
+        }
+        if !shrunk {
+            if chunk == 1 {
+                return current;
+            }
+            chunk = chunk.div_ceil(2).max(1);
+        }
+    }
+}
+
 /// Boolean property assertion (panics on failure).
 #[macro_export]
 macro_rules! prop_assert {
@@ -327,6 +379,26 @@ mod tests {
         };
         assert_eq!(gen(3), gen(3));
         assert_ne!(gen(0), gen(1));
+    }
+
+    #[test]
+    fn shrink_finds_the_minimal_culprit() {
+        // Failure requires 13 and 77 both present, in order.
+        let input: Vec<u32> = (0..100).collect();
+        let fails = |xs: &[u32]| {
+            let i = xs.iter().position(|&x| x == 13);
+            let j = xs.iter().position(|&x| x == 77);
+            matches!((i, j), (Some(i), Some(j)) if i < j)
+        };
+        let min = crate::shrink_sequence(&input, fails);
+        assert_eq!(min, vec![13, 77]);
+    }
+
+    #[test]
+    fn shrink_of_single_culprit_reaches_length_one() {
+        let input = vec![5u8, 9, 5, 2, 9, 9];
+        let min = crate::shrink_sequence(&input, |xs| xs.contains(&2));
+        assert_eq!(min, vec![2]);
     }
 
     proptest! {

@@ -70,7 +70,7 @@ impl<B: EventBackend> Server for Prefork<B> {
         self.workers[0].start(ctx)?;
         let listener = self.workers[0]
             .listener(ctx)
-            .expect("worker 0 listened successfully");
+            .expect("invariant: worker 0 listened successfully");
         for w in &mut self.workers[1..] {
             w.start_attached(ctx, listener)?;
         }

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! Offline correctness tooling for the simulation (DESIGN.md §7):
+//!
+//! * [`oracle`] — the differential backend oracle: one seeded workload
+//!   driven through `poll()`, `select()`, `/dev/poll` (with and without
+//!   driver hints) and the RT-signal path, with ready sets compared at
+//!   every wait boundary and failing seeds shrunk to a minimal script;
+//! * [`lint`] — a dependency-free source scanner for panicking calls in
+//!   library code, hash-ordered iteration, and wall-clock usage;
+//! * the runtime invariant auditor and lockdep graph themselves live in
+//!   the `devpoll` crate behind its `simcheck` feature, which this
+//!   crate's dependency switches on.
+//!
+//! The `simcheck` binary wires all three into CI; see `README.md`.
+
+pub mod lint;
+pub mod oracle;
+pub mod script;

@@ -1,0 +1,445 @@
+//! The in-repo source lint pass (no registry dependencies): a
+//! line-oriented scanner over `crates/*/src` for the hazard classes that
+//! matter in a deterministic simulation.
+//!
+//! Rules:
+//!
+//! * `unwrap-nontest` — `.unwrap()` / `.expect(` in non-test library
+//!   code. Panicking on untrusted state turns a recoverable condition
+//!   into a simulator abort; call sites should return typed errors, or
+//!   document a genuine invariant with `expect("invariant: …")`, which
+//!   this rule sanctions.
+//! * `hash-iter` — iteration over a `HashMap`/`HashSet` binding. Hash
+//!   iteration order is randomised per process, so any result or output
+//!   produced from it is non-deterministic; use `BTreeMap`/`BTreeSet`
+//!   or sort explicitly.
+//! * `wallclock` — `Instant::now` / `SystemTime` in simulation code.
+//!   Simulated time must come from [`simcore::time::SimTime`]; wall
+//!   clocks make runs irreproducible. (`criterion-shim` is exempt: its
+//!   entire purpose is wall-clock measurement of real benchmarks.)
+//!
+//! Scope: `lib` sources only. `tests/`, `benches/`, `src/bin/` drivers
+//! and `#[cfg(test)]` modules may unwrap freely — a panicking test is a
+//! failing test, which is the point.
+//!
+//! Findings are budgeted by the checked-in `simcheck.allow` file; the
+//! build fails on any finding beyond its budget, so the allowlist can
+//! only shrink over time.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint hit.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule code (`unwrap-nontest`, `hash-iter`, `wallclock`).
+    pub rule: &'static str,
+    /// Path relative to the repository root, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// Scans `crates/*/src` under `root` and returns all findings in
+/// deterministic (path, line) order.
+pub fn scan(root: &Path) -> Vec<Finding> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .unwrap_or_else(|e| panic!("invariant: {} must exist: {e}", crates_dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), &mut files);
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        if skip_file(&rel) {
+            continue;
+        }
+        let Ok(text) = fs::read_to_string(&file) else {
+            continue;
+        };
+        scan_file(&rel, &text, &mut findings);
+    }
+    findings
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Whole files outside the lint's scope.
+fn skip_file(rel: &str) -> bool {
+    // Binary drivers are interactive tools, not simulation library code.
+    rel.contains("/src/bin/")
+}
+
+/// Scans one file, appending findings.
+fn scan_file(rel: &str, text: &str, out: &mut Vec<Finding>) {
+    let is_criterion_shim = rel.starts_with("crates/criterion-shim/");
+    let all_lines: Vec<&str> = text.lines().collect();
+    // Everything from the test module on is test code. (Repo convention:
+    // the `#[cfg(test)] mod tests` block closes the file.)
+    let test_start = all_lines
+        .iter()
+        .position(|l| l.trim().starts_with("#[cfg(test)]"))
+        .unwrap_or(all_lines.len());
+    let lines = &all_lines[..test_start];
+
+    // Names of bindings/fields declared with a hash-ordered type in the
+    // non-test code; iteration over them is what the hash-iter rule
+    // flags.
+    let mut hash_names: Vec<String> = Vec::new();
+    for line in lines {
+        if line.trim().starts_with("//") {
+            continue;
+        }
+        for decl in ["HashMap", "HashSet"] {
+            if let Some(idx) = line.find(&format!(": {decl}<")) {
+                if let Some(name) = ident_before(line, idx) {
+                    hash_names.push(name);
+                }
+            }
+            if let Some(idx) = line.find(&format!("= {decl}::new")) {
+                if let Some(name) = ident_before(line, idx) {
+                    hash_names.push(name);
+                }
+            }
+        }
+    }
+    hash_names.sort();
+    hash_names.dedup();
+
+    for (i, line) in lines.iter().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let mut hit = |rule: &'static str| {
+            out.push(Finding {
+                rule,
+                path: rel.to_string(),
+                line: i + 1,
+                excerpt: trimmed.to_string(),
+            });
+        };
+
+        // The needles are split so this scanner does not flag its own
+        // rule definitions.
+        if line.contains(concat!(".unw", "rap()")) {
+            hit("unwrap-nontest");
+        }
+        if let Some(pos) = line.find(concat!(".exp", "ect(")) {
+            // `expect("invariant: …")` documents a checked invariant and
+            // is sanctioned.
+            if !line[pos..].starts_with(concat!(".exp", "ect(\"invariant:")) {
+                hit("unwrap-nontest");
+            }
+        }
+
+        for name in &hash_names {
+            if iterates(line, name) {
+                hit("hash-iter");
+                break;
+            }
+        }
+
+        let wallclock =
+            line.contains(concat!("Instant::", "now")) || line.contains(concat!("System", "Time"));
+        if !is_criterion_shim && wallclock {
+            hit("wallclock");
+        }
+    }
+}
+
+/// The identifier ending just before byte `idx` (declaration name).
+fn ident_before(line: &str, idx: usize) -> Option<String> {
+    let head = &line[..idx];
+    let name: String = head
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if name.is_empty() || name.chars().next().is_some_and(|c| c.is_numeric()) {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Does `line` contain `needle` preceded by a non-identifier character
+/// (so binding `m` does not match inside `item…`)?
+fn contains_bounded(line: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(needle) {
+        let abs = start + pos;
+        let boundary = line[..abs]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if boundary {
+            return true;
+        }
+        start = abs + needle.len();
+    }
+    false
+}
+
+/// Does `line` iterate over the binding `name`?
+fn iterates(line: &str, name: &str) -> bool {
+    for pattern in [".iter()", ".keys()", ".values()", ".drain(", ".into_iter()"] {
+        if contains_bounded(line, &format!("{name}{pattern}")) {
+            return true;
+        }
+    }
+    [
+        "in &{n}",
+        "in &self.{n}",
+        "in &mut self.{n}",
+        "in self.{n}",
+        "in {n}",
+    ]
+    .iter()
+    .any(|t| {
+        let needle = t.replace("{n}", name);
+        // Both ends must sit on identifier boundaries (` in &conns {`
+        // matches; `begin conns` and ` in &conns_sorted` do not).
+        let mut start = 0;
+        while let Some(pos) = line[start..].find(&needle) {
+            let abs = start + pos;
+            let end = abs + needle.len();
+            let head_ok = line[..abs]
+                .chars()
+                .next_back()
+                .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+            let tail_ok = line[end..]
+                .chars()
+                .next()
+                .is_none_or(|c| !c.is_alphanumeric() && c != '_' && c != '.');
+            if head_ok && tail_ok {
+                return true;
+            }
+            start = end;
+        }
+        false
+    })
+}
+
+/// One allowlist budget line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Budget {
+    /// Rule code.
+    pub rule: String,
+    /// Repo-relative path.
+    pub path: String,
+    /// Maximum findings allowed.
+    pub max: usize,
+}
+
+/// Parses `simcheck.allow`: `<rule> <path> <max>` per line, `#` comments.
+pub fn parse_allowlist(text: &str) -> Vec<Budget> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(path), Some(max)) = (parts.next(), parts.next(), parts.next()) else {
+            continue;
+        };
+        let Ok(max) = max.parse() else { continue };
+        out.push(Budget {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            max,
+        });
+    }
+    out
+}
+
+/// The outcome of checking findings against the allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Verdict {
+    /// Findings beyond any budget — these fail the build.
+    pub over_budget: Vec<String>,
+    /// Budgets that are now larger than needed — tighten them.
+    pub slack: Vec<String>,
+    /// Total findings seen.
+    pub total: usize,
+}
+
+impl Verdict {
+    /// Did the lint pass?
+    pub fn ok(&self) -> bool {
+        self.over_budget.is_empty()
+    }
+}
+
+/// Checks `findings` against `budgets`.
+pub fn check(findings: &[Finding], budgets: &[Budget]) -> Verdict {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for f in findings {
+        *counts
+            .entry((f.rule.to_string(), f.path.clone()))
+            .or_insert(0) += 1;
+    }
+    let mut verdict = Verdict {
+        total: findings.len(),
+        ..Verdict::default()
+    };
+    for ((rule, path), &count) in &counts {
+        let max = budgets
+            .iter()
+            .find(|b| &b.rule == rule && &b.path == path)
+            .map_or(0, |b| b.max);
+        if count > max {
+            verdict
+                .over_budget
+                .push(format!("{path}: {count} `{rule}` finding(s), budget {max}"));
+        }
+    }
+    for b in budgets {
+        let used = counts
+            .get(&(b.rule.clone(), b.path.clone()))
+            .copied()
+            .unwrap_or(0);
+        if used < b.max {
+            verdict.slack.push(format!(
+                "{}: budget {} but only {used} `{}` finding(s) — tighten",
+                b.path, b.max, b.rule
+            ));
+        }
+    }
+    verdict
+}
+
+/// Renders findings as an allowlist body (used to regenerate budgets).
+pub fn render_budgets(findings: &[Finding]) -> String {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for f in findings {
+        *counts
+            .entry((f.rule.to_string(), f.path.clone()))
+            .or_insert(0) += 1;
+    }
+    let mut out = String::new();
+    for ((rule, path), count) in counts {
+        out.push_str(&format!("{rule} {path} {count}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanctioned_expect_is_not_flagged() {
+        let mut out = Vec::new();
+        scan_file(
+            "crates/x/src/lib.rs",
+            "let a = m.get(k).expect(\"invariant: present\");\nlet b = m.get(k).expect(\"oops\");\nlet c = o.unwrap();\n",
+            &mut out,
+        );
+        let rules: Vec<_> = out.iter().map(|f| (f.rule, f.line)).collect();
+        assert_eq!(rules, vec![("unwrap-nontest", 2), ("unwrap-nontest", 3)]);
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let mut out = Vec::new();
+        scan_file(
+            "crates/x/src/lib.rs",
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { o.unwrap(); }\n}\n",
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_is_flagged_only_for_hash_bindings() {
+        let mut out = Vec::new();
+        scan_file(
+            "crates/x/src/lib.rs",
+            "struct S { m: HashMap<u32, u32>, v: Vec<u32> }\nfor x in &self.m {}\nlet k: Vec<_> = self.m.keys().collect();\nfor x in &self.v {}\n",
+            &mut out,
+        );
+        let lines: Vec<_> = out.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 3]);
+    }
+
+    #[test]
+    fn wallclock_is_flagged_outside_criterion_shim() {
+        let mut out = Vec::new();
+        scan_file("crates/x/src/lib.rs", "let t = Instant::now();\n", &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "wallclock");
+        let mut out = Vec::new();
+        scan_file(
+            "crates/criterion-shim/src/lib.rs",
+            "let t = Instant::now();\n",
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn budgets_gate_and_report_slack() {
+        let findings = vec![
+            Finding {
+                rule: "unwrap-nontest",
+                path: "crates/x/src/lib.rs".into(),
+                line: 1,
+                excerpt: "o.unwrap()".into(),
+            };
+            3
+        ];
+        let budgets = parse_allowlist("# c\nunwrap-nontest crates/x/src/lib.rs 5\n");
+        let v = check(&findings, &budgets);
+        assert!(v.ok());
+        assert_eq!(v.slack.len(), 1);
+        let tight = parse_allowlist("unwrap-nontest crates/x/src/lib.rs 2\n");
+        assert!(!check(&findings, &tight).ok());
+        assert!(!check(&findings, &[]).ok());
+    }
+}

@@ -1,0 +1,180 @@
+//! The `simcheck` CLI: offline analysis passes over the simulation.
+//!
+//! ```text
+//! simcheck all                  # lint + oracle sweep + audit summary (CI entry point)
+//! simcheck lint                 # source lint pass against simcheck.allow
+//! simcheck lint --print-budgets # emit current counts in allowlist format
+//! simcheck oracle [--seeds N] [--conns N] [--ops N]
+//! simcheck audit  [--seed N]    # one audited run; prints live check counts
+//! simcheck --replay <seed>      # rerun one seed; on divergence print the
+//!                               # minimal script + probe snapshot
+//! ```
+//!
+//! Exit status is non-zero on any finding, so CI can gate on it.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use simcheck::oracle::{self, Failure};
+use simcheck::script::ScriptConfig;
+use simcheck::{lint, script};
+
+/// Repository root (the workspace the binary was built from).
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn script_config(args: &[String]) -> ScriptConfig {
+    let mut cfg = ScriptConfig::default();
+    if let Some(c) = parse_flag(args, "--conns") {
+        cfg.conns = (c as usize).max(1);
+    }
+    if let Some(o) = parse_flag(args, "--ops") {
+        cfg.ops = o as usize;
+    }
+    cfg
+}
+
+fn run_lint(root: &Path, print_budgets: bool) -> bool {
+    let findings = lint::scan(root);
+    if print_budgets {
+        print!("{}", lint::render_budgets(&findings));
+        return true;
+    }
+    let allow_path = root.join("simcheck.allow");
+    let allow_text = std::fs::read_to_string(&allow_path).unwrap_or_default();
+    let budgets = lint::parse_allowlist(&allow_text);
+    let verdict = lint::check(&findings, &budgets);
+    println!(
+        "lint: {} finding(s) across {} budget line(s)",
+        verdict.total,
+        budgets.len()
+    );
+    if !verdict.ok() {
+        println!("lint: FAIL — findings beyond the simcheck.allow budget:");
+        for v in &verdict.over_budget {
+            println!("  {v}");
+        }
+        // Per-site detail so the offending lines are actionable.
+        for f in &findings {
+            println!("  {f}");
+        }
+        return false;
+    }
+    for s in &verdict.slack {
+        println!("lint: note — {s}");
+    }
+    println!("lint: OK (no findings outside the allowlist)");
+    true
+}
+
+fn run_oracle(args: &[String]) -> bool {
+    let seeds = parse_flag(args, "--seeds").unwrap_or(25);
+    let cfg = script_config(args);
+    match oracle::sweep(0..seeds, cfg, false) {
+        Ok(stats) => {
+            println!(
+                "oracle: OK — {seeds} seed(s), {} op(s), {} boundarie(s) compared, \
+                 {} audit check(s), {} lock acquisition(s)",
+                stats.ops, stats.boundaries, stats.audit_checks, stats.lock_acquisitions
+            );
+            true
+        }
+        Err(failure) => {
+            println!("oracle: FAIL");
+            print!("{}", oracle::render_failure(&failure));
+            println!(
+                "replay with: cargo run -p simcheck -- --replay {}",
+                failure.seed
+            );
+            false
+        }
+    }
+}
+
+fn run_audit(args: &[String]) -> bool {
+    let seed = parse_flag(args, "--seed").unwrap_or(0);
+    let cfg = script_config(args);
+    match oracle::run_seed(seed, cfg, false) {
+        Ok(stats) => {
+            println!(
+                "audit: OK — seed {seed}: {} invariant check(s) live, {} lock acquisition(s), \
+                 0 order violations",
+                stats.audit_checks, stats.lock_acquisitions
+            );
+            stats.audit_checks > 0
+        }
+        Err(Failure::Divergence(d)) => {
+            println!(
+                "audit: FAIL — lanes diverged at op {} ({})",
+                d.op_index, d.lane
+            );
+            false
+        }
+        Err(Failure::LockOrder { lane, detail }) => {
+            println!("audit: FAIL — lock order violation in `{lane}`: {detail}");
+            false
+        }
+    }
+}
+
+fn run_replay(seed: u64, args: &[String]) -> bool {
+    let cfg = script_config(args);
+    match oracle::run_seed(seed, cfg, false) {
+        Ok(stats) => {
+            println!(
+                "replay: seed {seed} passes ({} boundarie(s) compared); script:",
+                stats.boundaries
+            );
+            print!("{}", script::render(&script::generate(seed, cfg)));
+            true
+        }
+        Err(_) => {
+            let failure = oracle::shrink_failure(seed, cfg, false);
+            print!("{}", oracle::render_failure(&failure));
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let ok = match cmd {
+        "lint" => run_lint(&repo_root(), args.iter().any(|a| a == "--print-budgets")),
+        "oracle" => run_oracle(&args),
+        "audit" => run_audit(&args),
+        "--replay" => match args.get(1).and_then(|s| s.parse().ok()) {
+            Some(seed) => run_replay(seed, &args),
+            None => {
+                eprintln!("usage: simcheck --replay <seed>");
+                false
+            }
+        },
+        "all" => {
+            let lint_ok = run_lint(&repo_root(), false);
+            let oracle_ok = run_oracle(&args);
+            let audit_ok = run_audit(&args);
+            lint_ok && oracle_ok && audit_ok
+        }
+        other => {
+            eprintln!("unknown command `{other}`; see src/main.rs docs for usage");
+            false
+        }
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,71 @@
+//! Acceptance test for the differential oracle: a deliberately injected
+//! bug — `/dev/poll` serving cached poll results without revalidating
+//! them (the exact bug class §3.2's "results … have to be reevaluated
+//! each time" warns about) — must be caught by lane divergence and
+//! shrunk to a minimal reproducing script.
+//!
+//! The bug is injected through `DevPollRegistry::testhook_skip_revalidation`,
+//! a doc-hidden hook that bypasses the runtime auditor too, so only the
+//! differential comparison can catch it — which is the point.
+
+use simcheck::oracle::{self, Failure};
+use simcheck::script::{Op, ScriptConfig};
+
+const CFG: ScriptConfig = ScriptConfig { conns: 4, ops: 30 };
+const SEEDS: u64 = 40;
+
+#[test]
+fn clean_build_passes_the_sweep() {
+    let stats = oracle::sweep(0..10, CFG, false).unwrap_or_else(|f| {
+        panic!(
+            "clean backends must agree on every boundary:\n{}",
+            oracle::render_failure(&f)
+        )
+    });
+    assert!(stats.boundaries > 0, "sweep must compare real boundaries");
+    assert!(stats.audit_checks > 0, "invariant auditor must be live");
+}
+
+#[test]
+fn skipped_revalidation_is_caught_and_shrunk() {
+    // Some seed in a bounded sweep must expose the stale-cache bug...
+    let failure = oracle::sweep(0..SEEDS, CFG, true)
+        .expect_err("a bounded sweep must catch the injected stale-cache bug");
+
+    // ...in a /dev/poll lane (the hook only affects cached results, and
+    // only the hinted+cached configuration serves them).
+    let Failure::Divergence(d) = &failure.failure else {
+        panic!("expected a lane divergence, got {:?}", failure.failure);
+    };
+    assert_eq!(
+        d.lane, "devpoll",
+        "stale cached results are a devpoll-lane bug"
+    );
+
+    // The shrunk script must still fail, be no longer than the
+    // generated one, and end at a Poll boundary where the stale result
+    // shows up.
+    let full_len = simcheck::script::generate(failure.seed, CFG).len();
+    assert!(failure.minimal.len() <= full_len);
+    assert!(
+        failure.minimal.len() < full_len,
+        "shrinking should drop at least some of the {full_len} ops"
+    );
+    assert!(
+        failure.minimal.contains(&Op::Poll),
+        "a divergence needs a comparison boundary"
+    );
+    assert!(
+        oracle::run_script(&failure.minimal, CFG.conns, true).is_err(),
+        "the minimal script must still reproduce the divergence"
+    );
+    assert!(
+        oracle::run_script(&failure.minimal, CFG.conns, false).is_ok(),
+        "the minimal script must pass once the bug is removed"
+    );
+
+    // The report names the stale extra readiness: the devpoll lane
+    // claims more (or different) readiness than the rescanning
+    // reference.
+    assert_ne!(d.expected, d.got);
+}

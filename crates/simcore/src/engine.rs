@@ -209,7 +209,10 @@ impl<S> Engine<S> {
     pub fn next_due(&mut self) -> Option<SimTime> {
         while let Some(Reverse(ev)) = self.queue.peek() {
             if self.cancelled.contains(&ev.id) {
-                let Reverse(ev) = self.queue.pop().expect("peeked entry vanished");
+                let Reverse(ev) = self
+                    .queue
+                    .pop()
+                    .expect("invariant: peeked entry still queued");
                 self.cancelled.remove(&ev.id);
                 continue;
             }

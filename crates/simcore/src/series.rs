@@ -95,7 +95,7 @@ impl Figure {
             .iter()
             .flat_map(|s| s.points.iter().map(|p| p.x))
             .collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("x must not be NaN"));
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("invariant: x must not be NaN"));
         xs.dedup();
 
         let mut out = String::new();
@@ -160,7 +160,7 @@ impl Figure {
         let _ = writeln!(out, "y: {} (max {:.1})", self.y_label, y_max);
         for row in &grid {
             out.push('|');
-            out.push_str(core::str::from_utf8(row).expect("ASCII grid"));
+            out.push_str(core::str::from_utf8(row).expect("invariant: grid rows are ASCII"));
             out.push('\n');
         }
         out.push('+');

@@ -143,7 +143,7 @@ impl Quantiles {
     fn ensure_sorted(&mut self) {
         if !self.sorted {
             self.xs
-                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN filtered on add"));
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("invariant: NaN filtered on add"));
             self.sorted = true;
         }
     }

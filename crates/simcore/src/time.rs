@@ -95,7 +95,7 @@ impl SimTime {
         SimDuration(
             self.0
                 .checked_sub(earlier.0)
-                .expect("duration_since: `earlier` is later than `self`"),
+                .expect("invariant: duration_since needs `earlier` <= `self`"),
         )
     }
 

@@ -22,6 +22,7 @@
 //! written after a cheap scan — the causal chain behind every saturation
 //! curve in the paper.
 
+use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::collections::HashSet;
 
@@ -119,7 +120,9 @@ pub struct Kernel {
     host: simnet::HostId,
     cost: CostModel,
     cpu: Cpu,
-    procs: HashMap<Pid, Process>,
+    /// Ordered by pid so [`Kernel::advance`] surfaces `ProcRunnable`
+    /// events in a deterministic order.
+    procs: BTreeMap<Pid, Process>,
     next_pid: Pid,
     ep_owner: HashMap<EndpointId, (Pid, Fd)>,
     listener_owner: HashMap<ListenerId, Vec<(Pid, Fd)>>,
@@ -149,7 +152,7 @@ impl Kernel {
             host,
             cost,
             cpu: Cpu::new(),
-            procs: HashMap::new(),
+            procs: BTreeMap::new(),
             next_pid: 1,
             ep_owner: HashMap::new(),
             listener_owner: HashMap::new(),
@@ -232,12 +235,16 @@ impl Kernel {
     }
 
     fn proc_mut(&mut self, pid: Pid) -> &mut Process {
-        self.procs.get_mut(&pid).expect("unknown pid")
+        self.procs
+            .get_mut(&pid)
+            .expect("invariant: pid was returned by spawn and never reaped")
     }
 
     /// Read-only access to a process (tests and diagnostics).
     pub fn process(&self, pid: Pid) -> &Process {
-        self.procs.get(&pid).expect("unknown pid")
+        self.procs
+            .get(&pid)
+            .expect("invariant: pid was returned by spawn and never reaped")
     }
 
     /// Starts accumulating a batch for `pid`.
@@ -256,13 +263,19 @@ impl Kernel {
     /// Adds `cost` to the in-progress batch.
     pub fn charge(&mut self, pid: Pid, cost: SimDuration) {
         let p = self.proc_mut(pid);
-        let acc = p.batch_acc.as_mut().expect("charge outside a batch");
+        let acc = p
+            .batch_acc
+            .as_mut()
+            .expect("invariant: charge happens between begin_batch and end_batch");
         *acc += cost;
     }
 
     /// The batch's virtual now: start time plus cost accumulated so far.
     pub fn vnow(&self, now: SimTime, pid: Pid) -> SimTime {
-        let p = self.procs.get(&pid).expect("unknown pid");
+        let p = self
+            .procs
+            .get(&pid)
+            .expect("invariant: pid was returned by spawn and never reaped");
         now + p.batch_acc.unwrap_or(SimDuration::ZERO)
     }
 
@@ -282,7 +295,10 @@ impl Kernel {
     ) -> SimTime {
         let done = {
             let p = self.proc_mut(pid);
-            let work = p.batch_acc.take().expect("no batch in progress");
+            let work = p
+                .batch_acc
+                .take()
+                .expect("invariant: end_batch_sleep closes a batch begin_batch opened");
             let done = self.cpu.run_process(now, work);
             let p = self.proc_mut(pid);
             p.state = ProcState::Running {
@@ -298,7 +314,10 @@ impl Kernel {
 
     fn finish_batch(&mut self, now: SimTime, pid: Pid, then: AfterBatch) -> SimTime {
         let p = self.proc_mut(pid);
-        let work = p.batch_acc.take().expect("no batch in progress");
+        let work = p
+            .batch_acc
+            .take()
+            .expect("invariant: finish_batch closes a batch begin_batch opened");
         let done = self.cpu.run_process(now, work);
         let p = self.proc_mut(pid);
         p.state = ProcState::Running { until: done, then };
@@ -349,7 +368,10 @@ impl Kernel {
     pub fn advance(&mut self, now: SimTime) -> Vec<KernelEvent> {
         let pids: Vec<Pid> = self.procs.keys().copied().collect();
         for pid in pids {
-            let p = self.procs.get_mut(&pid).expect("pid listed");
+            let p = self
+                .procs
+                .get_mut(&pid)
+                .expect("invariant: pid collected from the map one line up");
             match p.state {
                 ProcState::Running { until, then } if until <= now => match then {
                     AfterBatch::Yield => {
@@ -417,6 +439,13 @@ impl Kernel {
     /// Number of active watcher registrations for `pid`.
     pub fn watch_count(&self, pid: Pid) -> usize {
         self.watchers.get(&pid).map_or(0, |s| s.len())
+    }
+
+    /// Whether `fd` is registered to wake `pid` (the backmapping-list
+    /// membership question the `/dev/poll` invariant auditor asks after
+    /// every `POLLREMOVE`).
+    pub fn is_watched(&self, pid: Pid, fd: Fd) -> bool {
+        self.watchers.get(&pid).is_some_and(|s| s.contains(&fd))
     }
 
     // ------------------------------------------------------------------

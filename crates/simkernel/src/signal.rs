@@ -115,7 +115,7 @@ impl SignalState {
             });
         }
         let (&signo, q) = self.queues.iter_mut().next()?;
-        let info = q.pop_front().expect("non-empty queues only");
+        let info = q.pop_front().expect("invariant: non-empty queues only");
         if q.is_empty() {
             self.queues.remove(&signo);
         }

@@ -266,7 +266,10 @@ impl Network {
                 break;
             }
             self.timers.pop();
-            let body = self.timer_bodies.remove(&id).expect("timer body");
+            let body = self
+                .timer_bodies
+                .remove(&id)
+                .expect("invariant: armed timers keep their bodies");
             match body {
                 Timer::Deliver(seg) => self.deliver(t, seg),
                 Timer::Rto { conn, side } => self.rto_fire(t, conn, side),
@@ -598,7 +601,10 @@ impl Network {
             self.transmit(now, seg);
             return;
         };
-        let l = self.listeners.get_mut(&lid).expect("listener exists");
+        let l = self
+            .listeners
+            .get_mut(&lid)
+            .expect("invariant: accepting connections keep their listener");
         if l.syn_rcvd.len() + l.accept_q.len() >= l.backlog {
             l.refused += 1;
             self.stats.syn_drops += 1;
@@ -614,7 +620,10 @@ impl Network {
             return;
         }
         l.syn_rcvd.insert(conn_id);
-        let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+        let conn = self
+            .conns
+            .get_mut(&conn_id)
+            .expect("invariant: delivered segments reference live connections");
         conn.listener = Some(lid);
         let seg = Segment {
             conn: conn_id,
@@ -673,7 +682,10 @@ impl Network {
         }
         conn.ep_mut(Side::Server).last_progress = now;
         conn.accept_queued = true;
-        let l = self.listeners.get_mut(&lid).expect("listener exists");
+        let l = self
+            .listeners
+            .get_mut(&lid)
+            .expect("invariant: accepting connections keep their listener");
         l.syn_rcvd.remove(&conn_id);
         l.accept_q.push_back(conn_id);
         self.out.push(NetNotify::AcceptReady { listener: lid });
@@ -965,7 +977,10 @@ impl Network {
         match action {
             Action::None => {}
             Action::ConnectTimeout => {
-                let conn = self.conns.get(&conn_id).expect("checked above");
+                let conn = self
+                    .conns
+                    .get(&conn_id)
+                    .expect("invariant: existence checked above");
                 let host = conn.host(Side::Client);
                 self.out.push(NetNotify::ConnectFailed {
                     conn: conn_id,
@@ -993,7 +1008,10 @@ impl Network {
                 );
             }
             Action::ResetBoth => {
-                let conn = self.conns.get_mut(&conn_id).expect("checked above");
+                let conn = self
+                    .conns
+                    .get_mut(&conn_id)
+                    .expect("invariant: existence checked above");
                 conn.state = ConnState::Reset;
                 self.stats.conns_reset += 1;
                 self.out.push(NetNotify::ConnReset {
