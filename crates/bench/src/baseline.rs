@@ -1,0 +1,830 @@
+//! The perf baseline: a versioned, machine-readable `BENCH.json`
+//! emitted by every `figures` / `verify_repro` invocation, plus the
+//! comparator behind the `bench_gate` binary.
+//!
+//! A report records, per sweep, the shape metrics the paper plots
+//! (reply-rate summary, error percentage, latency quantiles) and a
+//! stable probe-snapshot digest per point, alongside the volatile
+//! wall-clock fields. The comparator checks a current report against
+//! the checked-in `BENCH_BASELINE.json`:
+//!
+//! * identity fields (tool, seed, config fingerprint) must match — a
+//!   mismatch means the baseline needs an intentional refresh, not a
+//!   tolerance;
+//! * shape metrics must sit within tolerances ([`GateTolerance`]);
+//! * wall-clock may only regress within a factor (opt-in, because
+//!   absolute wall time is machine-dependent);
+//! * probe digests are compared strictly only with
+//!   [`GateTolerance::strict_digest`] — any intentional behaviour
+//!   change alters digests, so by default a mismatch is a note.
+//!
+//! No serde: the schema is small and closed, so emission is `format!`
+//! and parsing is the minimal recursive-descent parser below.
+
+use std::fmt::Write as _;
+
+use crate::figures::FigureConfig;
+use httperf::RunReport;
+use simcore::probe::fnv1a;
+
+/// Schema version stamped into every report.
+pub const BENCH_VERSION: u64 = 1;
+
+/// One benchmark point: the shape metrics of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointRecord {
+    /// Targeted request rate.
+    pub rate: f64,
+    /// Reply-rate summary (avg/stddev/min/max over one-second windows).
+    pub avg: f64,
+    /// Standard deviation of the window rates.
+    pub stddev: f64,
+    /// Smallest window rate.
+    pub min: f64,
+    /// Largest window rate.
+    pub max: f64,
+    /// Errors as a percentage of attempted connections.
+    pub error_percent: f64,
+    /// Median connection time, milliseconds.
+    pub median_ms: f64,
+    /// p90 connection time, milliseconds.
+    pub p90_ms: f64,
+    /// Successful replies.
+    pub replies: u64,
+    /// Connections attempted.
+    pub attempted: u64,
+    /// Stable hex digest of the run's probe snapshot.
+    pub probe_digest: String,
+}
+
+impl PointRecord {
+    /// Extracts the record from a finished run.
+    pub fn from_report(r: &mut RunReport) -> PointRecord {
+        PointRecord {
+            rate: r.target_rate,
+            avg: r.rate.avg,
+            stddev: r.rate.stddev,
+            min: r.rate.min,
+            max: r.rate.max,
+            error_percent: r.error_percent(),
+            median_ms: r.median_latency_ms(),
+            p90_ms: r.latency_quantile_ms(0.9),
+            replies: r.replies,
+            attempted: r.attempted,
+            probe_digest: r.probe_digest_hex(),
+        }
+    }
+}
+
+/// One sweep: every point of one (server, inactive load) curve, in
+/// rate order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRecord {
+    /// Server label (`ServerKind::label`).
+    pub server: String,
+    /// Inactive connection population.
+    pub inactive: usize,
+    /// Summed per-run wall time of the sweep's points, milliseconds.
+    /// Volatile: excluded from determinism comparisons.
+    pub wall_ms: f64,
+    /// Points in ascending rate order.
+    pub points: Vec<PointRecord>,
+}
+
+/// A whole `BENCH.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_VERSION`]).
+    pub version: u64,
+    /// Producing tool (`"figures"`, `"verify_repro"`).
+    pub tool: String,
+    /// RNG seed of every run in the report.
+    pub seed: u64,
+    /// Fingerprint of the sweep configuration (rates, conns, seed).
+    pub config: String,
+    /// Worker count the harness ran with (informational).
+    pub jobs: usize,
+    /// End-to-end harness wall time, milliseconds. Volatile.
+    pub total_wall_ms: f64,
+    /// Sweeps in canonical (server, inactive) order.
+    pub sweeps: Vec<SweepRecord>,
+}
+
+/// Stable fingerprint of a sweep configuration. Two invocations with
+/// the same rates/conns/seed — and therefore comparable shape metrics —
+/// fingerprint identically.
+pub fn config_fingerprint(config: &FigureConfig) -> String {
+    let mut text = String::new();
+    for r in &config.rates {
+        let _ = write!(text, "{r},");
+    }
+    let _ = write!(text, "conns={};seed={}", config.conns, config.seed);
+    format!("{:016x}", fnv1a(text.as_bytes()))
+}
+
+impl BenchReport {
+    /// A copy with every volatile (wall-clock) field zeroed — the form
+    /// determinism tests compare byte-for-byte.
+    pub fn normalized(&self) -> BenchReport {
+        let mut out = self.clone();
+        out.total_wall_ms = 0.0;
+        out.jobs = 0;
+        for s in &mut out.sweeps {
+            s.wall_ms = 0.0;
+        }
+        out
+    }
+
+    /// Renders the document (pretty-printed, stable field order, one
+    /// point object per line).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"bench_version\": {},", self.version);
+        let _ = writeln!(out, "  \"tool\": \"{}\",", self.tool);
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"config\": \"{}\",", self.config);
+        let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(out, "  \"total_wall_ms\": {},", self.total_wall_ms);
+        let _ = writeln!(out, "  \"sweeps\": [");
+        for (i, s) in self.sweeps.iter().enumerate() {
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"server\": \"{}\",", s.server);
+            let _ = writeln!(out, "      \"inactive\": {},", s.inactive);
+            let _ = writeln!(out, "      \"wall_ms\": {},", s.wall_ms);
+            let _ = writeln!(out, "      \"points\": [");
+            for (j, p) in s.points.iter().enumerate() {
+                let comma = if j + 1 < s.points.len() { "," } else { "" };
+                let _ = writeln!(out, "        {}{comma}", point_json(p));
+            }
+            let _ = writeln!(out, "      ]");
+            let comma = if i + 1 < self.sweeps.len() { "," } else { "" };
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Parses a document emitted by [`BenchReport::to_json`] (or any
+    /// JSON matching the schema).
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let value = Json::parse(text)?;
+        let version = value.field_u64("bench_version")?;
+        if version > BENCH_VERSION {
+            return Err(format!(
+                "bench_version {version} is newer than this gate understands ({BENCH_VERSION})"
+            ));
+        }
+        let mut sweeps = Vec::new();
+        for sv in value.field_array("sweeps")? {
+            let mut points = Vec::new();
+            for pv in sv.field_array("points")? {
+                points.push(PointRecord {
+                    rate: pv.field_f64("rate")?,
+                    avg: pv.field_f64("avg")?,
+                    stddev: pv.field_f64("stddev")?,
+                    min: pv.field_f64("min")?,
+                    max: pv.field_f64("max")?,
+                    error_percent: pv.field_f64("error_percent")?,
+                    median_ms: pv.field_f64("median_ms")?,
+                    p90_ms: pv.field_f64("p90_ms")?,
+                    replies: pv.field_u64("replies")?,
+                    attempted: pv.field_u64("attempted")?,
+                    probe_digest: pv.field_str("probe_digest")?.to_string(),
+                });
+            }
+            sweeps.push(SweepRecord {
+                server: sv.field_str("server")?.to_string(),
+                inactive: sv.field_u64("inactive")? as usize,
+                wall_ms: sv.field_f64("wall_ms")?,
+                points,
+            });
+        }
+        Ok(BenchReport {
+            version,
+            tool: value.field_str("tool")?.to_string(),
+            seed: value.field_u64("seed")?,
+            config: value.field_str("config")?.to_string(),
+            jobs: value.field_u64("jobs")? as usize,
+            total_wall_ms: value.field_f64("total_wall_ms")?,
+            sweeps,
+        })
+    }
+}
+
+fn point_json(p: &PointRecord) -> String {
+    format!(
+        "{{\"rate\":{},\"avg\":{},\"stddev\":{},\"min\":{},\"max\":{},\
+         \"error_percent\":{},\"median_ms\":{},\"p90_ms\":{},\
+         \"replies\":{},\"attempted\":{},\"probe_digest\":\"{}\"}}",
+        p.rate,
+        p.avg,
+        p.stddev,
+        p.min,
+        p.max,
+        p.error_percent,
+        p.median_ms,
+        p.p90_ms,
+        p.replies,
+        p.attempted,
+        p.probe_digest,
+    )
+}
+
+/// Groups finished runs (with their per-run wall times) into
+/// [`SweepRecord`]s in canonical (server, inactive) order, points
+/// sorted by rate — the folding `verify_repro` uses, where the run grid
+/// is scattered rather than a clean rate sweep.
+pub fn group_runs(mut runs: Vec<(RunReport, f64)>) -> Vec<SweepRecord> {
+    runs.sort_by(|(a, _), (b, _)| {
+        (a.server.as_str(), a.inactive)
+            .cmp(&(b.server.as_str(), b.inactive))
+            .then(a.target_rate.total_cmp(&b.target_rate))
+    });
+    let mut sweeps: Vec<SweepRecord> = Vec::new();
+    for (mut report, wall) in runs {
+        let point = PointRecord::from_report(&mut report);
+        match sweeps.last_mut() {
+            Some(s) if s.server == report.server && s.inactive == report.inactive => {
+                s.wall_ms += wall;
+                s.points.push(point);
+            }
+            _ => sweeps.push(SweepRecord {
+                server: report.server.clone(),
+                inactive: report.inactive,
+                wall_ms: wall,
+                points: vec![point],
+            }),
+        }
+    }
+    sweeps
+}
+
+// ---------------------------------------------------------------------
+// Gate comparison
+// ---------------------------------------------------------------------
+
+/// Drift tolerances for the benchmark gate.
+#[derive(Debug, Clone)]
+pub struct GateTolerance {
+    /// Relative tolerance on average reply rate.
+    pub rate_rel: f64,
+    /// Absolute tolerance on error percentage (points).
+    pub err_abs: f64,
+    /// Relative tolerance on median/p90 latency (with a floor, below
+    /// which sub-millisecond jitter is ignored).
+    pub latency_rel: f64,
+    /// Latency floor, milliseconds: differences where both sides sit
+    /// under this are never violations.
+    pub latency_floor_ms: f64,
+    /// Fail when `current.total_wall_ms > factor * baseline`. `None`
+    /// disables the wall gate (wall time is machine-dependent).
+    pub wall_factor: Option<f64>,
+    /// Treat probe-digest mismatches as violations instead of notes.
+    pub strict_digest: bool,
+}
+
+impl Default for GateTolerance {
+    fn default() -> GateTolerance {
+        GateTolerance {
+            rate_rel: 0.10,
+            err_abs: 5.0,
+            latency_rel: 0.50,
+            latency_floor_ms: 1.0,
+            wall_factor: None,
+            strict_digest: false,
+        }
+    }
+}
+
+/// The comparator's verdict.
+#[derive(Debug, Clone, Default)]
+pub struct GateOutcome {
+    /// Failures: any entry makes the gate red.
+    pub violations: Vec<String>,
+    /// Informational drift (e.g. digest changes under the default
+    /// tolerance).
+    pub notes: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Green?
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn rel_diff(current: f64, base: f64) -> f64 {
+    (current - base).abs() / base.abs().max(1.0)
+}
+
+/// Compares a current report against the baseline.
+pub fn compare(baseline: &BenchReport, current: &BenchReport, tol: &GateTolerance) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    let refresh_hint = "refresh BENCH_BASELINE.json intentionally (see EXPERIMENTS.md)";
+
+    if baseline.tool != current.tool {
+        out.violations.push(format!(
+            "tool mismatch: baseline {:?} vs current {:?} — {refresh_hint}",
+            baseline.tool, current.tool
+        ));
+    }
+    if baseline.seed != current.seed {
+        out.violations.push(format!(
+            "seed mismatch: baseline {} vs current {} — {refresh_hint}",
+            baseline.seed, current.seed
+        ));
+    }
+    if baseline.config != current.config {
+        out.violations.push(format!(
+            "config fingerprint mismatch: baseline {} vs current {} — the sweep \
+             grid changed; {refresh_hint}",
+            baseline.config, current.config
+        ));
+    }
+    if !out.violations.is_empty() {
+        // Identity mismatches make metric comparison meaningless.
+        return out;
+    }
+
+    for base_sweep in &baseline.sweeps {
+        let Some(cur_sweep) = current
+            .sweeps
+            .iter()
+            .find(|s| s.server == base_sweep.server && s.inactive == base_sweep.inactive)
+        else {
+            out.violations.push(format!(
+                "sweep {}/load {} present in baseline but missing from current report",
+                base_sweep.server, base_sweep.inactive
+            ));
+            continue;
+        };
+        compare_sweep(base_sweep, cur_sweep, tol, &mut out);
+    }
+    for cur_sweep in &current.sweeps {
+        if !baseline
+            .sweeps
+            .iter()
+            .any(|s| s.server == cur_sweep.server && s.inactive == cur_sweep.inactive)
+        {
+            out.notes.push(format!(
+                "sweep {}/load {} is new (absent from baseline)",
+                cur_sweep.server, cur_sweep.inactive
+            ));
+        }
+    }
+
+    if let Some(factor) = tol.wall_factor {
+        if baseline.total_wall_ms > 0.0 && current.total_wall_ms > factor * baseline.total_wall_ms {
+            out.violations.push(format!(
+                "wall-clock regression: {:.0} ms vs baseline {:.0} ms (limit {factor}x)",
+                current.total_wall_ms, baseline.total_wall_ms
+            ));
+        }
+    }
+    out
+}
+
+fn compare_sweep(
+    base: &SweepRecord,
+    cur: &SweepRecord,
+    tol: &GateTolerance,
+    out: &mut GateOutcome,
+) {
+    let ctx = format!("{}/load {}", base.server, base.inactive);
+    if base.points.len() != cur.points.len() {
+        out.violations.push(format!(
+            "{ctx}: point count changed ({} -> {})",
+            base.points.len(),
+            cur.points.len()
+        ));
+        return;
+    }
+    for (bp, cp) in base.points.iter().zip(&cur.points) {
+        if bp.rate != cp.rate {
+            out.violations.push(format!(
+                "{ctx}: rate grid changed ({} -> {})",
+                bp.rate, cp.rate
+            ));
+            continue;
+        }
+        let at = format!("{ctx} rate {}", bp.rate);
+        if rel_diff(cp.avg, bp.avg) > tol.rate_rel {
+            out.violations.push(format!(
+                "{at}: avg reply rate {:.1} drifted from baseline {:.1} (> {:.0}%)",
+                cp.avg,
+                bp.avg,
+                tol.rate_rel * 100.0
+            ));
+        }
+        if (cp.error_percent - bp.error_percent).abs() > tol.err_abs {
+            out.violations.push(format!(
+                "{at}: error rate {:.1}% drifted from baseline {:.1}% (> {} points)",
+                cp.error_percent, bp.error_percent, tol.err_abs
+            ));
+        }
+        for (name, c, b) in [
+            ("median latency", cp.median_ms, bp.median_ms),
+            ("p90 latency", cp.p90_ms, bp.p90_ms),
+        ] {
+            let floored = c.max(b) >= tol.latency_floor_ms;
+            if floored && rel_diff(c, b) > tol.latency_rel {
+                out.violations.push(format!(
+                    "{at}: {name} {c:.2} ms drifted from baseline {b:.2} ms (> {:.0}%)",
+                    tol.latency_rel * 100.0
+                ));
+            }
+        }
+        if bp.probe_digest != cp.probe_digest {
+            let msg = format!(
+                "{at}: probe digest {} differs from baseline {}",
+                cp.probe_digest, bp.probe_digest
+            );
+            if tol.strict_digest {
+                out.violations.push(msg);
+            } else {
+                out.notes.push(msg);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parsing (the schema above only)
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are kept as `f64`; the schema never
+/// stores integers above 2^53.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one complete JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn field(&self, key: &str) -> Result<&Json, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    }
+
+    fn field_f64(&self, key: &str) -> Result<f64, String> {
+        match self.field(key)? {
+            Json::Num(n) => Ok(*n),
+            other => Err(format!("field {key:?} is not a number: {other:?}")),
+        }
+    }
+
+    fn field_u64(&self, key: &str) -> Result<u64, String> {
+        let n = self.field_f64(key)?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(format!("field {key:?} is not a non-negative integer: {n}"));
+        }
+        Ok(n as u64)
+    }
+
+    fn field_str(&self, key: &str) -> Result<&str, String> {
+        match self.field(key)? {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("field {key:?} is not a string: {other:?}")),
+        }
+    }
+
+    fn field_array(&self, key: &str) -> Result<&[Json], String> {
+        match self.field(key)? {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("field {key:?} is not an array: {other:?}")),
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at byte {} (found {:?})",
+            want as char,
+            *pos,
+            bytes.get(*pos).map(|&b| b as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(&b) => {
+                // Multi-byte UTF-8 sequences pass through unchanged.
+                let ch_len = match b {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = bytes
+                    .get(*pos..*pos + ch_len)
+                    .ok_or("truncated UTF-8 sequence")?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                *pos += ch_len;
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect_byte(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            other => return Err(format!("expected ',' or ']' (found {other:?})")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect_byte(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect_byte(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            other => return Err(format!("expected ',' or '}}' (found {other:?})")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            version: BENCH_VERSION,
+            tool: "figures".into(),
+            seed: 42,
+            config: "deadbeefdeadbeef".into(),
+            jobs: 4,
+            total_wall_ms: 1234.5,
+            sweeps: vec![SweepRecord {
+                server: "poll".into(),
+                inactive: 251,
+                wall_ms: 600.25,
+                points: vec![PointRecord {
+                    rate: 700.0,
+                    avg: 699.5,
+                    stddev: 2.25,
+                    min: 690.0,
+                    max: 705.0,
+                    error_percent: 0.5,
+                    median_ms: 13.75,
+                    p90_ms: 21.5,
+                    replies: 5960,
+                    attempted: 6000,
+                    probe_digest: "0123456789abcdef".into(),
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let report = sample_report();
+        let parsed = BenchReport::from_json(&report.to_json()).expect("roundtrip parses");
+        assert_eq!(parsed, report);
+        // And the rendered form itself is a fixed point.
+        assert_eq!(parsed.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn normalization_zeroes_only_volatile_fields() {
+        let report = sample_report();
+        let norm = report.normalized();
+        assert_eq!(norm.total_wall_ms, 0.0);
+        assert_eq!(norm.jobs, 0);
+        assert_eq!(norm.sweeps[0].wall_ms, 0.0);
+        assert_eq!(norm.sweeps[0].points, report.sweeps[0].points);
+    }
+
+    #[test]
+    fn gate_green_on_identical_reports() {
+        let report = sample_report();
+        let outcome = compare(&report, &report, &GateTolerance::default());
+        assert!(outcome.ok(), "{:?}", outcome.violations);
+        assert!(outcome.notes.is_empty());
+    }
+
+    #[test]
+    fn gate_red_on_rate_drift_and_missing_sweep() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.sweeps[0].points[0].avg *= 0.8; // 20% > 10% tolerance
+        let outcome = compare(&base, &cur, &GateTolerance::default());
+        assert_eq!(outcome.violations.len(), 1);
+        assert!(outcome.violations[0].contains("avg reply rate"));
+
+        let mut empty = base.clone();
+        empty.sweeps.clear();
+        let outcome = compare(&base, &empty, &GateTolerance::default());
+        assert!(outcome
+            .violations
+            .iter()
+            .any(|v| v.contains("missing from current")));
+    }
+
+    #[test]
+    fn gate_identity_mismatch_short_circuits() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.seed = 7;
+        cur.sweeps[0].points[0].avg = 0.0; // would violate, but identity wins
+        let outcome = compare(&base, &cur, &GateTolerance::default());
+        assert_eq!(outcome.violations.len(), 1);
+        assert!(outcome.violations[0].contains("seed mismatch"));
+    }
+
+    #[test]
+    fn gate_digest_strictness_and_wall_factor() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.sweeps[0].points[0].probe_digest = "ffffffffffffffff".into();
+        cur.total_wall_ms = base.total_wall_ms * 20.0;
+
+        let default_tol = GateTolerance::default();
+        let outcome = compare(&base, &cur, &default_tol);
+        assert!(outcome.ok());
+        assert_eq!(outcome.notes.len(), 1);
+
+        let strict = GateTolerance {
+            strict_digest: true,
+            wall_factor: Some(10.0),
+            ..GateTolerance::default()
+        };
+        let outcome = compare(&base, &cur, &strict);
+        assert_eq!(outcome.violations.len(), 2);
+    }
+
+    #[test]
+    fn latency_floor_suppresses_submillisecond_jitter() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        // Both sides under the 1 ms floor: a 3x relative change is noise.
+        let mut b2 = base.clone();
+        b2.sweeps[0].points[0].median_ms = 0.2;
+        b2.sweeps[0].points[0].p90_ms = 0.3;
+        cur.sweeps[0].points[0].median_ms = 0.6;
+        cur.sweeps[0].points[0].p90_ms = 0.9;
+        assert!(compare(&b2, &cur, &GateTolerance::default()).ok());
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_the_grid() {
+        let quick = FigureConfig::quick();
+        let full = FigureConfig::default();
+        assert_ne!(config_fingerprint(&quick), config_fingerprint(&full));
+        assert_eq!(config_fingerprint(&quick), config_fingerprint(&quick));
+        let mut reseeded = FigureConfig::quick();
+        reseeded.seed = 43;
+        assert_ne!(config_fingerprint(&quick), config_fingerprint(&reseeded));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("{} extra").is_err());
+        assert!(BenchReport::from_json("{\"bench_version\": 999}").is_err());
+    }
+}

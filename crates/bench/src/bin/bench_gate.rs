@@ -1,0 +1,111 @@
+//! The CI benchmark gate: compares a freshly emitted `BENCH.json`
+//! against the checked-in `BENCH_BASELINE.json` and exits non-zero on
+//! drift.
+//!
+//! ```text
+//! bench_gate [--baseline FILE] [--current FILE] [--rate-tol F]
+//!            [--err-tol F] [--latency-tol F] [--wall-factor F]
+//!            [--strict-digest]
+//! ```
+//!
+//! Defaults: baseline `BENCH_BASELINE.json`, current `BENCH.json`,
+//! tolerances from `bench::GateTolerance::default()` (10% reply rate,
+//! 5 error points, 50% latency above a 1 ms floor), no wall gate.
+//! Intentional perf/behaviour changes are shipped by refreshing the
+//! baseline in the same commit — see EXPERIMENTS.md "Benchmark gate".
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::{compare, BenchReport, GateTolerance};
+
+fn main() -> ExitCode {
+    let mut baseline_path = PathBuf::from("BENCH_BASELINE.json");
+    let mut current_path = PathBuf::from("BENCH.json");
+    let mut tol = GateTolerance::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--baseline" => baseline_path = PathBuf::from(val("--baseline")),
+            "--current" => current_path = PathBuf::from(val("--current")),
+            "--rate-tol" => tol.rate_rel = parse_f64("--rate-tol", &val("--rate-tol")),
+            "--err-tol" => tol.err_abs = parse_f64("--err-tol", &val("--err-tol")),
+            "--latency-tol" => tol.latency_rel = parse_f64("--latency-tol", &val("--latency-tol")),
+            "--wall-factor" => {
+                tol.wall_factor = Some(parse_f64("--wall-factor", &val("--wall-factor")))
+            }
+            "--strict-digest" => tol.strict_digest = true,
+            other => {
+                eprintln!("unknown flag {other:?}; see src/bin/bench_gate.rs docs");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let baseline = match load(&baseline_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "bench_gate: cannot load baseline {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let current = match load(&current_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "bench_gate: cannot load current {}: {e}",
+                current_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "bench_gate: {} ({} sweeps) vs baseline {} ({} sweeps)",
+        current_path.display(),
+        current.sweeps.len(),
+        baseline_path.display(),
+        baseline.sweeps.len()
+    );
+    let outcome = compare(&baseline, &current, &tol);
+    for note in &outcome.notes {
+        println!("NOTE  {note}");
+    }
+    for violation in &outcome.violations {
+        println!("FAIL  {violation}");
+    }
+    if outcome.ok() {
+        println!(
+            "bench_gate: OK — {} sweep(s) within tolerance ({} note(s))",
+            baseline.sweeps.len(),
+            outcome.notes.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bench_gate: RED — {} violation(s). If this change is intentional, \
+             refresh BENCH_BASELINE.json (see EXPERIMENTS.md).",
+            outcome.violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn load(path: &std::path::Path) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    BenchReport::from_json(&text)
+}
+
+fn parse_f64(flag: &str, value: &str) -> f64 {
+    value
+        .parse()
+        .unwrap_or_else(|_| panic!("{flag} must be a number, got {value:?}"))
+}

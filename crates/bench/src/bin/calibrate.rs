@@ -1,12 +1,31 @@
 //! Quick calibration sweep: prints avg/min/max reply rate, error %, and
 //! median latency for each (server, rate, inactive) point so the cost
 //! model can be tuned against the paper's Figs. 4–14.
+//!
+//! ```text
+//! cargo run --release -p bench --bin calibrate [CONNS] [--jobs N]
+//! ```
+//!
+//! Points fan out over the sweep executor; rows print in grid order
+//! regardless of worker count.
 
+use bench::{effective_jobs, run_jobs};
 use httperf::{run_one, RunParams, ServerKind};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let conns: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4000);
+    let conns: u64 = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4000);
+    let jobs = effective_jobs(
+        args.iter()
+            .position(|a| a == "--jobs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok()),
+    );
     let kinds = [
         ServerKind::ThttpdPoll,
         ServerKind::ThttpdDevPoll,
@@ -14,13 +33,22 @@ fn main() {
     ];
     let loads = [1usize, 251, 501];
     let rates = [500.0, 600.0, 700.0, 800.0, 900.0, 1000.0, 1100.0];
+
+    let mut grid = Vec::new();
     for kind in kinds {
         for &inactive in &loads {
             for &rate in &rates {
-                let params = RunParams::paper(kind, rate, inactive).with_conns(conns);
-                let mut r = run_one(params);
-                println!("{}", r.summary_line());
+                grid.push((kind, inactive, rate));
             }
+        }
+    }
+    let rows = run_jobs(jobs, &grid, |&(kind, inactive, rate)| {
+        let params = RunParams::paper(kind, rate, inactive).with_conns(conns);
+        run_one(params).summary_line()
+    });
+    for (i, row) in rows.iter().enumerate() {
+        println!("{row}");
+        if (i + 1) % rates.len() == 0 {
             println!();
         }
     }

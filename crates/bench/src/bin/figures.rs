@@ -1,23 +1,40 @@
 //! CLI for regenerating the paper's figures.
 //!
 //! ```text
-//! figures [--quick] [--conns N] [--out DIR] <target>...
+//! figures [--quick] [--conns N] [--jobs N] [--out DIR] [--bench-out FILE] <target>...
 //! targets: fig4 .. fig14 | all | hybrid | ablate-hints | ablate-mmap |
 //!          ablate-combined | ablate-batch | extensions
 //! ```
 //!
 //! Each figure is printed as an ASCII chart and written as CSV under the
-//! output directory (default `target/figures/`).
+//! output directory (default `target/figures/`). Sweeps fan out over
+//! `--jobs` worker threads (default: `BENCH_JOBS`, then the machine's
+//! parallelism); output is byte-identical at every worker count. Every
+//! invocation also writes a `BENCH.json` perf record (see
+//! `bench::baseline`) for the benchmark gate.
 
 use std::fs;
 use std::path::PathBuf;
 
-use bench::{FigureConfig, FigureRunner, PAPER_FIGURES};
+use bench::figures::{extensions_grid, paper_grid};
+use bench::{effective_jobs, FigureConfig, FigureRunner, PAPER_FIGURES};
 use simcore::series::Figure;
 
+/// Milliseconds since the first call — the monotonic clock injected
+/// into the (wall-clock-free) library for `BENCH.json` wall fields.
+fn now_ms() -> f64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_secs_f64() * 1e3
+}
+
 fn main() {
+    let started = now_ms();
     let mut config = FigureConfig::default();
     let mut out_dir = PathBuf::from("target/figures");
+    let mut bench_out = PathBuf::from("BENCH.json");
+    let mut jobs_flag: Option<usize> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
@@ -31,8 +48,15 @@ fn main() {
                 let v = args.next().expect("--seed needs a value");
                 config.seed = v.parse().expect("--seed must be an integer");
             }
+            "--jobs" => {
+                let v = args.next().expect("--jobs needs a value");
+                jobs_flag = Some(v.parse().expect("--jobs must be an integer"));
+            }
             "--out" => {
                 out_dir = PathBuf::from(args.next().expect("--out needs a value"));
+            }
+            "--bench-out" => {
+                bench_out = PathBuf::from(args.next().expect("--bench-out needs a value"));
             }
             other => targets.push(other.to_string()),
         }
@@ -40,9 +64,13 @@ fn main() {
     if targets.is_empty() {
         targets.push("all".to_string());
     }
+    let jobs = effective_jobs(jobs_flag);
 
     fs::create_dir_all(&out_dir).expect("create output dir");
-    let mut runner = FigureRunner::new(config);
+    let mut runner = FigureRunner::new(config).with_jobs(jobs).with_clock(now_ms);
+    if jobs > 1 {
+        eprintln!("[executor: {jobs} worker threads]");
+    }
 
     let emit = |name: &str, figs: Vec<Figure>| {
         for (i, fig) in figs.iter().enumerate() {
@@ -61,6 +89,9 @@ fn main() {
     for t in targets {
         match t.as_str() {
             "all" => {
+                // Fill the full 3x3 grid as one parallel batch, then
+                // build the figures from cache.
+                runner.prefetch(&paper_grid());
                 for id in PAPER_FIGURES {
                     eprintln!("== {id} ==");
                     let figs = runner.paper_figure(id);
@@ -68,6 +99,7 @@ fn main() {
                 }
             }
             "extensions" => {
+                runner.prefetch(&extensions_grid());
                 eprintln!("== hybrid ==");
                 emit("hybrid", runner.hybrid_figure(251));
                 eprintln!("== ablate-hints ==");
@@ -117,9 +149,9 @@ fn main() {
     // CSVs. These carry the mechanism counters (devpoll.driver_polls_
     // avoided, devpoll.cache_revalidations, rtsig.overflows, ...) that
     // explain the curves.
-    for (key, reports) in runner.cached_sweeps() {
-        let (label, inactive) = key;
-        let base = format!("{}_load{}", sanitize(label), inactive);
+    for (&(kind, inactive), reports) in runner.cached_sweeps() {
+        let label = kind.label();
+        let base = format!("{}_load{}", sanitize(&label), inactive);
         let mut text = String::new();
         let mut jsonl = String::new();
         for r in reports {
@@ -144,6 +176,11 @@ fn main() {
         println!("[written {}]", txt_path.display());
         println!("[written {}]", jsonl_path.display());
     }
+
+    // The perf record for the benchmark gate.
+    let report = runner.bench_report("figures", now_ms() - started);
+    fs::write(&bench_out, report.to_json()).expect("write BENCH.json");
+    println!("[written {}]", bench_out.display());
 }
 
 /// Makes a sweep label safe for a file name (`devpoll(h=0,m=1,c=0)` →

@@ -5,11 +5,14 @@
 //! benchmark sweeps; results are cached per (server, inactive-load) so
 //! `all` runs the 3×3 grid once.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use devpoll::DevPollConfig;
 use httperf::{run_one, RunParams, RunReport, ServerKind};
 use simcore::series::{Figure, Series};
+
+use crate::baseline::{config_fingerprint, BenchReport, PointRecord, SweepRecord, BENCH_VERSION};
+use crate::executor::run_jobs;
 
 /// Sweep settings shared by every figure.
 #[derive(Debug, Clone)]
@@ -43,49 +46,180 @@ impl FigureConfig {
     }
 }
 
+/// A sweep's cache identity: the server architecture and the inactive
+/// load. Typed (not the old `(String, usize)` label key) so the cache
+/// cannot alias two kinds with colliding labels and the executor can
+/// hash job identity without string formatting.
+pub type SweepKey = (ServerKind, usize);
+
 /// Runs sweeps lazily and caches them per (server kind, inactive load).
+///
+/// With `jobs > 1` (see [`FigureRunner::with_jobs`]) the run points of
+/// a sweep — and, via [`FigureRunner::prefetch`], of many sweeps — fan
+/// out over a scoped worker pool; each point is an isolated simulation
+/// world, and results are merged back in canonical (key, rate) order,
+/// so every figure, probe dump and `BENCH.json` is byte-identical to
+/// the `jobs = 1` serial path.
 pub struct FigureRunner {
     config: FigureConfig,
-    cache: BTreeMap<(String, usize), Vec<RunReport>>,
+    cache: BTreeMap<SweepKey, Vec<RunReport>>,
+    /// Summed per-run wall time per sweep, ms (zeros without a clock).
+    wall_ms: BTreeMap<SweepKey, f64>,
+    /// Worker threads for sweep execution.
+    jobs: usize,
+    /// Monotonic millisecond clock injected by the CLI driver; library
+    /// code never reads the wall clock itself (simulation determinism
+    /// lint), so without one all wall fields stay 0.
+    clock: Option<fn() -> f64>,
     /// Logs one line per completed run when `true`.
     pub verbose: bool,
 }
 
 impl FigureRunner {
-    /// Creates a runner.
+    /// Creates a serial runner.
     pub fn new(config: FigureConfig) -> FigureRunner {
         FigureRunner {
             config,
             cache: BTreeMap::new(),
+            wall_ms: BTreeMap::new(),
+            jobs: 1,
+            clock: None,
             verbose: true,
         }
     }
 
-    /// Every cached sweep in deterministic (label, inactive) order —
-    /// used by the CLI to dump one probe-snapshot file per sweep after
-    /// the figures are built. `BTreeMap` iteration is already key-ordered.
-    pub fn cached_sweeps(&self) -> Vec<(&(String, usize), &Vec<RunReport>)> {
+    /// Sets the worker count (floored at 1).
+    pub fn with_jobs(mut self, jobs: usize) -> FigureRunner {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Installs a monotonic millisecond clock for wall-time accounting
+    /// in `BENCH.json`. CLI drivers pass one backed by
+    /// `std::time::Instant`; tests leave it out for fully deterministic
+    /// reports.
+    pub fn with_clock(mut self, clock: fn() -> f64) -> FigureRunner {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Every cached sweep in deterministic key order — used by the CLI
+    /// to dump one probe-snapshot file per sweep after the figures are
+    /// built. `BTreeMap` iteration is already key-ordered.
+    pub fn cached_sweeps(&self) -> Vec<(&SweepKey, &Vec<RunReport>)> {
         self.cache.iter().collect()
+    }
+
+    /// Runs every not-yet-cached sweep in `keys` as one parallel batch:
+    /// all (kind, inactive, rate) points of all missing sweeps share the
+    /// worker pool, so a multi-sweep target like `all` keeps every
+    /// worker busy across sweep boundaries instead of paying a join
+    /// barrier per sweep.
+    pub fn prefetch(&mut self, keys: &[SweepKey]) {
+        let missing: Vec<SweepKey> = keys
+            .iter()
+            .copied()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .filter(|k| !self.cache.contains_key(k))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let mut points: Vec<(ServerKind, usize, f64)> = Vec::new();
+        for &(kind, inactive) in &missing {
+            for &rate in &self.config.rates {
+                points.push((kind, inactive, rate));
+            }
+        }
+        let results = self.run_points(&points);
+        let per_key = self.config.rates.len();
+        for (i, &key) in missing.iter().enumerate() {
+            let batch = &results[i * per_key..(i + 1) * per_key];
+            self.absorb_sweep(key, batch.to_vec());
+        }
     }
 
     /// The sweep for `kind` at `inactive`, cached.
     pub fn sweep(&mut self, kind: ServerKind, inactive: usize) -> &[RunReport] {
-        let key = (kind.label(), inactive);
+        let key = (kind, inactive);
         if !self.cache.contains_key(&key) {
-            let mut out = Vec::new();
-            for &rate in &self.config.rates {
-                let params = RunParams::paper(kind, rate, inactive)
-                    .with_conns(self.config.conns)
-                    .with_seed(self.config.seed);
-                let mut r = run_one(params);
-                if self.verbose {
-                    eprintln!("  {}", r.summary_line());
-                }
-                out.push(r);
-            }
-            self.cache.insert(key.clone(), out);
+            let points: Vec<(ServerKind, usize, f64)> = self
+                .config
+                .rates
+                .iter()
+                .map(|&rate| (kind, inactive, rate))
+                .collect();
+            let results = self.run_points(&points);
+            self.absorb_sweep(key, results);
         }
         &self.cache[&key]
+    }
+
+    /// Executes run points on the worker pool, returning
+    /// `(report, wall_ms, summary_line)` per point in input order.
+    fn run_points(&self, points: &[(ServerKind, usize, f64)]) -> Vec<(RunReport, f64, String)> {
+        let config = &self.config;
+        let clock = self.clock;
+        let tick = move || clock.map_or(0.0, |c| c());
+        run_jobs(self.jobs, points, |&(kind, inactive, rate)| {
+            let params = RunParams::paper(kind, rate, inactive)
+                .with_conns(config.conns)
+                .with_seed(config.seed);
+            let started = tick();
+            let mut report = run_one(params);
+            let wall = tick() - started;
+            let line = format!("  {}", report.summary_line());
+            (report, wall, line)
+        })
+    }
+
+    /// Inserts one completed sweep, logging its (already rate-ordered)
+    /// summary lines. Buffered-then-printed so stderr is identical at
+    /// every worker count.
+    fn absorb_sweep(&mut self, key: SweepKey, results: Vec<(RunReport, f64, String)>) {
+        let mut reports = Vec::with_capacity(results.len());
+        let mut wall = 0.0;
+        for (report, run_wall, line) in results {
+            if self.verbose {
+                eprintln!("{line}");
+            }
+            wall += run_wall;
+            reports.push(report);
+        }
+        self.wall_ms.insert(key, wall);
+        self.cache.insert(key, reports);
+    }
+
+    /// Folds every cached sweep into a [`BenchReport`] (see
+    /// `bench::baseline`). `total_wall_ms` is the caller-measured
+    /// end-to-end harness time; per-sweep wall fields are the summed
+    /// per-run times recorded during execution.
+    pub fn bench_report(&mut self, tool: &str, total_wall_ms: f64) -> BenchReport {
+        let mut sweeps = Vec::new();
+        for (&(kind, inactive), reports) in &mut self.cache {
+            let points = reports.iter_mut().map(PointRecord::from_report).collect();
+            sweeps.push(SweepRecord {
+                server: kind.label(),
+                inactive,
+                wall_ms: self.wall_ms.get(&(kind, inactive)).copied().unwrap_or(0.0),
+                points,
+            });
+        }
+        BenchReport {
+            version: BENCH_VERSION,
+            tool: tool.to_string(),
+            seed: self.config.seed,
+            config: config_fingerprint(&self.config),
+            jobs: self.jobs,
+            total_wall_ms,
+            sweeps,
+        }
     }
 
     /// Reply-rate figure (avg with stddev error bars, min, max) — the
@@ -599,3 +733,72 @@ impl FigureRunner {
 pub const PAPER_FIGURES: &[&str] = &[
     "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 ];
+
+/// The sweep grid behind `figures -- all`: three server architectures
+/// crossed with the paper's three inactive loads (Figs. 4–14). Handing
+/// this to [`FigureRunner::prefetch`] lets the executor fill the whole
+/// grid in one parallel batch.
+pub fn paper_grid() -> Vec<SweepKey> {
+    let mut keys = Vec::new();
+    for kind in [
+        ServerKind::ThttpdPoll,
+        ServerKind::ThttpdDevPoll,
+        ServerKind::Phhttpd,
+    ] {
+        for inactive in [1usize, 251, 501] {
+            keys.push((kind, inactive));
+        }
+    }
+    keys
+}
+
+/// The cached sweeps behind `figures -- extensions` (the direct-run
+/// figures — docsize, sendfile, loss — manage their own points and are
+/// not prefetchable).
+pub fn extensions_grid() -> Vec<SweepKey> {
+    use simkernel::AcceptWake;
+    let no_hints = ServerKind::ThttpdDevPollWith {
+        config: DevPollConfig {
+            hints: false,
+            ..DevPollConfig::default()
+        },
+        mmap: true,
+        combined: false,
+    };
+    let no_mmap = ServerKind::ThttpdDevPollWith {
+        config: DevPollConfig::default(),
+        mmap: false,
+        combined: false,
+    };
+    let combined = ServerKind::ThttpdDevPollWith {
+        config: DevPollConfig::default(),
+        mmap: true,
+        combined: true,
+    };
+    vec![
+        (ServerKind::Hybrid, 251),
+        (ServerKind::ThttpdDevPoll, 251),
+        (ServerKind::Phhttpd, 251),
+        (ServerKind::ThttpdDevPoll, 501),
+        (no_hints, 501),
+        (no_mmap, 501),
+        (combined, 501),
+        (ServerKind::PhhttpdBatch(16), 251),
+        (
+            ServerKind::PreforkDevPoll {
+                workers: 4,
+                wake: AcceptWake::Herd,
+            },
+            251,
+        ),
+        (
+            ServerKind::PreforkDevPoll {
+                workers: 4,
+                wake: AcceptWake::Exclusive,
+            },
+            251,
+        ),
+        (ServerKind::ThttpdSelect, 251),
+        (ServerKind::ThttpdPoll, 251),
+    ]
+}

@@ -4,12 +4,31 @@
 //! * [`figures`] — regenerates every table/figure of §5 (Figs. 4–14)
 //!   plus the hybrid-server extension and the ablation studies listed in
 //!   `DESIGN.md`.
+//! * [`executor`] — the deterministic parallel sweep executor: every
+//!   (server, inactive load, request rate) point is an independent
+//!   simulation world, fanned out over a scoped worker pool
+//!   (`--jobs N` / `BENCH_JOBS`, default machine parallelism) and
+//!   merged in canonical order so output is byte-identical to `--jobs
+//!   1`.
+//! * [`baseline`] — the versioned `BENCH.json` perf record every
+//!   `figures`/`verify_repro` invocation emits, and the comparator the
+//!   `bench_gate` binary runs against the checked-in
+//!   `BENCH_BASELINE.json`.
 //! * `benches/` — Criterion microbenchmarks of the event-notification
 //!   primitives (poll scaling, interest-table operations, hints, result
 //!   copying, RT-queue operations).
 //! * `src/bin/figures.rs` — the CLI: `cargo run --release -p bench --bin
 //!   figures -- all`.
+//! * `src/bin/bench_gate.rs` — the CI gate: `cargo run --release -p
+//!   bench --bin bench_gate`.
 
+pub mod baseline;
+pub mod executor;
 pub mod figures;
 
-pub use figures::{FigureConfig, FigureRunner, PAPER_FIGURES};
+pub use baseline::{
+    compare, config_fingerprint, group_runs, BenchReport, GateOutcome, GateTolerance, PointRecord,
+    SweepRecord, BENCH_VERSION,
+};
+pub use executor::{effective_jobs, run_jobs, JOBS_ENV};
+pub use figures::{FigureConfig, FigureRunner, SweepKey, PAPER_FIGURES};

@@ -1,0 +1,122 @@
+//! Parallel-vs-serial determinism: the sweep executor must produce
+//! byte-identical figures, probe dumps and (wall-clock fields aside)
+//! `BENCH.json` at every worker count. Run points are independent
+//! simulation worlds merged in canonical key order, so `--jobs N` is an
+//! execution detail, never an observable one.
+
+use bench::{FigureConfig, FigureRunner};
+use httperf::ServerKind;
+
+fn tiny_config() -> FigureConfig {
+    FigureConfig {
+        rates: vec![500.0, 700.0, 900.0],
+        conns: 500,
+        seed: 42,
+    }
+}
+
+/// Renders everything observable about a runner's cached sweeps: the
+/// figure CSVs, the per-sweep probe JSON lines, and the normalized
+/// bench report.
+fn observable_output(runner: &mut FigureRunner) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &runner
+            .reply_rate_figure("t", ServerKind::ThttpdPoll, 1)
+            .to_csv(),
+    );
+    out.push_str(
+        &runner
+            .reply_rate_figure("t", ServerKind::ThttpdPoll, 251)
+            .to_csv(),
+    );
+    out.push_str(
+        &runner
+            .reply_rate_figure("t", ServerKind::ThttpdDevPoll, 251)
+            .to_csv(),
+    );
+    out.push_str(&runner.latency_figure("t", 251).to_csv());
+    for (&(kind, inactive), reports) in runner.cached_sweeps() {
+        let label = kind.label();
+        for r in reports {
+            let rate = format!("{}", r.target_rate);
+            let load = format!("{inactive}");
+            out.push_str(&r.probe.to_json_lines_with(&[
+                ("server", label.as_str()),
+                ("rate", rate.as_str()),
+                ("inactive", load.as_str()),
+            ]));
+        }
+    }
+    out.push_str(&runner.bench_report("figures", 123.0).normalized().to_json());
+    out
+}
+
+#[test]
+fn jobs_1_and_jobs_4_are_byte_identical() {
+    let mut serial = FigureRunner::new(tiny_config());
+    serial.verbose = false;
+    let serial_out = observable_output(&mut serial);
+
+    let mut parallel = FigureRunner::new(tiny_config()).with_jobs(4);
+    parallel.verbose = false;
+    let parallel_out = observable_output(&mut parallel);
+
+    assert_eq!(
+        serial_out, parallel_out,
+        "parallel execution changed observable output"
+    );
+}
+
+#[test]
+fn prefetch_and_on_demand_sweeps_agree() {
+    // `figures -- all` prefetches the whole grid as one batch; demand
+    // paths fill sweep by sweep. Same worlds, same cache.
+    let keys = [
+        (ServerKind::ThttpdPoll, 251),
+        (ServerKind::ThttpdDevPoll, 251),
+        (ServerKind::Phhttpd, 251),
+    ];
+    let mut prefetched = FigureRunner::new(tiny_config()).with_jobs(3);
+    prefetched.verbose = false;
+    prefetched.prefetch(&keys);
+    // A second prefetch of cached keys is a no-op.
+    prefetched.prefetch(&keys);
+
+    let mut on_demand = FigureRunner::new(tiny_config());
+    on_demand.verbose = false;
+    for &(kind, inactive) in &keys {
+        on_demand.sweep(kind, inactive);
+    }
+
+    assert_eq!(
+        prefetched
+            .bench_report("figures", 0.0)
+            .normalized()
+            .to_json(),
+        on_demand
+            .bench_report("figures", 0.0)
+            .normalized()
+            .to_json(),
+    );
+}
+
+#[test]
+fn bench_report_roundtrips_through_json() {
+    let mut runner = FigureRunner::new(FigureConfig {
+        rates: vec![500.0, 700.0],
+        conns: 300,
+        seed: 7,
+    });
+    runner.verbose = false;
+    runner.sweep(ServerKind::ThttpdDevPoll, 1);
+    let report = runner.bench_report("figures", 42.5);
+    let parsed = bench::BenchReport::from_json(&report.to_json()).expect("roundtrip parses");
+    assert_eq!(parsed, report);
+    assert_eq!(report.seed, 7);
+    assert_eq!(report.sweeps.len(), 1);
+    assert_eq!(report.sweeps[0].points.len(), 2);
+    // Without an injected clock every wall field is already zero (the
+    // deterministic library never reads the wall clock itself).
+    assert_eq!(report.sweeps[0].wall_ms, 0.0);
+}

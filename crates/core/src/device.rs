@@ -15,7 +15,7 @@ use crate::stock::PollOutcome;
 
 /// Feature switches of one `/dev/poll` instance (the paper's design
 /// choices; flipping them off gives the ablation baselines).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DevPollConfig {
     /// §3.2: device-driver hints via backmapping lists. When off, every
     /// `DP_POLL` scan invokes the driver poll callback for every

@@ -80,6 +80,38 @@ impl RunReport {
         self.latencies_ms.quantile(q).unwrap_or(0.0)
     }
 
+    /// Stable hex digest of the run's kernel probe snapshot — the form
+    /// `BENCH.json` records so baselines can compare whole snapshots as
+    /// one field.
+    pub fn probe_digest_hex(&self) -> String {
+        self.probe.digest_hex()
+    }
+
+    /// This run as one `BENCH.json` point object (no trailing newline).
+    /// The schema is consumed by `bench::baseline`; every field except
+    /// the digest is a plain shape metric so a comparator can apply
+    /// numeric tolerances.
+    pub fn bench_point_json(&mut self) -> String {
+        let median = self.median_latency_ms();
+        let p90 = self.latency_quantile_ms(0.9);
+        format!(
+            "{{\"rate\":{},\"avg\":{},\"stddev\":{},\"min\":{},\"max\":{},\
+             \"error_percent\":{},\"median_ms\":{},\"p90_ms\":{},\
+             \"replies\":{},\"attempted\":{},\"probe_digest\":\"{}\"}}",
+            self.target_rate,
+            self.rate.avg,
+            self.rate.stddev,
+            self.rate.min,
+            self.rate.max,
+            self.error_percent(),
+            median,
+            p90,
+            self.replies,
+            self.attempted,
+            self.probe_digest_hex(),
+        )
+    }
+
     /// One summary line for terminal output.
     pub fn summary_line(&mut self) -> String {
         let median = self.median_latency_ms();

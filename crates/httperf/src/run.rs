@@ -18,7 +18,11 @@ use crate::report::RunReport;
 use crate::testbed::Testbed;
 
 /// Which server architecture to benchmark.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// `Ord`/`Hash` follow declaration order so the kind can key sweep
+/// caches (`BTreeMap<(ServerKind, usize), …>`) and hash job identities
+/// without going through the string label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ServerKind {
     /// Stock thttpd: `poll()`.
     ThttpdPoll,

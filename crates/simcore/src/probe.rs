@@ -324,6 +324,20 @@ impl Snapshot {
         self.to_json_lines_with(&[])
     }
 
+    /// A stable 64-bit digest of the snapshot (FNV-1a over the rendered
+    /// JSON lines). Two identical seeded runs produce equal digests on
+    /// every platform, so baselines can compare whole probe snapshots as
+    /// one number without shipping them.
+    pub fn digest(&self) -> u64 {
+        fnv1a(self.to_json_lines().as_bytes())
+    }
+
+    /// [`Snapshot::digest`] rendered as fixed-width hex, the form stored
+    /// in `BENCH.json`.
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest())
+    }
+
     /// Renders JSON-lines with extra leading string fields on each line
     /// (e.g. `[("server", "devpoll"), ("rate", "700")]`).
     pub fn to_json_lines_with(&self, tags: &[(&str, &str)]) -> String {
@@ -371,6 +385,17 @@ impl Snapshot {
         }
         out
     }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms —
+/// exactly what a checked-in baseline digest needs. Not cryptographic.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
 }
 
 /// Minimal JSON string escaping (metric names and tags are plain ASCII,
@@ -495,5 +520,20 @@ mod tests {
     fn escape_handles_specials() {
         assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(escape("x\ny"), "x\\ny");
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        // Known FNV-1a vectors pin cross-platform stability.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        let mut a = MetricRegistry::new();
+        a.inc("x");
+        a.observe("h", 9);
+        let mut b = a.clone();
+        assert_eq!(a.snapshot().digest(), b.snapshot().digest());
+        assert_eq!(a.snapshot().digest_hex().len(), 16);
+        b.inc("x");
+        assert_ne!(a.snapshot().digest(), b.snapshot().digest());
     }
 }

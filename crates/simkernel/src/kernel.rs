@@ -43,7 +43,7 @@ use crate::signal::{Siginfo, DEFAULT_RT_QUEUE_MAX, SIGRTMAX, SIGRTMIN};
 /// Linux 2.2 woke *every* process sleeping on the listener's wait queue
 /// (the "thundering herd"); §6 of the paper proposes "waking only one
 /// thread, instead of all of them".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum AcceptWake {
     /// Wake every sharer (stock 2.2 behaviour).
     #[default]

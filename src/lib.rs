@@ -39,6 +39,10 @@
 //! cargo run --release -p bench --bin figures -- all
 //! ```
 
+// `pub use bench;` would resolve to the built-in (unstable) `bench`
+// test-framework name instead of the crate; the explicit extern-crate
+// form is unambiguous.
+pub extern crate bench;
 pub use devpoll;
 pub use httperf;
 pub use servers;

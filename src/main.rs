@@ -9,6 +9,7 @@
 //! Figures and ablations live in the bench crate:
 //! `cargo run --release -p bench --bin figures -- all`.
 
+use scalable_net_io::bench::{effective_jobs, run_jobs};
 use scalable_net_io::httperf::{run_one, LoadShape, RunParams, ServerKind};
 use scalable_net_io::simcore::time::SimDuration;
 use scalable_net_io::simcore::trace::CATEGORIES;
@@ -25,6 +26,7 @@ struct Opts {
     bursty: bool,
     trace: Vec<String>,
     json: bool,
+    jobs: Option<usize>,
 }
 
 impl Default for Opts {
@@ -40,6 +42,7 @@ impl Default for Opts {
             bursty: false,
             trace: Vec::new(),
             json: false,
+            jobs: None,
         }
     }
 }
@@ -69,6 +72,9 @@ fn usage() -> ! {
                              devpoll,rtsig,tcp,sched or all (printed after\n\
                              the run)\n\
            --json            stats: emit JSON lines instead of the table\n\
+           --jobs N          compare/sweep: worker threads (default:\n\
+                             BENCH_JOBS, then available parallelism);\n\
+                             rows always print in grid order\n\
          \n\
          figures: cargo run --release -p bench --bin figures -- all\n\
          checks:  cargo run --release -p bench --bin verify_repro"
@@ -161,6 +167,7 @@ fn main() {
                 opts.trace.extend(cats.split(',').map(str::to_string));
             }
             "--json" => opts.json = true,
+            "--jobs" => opts.jobs = Some(val().parse().unwrap_or_else(|_| usage())),
             other => {
                 if let Some(cats) = other.strip_prefix("--trace=") {
                     opts.trace.extend(cats.split(',').map(str::to_string));
@@ -218,22 +225,29 @@ fn main() {
             }
         }
         "compare" => {
+            let kinds: Vec<ServerKind> = ["select", "poll", "devpoll", "phhttpd", "hybrid"]
+                .iter()
+                .map(|name| parse_kind(name).expect("built-in kind"))
+                .collect();
+            let mut reports = run_jobs(effective_jobs(opts.jobs), &kinds, |&kind| {
+                run_one(params(kind, &opts, opts.rate))
+            });
             header();
-            for name in ["select", "poll", "devpoll", "phhttpd", "hybrid"] {
-                let kind = parse_kind(name).expect("built-in kind");
-                let mut r = run_one(params(kind, &opts, opts.rate));
-                row(&mut r);
+            for r in &mut reports {
+                row(r);
             }
         }
         "sweep" => {
             let Some(kind) = parse_kind(&opts.server) else {
                 usage()
             };
+            let rates: Vec<f64> = (0..=6).map(|step| 500.0 + 100.0 * step as f64).collect();
+            let mut reports = run_jobs(effective_jobs(opts.jobs), &rates, |&rate| {
+                run_one(params(kind, &opts, rate))
+            });
             header();
-            for step in 0..=6 {
-                let rate = 500.0 + 100.0 * step as f64;
-                let mut r = run_one(params(kind, &opts, rate));
-                row(&mut r);
+            for r in &mut reports {
+                row(r);
             }
         }
         _ => usage(),
