@@ -3,22 +3,46 @@
 //! bound how fast the reproduction harness can run.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use simcore::engine::Engine;
+use simcore::engine::{BoxedEvent, Engine, Event};
 use simcore::time::{SimDuration, SimTime};
 use simnet::{EndpointId, HostId, LinkConfig, Network, Side, SockAddr, TcpConfig};
+
+/// Typed payload: the arena dispatch path, no per-event allocation.
+enum Tick {
+    Add,
+}
+
+impl Event<u64> for Tick {
+    fn fire(self, state: &mut u64, _e: &mut Engine<u64, Self>) {
+        match self {
+            Tick::Add => *state += 1,
+        }
+    }
+}
 
 fn bench_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     for n in [1_000usize, 100_000] {
-        g.bench_with_input(BenchmarkId::new("schedule_run", n), &n, |b, &n| {
+        g.bench_with_input(BenchmarkId::new("schedule_run_boxed", n), &n, |b, &n| {
             b.iter(|| {
                 let mut e: Engine<u64> = Engine::new();
                 let mut acc = 0u64;
                 for i in 0..n as u64 {
                     e.schedule_at(
                         SimTime::from_nanos(i % 977),
-                        Box::new(|s: &mut u64, _e| *s += 1),
+                        BoxedEvent::new(|s: &mut u64, _e| *s += 1),
                     );
+                }
+                e.run(&mut acc);
+                black_box(acc)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("schedule_run_typed", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut e: Engine<u64, Tick> = Engine::new();
+                let mut acc = 0u64;
+                for i in 0..n as u64 {
+                    e.schedule_at(SimTime::from_nanos(i % 977), Tick::Add);
                 }
                 e.run(&mut acc);
                 black_box(acc)

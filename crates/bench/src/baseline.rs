@@ -28,7 +28,14 @@ use httperf::RunReport;
 use simcore::probe::fnv1a;
 
 /// Schema version stamped into every report.
-pub const BENCH_VERSION: u64 = 1;
+///
+/// v2 added the throughput lane: per-sweep `events` (simulation events
+/// dispatched) and `sim_ms` (summed simulated time), from which the
+/// gate derives events-per-wall-second and sim-time-per-wall-second.
+/// v1 documents still parse (the lane fields default to zero); the
+/// comparator turns the version skew into a baseline-refresh hint
+/// rather than a parse error.
+pub const BENCH_VERSION: u64 = 2;
 
 /// One benchmark point: the shape metrics of one simulated run.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,8 +94,28 @@ pub struct SweepRecord {
     /// Summed per-run wall time of the sweep's points, milliseconds.
     /// Volatile: excluded from determinism comparisons.
     pub wall_ms: f64,
+    /// Summed simulation events dispatched across the sweep's points
+    /// (schema v2; zero when parsed from a v1 document). Deterministic.
+    pub events: u64,
+    /// Summed simulated run time across the sweep's points,
+    /// milliseconds (schema v2; zero for v1 documents). Deterministic.
+    pub sim_ms: f64,
     /// Points in ascending rate order.
     pub points: Vec<PointRecord>,
+}
+
+impl SweepRecord {
+    /// Simulation events dispatched per wall-clock second — the
+    /// throughput lane's headline number. `None` without wall data.
+    pub fn events_per_wall_sec(&self) -> Option<f64> {
+        (self.wall_ms > 0.0 && self.events > 0).then(|| self.events as f64 / (self.wall_ms / 1e3))
+    }
+
+    /// Simulated milliseconds advanced per wall-clock millisecond.
+    /// `None` without wall data.
+    pub fn sim_per_wall(&self) -> Option<f64> {
+        (self.wall_ms > 0.0 && self.sim_ms > 0.0).then(|| self.sim_ms / self.wall_ms)
+    }
 }
 
 /// A whole `BENCH.json` document.
@@ -152,6 +179,8 @@ impl BenchReport {
             let _ = writeln!(out, "      \"server\": \"{}\",", s.server);
             let _ = writeln!(out, "      \"inactive\": {},", s.inactive);
             let _ = writeln!(out, "      \"wall_ms\": {},", s.wall_ms);
+            let _ = writeln!(out, "      \"events\": {},", s.events);
+            let _ = writeln!(out, "      \"sim_ms\": {},", s.sim_ms);
             let _ = writeln!(out, "      \"points\": [");
             for (j, p) in s.points.iter().enumerate() {
                 let comma = if j + 1 < s.points.len() { "," } else { "" };
@@ -198,6 +227,16 @@ impl BenchReport {
                 server: sv.field_str("server")?.to_string(),
                 inactive: sv.field_u64("inactive")? as usize,
                 wall_ms: sv.field_f64("wall_ms")?,
+                // Throughput-lane fields arrived in schema v2; a v1
+                // document simply lacks them.
+                events: match sv.get("events") {
+                    Some(_) => sv.field_u64("events")?,
+                    None => 0,
+                },
+                sim_ms: match sv.get("sim_ms") {
+                    Some(_) => sv.field_f64("sim_ms")?,
+                    None => 0.0,
+                },
                 points,
             });
         }
@@ -248,12 +287,16 @@ pub fn group_runs(mut runs: Vec<(RunReport, f64)>) -> Vec<SweepRecord> {
         match sweeps.last_mut() {
             Some(s) if s.server == report.server && s.inactive == report.inactive => {
                 s.wall_ms += wall;
+                s.events += report.events;
+                s.sim_ms += report.sim_secs * 1e3;
                 s.points.push(point);
             }
             _ => sweeps.push(SweepRecord {
                 server: report.server.clone(),
                 inactive: report.inactive,
                 wall_ms: wall,
+                events: report.events,
+                sim_ms: report.sim_secs * 1e3,
                 points: vec![point],
             }),
         }
@@ -281,9 +324,19 @@ pub struct GateTolerance {
     /// Fail when `current.total_wall_ms > factor * baseline`. `None`
     /// disables the wall gate (wall time is machine-dependent).
     pub wall_factor: Option<f64>,
+    /// Throughput lane: fail when a sweep's events-per-wall-second
+    /// drops below `baseline / factor`. `None` keeps the lane advisory
+    /// (regressions beyond the same soft 1.5x slack surface as notes) —
+    /// wall-clock throughput is machine-dependent, so the hard gate is
+    /// opt-in like `wall_factor`.
+    pub throughput_factor: Option<f64>,
     /// Treat probe-digest mismatches as violations instead of notes.
     pub strict_digest: bool,
 }
+
+/// Slack applied to the advisory (no `throughput_factor`) lane before a
+/// regression is worth a note.
+const THROUGHPUT_NOTE_SLACK: f64 = 1.5;
 
 impl Default for GateTolerance {
     fn default() -> GateTolerance {
@@ -293,6 +346,7 @@ impl Default for GateTolerance {
             latency_rel: 0.50,
             latency_floor_ms: 1.0,
             wall_factor: None,
+            throughput_factor: None,
             strict_digest: false,
         }
     }
@@ -341,6 +395,14 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tol: &GateToleranc
             "config fingerprint mismatch: baseline {} vs current {} — the sweep \
              grid changed; {refresh_hint}",
             baseline.config, current.config
+        ));
+    }
+    if baseline.version != current.version {
+        // An old-schema baseline still parses (missing lane fields are
+        // zero), so this is a refresh prompt, not a parse error.
+        out.violations.push(format!(
+            "schema version mismatch: baseline v{} vs current v{} — {refresh_hint}",
+            baseline.version, current.version
         ));
     }
     if !out.violations.is_empty() {
@@ -393,6 +455,25 @@ fn compare_sweep(
     out: &mut GateOutcome,
 ) {
     let ctx = format!("{}/load {}", base.server, base.inactive);
+    // Throughput lane: events dispatched per wall-second. Wall-clock
+    // dependent, so only comparable when both sides carry wall data.
+    if let (Some(base_eps), Some(cur_eps)) = (base.events_per_wall_sec(), cur.events_per_wall_sec())
+    {
+        let lane = format!(
+            "{ctx}: throughput {:.0} events/s vs baseline {:.0} events/s",
+            cur_eps, base_eps
+        );
+        match tol.throughput_factor {
+            Some(factor) if cur_eps * factor < base_eps => {
+                out.violations
+                    .push(format!("{lane} (limit {factor}x slowdown)"));
+            }
+            None if cur_eps * THROUGHPUT_NOTE_SLACK < base_eps => {
+                out.notes.push(lane);
+            }
+            _ => {}
+        }
+    }
     if base.points.len() != cur.points.len() {
         out.violations.push(format!(
             "{ctx}: point count changed ({} -> {})",
@@ -702,6 +783,8 @@ mod tests {
                 server: "poll".into(),
                 inactive: 251,
                 wall_ms: 600.25,
+                events: 1_200_000,
+                sim_ms: 90_000.0,
                 points: vec![PointRecord {
                     rate: 700.0,
                     avg: 699.5,
@@ -818,6 +901,61 @@ mod tests {
         let mut reseeded = FigureConfig::quick();
         reseeded.seed = 43;
         assert_ne!(config_fingerprint(&quick), config_fingerprint(&reseeded));
+    }
+
+    #[test]
+    fn v1_documents_parse_with_zero_lane_fields_and_hint_at_refresh() {
+        // A checked-in v1 baseline (no events/sim_ms) must keep
+        // parsing; the comparator then prompts a refresh instead of the
+        // gate erroring out.
+        let mut v1 = sample_report();
+        v1.version = 1;
+        let mut text = v1.to_json();
+        text = text
+            .lines()
+            .filter(|l| !l.contains("\"events\"") && !l.contains("\"sim_ms\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = BenchReport::from_json(&text).expect("v1 document parses");
+        assert_eq!(parsed.version, 1);
+        assert_eq!(parsed.sweeps[0].events, 0);
+        assert_eq!(parsed.sweeps[0].sim_ms, 0.0);
+        assert_eq!(parsed.sweeps[0].events_per_wall_sec(), None);
+
+        let outcome = compare(&parsed, &sample_report(), &GateTolerance::default());
+        assert!(outcome
+            .violations
+            .iter()
+            .any(|v| v.contains("schema version mismatch") && v.contains("refresh")));
+    }
+
+    #[test]
+    fn throughput_lane_notes_by_default_and_gates_on_opt_in() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        // Same work, 4x the wall time: a real throughput regression.
+        cur.sweeps[0].wall_ms = base.sweeps[0].wall_ms * 4.0;
+
+        let outcome = compare(&base, &cur, &GateTolerance::default());
+        assert!(outcome.ok());
+        assert!(outcome.notes.iter().any(|n| n.contains("throughput")));
+
+        let gated = GateTolerance {
+            throughput_factor: Some(2.0),
+            ..GateTolerance::default()
+        };
+        let outcome = compare(&base, &cur, &gated);
+        assert_eq!(outcome.violations.len(), 1);
+        assert!(outcome.violations[0].contains("throughput"));
+
+        // Within the opt-in factor: green, and quiet under the 1.5x
+        // advisory slack too.
+        let mut mild = base.clone();
+        mild.sweeps[0].wall_ms = base.sweeps[0].wall_ms * 1.2;
+        assert!(compare(&base, &mild, &gated).ok());
+        assert!(compare(&base, &mild, &GateTolerance::default())
+            .notes
+            .is_empty());
     }
 
     #[test]

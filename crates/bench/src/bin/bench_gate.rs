@@ -5,12 +5,15 @@
 //! ```text
 //! bench_gate [--baseline FILE] [--current FILE] [--rate-tol F]
 //!            [--err-tol F] [--latency-tol F] [--wall-factor F]
-//!            [--strict-digest]
+//!            [--throughput-factor F] [--strict-digest]
 //! ```
 //!
 //! Defaults: baseline `BENCH_BASELINE.json`, current `BENCH.json`,
 //! tolerances from `bench::GateTolerance::default()` (10% reply rate,
-//! 5 error points, 50% latency above a 1 ms floor), no wall gate.
+//! 5 error points, 50% latency above a 1 ms floor), no wall gate, and
+//! the throughput lane advisory (`--throughput-factor F` turns a
+//! per-sweep events-per-second drop below `baseline / F` into a
+//! failure; without it large drops are notes).
 //! Intentional perf/behaviour changes are shipped by refreshing the
 //! baseline in the same commit — see EXPERIMENTS.md "Benchmark gate".
 
@@ -38,6 +41,12 @@ fn main() -> ExitCode {
             "--latency-tol" => tol.latency_rel = parse_f64("--latency-tol", &val("--latency-tol")),
             "--wall-factor" => {
                 tol.wall_factor = Some(parse_f64("--wall-factor", &val("--wall-factor")))
+            }
+            "--throughput-factor" => {
+                tol.throughput_factor = Some(parse_f64(
+                    "--throughput-factor",
+                    &val("--throughput-factor"),
+                ))
             }
             "--strict-digest" => tol.strict_digest = true,
             other => {
@@ -75,6 +84,14 @@ fn main() -> ExitCode {
         baseline_path.display(),
         baseline.sweeps.len()
     );
+    for s in &current.sweeps {
+        if let (Some(eps), Some(ratio)) = (s.events_per_wall_sec(), s.sim_per_wall()) {
+            println!(
+                "lane  {}/load {}: {:.0} events/s, {:.1} sim-s per wall-s",
+                s.server, s.inactive, eps, ratio
+            );
+        }
+    }
     let outcome = compare(&baseline, &current, &tol);
     for note in &outcome.notes {
         println!("NOTE  {note}");

@@ -302,4 +302,123 @@ fn main() {
         println!("  separate: {:>8.1}us", separate.as_nanos() as f64 / 1e3);
         println!("  combined: {:>8.1}us", combined.as_nanos() as f64 / 1e3);
     }
+
+    wall_microbench();
+}
+
+/// Wall-clock microbenchmarks of the simulator's two hottest loops:
+/// engine event dispatch and the `DP_POLL` interest scan. Unlike the
+/// simulated cost tables above, these measure *this machine's* real
+/// time — the criterion-shim style numbers behind the BENCH.json
+/// throughput lane. (Binary drivers are exempt from the wallclock
+/// lint; library code never reads the clock.)
+fn wall_microbench() {
+    use simcore::engine::{BoxedEvent, Engine, Event};
+    use std::time::Instant;
+
+    /// Typed payload: the arena dispatch path, no per-event allocation.
+    enum Tick {
+        Add,
+    }
+    impl Event<u64> for Tick {
+        fn fire(self, state: &mut u64, _e: &mut Engine<u64, Self>) {
+            match self {
+                Tick::Add => *state += 1,
+            }
+        }
+    }
+
+    /// Median ns-per-unit over 5 samples; `f` runs the workload once
+    /// and returns how many units it dispatched.
+    fn per_unit_ns(mut f: impl FnMut() -> u64) -> f64 {
+        let _ = f(); // warm-up
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                let units = f().max(1);
+                start.elapsed().as_nanos() as f64 / units as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    }
+
+    println!();
+    println!("Wall-clock microbenchmarks (real time on this machine, median of 5)");
+
+    const N: u64 = 200_000;
+    let typed = per_unit_ns(|| {
+        let mut e: Engine<u64, Tick> = Engine::new();
+        let mut acc = 0u64;
+        for i in 0..N {
+            e.schedule_at(SimTime::from_nanos(i % 977), Tick::Add);
+        }
+        e.run(&mut acc);
+        acc
+    });
+    let boxed = per_unit_ns(|| {
+        let mut e: Engine<u64> = Engine::new();
+        let mut acc = 0u64;
+        for i in 0..N {
+            e.schedule_at(
+                SimTime::from_nanos(i % 977),
+                BoxedEvent::new(|s: &mut u64, _e| *s += 1),
+            );
+        }
+        e.run(&mut acc);
+        acc
+    });
+    println!("  engine dispatch, typed arena:  {typed:>7.1} ns/event");
+    println!("  engine dispatch, boxed:        {boxed:>7.1} ns/event");
+
+    for (label, hints) in [("hints", true), ("full scan", false)] {
+        let mut w = world_with_conns(501);
+        let now = SimTime::from_secs(100);
+        w.kernel.begin_batch(now, w.pid);
+        let dpfd = w
+            .registry
+            .open(
+                &mut w.kernel,
+                now,
+                w.pid,
+                DevPollConfig {
+                    hints,
+                    ..DevPollConfig::default()
+                },
+            )
+            .unwrap();
+        let entries: Vec<PollFd> = w
+            .fds
+            .iter()
+            .map(|&fd| PollFd::new(fd, PollBits::POLLIN))
+            .collect();
+        w.registry
+            .write(&mut w.kernel, now, w.pid, dpfd, &entries)
+            .unwrap();
+        // Settle fresh-interest hints.
+        let _ = w.registry.dp_poll(
+            &mut w.kernel,
+            now,
+            w.pid,
+            dpfd,
+            DvPoll::into_user_buffer(64, 0),
+        );
+        w.kernel.end_batch(now, w.pid);
+        let calls = 2_000u64;
+        let ns = per_unit_ns(|| {
+            for _ in 0..calls {
+                w.kernel.begin_batch(now, w.pid);
+                let _ = w.registry.dp_poll(
+                    &mut w.kernel,
+                    now,
+                    w.pid,
+                    dpfd,
+                    DvPoll::into_user_buffer(64, 0),
+                );
+                w.kernel.end_batch(now, w.pid);
+            }
+            calls
+        });
+        println!("  DP_POLL scan (501 fds, {label:<9}): {ns:>7.1} ns/call");
+    }
 }

@@ -203,11 +203,15 @@ impl FigureRunner {
     pub fn bench_report(&mut self, tool: &str, total_wall_ms: f64) -> BenchReport {
         let mut sweeps = Vec::new();
         for (&(kind, inactive), reports) in &mut self.cache {
+            let events = reports.iter().map(|r| r.events).sum();
+            let sim_ms = reports.iter().map(|r| r.sim_secs * 1e3).sum();
             let points = reports.iter_mut().map(PointRecord::from_report).collect();
             sweeps.push(SweepRecord {
                 server: kind.label(),
                 inactive,
                 wall_ms: self.wall_ms.get(&(kind, inactive)).copied().unwrap_or(0.0),
+                events,
+                sim_ms,
                 points,
             });
         }

@@ -101,6 +101,80 @@ fn prefetch_and_on_demand_sweeps_agree() {
     );
 }
 
+/// FNV-1a over the rendered output — cheap, dependency-free, and enough
+/// to pin the bytes.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Byte-identity against the pre-overhaul golden digest. The hot-path
+/// rework (slab event arena, dense fd tables, pooled segments, scratch
+/// reuse) is purely mechanical: every figure CSV and probe JSON line
+/// must come out bit-for-bit the same as before it. The digest covers
+/// the figure CSVs and probe dumps but not `BENCH.json`, whose schema
+/// grew new fields (`events`, `sim_ms`) in the same change.
+///
+/// If this fails you changed simulation *behavior*, not just its speed.
+/// Only refresh the constants for a change that intends new output.
+///
+/// Workspace-level test runs unify features and switch on
+/// `devpoll/simcheck`, whose runtime auditor adds an `audit.checks`
+/// probe counter; those lines are filtered out below so the digest is
+/// identical with and without the auditor.
+#[test]
+fn figures_and_probes_match_pre_overhaul_golden() {
+    const GOLDEN_FNV: u64 = 0x16bf8231f958586c;
+    const GOLDEN_LEN: usize = 54283;
+
+    let mut runner = FigureRunner::new(tiny_config());
+    runner.verbose = false;
+    let mut out = String::new();
+    out.push_str(
+        &runner
+            .reply_rate_figure("t", ServerKind::ThttpdPoll, 1)
+            .to_csv(),
+    );
+    out.push_str(
+        &runner
+            .reply_rate_figure("t", ServerKind::ThttpdPoll, 251)
+            .to_csv(),
+    );
+    out.push_str(
+        &runner
+            .reply_rate_figure("t", ServerKind::ThttpdDevPoll, 251)
+            .to_csv(),
+    );
+    out.push_str(&runner.latency_figure("t", 251).to_csv());
+    for (&(kind, inactive), reports) in runner.cached_sweeps() {
+        let label = kind.label();
+        for r in reports {
+            let rate = format!("{}", r.target_rate);
+            let load = format!("{inactive}");
+            let lines = r.probe.to_json_lines_with(&[
+                ("server", label.as_str()),
+                ("rate", rate.as_str()),
+                ("inactive", load.as_str()),
+            ]);
+            for line in lines.lines().filter(|l| !l.contains("\"audit.")) {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+
+    assert_eq!(out.len(), GOLDEN_LEN, "golden output length changed");
+    assert_eq!(
+        fnv1a(&out),
+        GOLDEN_FNV,
+        "golden output digest changed — simulation behavior drifted"
+    );
+}
+
 #[test]
 fn bench_report_roundtrips_through_json() {
     let mut runner = FigureRunner::new(FigureConfig {

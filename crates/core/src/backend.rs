@@ -2,8 +2,6 @@
 //! `servers` crate) can run on stock `poll()` or on `/dev/poll`, exactly
 //! like the paper's stock vs. modified thttpd pair (§5.1).
 
-use std::collections::BTreeMap;
-
 use simcore::time::SimTime;
 use simkernel::{Errno, Fd, Kernel, Pid, PollBits};
 
@@ -74,11 +72,15 @@ pub trait EventBackend {
 /// Stock `poll()`: the interest set lives in user space and the whole
 /// array crosses into the kernel on every call.
 ///
-/// Interest is kept ordered by fd so the rebuilt pollfd array — and
-/// therefore every result — is deterministic without a per-call sort.
+/// Interest is stored densely, indexed by fd, so the rebuilt pollfd
+/// array — and therefore every result — is deterministic (ascending fd)
+/// without a per-call sort, and the rebuild reuses one scratch buffer
+/// instead of allocating per wait.
 #[derive(Debug, Default)]
 pub struct StockPollBackend {
-    interest: BTreeMap<Fd, PollBits>,
+    interest: Vec<Option<PollBits>>,
+    len: usize,
+    scratch: Vec<PollFd>,
 }
 
 impl StockPollBackend {
@@ -113,7 +115,13 @@ impl EventBackend for StockPollBackend {
         events: PollBits,
     ) -> Result<(), Errno> {
         // Pure user-space bookkeeping: free.
-        self.interest.insert(fd, events);
+        let ix = usize::try_from(fd).map_err(|_| Errno::EINVAL)?;
+        if ix >= self.interest.len() {
+            self.interest.resize(ix + 1, None);
+        }
+        if self.interest[ix].replace(events).is_none() {
+            self.len += 1;
+        }
         Ok(())
     }
 
@@ -125,7 +133,14 @@ impl EventBackend for StockPollBackend {
         _pid: Pid,
         fd: Fd,
     ) -> Result<(), Errno> {
-        self.interest.remove(&fd);
+        if let Some(slot) = usize::try_from(fd)
+            .ok()
+            .and_then(|ix| self.interest.get_mut(ix))
+        {
+            if slot.take().is_some() {
+                self.len -= 1;
+            }
+        }
         Ok(())
     }
 
@@ -140,26 +155,34 @@ impl EventBackend for StockPollBackend {
     ) -> Result<WaitResult, Errno> {
         // The application rebuilds its pollfd array each call (§6: "
         // Applications of this type often entirely rebuild their pollfd
-        // array each time they invoke poll()"). BTreeMap iteration is
-        // already fd-ordered, so the array is deterministic.
-        let mut fds: Vec<PollFd> = self
-            .interest
-            .iter()
-            .map(|(&fd, &ev)| PollFd::new(fd, ev))
-            .collect();
-        match sys_poll(kernel, now, pid, &mut fds, timeout_ms) {
-            PollOutcome::WouldBlock => Ok(WaitResult::WouldBlock),
-            PollOutcome::Ready(_) => {
-                let mut out: Vec<PollFd> =
-                    fds.into_iter().filter(|f| !f.revents.is_empty()).collect();
-                out.truncate(max);
-                Ok(WaitResult::Events(out))
+        // array each time they invoke poll()") — into a reused scratch
+        // buffer, in ascending fd order, so the array is deterministic.
+        let mut fds = std::mem::take(&mut self.scratch);
+        fds.clear();
+        for (ix, ev) in self.interest.iter().enumerate() {
+            if let Some(&ev) = ev.as_ref() {
+                fds.push(PollFd::new(ix as Fd, ev));
             }
         }
+        let outcome = sys_poll(kernel, now, pid, &mut fds, timeout_ms);
+        let result = match outcome {
+            PollOutcome::WouldBlock => WaitResult::WouldBlock,
+            PollOutcome::Ready(_) => {
+                let mut out: Vec<PollFd> = Vec::new();
+                for f in &fds {
+                    if !f.revents.is_empty() && out.len() < max {
+                        out.push(*f);
+                    }
+                }
+                WaitResult::Events(out)
+            }
+        };
+        self.scratch = fds;
+        Ok(result)
     }
 
     fn interest_len(&self) -> usize {
-        self.interest.len()
+        self.len
     }
 }
 
@@ -169,13 +192,21 @@ impl EventBackend for StockPollBackend {
 /// nothing past [`FD_SETSIZE`] can be watched at all.
 #[derive(Debug, Default)]
 pub struct SelectBackend {
-    interest: BTreeMap<Fd, PollBits>,
+    interest: Vec<Option<PollBits>>,
+    len: usize,
 }
 
 impl SelectBackend {
     /// Creates an empty backend.
     pub fn new() -> SelectBackend {
         SelectBackend::default()
+    }
+
+    fn interest_of(&self, fd: Fd) -> PollBits {
+        usize::try_from(fd)
+            .ok()
+            .and_then(|ix| self.interest.get(ix).copied().flatten())
+            .unwrap_or(PollBits::EMPTY)
     }
 }
 
@@ -206,7 +237,13 @@ impl EventBackend for SelectBackend {
         if fd < 0 || fd as usize >= FD_SETSIZE {
             return Err(Errno::EINVAL); // Beyond the bitmap: unwatchable.
         }
-        self.interest.insert(fd, events);
+        let ix = fd as usize;
+        if ix >= self.interest.len() {
+            self.interest.resize(ix + 1, None);
+        }
+        if self.interest[ix].replace(events).is_none() {
+            self.len += 1;
+        }
         Ok(())
     }
 
@@ -218,7 +255,14 @@ impl EventBackend for SelectBackend {
         _pid: Pid,
         fd: Fd,
     ) -> Result<(), Errno> {
-        self.interest.remove(&fd);
+        if let Some(slot) = usize::try_from(fd)
+            .ok()
+            .and_then(|ix| self.interest.get_mut(ix))
+        {
+            if slot.take().is_some() {
+                self.len -= 1;
+            }
+        }
         Ok(())
     }
 
@@ -234,12 +278,13 @@ impl EventBackend for SelectBackend {
         // Rebuild both bitmaps — select's API overwrote last call's.
         let mut read_set = FdSet::new();
         let mut write_set = FdSet::new();
-        for (&fd, &ev) in &self.interest {
+        for (ix, ev) in self.interest.iter().enumerate() {
+            let Some(ev) = ev else { continue };
             if ev.intersects(PollBits::POLLIN) {
-                read_set.set(fd);
+                read_set.set(ix as Fd);
             }
             if ev.intersects(PollBits::POLLOUT) {
-                write_set.set(fd);
+                write_set.set(ix as Fd);
             }
         }
         match sys_select(kernel, now, pid, &mut read_set, &mut write_set, timeout_ms) {
@@ -253,7 +298,7 @@ impl EventBackend for SelectBackend {
                     }
                     out.push(PollFd {
                         fd,
-                        events: self.interest.get(&fd).copied().unwrap_or(PollBits::EMPTY),
+                        events: self.interest_of(fd),
                         revents,
                     });
                 }
@@ -261,7 +306,7 @@ impl EventBackend for SelectBackend {
                     if !read_set.is_set(fd) {
                         out.push(PollFd {
                             fd,
-                            events: self.interest.get(&fd).copied().unwrap_or(PollBits::EMPTY),
+                            events: self.interest_of(fd),
                             revents: PollBits::POLLOUT,
                         });
                     }
@@ -274,7 +319,7 @@ impl EventBackend for SelectBackend {
     }
 
     fn interest_len(&self) -> usize {
-        self.interest.len()
+        self.len
     }
 }
 

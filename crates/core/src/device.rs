@@ -103,6 +103,11 @@ pub struct DevPollRegistry {
     /// per-socket acquisition lands here so inverted orders are caught.
     #[cfg(feature = "simcheck")]
     lockdep: LockGraph,
+    /// Scan scratch (reused across `dp_poll` calls; no per-scan allocation).
+    scan_scratch: Vec<(Fd, PollBits)>,
+    /// `write` scratch: fds to (un)watch this call.
+    watch_scratch: Vec<Fd>,
+    unwatch_scratch: Vec<Fd>,
 }
 
 impl DevPollRegistry {
@@ -152,16 +157,21 @@ impl DevPollRegistry {
         &self.lockdep
     }
 
+    /// The device handle behind a descriptor (no ownership check).
+    fn handle_of(kernel: &Kernel, pid: Pid, dpfd: Fd) -> Result<u64, Errno> {
+        match kernel.process(pid).fds.get(dpfd)?.kind {
+            FileKind::DevPoll(h) => Ok(h),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
     fn resolve(
         &mut self,
         kernel: &Kernel,
         pid: Pid,
         dpfd: Fd,
     ) -> Result<&mut DevPollDevice, Errno> {
-        let handle = match kernel.process(pid).fds.get(dpfd)?.kind {
-            FileKind::DevPoll(h) => h,
-            _ => return Err(Errno::EINVAL),
-        };
+        let handle = Self::handle_of(kernel, pid, dpfd)?;
         let dev = self.devices.get_mut(&handle).ok_or(Errno::EBADF)?;
         if dev.owner != pid {
             return Err(Errno::EBADF);
@@ -219,13 +229,15 @@ impl DevPollRegistry {
             self.lockdep.acquire(LockClass::InterestTable);
         }
 
+        let mut to_watch = std::mem::take(&mut self.watch_scratch);
+        to_watch.clear();
+        let mut to_unwatch = std::mem::take(&mut self.unwatch_scratch);
+        to_unwatch.clear();
         let dev = self.resolve(kernel, pid, dpfd)?;
         let or_semantics = dev.config.or_semantics;
         #[cfg(feature = "simcheck")]
         let prev_buckets = dev.interest.bucket_count();
         let grows_before = dev.interest.grow_count();
-        let mut to_watch = Vec::new();
-        let mut to_unwatch = Vec::new();
         for e in entries {
             if e.events.contains(PollBits::POLLREMOVE) {
                 if dev.interest.remove(e.fd) {
@@ -263,11 +275,11 @@ impl DevPollRegistry {
             self.lockdep.release(LockClass::InterestTable);
             self.lockdep.release(LockClass::Backmap);
         }
-        for fd in to_watch {
+        for &fd in &to_watch {
             kernel.watch(pid, fd);
         }
-        for fd in &to_unwatch {
-            kernel.unwatch(pid, *fd);
+        for &fd in &to_unwatch {
+            kernel.unwatch(pid, fd);
         }
         #[cfg(feature = "simcheck")]
         {
@@ -283,6 +295,8 @@ impl DevPollRegistry {
             );
             kernel.probe_mut().add("audit.checks", checks);
         }
+        self.watch_scratch = to_watch;
+        self.unwatch_scratch = to_unwatch;
         Ok(entries.len())
     }
 
@@ -344,6 +358,7 @@ impl DevPollRegistry {
     /// — hinted ones, plus cached-ready ones which "\[have\] to be
     /// reevaluated each time" — pay a driver poll callback. Results are
     /// written to the mmap area when `dvpoll.null_dp_fds` is set.
+    // #[hot_path] — simcheck bans per-call allocation in this function
     pub fn dp_poll(
         &mut self,
         kernel: &mut Kernel,
@@ -371,31 +386,39 @@ impl DevPollRegistry {
             self.lockdep.release(LockClass::Backmap);
         }
 
-        // Gather readiness outside the device borrow (the kernel is the
-        // "driver" here).
-        let dev = self.resolve(kernel, pid, dpfd)?;
+        // Gather readiness into the reused scan scratch buffer — the
+        // kernel is the "driver" here, a disjoint borrow, so the device
+        // stays resolved across the whole scan (no per-descriptor
+        // re-resolution, no per-scan candidate allocation).
+        let handle = Self::handle_of(kernel, pid, dpfd)?;
+        self.resolve(kernel, pid, dpfd)?;
+        let mut candidates = std::mem::take(&mut self.scan_scratch);
+        candidates.clear();
+        let mut results: Vec<PollFd> = Vec::new();
+        let dev = self
+            .devices
+            .get_mut(&handle)
+            .expect("invariant: resolved above");
         let hints = dev.config.hints;
-        let candidates: Vec<(Fd, PollBits)> = dev
-            .interest
-            .iter()
-            .filter(|e| !hints || e.hinted || (!skip_reval && !e.cached.is_empty()))
-            .map(|e| (e.fd, e.events))
-            .collect();
+        let per_socket_locks = dev.config.per_socket_locks;
+        for e in dev.interest.iter() {
+            if !hints || e.hinted || (!skip_reval && !e.cached.is_empty()) {
+                candidates.push((e.fd, e.events));
+            }
+        }
         // Under the fault-injection hook, cached-ready entries bypass
         // the scan and their stale cached result is served as-is.
-        let stale: Vec<PollFd> = if skip_reval && hints {
-            dev.interest
-                .iter()
-                .filter(|e| !e.hinted && !e.cached.is_empty())
-                .map(|e| PollFd {
-                    fd: e.fd,
-                    events: e.events,
-                    revents: e.cached,
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
+        if skip_reval && hints {
+            for e in dev.interest.iter() {
+                if !e.hinted && !e.cached.is_empty() {
+                    results.push(PollFd {
+                        fd: e.fd,
+                        events: e.events,
+                        revents: e.cached,
+                    });
+                }
+            }
+        }
         #[cfg(feature = "simcheck")]
         if hints && !skip_reval {
             let checks = crate::audit::check_scan_candidates(dev, &candidates);
@@ -428,7 +451,7 @@ impl DevPollRegistry {
         // poll callback each; a read-lock acquisition covers the
         // backmap consultation. Without hints the entire set pays the
         // driver callback (and no hint machinery exists to walk).
-        let lock_cost = if self.device_config(kernel, pid, dpfd)?.per_socket_locks {
+        let lock_cost = if per_socket_locks {
             cost.backmap_rlock / 2
         } else {
             cost.backmap_rlock
@@ -439,11 +462,9 @@ impl DevPollRegistry {
         }
         kernel.charge_app(pid, cost.driver_poll * candidates.len() as u64);
 
-        let mut results = Vec::new();
         for &(fd, events) in &candidates {
             let state = kernel.readiness(pid, fd);
             let revents = state & (events | PollBits::always_reported());
-            let dev = self.resolve(kernel, pid, dpfd)?;
             if let Some(e) = dev.interest.get_mut(fd) {
                 e.cached = revents;
                 e.hinted = false;
@@ -456,19 +477,25 @@ impl DevPollRegistry {
                 });
             }
         }
-        results.extend(stale);
         // Results are reported in ascending fd order regardless of the
-        // hash table's internal layout — determinism the simcheck
-        // differential oracle (and any consumer diffing runs) relies on.
+        // (modelled) hash table's internal layout — determinism the
+        // simcheck differential oracle (and any consumer diffing runs)
+        // relies on.
         results.sort_by_key(|r| r.fd);
         #[cfg(feature = "simcheck")]
         if !skip_reval {
-            let dev = self.device(kernel, pid, dpfd)?;
+            let dev = self
+                .devices
+                .get(&handle)
+                .expect("invariant: resolved above");
             let checks = crate::audit::check_scan_results(kernel, pid, dev, &candidates, &results);
             kernel.probe_mut().add("audit.checks", checks);
         }
 
-        let dev = self.resolve(kernel, pid, dpfd)?;
+        let dev = self
+            .devices
+            .get_mut(&handle)
+            .expect("invariant: resolved above");
         let cap = match (args.null_dp_fds, dev.mmap_slots) {
             (true, Some(slots)) => args.dp_nfds.min(slots),
             _ => args.dp_nfds,
@@ -507,6 +534,8 @@ impl DevPollRegistry {
             );
         }
 
+        candidates.clear();
+        self.scan_scratch = candidates;
         if !results.is_empty() {
             return Ok((PollOutcome::Ready(results.len()), results));
         }
@@ -518,13 +547,10 @@ impl DevPollRegistry {
         Ok((PollOutcome::WouldBlock, results))
     }
 
-    fn device_config(&self, kernel: &Kernel, pid: Pid, dpfd: Fd) -> Result<DevPollConfig, Errno> {
-        Ok(self.device(kernel, pid, dpfd)?.config)
-    }
-
     /// Routes a descriptor event into every interested device: the
     /// driver marking its backmap hint (§3.2). Runs in softirq context,
     /// so the cost is charged to the CPU as interrupt work.
+    // #[hot_path] — simcheck bans per-call allocation in this function
     pub fn on_fd_event(&mut self, kernel: &mut Kernel, now: SimTime, pid: Pid, fd: Fd) {
         let cost = *kernel.cost_model();
         // The driver's hint path takes the backmap read lock, then

@@ -6,9 +6,15 @@
 //! buckets in the hash table is doubled. The hash table is never
 //! shrunk."
 //!
-//! This is a from-scratch separate-chaining table following that policy
-//! exactly, with per-entry room for the driver-hint state of §3.2 (the
-//! hint flag and the cached poll result).
+//! Storage here is a dense fd-indexed slot array — descriptors are
+//! small sequential integers, so lookup/insert/remove are O(1) and
+//! iteration is in ascending fd order. The *modelled* structure is
+//! still the paper's separate-chaining hash table: a per-bucket
+//! occupancy array tracks exactly the chain lengths the 2.2-era table
+//! would have had (same multiplicative hash, same doubling policy), so
+//! the `bucket_count`/`max_bucket_len`/`grow_count` diagnostics — and
+//! the probe gauges built on them — are unchanged. Each entry carries
+//! the driver-hint state of §3.2 (the hint flag and cached poll result).
 
 use simkernel::{Fd, PollBits};
 
@@ -37,10 +43,20 @@ pub enum SetOutcome {
 /// The interest-set hash table.
 #[derive(Debug, Clone)]
 pub struct InterestTable {
-    buckets: Vec<Vec<Interest>>,
+    /// Dense storage, indexed by fd.
+    slots: Vec<Option<Interest>>,
     len: usize,
     /// Total bucket-doubling events (diagnostic for benches).
     grows: u32,
+    /// Modelled bucket count (always a power of two).
+    buckets: usize,
+    /// Modelled per-bucket occupancy (chain lengths).
+    occ: Vec<u32>,
+    /// `hist[k]` = number of buckets holding exactly `k` entries;
+    /// keeps `max_bucket_len` O(1) under insert/remove.
+    hist: Vec<u32>,
+    /// Cached maximum occupancy (index of the highest non-zero `hist`).
+    max_occ: usize,
 }
 
 /// Initial bucket count (small; the table doubles as needed).
@@ -52,21 +68,24 @@ impl Default for InterestTable {
     }
 }
 
+/// The 2.2-era fd-keyed multiplicative hash, reduced to a bucket index.
+fn bucket_of(fd: Fd, buckets: usize) -> usize {
+    let h = (fd as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    (h >> 32) as usize & (buckets - 1)
+}
+
 impl InterestTable {
     /// Creates an empty table.
     pub fn new() -> InterestTable {
         InterestTable {
-            buckets: vec![Vec::new(); INITIAL_BUCKETS],
+            slots: Vec::new(),
             len: 0,
             grows: 0,
+            buckets: INITIAL_BUCKETS,
+            occ: vec![0; INITIAL_BUCKETS],
+            hist: vec![INITIAL_BUCKETS as u32],
+            max_occ: 0,
         }
-    }
-
-    fn bucket_of(&self, fd: Fd) -> usize {
-        // Multiplicative hash to spread the (dense, low) fd space; the
-        // 2.2-era patch used a similar fd-keyed hash.
-        let h = (fd as u64).wrapping_mul(0x9E3779B97F4A7C15);
-        (h >> 32) as usize & (self.buckets.len() - 1)
     }
 
     /// Number of interests in the set.
@@ -81,7 +100,7 @@ impl InterestTable {
 
     /// Current bucket count (diagnostic).
     pub fn bucket_count(&self) -> usize {
-        self.buckets.len()
+        self.buckets
     }
 
     /// Times the table has doubled (diagnostic).
@@ -92,7 +111,23 @@ impl InterestTable {
     /// Length of the fullest bucket (diagnostic: chain-length worst case
     /// the doubling policy is meant to bound).
     pub fn max_bucket_len(&self) -> usize {
-        self.buckets.iter().map(Vec::len).max().unwrap_or(0)
+        self.max_occ
+    }
+
+    /// Moves one bucket's modelled occupancy from `from` to `to`.
+    fn occ_shift(&mut self, from: usize, to: usize) {
+        self.hist[from] -= 1;
+        if to >= self.hist.len() {
+            self.hist.resize(to + 1, 0);
+        }
+        self.hist[to] += 1;
+        if to > self.max_occ {
+            self.max_occ = to;
+        } else if from == self.max_occ && self.hist[from] == 0 {
+            while self.max_occ > 0 && self.hist[self.max_occ] == 0 {
+                self.max_occ -= 1;
+            }
+        }
     }
 
     /// Inserts or updates the interest for `fd`.
@@ -101,21 +136,23 @@ impl InterestTable {
     /// `events` *replace* the previous interest; with `true` (Solaris
     /// compatibility) they are OR'd in.
     pub fn set(&mut self, fd: Fd, events: PollBits, or_semantics: bool) -> SetOutcome {
-        let b = self.bucket_of(fd);
-        for e in &mut self.buckets[b] {
-            if e.fd == fd {
-                e.events = if or_semantics {
-                    e.events | events
-                } else {
-                    events
-                };
-                // An interest change invalidates the cached result.
-                e.cached = PollBits::EMPTY;
-                e.hinted = true;
-                return SetOutcome::Updated;
-            }
+        assert!(fd >= 0, "interest set for negative fd");
+        let ix = fd as usize;
+        if ix >= self.slots.len() {
+            self.slots.resize(ix + 1, None);
         }
-        self.buckets[b].push(Interest {
+        if let Some(e) = &mut self.slots[ix] {
+            e.events = if or_semantics {
+                e.events | events
+            } else {
+                events
+            };
+            // An interest change invalidates the cached result.
+            e.cached = PollBits::EMPTY;
+            e.hinted = true;
+            return SetOutcome::Updated;
+        }
+        self.slots[ix] = Some(Interest {
             fd,
             events,
             // A fresh interest must be scanned at least once.
@@ -123,42 +160,57 @@ impl InterestTable {
             cached: PollBits::EMPTY,
         });
         self.len += 1;
+        let b = bucket_of(fd, self.buckets);
+        let chain = self.occ[b] as usize;
+        self.occ[b] += 1;
+        self.occ_shift(chain, chain + 1);
         self.maybe_grow();
         SetOutcome::Inserted
     }
 
     /// Removes the interest for `fd`. Returns `true` if it existed.
     pub fn remove(&mut self, fd: Fd) -> bool {
-        let b = self.bucket_of(fd);
-        let bucket = &mut self.buckets[b];
-        if let Some(pos) = bucket.iter().position(|e| e.fd == fd) {
-            bucket.swap_remove(pos);
-            self.len -= 1;
-            true
-        } else {
-            false
+        let Some(slot) = usize::try_from(fd)
+            .ok()
+            .and_then(|ix| self.slots.get_mut(ix))
+        else {
+            return false;
+        };
+        if slot.take().is_none() {
+            return false;
         }
+        self.len -= 1;
+        let b = bucket_of(fd, self.buckets);
+        let chain = self.occ[b] as usize;
+        self.occ[b] -= 1;
+        self.occ_shift(chain, chain - 1);
+        true
     }
 
     /// Looks up the interest for `fd`.
     pub fn get(&self, fd: Fd) -> Option<&Interest> {
-        self.buckets[self.bucket_of(fd)].iter().find(|e| e.fd == fd)
+        usize::try_from(fd)
+            .ok()
+            .and_then(|ix| self.slots.get(ix))
+            .and_then(Option::as_ref)
     }
 
     /// Looks up the interest for `fd` mutably.
     pub fn get_mut(&mut self, fd: Fd) -> Option<&mut Interest> {
-        let b = self.bucket_of(fd);
-        self.buckets[b].iter_mut().find(|e| e.fd == fd)
+        usize::try_from(fd)
+            .ok()
+            .and_then(|ix| self.slots.get_mut(ix))
+            .and_then(Option::as_mut)
     }
 
-    /// Iterates over all interests (arbitrary order).
+    /// Iterates over all interests in ascending fd order.
     pub fn iter(&self) -> impl Iterator<Item = &Interest> {
-        self.buckets.iter().flatten()
+        self.slots.iter().flatten()
     }
 
-    /// Iterates mutably over all interests.
+    /// Iterates mutably over all interests in ascending fd order.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Interest> {
-        self.buckets.iter_mut().flatten()
+        self.slots.iter_mut().flatten()
     }
 
     /// Marks the hint flag for `fd` (the driver saw an event).
@@ -176,16 +228,30 @@ impl InterestTable {
     /// "When the average bucket size is two, the number of buckets in
     /// the hash table is doubled. The hash table is never shrunk."
     fn maybe_grow(&mut self) {
-        if self.len < self.buckets.len() * 2 {
+        if self.len < self.buckets * 2 {
             return;
         }
         self.grows += 1;
-        let new_size = self.buckets.len() * 2;
-        let old = std::mem::replace(&mut self.buckets, vec![Vec::new(); new_size]);
-        for e in old.into_iter().flatten() {
-            let h = (e.fd as u64).wrapping_mul(0x9E3779B97F4A7C15);
-            let b = (h >> 32) as usize & (new_size - 1);
-            self.buckets[b].push(e);
+        self.buckets *= 2;
+        // Re-derive the modelled chain lengths under the widened mask —
+        // the moral equivalent of the old table's rehash pass.
+        self.occ.clear();
+        self.occ.resize(self.buckets, 0);
+        for e in self.slots.iter().flatten() {
+            self.occ[bucket_of(e.fd, self.buckets)] += 1;
+        }
+        self.hist.clear();
+        self.max_occ = 0;
+        self.hist.push(0);
+        for &c in &self.occ {
+            let c = c as usize;
+            if c >= self.hist.len() {
+                self.hist.resize(c + 1, 0);
+            }
+            self.hist[c] += 1;
+            if c > self.max_occ {
+                self.max_occ = c;
+            }
         }
     }
 }
@@ -287,5 +353,56 @@ mod tests {
         let e = t.get(1).unwrap();
         assert_eq!(e.cached, PollBits::EMPTY);
         assert!(e.hinted);
+    }
+
+    #[test]
+    fn iteration_is_in_fd_order() {
+        let mut t = InterestTable::new();
+        for fd in [9, 2, 31, 0, 17] {
+            t.set(fd, PollBits::POLLIN, false);
+        }
+        let fds: Vec<Fd> = t.iter().map(|e| e.fd).collect();
+        assert_eq!(fds, vec![0, 2, 9, 17, 31]);
+    }
+
+    #[test]
+    fn modelled_geometry_matches_a_reference_chain_table() {
+        // Cross-check the occupancy model against a straightforward
+        // chained table following the identical hash + doubling policy.
+        let mut t = InterestTable::new();
+        let mut reference: Vec<Vec<Fd>> = vec![Vec::new(); INITIAL_BUCKETS];
+        let fds: Vec<Fd> = (0..200).map(|i| (i * 7) % 253).collect();
+        let mut live: Vec<Fd> = Vec::new();
+        for (i, &fd) in fds.iter().enumerate() {
+            if i % 5 == 4 {
+                let victim = live[i % live.len()];
+                if t.remove(victim) {
+                    live.retain(|&f| f != victim);
+                    let nbuckets = reference.len();
+                    reference[bucket_of(victim, nbuckets)].retain(|&f| f != victim);
+                }
+                continue;
+            }
+            if t.set(fd, PollBits::POLLIN, false) == SetOutcome::Inserted {
+                live.push(fd);
+                let nbuckets = reference.len();
+                reference[bucket_of(fd, nbuckets)].push(fd);
+                if live.len() >= reference.len() * 2 {
+                    let doubled = reference.len() * 2;
+                    let mut next: Vec<Vec<Fd>> = vec![Vec::new(); doubled];
+                    for &f in &live {
+                        next[bucket_of(f, doubled)].push(f);
+                    }
+                    reference = next;
+                }
+            }
+            assert_eq!(t.bucket_count(), reference.len());
+            assert_eq!(
+                t.max_bucket_len(),
+                reference.iter().map(Vec::len).max().unwrap_or(0),
+                "after {} ops",
+                i + 1
+            );
+        }
     }
 }

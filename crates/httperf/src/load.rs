@@ -6,8 +6,6 @@
 //! the number of high-latency clients constant, these clients reopen
 //! their connection if the server times them out." (§5)
 
-use std::collections::HashMap;
-
 use simcore::rng::SimRng;
 use simcore::stats::{Quantiles, RateSampler};
 use simcore::time::{SimDuration, SimTime};
@@ -134,7 +132,11 @@ pub struct LoadGen {
     host: HostId,
     server: SockAddr,
     rng: SimRng,
-    conns: HashMap<ConnId, ClientConn>,
+    /// Dense per-connection table indexed by `ConnId` (the network hands
+    /// out sequential ids per world, so the vector stays compact).
+    conns: Vec<Option<ClientConn>>,
+    /// Live entries in `conns`.
+    open: usize,
     launched: u64,
     resolved: u64,
     /// Successful replies.
@@ -164,7 +166,8 @@ impl LoadGen {
             host,
             server,
             rng,
-            conns: HashMap::new(),
+            conns: Vec::new(),
+            open: 0,
             launched: 0,
             resolved: 0,
             replies: 0,
@@ -244,7 +247,33 @@ impl LoadGen {
     }
 
     fn open_sockets(&self) -> usize {
-        self.conns.len()
+        self.open
+    }
+
+    fn conn_get(&self, conn: ConnId) -> Option<&ClientConn> {
+        self.conns.get(conn.0 as usize).and_then(Option::as_ref)
+    }
+
+    fn conn_get_mut(&mut self, conn: ConnId) -> Option<&mut ClientConn> {
+        self.conns.get_mut(conn.0 as usize).and_then(Option::as_mut)
+    }
+
+    fn conn_insert(&mut self, conn: ConnId, c: ClientConn) {
+        let ix = conn.0 as usize;
+        if ix >= self.conns.len() {
+            self.conns.resize_with(ix + 1, || None);
+        }
+        if self.conns[ix].replace(c).is_none() {
+            self.open += 1;
+        }
+    }
+
+    fn conn_remove(&mut self, conn: ConnId) -> Option<ClientConn> {
+        let prev = self.conns.get_mut(conn.0 as usize).and_then(Option::take);
+        if prev.is_some() {
+            self.open -= 1;
+        }
+        prev
     }
 
     /// Fires one timer; returns follow-up timers to schedule.
@@ -269,7 +298,7 @@ impl LoadGen {
     }
 
     fn send_request(&mut self, net: &mut Network, now: SimTime, conn: ConnId) {
-        let Some(c) = self.conns.get_mut(&conn) else {
+        let Some(c) = self.conn_get_mut(conn) else {
             return;
         };
         if c.kind != ConnKind::Active || c.sent_request || c.done {
@@ -302,7 +331,7 @@ impl LoadGen {
                 match net.connect(now, self.host, self.server, self.cfg.active_extra_delay) {
                     Ok(conn) => {
                         let deadline = now + self.cfg.client_timeout;
-                        self.conns.insert(
+                        self.conn_insert(
                             conn,
                             ClientConn {
                                 kind: ConnKind::Active,
@@ -337,7 +366,7 @@ impl LoadGen {
         match net.connect(now, self.host, self.server, self.cfg.inactive_extra_delay) {
             Ok(conn) => {
                 self.inactive_open += 1;
-                self.conns.insert(
+                self.conn_insert(
                     conn,
                     ClientConn {
                         kind: ConnKind::Inactive,
@@ -362,7 +391,7 @@ impl LoadGen {
     }
 
     fn check_timeout(&mut self, net: &mut Network, now: SimTime, conn: ConnId) {
-        let Some(c) = self.conns.get(&conn) else {
+        let Some(c) = self.conn_get(conn) else {
             return; // Already resolved.
         };
         if c.done || c.kind != ConnKind::Active {
@@ -374,7 +403,7 @@ impl LoadGen {
         // Give up: abort and count a timeout.
         let ep = EndpointId::new(conn, Side::Client);
         let _ = net.abort(now, ep);
-        self.conns.remove(&conn);
+        self.conn_remove(conn);
         self.errors.timeouts += 1;
         self.resolve(now);
     }
@@ -396,7 +425,7 @@ impl LoadGen {
                 self.on_connected(net, now, ep)
             }
             NetNotify::ConnectFailed { conn, reason, .. } => {
-                if let Some(c) = self.conns.remove(&conn) {
+                if let Some(c) = self.conn_remove(conn) {
                     match c.kind {
                         ConnKind::Active => {
                             match reason {
@@ -427,7 +456,7 @@ impl LoadGen {
                 self.on_peer_closed(net, now, ep)
             }
             NetNotify::ConnReset { ep } if ep.side == Side::Client => {
-                if let Some(c) = self.conns.remove(&ep.conn) {
+                if let Some(c) = self.conn_remove(ep.conn) {
                     match c.kind {
                         ConnKind::Active => {
                             self.errors.resets += 1;
@@ -449,7 +478,7 @@ impl LoadGen {
             NetNotify::ConnClosed { ep } if ep.side == Side::Client => {
                 // Fully closed; if still tracked (e.g. inactive closed by
                 // the server cleanly) treat like a peer-close.
-                if self.conns.contains_key(&ep.conn) {
+                if self.conn_get(ep.conn).is_some() {
                     self.on_peer_closed(net, now, ep)
                 } else {
                     Vec::new()
@@ -465,7 +494,7 @@ impl LoadGen {
         now: SimTime,
         ep: EndpointId,
     ) -> Vec<(SimTime, LoadTimer)> {
-        let Some(c) = self.conns.get_mut(&ep.conn) else {
+        let Some(c) = self.conn_get_mut(ep.conn) else {
             return Vec::new();
         };
         if c.kind == ConnKind::Active && !c.sent_request {
@@ -476,17 +505,21 @@ impl LoadGen {
     }
 
     fn drain(&mut self, net: &mut Network, now: SimTime, ep: EndpointId) {
-        let Some(c) = self.conns.get_mut(&ep.conn) else {
+        let Some(c) = self.conn_get_mut(ep.conn) else {
             return;
         };
-        let data = net.recv(now, ep, usize::MAX).unwrap_or_default();
-        if data.is_empty() {
+        // Discarding read: the client only ever inspects the status-line
+        // prefix, so the payload is never materialised.
+        let Ok(sum) = net.recv_discard(now, ep, usize::MAX) else {
+            return;
+        };
+        if sum.len == 0 {
             return;
         }
-        if c.ok_prefix.is_none() && data.len() >= 12 {
-            c.ok_prefix = Some(data.starts_with(b"HTTP/1.0 200"));
+        if c.ok_prefix.is_none() && sum.len >= 12 {
+            c.ok_prefix = Some(sum.prefix() == b"HTTP/1.0 200");
         }
-        c.got += data.len();
+        c.got += sum.len;
     }
 
     fn on_peer_closed(
@@ -497,7 +530,7 @@ impl LoadGen {
     ) -> Vec<(SimTime, LoadTimer)> {
         // Drain whatever arrived with the FIN.
         self.drain(net, now, ep);
-        let Some(c) = self.conns.get_mut(&ep.conn) else {
+        let Some(c) = self.conn_get_mut(ep.conn) else {
             return Vec::new();
         };
         match c.kind {
@@ -506,7 +539,7 @@ impl LoadGen {
                 let ok = c.got > 0 && c.ok_prefix == Some(true);
                 c.done = true;
                 let _ = net.close(now, ep);
-                self.conns.remove(&ep.conn);
+                self.conn_remove(ep.conn);
                 if ok {
                     self.replies += 1;
                     self.sampler.record(now);
@@ -525,7 +558,7 @@ impl LoadGen {
                 // Server timed us out: close our side and reopen to keep
                 // the population constant (§5).
                 let _ = net.close(now, ep);
-                self.conns.remove(&ep.conn);
+                self.conn_remove(ep.conn);
                 self.inactive_open -= 1;
                 vec![(
                     now + SimDuration::from_millis(50),

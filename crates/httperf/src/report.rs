@@ -48,6 +48,9 @@ pub struct RunReport {
     pub latencies_ms: Quantiles,
     /// Simulated run length in seconds.
     pub sim_secs: f64,
+    /// Simulation events the testbed dispatched (network notifies,
+    /// kernel events, load timers) — the throughput-lane numerator.
+    pub events: u64,
     /// Server-side metrics snapshot.
     pub server_metrics: servers::ServerMetrics,
     /// Kernel wakeups delivered to server processes (thundering-herd
@@ -151,6 +154,7 @@ mod tests {
             rate: RateSummary::of(&[]),
             latencies_ms: Quantiles::new(),
             sim_secs: 1.0,
+            events: 0,
             server_metrics: servers::ServerMetrics::default(),
             kernel_wakeups: 0,
             probe: Snapshot::default(),

@@ -9,7 +9,7 @@ use devpoll::DevPollRegistry;
 use simcore::stats::RateSummary;
 use simcore::time::SimTime;
 use simkernel::{CostModel, Kernel, KernelEvent};
-use simnet::{HostId, LinkConfig, Network, SockAddr, TcpConfig};
+use simnet::{HostId, LinkConfig, NetNotify, Network, SockAddr, TcpConfig};
 
 use servers::{Server, ServerCtx};
 
@@ -34,6 +34,15 @@ pub struct Testbed {
     timers: BinaryHeap<Reverse<(SimTime, u64, LoadTimer)>>,
     timer_seq: u64,
     now: SimTime,
+    /// Simulation events dispatched so far: network notifies, kernel
+    /// events and load-generator timer firings. The numerator of the
+    /// throughput lane in `BENCH.json` (events per wall-second).
+    events: u64,
+    /// Reused across `drain_at` iterations so the hot loop never
+    /// allocates per tick.
+    notify_scratch: Vec<NetNotify>,
+    kevent_scratch: Vec<KernelEvent>,
+    new_timer_scratch: Vec<(SimTime, LoadTimer)>,
 }
 
 impl Testbed {
@@ -50,12 +59,21 @@ impl Testbed {
             timers: BinaryHeap::new(),
             timer_seq: 0,
             now: SimTime::ZERO,
+            events: 0,
+            notify_scratch: Vec::new(),
+            kevent_scratch: Vec::new(),
+            new_timer_scratch: Vec::new(),
         }
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Simulation events dispatched so far (see the `events` field).
+    pub fn events(&self) -> u64 {
+        self.events
     }
 
     fn schedule(&mut self, at: SimTime, t: LoadTimer) {
@@ -88,25 +106,33 @@ impl Testbed {
             let mut progressed = false;
 
             // Network deliveries and their fan-out.
-            let notifies = self.net.advance(now);
+            let mut notifies = std::mem::take(&mut self.notify_scratch);
+            notifies.clear();
+            self.net.advance_into(now, &mut notifies);
             if !notifies.is_empty() {
                 progressed = true;
             }
-            let mut new_timers = Vec::new();
+            self.events += notifies.len() as u64;
+            let mut new_timers = std::mem::take(&mut self.new_timer_scratch);
             for n in &notifies {
                 self.kernel.on_net(now, n);
                 new_timers.extend(self.load.on_net(&mut self.net, now, n));
             }
-            for (at, t) in new_timers {
+            self.notify_scratch = notifies;
+            for (at, t) in new_timers.drain(..) {
                 self.schedule(at, t);
             }
+            self.new_timer_scratch = new_timers;
 
             // Kernel events: hints and runnable processes.
-            let kevents = self.kernel.advance(now);
+            let mut kevents = std::mem::take(&mut self.kevent_scratch);
+            kevents.clear();
+            self.kernel.advance_into(now, &mut kevents);
             if !kevents.is_empty() {
                 progressed = true;
             }
-            for e in kevents {
+            self.events += kevents.len() as u64;
+            for &e in &kevents {
                 match e {
                     KernelEvent::FdEvent { pid, fd, .. } => {
                         self.registry.on_fd_event(&mut self.kernel, now, pid, fd);
@@ -124,6 +150,7 @@ impl Testbed {
                     }
                 }
             }
+            self.kevent_scratch = kevents;
 
             // Load-generator timers due now.
             while let Some(&Reverse((at, _, _))) = self.timers.peek() {
@@ -135,6 +162,7 @@ impl Testbed {
                     .pop()
                     .expect("invariant: peeked timer still queued");
                 progressed = true;
+                self.events += 1;
                 let follow = self.load.on_timer(&mut self.net, now, t);
                 for (at, t) in follow {
                     self.schedule(at, t);
@@ -182,6 +210,7 @@ impl Testbed {
             now,
             mut kernel,
             net,
+            events,
             ..
         } = self;
         let kernel_wakeups = kernel.stats().wakeups;
@@ -220,6 +249,7 @@ impl Testbed {
             rate: RateSummary::of(&rates),
             latencies_ms,
             sim_secs: sim_end.as_secs_f64(),
+            events,
             server_metrics: server.metrics(),
             kernel_wakeups,
             probe,

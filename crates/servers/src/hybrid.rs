@@ -8,11 +8,9 @@
 //! activity. This would allow switching between polling and signal queue
 //! mode with very little overhead.").
 
-use std::collections::HashMap;
-
 use devpoll::{DevPollBackend, EventBackend, RtEvent, RtSignalApi, WaitResult};
 use simcore::time::SimTime;
-use simkernel::{Errno, Fd, PollBits};
+use simkernel::{Errno, Fd, FdMap, PollBits};
 
 use crate::conn::{ConnPhase, ConnStatus, FinishKind, HttpConn};
 use crate::content::ContentStore;
@@ -55,12 +53,14 @@ pub struct HybridServer {
     rtapi: RtSignalApi,
     backend: DevPollBackend,
     mode: HybridMode,
-    conns: HashMap<Fd, HttpConn>,
+    conns: FdMap<HttpConn>,
     content: ContentStore,
     metrics: ServerMetrics,
     config: ServerConfig,
     hybrid: HybridConfig,
     last_scan: SimTime,
+    /// Reused idle-sweep scratch (no per-scan allocation).
+    idle_scratch: Vec<Fd>,
 }
 
 impl HybridServer {
@@ -77,12 +77,13 @@ impl HybridServer {
             rtapi: RtSignalApi::default(),
             backend: DevPollBackend::new(),
             mode: HybridMode::Signals,
-            conns: HashMap::new(),
+            conns: FdMap::new(),
             content: ContentStore::citi_6k(),
             metrics: ServerMetrics::default(),
             config,
             hybrid,
             last_scan: SimTime::ZERO,
+            idle_scratch: Vec::new(),
         }
     }
 
@@ -165,7 +166,7 @@ impl HybridServer {
                 self.metrics.read_errors += 1;
             }
         }
-        self.conns.remove(&fd);
+        self.conns.remove(fd);
     }
 
     fn dispatch(&mut self, ctx: &mut ServerCtx<'_>, fd: Fd, band: PollBits) {
@@ -173,7 +174,7 @@ impl HybridServer {
             self.accept_all(ctx);
             return;
         }
-        let Some(conn) = self.conns.get_mut(&fd) else {
+        let Some(conn) = self.conns.get_mut(fd) else {
             self.metrics.stale_events += 1;
             return;
         };
@@ -210,18 +211,21 @@ impl HybridServer {
             return;
         }
         let cutoff = SimTime::from_nanos(ctx.now.as_nanos() - self.config.idle_timeout.as_nanos());
-        let idle: Vec<Fd> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| c.idle_since(cutoff))
-            .map(|(&fd, _)| fd)
-            .collect();
-        for fd in idle {
+        let mut idle = std::mem::take(&mut self.idle_scratch);
+        idle.clear();
+        idle.extend(
+            self.conns
+                .iter()
+                .filter(|(_, c)| c.idle_since(cutoff))
+                .map(|(fd, _)| fd),
+        );
+        for &fd in &idle {
             self.finish_conn(ctx, fd, FinishKind::ClientClosedEarly);
             // Reclassify: that was an idle close, not a client close.
             self.metrics.client_closed_early -= 1;
             self.metrics.idle_closed += 1;
         }
+        self.idle_scratch = idle;
     }
 
     fn queue_pressure(&self, ctx: &ServerCtx<'_>) -> f64 {

@@ -12,11 +12,9 @@
 //!   from scratch — and the server *never switches back* to signal mode
 //!   ("Brown never implemented this logic", §6).
 
-use std::collections::HashMap;
-
 use devpoll::{EventBackend, RtEvent, RtSignalApi, StockPollBackend, WaitResult};
 use simcore::time::SimTime;
-use simkernel::{Errno, Fd, PollBits};
+use simkernel::{Errno, Fd, FdMap, PollBits};
 
 use crate::conn::{ConnPhase, ConnStatus, FinishKind, HttpConn};
 use crate::content::ContentStore;
@@ -49,12 +47,14 @@ pub struct Phhttpd {
     rtapi: RtSignalApi,
     mode: PhMode,
     poll_backend: StockPollBackend,
-    conns: HashMap<Fd, HttpConn>,
+    conns: FdMap<HttpConn>,
     content: ContentStore,
     metrics: ServerMetrics,
     config: ServerConfig,
     ph: PhConfig,
     last_scan: SimTime,
+    /// Reused idle-sweep scratch (no per-scan allocation).
+    idle_scratch: Vec<Fd>,
 }
 
 impl Phhttpd {
@@ -67,12 +67,13 @@ impl Phhttpd {
             rtapi: RtSignalApi::default(),
             mode: PhMode::Signals,
             poll_backend: StockPollBackend::new(),
-            conns: HashMap::new(),
+            conns: FdMap::new(),
             content: ContentStore::citi_6k(),
             metrics: ServerMetrics::default(),
             config,
             ph,
             last_scan: SimTime::ZERO,
+            idle_scratch: Vec::new(),
         }
     }
 
@@ -180,7 +181,7 @@ impl Phhttpd {
                 self.metrics.read_errors += 1;
             }
         }
-        self.conns.remove(&fd);
+        self.conns.remove(fd);
         // Events already queued for this fd remain on the RT queue and
         // will surface as stale events (§2).
     }
@@ -195,7 +196,7 @@ impl Phhttpd {
             self.accept_all(ctx);
             return;
         }
-        let Some(conn) = self.conns.get_mut(&fd) else {
+        let Some(conn) = self.conns.get_mut(fd) else {
             self.metrics.stale_events += 1;
             return;
         };
@@ -244,19 +245,14 @@ impl Phhttpd {
             self.lfd,
             PollBits::POLLIN,
         );
-        let fds: Vec<(Fd, PollBits)> = self
-            .conns
-            .iter()
-            .map(|(&fd, c)| {
-                let ev = if c.phase == ConnPhase::Writing {
-                    PollBits::POLLOUT
-                } else {
-                    PollBits::POLLIN
-                };
-                (fd, ev)
-            })
-            .collect();
-        for (fd, ev) in fds {
+        // Field-level split borrow: walking `conns` while poking the
+        // sibling's interest set needs no intermediate fd list.
+        for (fd, c) in self.conns.iter() {
+            let ev = if c.phase == ConnPhase::Writing {
+                PollBits::POLLOUT
+            } else {
+                PollBits::POLLIN
+            };
             let _ =
                 self.poll_backend
                     .set_interest(ctx.kernel, ctx.registry, ctx.now, self.pid, fd, ev);
@@ -275,13 +271,15 @@ impl Phhttpd {
             return;
         }
         let cutoff = SimTime::from_nanos(ctx.now.as_nanos() - self.config.idle_timeout.as_nanos());
-        let idle: Vec<Fd> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| c.idle_since(cutoff))
-            .map(|(&fd, _)| fd)
-            .collect();
-        for fd in idle {
+        let mut idle = std::mem::take(&mut self.idle_scratch);
+        idle.clear();
+        idle.extend(
+            self.conns
+                .iter()
+                .filter(|(_, c)| c.idle_since(cutoff))
+                .map(|(fd, _)| fd),
+        );
+        for &fd in &idle {
             if self.mode == PhMode::Polling {
                 let _ = self.poll_backend.remove_interest(
                     ctx.kernel,
@@ -292,9 +290,10 @@ impl Phhttpd {
                 );
             }
             let _ = ctx.kernel.sys_close(ctx.net, ctx.now, self.pid, fd);
-            self.conns.remove(&fd);
+            self.conns.remove(fd);
             self.metrics.idle_closed += 1;
         }
+        self.idle_scratch = idle;
     }
 
     fn run_signals_batch(&mut self, ctx: &mut ServerCtx<'_>) {
@@ -367,7 +366,7 @@ impl Phhttpd {
     }
 
     fn dispatch_poll(&mut self, ctx: &mut ServerCtx<'_>, fd: Fd, revents: PollBits) {
-        let Some(conn) = self.conns.get_mut(&fd) else {
+        let Some(conn) = self.conns.get_mut(fd) else {
             return;
         };
         if revents.contains(PollBits::POLLERR) || revents.contains(PollBits::POLLNVAL) {

@@ -2,11 +2,9 @@
 //! event backend so the same code runs on stock `poll()` and on
 //! `/dev/poll`, like the paper's stock vs. modified thttpd pair (§5.1).
 
-use std::collections::HashMap;
-
 use devpoll::{EventBackend, WaitResult};
 use simcore::time::SimTime;
-use simkernel::{Errno, Fd, PollBits};
+use simkernel::{Errno, Fd, FdMap, PollBits};
 
 use crate::conn::{ConnPhase, ConnStatus, FinishKind, HttpConn};
 use crate::content::ContentStore;
@@ -18,12 +16,14 @@ pub struct Thttpd<B: EventBackend> {
     pid: simkernel::Pid,
     lfd: Fd,
     backend: B,
-    conns: HashMap<Fd, HttpConn>,
+    conns: FdMap<HttpConn>,
     content: ContentStore,
     metrics: ServerMetrics,
     config: ServerConfig,
     last_scan: SimTime,
     started: bool,
+    /// Reused idle-sweep scratch (no per-scan allocation).
+    idle_scratch: Vec<Fd>,
 }
 
 impl<B: EventBackend> Thttpd<B> {
@@ -34,12 +34,13 @@ impl<B: EventBackend> Thttpd<B> {
             pid,
             lfd: -1,
             backend,
-            conns: HashMap::new(),
+            conns: FdMap::new(),
             content: ContentStore::citi_6k(),
             metrics: ServerMetrics::default(),
             config,
             last_scan: SimTime::ZERO,
             started: false,
+            idle_scratch: Vec::new(),
         }
     }
 
@@ -131,7 +132,7 @@ impl<B: EventBackend> Thttpd<B> {
                 self.metrics.read_errors += 1;
             }
         }
-        self.conns.remove(&fd);
+        self.conns.remove(fd);
     }
 
     fn dispatch(&mut self, ctx: &mut ServerCtx<'_>, fd: Fd, revents: PollBits) {
@@ -139,7 +140,7 @@ impl<B: EventBackend> Thttpd<B> {
             self.accept_all(ctx);
             return;
         }
-        let Some(conn) = self.conns.get_mut(&fd) else {
+        let Some(conn) = self.conns.get_mut(fd) else {
             return; // Already closed this batch.
         };
         if revents.contains(PollBits::POLLERR) || revents.contains(PollBits::POLLNVAL) {
@@ -188,20 +189,23 @@ impl<B: EventBackend> Thttpd<B> {
             return; // Nothing can be idle-expired yet.
         }
         let cutoff = SimTime::from_nanos(ctx.now.as_nanos() - self.config.idle_timeout.as_nanos());
-        let idle: Vec<Fd> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| c.idle_since(cutoff))
-            .map(|(&fd, _)| fd)
-            .collect();
-        for fd in idle {
+        let mut idle = std::mem::take(&mut self.idle_scratch);
+        idle.clear();
+        idle.extend(
+            self.conns
+                .iter()
+                .filter(|(_, c)| c.idle_since(cutoff))
+                .map(|(fd, _)| fd),
+        );
+        for &fd in &idle {
             let _ = self
                 .backend
                 .remove_interest(ctx.kernel, ctx.registry, ctx.now, self.pid, fd);
             let _ = ctx.kernel.sys_close(ctx.net, ctx.now, self.pid, fd);
-            self.conns.remove(&fd);
+            self.conns.remove(fd);
             self.metrics.idle_closed += 1;
         }
+        self.idle_scratch = idle;
     }
 }
 

@@ -17,6 +17,15 @@
 //!   Simulated time must come from [`simcore::time::SimTime`]; wall
 //!   clocks make runs irreproducible. (`criterion-shim` is exempt: its
 //!   entire purpose is wall-clock measurement of real benchmarks.)
+//! * `alloc-in-hot-path` — `Box::new` or `.collect` inside a function
+//!   on the simulator's per-event hot path. Hot functions are the ones
+//!   annotated with a `#[hot_path]` comment marker directly above the
+//!   `fn`, plus any listed as `hot <path> <fn>` in `simcheck.allow`.
+//!   These run millions of times per figures sweep; a per-call heap
+//!   allocation there is the exact overhead the arena/dense-table
+//!   overhaul removed, so the budget is zero — allocate once and reuse
+//!   (`std::mem::take` scratch buffers), or keep the cold path out of
+//!   the marked function.
 //!
 //! Scope: `lib` sources only. `tests/`, `benches/`, `src/bin/` drivers
 //! and `#[cfg(test)]` modules may unwrap freely — a panicking test is a
@@ -34,7 +43,8 @@ use std::path::{Path, PathBuf};
 /// One lint hit.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Rule code (`unwrap-nontest`, `hash-iter`, `wallclock`).
+    /// Rule code (`unwrap-nontest`, `hash-iter`, `wallclock`,
+    /// `alloc-in-hot-path`).
     pub rule: &'static str,
     /// Path relative to the repository root, `/`-separated.
     pub path: String,
@@ -54,9 +64,45 @@ impl fmt::Display for Finding {
     }
 }
 
+/// A function the `alloc-in-hot-path` rule watches, named by the
+/// `hot <path> <fn>` lines of `simcheck.allow` (the in-source
+/// `#[hot_path]` comment marker is the other way in).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotFn {
+    /// Repo-relative `/`-separated path.
+    pub path: String,
+    /// Bare function name.
+    pub func: String,
+}
+
+/// Parses the `hot <path> <fn>` lines of `simcheck.allow`.
+pub fn parse_hot_list(text: &str) -> Vec<HotFn> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("hot") {
+            continue;
+        }
+        let (Some(path), Some(func)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        out.push(HotFn {
+            path: path.to_string(),
+            func: func.to_string(),
+        });
+    }
+    out
+}
+
 /// Scans `crates/*/src` under `root` and returns all findings in
-/// deterministic (path, line) order.
-pub fn scan(root: &Path) -> Vec<Finding> {
+/// deterministic (path, line) order. `hot` names additional functions
+/// for the `alloc-in-hot-path` rule (usually from
+/// [`parse_hot_list`]).
+pub fn scan(root: &Path, hot: &[HotFn]) -> Vec<Finding> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
@@ -86,7 +132,12 @@ pub fn scan(root: &Path) -> Vec<Finding> {
         let Ok(text) = fs::read_to_string(&file) else {
             continue;
         };
-        scan_file(&rel, &text, &mut findings);
+        let hot_fns: Vec<&str> = hot
+            .iter()
+            .filter(|h| h.path == rel)
+            .map(|h| h.func.as_str())
+            .collect();
+        scan_file(&rel, &text, &hot_fns, &mut findings);
     }
     findings
 }
@@ -111,8 +162,10 @@ fn skip_file(rel: &str) -> bool {
     rel.contains("/src/bin/")
 }
 
-/// Scans one file, appending findings.
-fn scan_file(rel: &str, text: &str, out: &mut Vec<Finding>) {
+/// Scans one file, appending findings. `hot_fns` are the functions the
+/// allowlist marks hot in this file (merged with in-source `#[hot_path]`
+/// markers).
+fn scan_file(rel: &str, text: &str, hot_fns: &[&str], out: &mut Vec<Finding>) {
     let is_criterion_shim = rel.starts_with("crates/criterion-shim/");
     let all_lines: Vec<&str> = text.lines().collect();
     // Everything from the test module on is test code. (Repo convention:
@@ -187,6 +240,118 @@ fn scan_file(rel: &str, text: &str, out: &mut Vec<Finding>) {
             hit("wallclock");
         }
     }
+
+    scan_hot_spans(rel, lines, hot_fns, out);
+}
+
+/// The `alloc-in-hot-path` pass: walks function spans that are marked
+/// hot — by a `#[hot_path]` comment marker directly above the `fn`
+/// (doc comments and attributes may sit between), or by name via
+/// `simcheck.allow`'s `hot` lines — and flags per-call allocations
+/// inside them.
+fn scan_hot_spans(rel: &str, lines: &[&str], hot_fns: &[&str], out: &mut Vec<Finding>) {
+    // Needles split so this scanner does not flag its own definitions.
+    let box_needle = concat!("Box", "::new");
+    let collect_needle = concat!(".col", "lect");
+    // The comment must *start* with the marker so prose that merely
+    // mentions it (like this module's docs) does not mark anything.
+    let marker = concat!("// #[hot", "_path]");
+
+    let mut pending_hot = false;
+    let mut i = 0;
+    while i < lines.len() {
+        let trimmed = lines[i].trim();
+        if trimmed.starts_with("//") {
+            if trimmed.starts_with(marker) {
+                pending_hot = true;
+            }
+            i += 1;
+            continue;
+        }
+        if let Some(name) = fn_name(trimmed) {
+            let hot = pending_hot || hot_fns.contains(&name.as_str());
+            pending_hot = false;
+            if hot {
+                let end = fn_span_end(lines, i);
+                for (j, l) in lines.iter().enumerate().take(end).skip(i) {
+                    let lt = l.trim();
+                    if lt.starts_with("//") {
+                        continue;
+                    }
+                    if l.contains(box_needle) || l.contains(collect_needle) {
+                        out.push(Finding {
+                            rule: "alloc-in-hot-path",
+                            path: rel.to_string(),
+                            line: j + 1,
+                            excerpt: lt.to_string(),
+                        });
+                    }
+                }
+                i = end;
+                continue;
+            }
+        } else if !trimmed.is_empty() && !trimmed.starts_with("#[") {
+            // Any other code line breaks the marker-to-fn adjacency.
+            pending_hot = false;
+        }
+        i += 1;
+    }
+}
+
+/// If `trimmed` begins a function item, its bare name. Rejects lines
+/// where `fn` appears mid-expression (closure types, comments): every
+/// word before `fn` must be a declaration qualifier.
+fn fn_name(trimmed: &str) -> Option<String> {
+    let idx = if trimmed.starts_with("fn ") {
+        0
+    } else {
+        let idx = trimmed.find(" fn ")? + 1;
+        let qualifier_ok = trimmed[..idx].split_whitespace().all(|w| {
+            w == "pub"
+                || w.starts_with("pub(")
+                || matches!(w, "const" | "unsafe" | "async" | "extern")
+                || w.starts_with('"')
+        });
+        if !qualifier_ok {
+            return None;
+        }
+        idx
+    };
+    let name: String = trimmed[idx + 3..]
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// One past the last line of the function starting at `start` (naive
+/// brace counting; a signature-only declaration ends at its `;`).
+fn fn_span_end(lines: &[&str], start: usize) -> usize {
+    let mut depth = 0i32;
+    let mut opened = false;
+    for (j, line) in lines.iter().enumerate().skip(start) {
+        let lt = line.trim();
+        if lt.starts_with("//") {
+            continue;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if opened && depth <= 0 {
+            return j + 1;
+        }
+        if !opened && lt.ends_with(';') {
+            return j + 1; // trait-method declaration, no body
+        }
+    }
+    lines.len()
 }
 
 /// The identifier ending just before byte `idx` (declaration name).
@@ -379,6 +544,7 @@ mod tests {
         scan_file(
             "crates/x/src/lib.rs",
             "let a = m.get(k).expect(\"invariant: present\");\nlet b = m.get(k).expect(\"oops\");\nlet c = o.unwrap();\n",
+            &[],
             &mut out,
         );
         let rules: Vec<_> = out.iter().map(|f| (f.rule, f.line)).collect();
@@ -391,6 +557,7 @@ mod tests {
         scan_file(
             "crates/x/src/lib.rs",
             "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { o.unwrap(); }\n}\n",
+            &[],
             &mut out,
         );
         assert!(out.is_empty());
@@ -402,6 +569,7 @@ mod tests {
         scan_file(
             "crates/x/src/lib.rs",
             "struct S { m: HashMap<u32, u32>, v: Vec<u32> }\nfor x in &self.m {}\nlet k: Vec<_> = self.m.keys().collect();\nfor x in &self.v {}\n",
+            &[],
             &mut out,
         );
         let lines: Vec<_> = out.iter().map(|f| f.line).collect();
@@ -411,16 +579,94 @@ mod tests {
     #[test]
     fn wallclock_is_flagged_outside_criterion_shim() {
         let mut out = Vec::new();
-        scan_file("crates/x/src/lib.rs", "let t = Instant::now();\n", &mut out);
+        scan_file(
+            "crates/x/src/lib.rs",
+            "let t = Instant::now();\n",
+            &[],
+            &mut out,
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rule, "wallclock");
         let mut out = Vec::new();
         scan_file(
             "crates/criterion-shim/src/lib.rs",
             "let t = Instant::now();\n",
+            &[],
             &mut out,
         );
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn hot_path_marker_flags_allocations_in_span_only() {
+        let mut out = Vec::new();
+        let src = "\
+/// Docs survive between marker and fn.
+// #[hot_path]: per-event dispatch loop
+pub fn dispatch(&mut self) {
+    let b = Box::new(1);
+    let v: Vec<u32> = xs.iter().collect();
+}
+
+fn cold() {
+    let b = Box::new(2); // fine: not marked
+}
+";
+        scan_file("crates/x/src/lib.rs", src, &[], &mut out);
+        let hits: Vec<_> = out
+            .iter()
+            .filter(|f| f.rule == "alloc-in-hot-path")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(hits, vec![4, 5]);
+    }
+
+    #[test]
+    fn allowlist_hot_entries_mark_functions_by_name() {
+        let hot = parse_hot_list(
+            "# comment\nhot crates/x/src/lib.rs scan\nunwrap-nontest crates/y/src/lib.rs 3\n",
+        );
+        assert_eq!(
+            hot,
+            vec![HotFn {
+                path: "crates/x/src/lib.rs".into(),
+                func: "scan".into()
+            }]
+        );
+        // `hot` lines are invisible to the budget parser.
+        let budgets = parse_allowlist("hot crates/x/src/lib.rs scan\n");
+        assert!(budgets.is_empty());
+
+        let mut out = Vec::new();
+        let src = "\
+fn scan(&mut self) {
+    let v: Vec<u32> = xs.iter().collect();
+}
+fn other() {
+    let v: Vec<u32> = xs.iter().collect();
+}
+";
+        scan_file("crates/x/src/lib.rs", src, &["scan"], &mut out);
+        let hits: Vec<_> = out
+            .iter()
+            .filter(|f| f.rule == "alloc-in-hot-path")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(hits, vec![2]);
+    }
+
+    #[test]
+    fn hot_marker_does_not_leak_past_an_unrelated_item() {
+        let mut out = Vec::new();
+        let src = "\
+// #[hot_path]
+const X: u32 = 1;
+fn later() {
+    let b = Box::new(1);
+}
+";
+        scan_file("crates/x/src/lib.rs", src, &[], &mut out);
+        assert!(out.iter().all(|f| f.rule != "alloc-in-hot-path"));
     }
 
     #[test]

@@ -46,13 +46,14 @@ fn script_config(args: &[String]) -> ScriptConfig {
 }
 
 fn run_lint(root: &Path, print_budgets: bool) -> bool {
-    let findings = lint::scan(root);
+    let allow_path = root.join("simcheck.allow");
+    let allow_text = std::fs::read_to_string(&allow_path).unwrap_or_default();
+    let hot = lint::parse_hot_list(&allow_text);
+    let findings = lint::scan(root, &hot);
     if print_budgets {
         print!("{}", lint::render_budgets(&findings));
         return true;
     }
-    let allow_path = root.join("simcheck.allow");
-    let allow_text = std::fs::read_to_string(&allow_path).unwrap_or_default();
     let budgets = lint::parse_allowlist(&allow_text);
     let verdict = lint::check(&findings, &budgets);
     println!(

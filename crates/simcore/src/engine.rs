@@ -1,99 +1,151 @@
 //! The discrete-event simulation engine.
 //!
-//! The engine owns a priority queue of scheduled events. Each event is a
-//! boxed `FnOnce` over a user-supplied state type `S`; when an event fires
-//! it receives `&mut S` and `&mut Engine<S>` so it can both mutate the
-//! world and schedule follow-up events. Events at equal timestamps fire in
-//! scheduling order (FIFO), which makes runs fully deterministic.
+//! The engine owns a priority queue of scheduled events. Event payloads
+//! are any type implementing [`Event`] — typically a small enum, so
+//! dispatch is a jump table over values held in a slab arena rather than
+//! a virtual call through a per-event heap allocation. Freed slots are
+//! recycled through a free list, so steady-state scheduling allocates
+//! nothing. When an event fires it receives `&mut S` and `&mut Engine` so
+//! it can both mutate the world and schedule follow-up events. Events at
+//! equal timestamps fire in scheduling order (FIFO), which makes runs
+//! fully deterministic.
+//!
+//! Closures still work: [`BoxedEvent`] wraps a `FnOnce` and is the
+//! default payload type, so `Engine<S>` reads as "engine over boxed
+//! callbacks" exactly as before the arena rework.
 
-use std::cmp::Ordering;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 use crate::time::{SimDuration, SimTime};
 
-/// A callback fired when a scheduled event comes due.
-pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Engine<S>)>;
+/// A scheduled event payload: fired at its due time with the world state
+/// and the engine (to schedule follow-ups).
+pub trait Event<S>: Sized {
+    /// Consumes the event at its due time.
+    fn fire(self, state: &mut S, engine: &mut Engine<S, Self>);
+}
+
+/// The closure type a [`BoxedEvent`] wraps.
+type BoxedFire<S> = Box<dyn FnOnce(&mut S, &mut Engine<S, BoxedEvent<S>>)>;
+
+/// A boxed-closure event — the pre-arena API, kept for tests and ad-hoc
+/// scripting. Hot paths should define an enum implementing [`Event`]
+/// instead and avoid the per-event allocation.
+pub struct BoxedEvent<S>(BoxedFire<S>);
+
+impl<S> BoxedEvent<S> {
+    /// Wraps a closure as an event.
+    pub fn new(f: impl FnOnce(&mut S, &mut Engine<S, BoxedEvent<S>>) + 'static) -> BoxedEvent<S> {
+        BoxedEvent(Box::new(f))
+    }
+}
+
+impl<S> Event<S> for BoxedEvent<S> {
+    fn fire(self, state: &mut S, engine: &mut Engine<S, Self>) {
+        (self.0)(state, engine)
+    }
+}
+
+/// Alias for the closure payload type (source compatibility with the
+/// pre-arena engine).
+pub type EventFn<S> = BoxedEvent<S>;
 
 /// Identifies a scheduled event so it can be cancelled.
 ///
-/// Ids are unique across the lifetime of an [`Engine`]; they are never
-/// reused, so a stale id held after the event fired is harmless (cancelling
-/// it is a no-op).
+/// An id is a slot index plus a generation stamp. Slots are recycled
+/// after an event fires or is cancelled, but each recycle bumps the
+/// generation, so a stale id held after the event fired is harmless
+/// (cancelling it is a no-op) — the same contract the never-reused u64
+/// ids provided, without growing a live-id set per event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(u64);
-
-struct Scheduled<S> {
-    at: SimTime,
-    id: EventId,
-    f: EventFn<S>,
+pub struct EventId {
+    slot: u32,
+    gen: u32,
 }
 
-impl<S> PartialEq for Scheduled<S> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.id == other.id
-    }
+enum SlotBody<E> {
+    /// Next free slot index ([`FREE_END`] terminates the list).
+    Free(u32),
+    Full(E),
 }
 
-impl<S> Eq for Scheduled<S> {}
-
-impl<S> PartialOrd for Scheduled<S> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+struct Slot<E> {
+    gen: u32,
+    body: SlotBody<E>,
 }
 
-impl<S> Ord for Scheduled<S> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Ties on `at` break by id, i.e. FIFO in scheduling order.
-        (self.at, self.id).cmp(&(other.at, other.id))
-    }
-}
+const FREE_END: u32 = u32::MAX;
 
 /// A deterministic discrete-event simulator over a state type `S`.
 ///
 /// # Examples
 ///
 /// ```
-/// use simcore::engine::Engine;
+/// use simcore::engine::{BoxedEvent, Engine};
 /// use simcore::time::{SimDuration, SimTime};
 ///
 /// let mut engine: Engine<Vec<u32>> = Engine::new();
 /// let mut state = Vec::new();
-/// engine.schedule_in(SimDuration::from_micros(3), Box::new(|s: &mut Vec<u32>, _e| s.push(3)));
-/// engine.schedule_in(SimDuration::from_micros(1), Box::new(|s: &mut Vec<u32>, _e| s.push(1)));
+/// engine.schedule_in(SimDuration::from_micros(3), BoxedEvent::new(|s: &mut Vec<u32>, _e| s.push(3)));
+/// engine.schedule_in(SimDuration::from_micros(1), BoxedEvent::new(|s: &mut Vec<u32>, _e| s.push(1)));
 /// engine.run(&mut state);
 /// assert_eq!(state, vec![1, 3]);
 /// assert_eq!(engine.now(), SimTime::from_micros(3));
 /// ```
-pub struct Engine<S> {
+///
+/// Typed payloads dispatch without any per-event allocation:
+///
+/// ```
+/// use simcore::engine::{Engine, Event};
+/// use simcore::time::SimTime;
+///
+/// enum Tick { Add(u32) }
+/// impl Event<u32> for Tick {
+///     fn fire(self, state: &mut u32, _engine: &mut Engine<u32, Self>) {
+///         match self { Tick::Add(n) => *state += n }
+///     }
+/// }
+///
+/// let mut engine: Engine<u32, Tick> = Engine::new();
+/// let mut total = 0;
+/// engine.schedule_at(SimTime::from_nanos(1), Tick::Add(2));
+/// engine.schedule_at(SimTime::from_nanos(2), Tick::Add(3));
+/// engine.run(&mut total);
+/// assert_eq!(total, 5);
+/// ```
+pub struct Engine<S, E: Event<S> = BoxedEvent<S>> {
     now: SimTime,
-    queue: BinaryHeap<Reverse<Scheduled<S>>>,
-    /// Ids scheduled but neither fired nor cancelled yet.
-    live: HashSet<EventId>,
-    /// Ids cancelled but not yet reaped from the queue.
-    cancelled: HashSet<EventId>,
-    next_id: u64,
+    /// `(at, seq, slot, gen)`: `seq` is the monotonic scheduling order, so
+    /// ties on `at` fire FIFO; `gen` detects entries whose slot was
+    /// cancelled (and possibly recycled) after this entry was pushed.
+    queue: BinaryHeap<Reverse<(SimTime, u64, u32, u32)>>,
+    slots: Vec<Slot<E>>,
+    free_head: u32,
+    live: usize,
+    next_seq: u64,
     fired: u64,
+    _state: std::marker::PhantomData<fn(&mut S)>,
 }
 
-impl<S> Default for Engine<S> {
+impl<S, E: Event<S>> Default for Engine<S, E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<S> Engine<S> {
+impl<S, E: Event<S>> Engine<S, E> {
     /// Creates an engine with the clock at [`SimTime::ZERO`].
-    pub fn new() -> Engine<S> {
+    pub fn new() -> Engine<S, E> {
         Engine {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
-            live: HashSet::new(),
-            cancelled: HashSet::new(),
-            next_id: 0,
+            slots: Vec::new(),
+            free_head: FREE_END,
+            live: 0,
+            next_seq: 0,
             fired: 0,
+            _state: std::marker::PhantomData,
         }
     }
 
@@ -107,59 +159,101 @@ impl<S> Engine<S> {
         self.fired
     }
 
-    /// Returns the number of events still pending (including any that were
-    /// cancelled but not yet reaped from the queue).
+    /// Returns the number of events still pending.
     pub fn pending(&self) -> usize {
-        self.queue.len() - self.cancelled.len()
+        self.live
     }
 
-    /// Schedules `f` to fire at absolute time `at`.
+    /// Number of arena slots allocated (capacity diagnostic: the
+    /// high-water mark of simultaneously pending events).
+    pub fn arena_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
     ///
     /// Scheduling in the past is a logic error; the event is clamped to
     /// fire at the current time (i.e. "immediately") rather than rewinding
     /// the clock, and this is considered well-defined behaviour so that
     /// zero-cost actions can be scheduled at `now`.
-    pub fn schedule_at(&mut self, at: SimTime, f: EventFn<S>) -> EventId {
+    // #[hot_path] — simcheck bans per-call allocation in this function
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
         let at = at.max(self.now);
-        let id = EventId(self.next_id);
-        self.next_id += 1;
-        self.live.insert(id);
-        self.queue.push(Reverse(Scheduled { at, id, f }));
-        id
+        let slot = if self.free_head != FREE_END {
+            let slot = self.free_head;
+            let s = &mut self.slots[slot as usize];
+            match s.body {
+                SlotBody::Free(next) => self.free_head = next,
+                SlotBody::Full(_) => unreachable!("free list points at a full slot"),
+            }
+            s.body = SlotBody::Full(event);
+            slot
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Slot {
+                gen: 0,
+                body: SlotBody::Full(event),
+            });
+            slot
+        };
+        let gen = self.slots[slot as usize].gen;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live += 1;
+        self.queue.push(Reverse((at, seq, slot, gen)));
+        EventId { slot, gen }
     }
 
-    /// Schedules `f` to fire `after` from now.
-    pub fn schedule_in(&mut self, after: SimDuration, f: EventFn<S>) -> EventId {
+    /// Schedules `event` to fire `after` from now.
+    pub fn schedule_in(&mut self, after: SimDuration, event: E) -> EventId {
         let at = self.now.saturating_add(after);
-        self.schedule_at(at, f)
+        self.schedule_at(at, event)
     }
 
-    /// Cancels a pending event.
+    /// Cancels a pending event by key in O(1); the queue entry is reaped
+    /// lazily when it surfaces.
     ///
     /// Returns `true` if the event was still pending. Cancelling an event
     /// that already fired (or was already cancelled) returns `false`.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.live.remove(&id) {
-            self.cancelled.insert(id);
-            true
-        } else {
-            false
+        match self.slots.get_mut(id.slot as usize) {
+            Some(s) if s.gen == id.gen && matches!(s.body, SlotBody::Full(_)) => {
+                self.release(id.slot);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Frees `slot` onto the free list and bumps its generation so stale
+    /// ids and queue entries no longer match.
+    // #[hot_path] — simcheck bans per-call allocation in this function
+    fn release(&mut self, slot: u32) -> E {
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        let body = std::mem::replace(&mut s.body, SlotBody::Free(self.free_head));
+        self.free_head = slot;
+        self.live -= 1;
+        match body {
+            SlotBody::Full(e) => e,
+            SlotBody::Free(_) => unreachable!("released slot was already free"),
         }
     }
 
     /// Fires the next pending event, if any.
     ///
     /// Returns `false` when the queue is empty.
+    // #[hot_path] — simcheck bans per-call allocation in this function
     pub fn step(&mut self, state: &mut S) -> bool {
-        while let Some(Reverse(ev)) = self.queue.pop() {
-            if self.cancelled.remove(&ev.id) {
-                continue;
+        while let Some(Reverse((at, _, slot, gen))) = self.queue.pop() {
+            if self.slots[slot as usize].gen != gen {
+                continue; // Cancelled (and possibly recycled): stale entry.
             }
-            self.live.remove(&ev.id);
-            debug_assert!(ev.at >= self.now, "event queue went backwards");
-            self.now = ev.at;
+            debug_assert!(at >= self.now, "event queue went backwards");
+            self.now = at;
+            let event = self.release(slot);
             self.fired += 1;
-            (ev.f)(state, self);
+            event.fire(state, self);
             return true;
         }
         false
@@ -182,11 +276,10 @@ impl<S> Engine<S> {
     pub fn run_until(&mut self, state: &mut S, deadline: SimTime) -> u64 {
         let start = self.fired;
         loop {
-            let due = match self.next_due() {
-                Some(t) if t <= deadline => t,
+            match self.next_due() {
+                Some(t) if t <= deadline => {}
                 _ => break,
-            };
-            let _ = due;
+            }
             if !self.step(state) {
                 break;
             }
@@ -207,16 +300,12 @@ impl<S> Engine<S> {
     /// Returns the timestamp of the next pending event, skipping cancelled
     /// entries.
     pub fn next_due(&mut self) -> Option<SimTime> {
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if self.cancelled.contains(&ev.id) {
-                let Reverse(ev) = self
-                    .queue
-                    .pop()
-                    .expect("invariant: peeked entry still queued");
-                self.cancelled.remove(&ev.id);
+        while let Some(&Reverse((at, _, slot, gen))) = self.queue.peek() {
+            if self.slots[slot as usize].gen != gen {
+                self.queue.pop();
                 continue;
             }
-            return Some(ev.at);
+            return Some(at);
         }
         None
     }
@@ -228,8 +317,8 @@ mod tests {
 
     type E = Engine<Vec<u64>>;
 
-    fn push(v: u64) -> EventFn<Vec<u64>> {
-        Box::new(move |s: &mut Vec<u64>, _e: &mut E| s.push(v))
+    fn push(v: u64) -> BoxedEvent<Vec<u64>> {
+        BoxedEvent::new(move |s: &mut Vec<u64>, _e: &mut E| s.push(v))
     }
 
     #[test]
@@ -260,7 +349,7 @@ mod tests {
         let mut s = Vec::new();
         e.schedule_at(
             SimTime::from_nanos(1),
-            Box::new(|st: &mut Vec<u64>, en: &mut E| {
+            BoxedEvent::new(|st: &mut Vec<u64>, en: &mut E| {
                 st.push(1);
                 en.schedule_in(SimDuration::from_nanos(1), push(2));
             }),
@@ -314,7 +403,7 @@ mod tests {
         let mut s = Vec::new();
         e.schedule_at(
             SimTime::from_nanos(10),
-            Box::new(|st: &mut Vec<u64>, en: &mut E| {
+            BoxedEvent::new(|st: &mut Vec<u64>, en: &mut E| {
                 st.push(1);
                 // Try to schedule "yesterday"; must fire at now instead.
                 en.schedule_at(SimTime::ZERO, push(2));
@@ -353,5 +442,86 @@ mod tests {
         }
         e.run_while(&mut s, |st| st.len() < 4);
         assert_eq!(s.len(), 4);
+    }
+
+    /// Typed (non-boxed) payload used by the arena tests below.
+    enum Tick {
+        Add(u64),
+        Fork,
+    }
+
+    impl Event<Vec<u64>> for Tick {
+        fn fire(self, state: &mut Vec<u64>, engine: &mut Engine<Vec<u64>, Self>) {
+            match self {
+                Tick::Add(v) => state.push(v),
+                Tick::Fork => {
+                    state.push(0);
+                    engine.schedule_in(SimDuration::from_nanos(1), Tick::Add(99));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn typed_events_dispatch_in_order() {
+        let mut e: Engine<Vec<u64>, Tick> = Engine::new();
+        let mut s = Vec::new();
+        e.schedule_at(SimTime::from_nanos(2), Tick::Fork);
+        e.schedule_at(SimTime::from_nanos(1), Tick::Add(1));
+        e.run(&mut s);
+        assert_eq!(s, vec![1, 0, 99]);
+        assert_eq!(e.events_fired(), 3);
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots() {
+        let mut e: Engine<Vec<u64>, Tick> = Engine::new();
+        let mut s = Vec::new();
+        // Fill three slots, drain them, then schedule again: the arena
+        // must not grow past its high-water mark.
+        for v in 0..3 {
+            e.schedule_at(SimTime::from_nanos(v), Tick::Add(v));
+        }
+        assert_eq!(e.arena_slots(), 3);
+        e.run(&mut s);
+        for v in 10..13 {
+            e.schedule_at(SimTime::from_nanos(v), Tick::Add(v));
+        }
+        assert_eq!(e.arena_slots(), 3, "freed slots are recycled");
+        e.run(&mut s);
+        assert_eq!(s, vec![0, 1, 2, 10, 11, 12]);
+    }
+
+    #[test]
+    fn stale_id_does_not_cancel_recycled_slot() {
+        let mut e: Engine<Vec<u64>, Tick> = Engine::new();
+        let mut s = Vec::new();
+        let old = e.schedule_at(SimTime::from_nanos(1), Tick::Add(1));
+        e.run(&mut s);
+        // The slot is recycled for a new event; the stale id must not
+        // cancel it (generation mismatch).
+        let fresh = e.schedule_at(SimTime::from_nanos(2), Tick::Add(2));
+        assert_eq!(old.slot, fresh.slot, "slot recycled");
+        assert_ne!(old.gen, fresh.gen, "generation bumped");
+        assert!(!e.cancel(old));
+        assert_eq!(e.pending(), 1);
+        e.run(&mut s);
+        assert_eq!(s, vec![1, 2]);
+    }
+
+    #[test]
+    fn cancelled_slot_recycles_before_queue_reap() {
+        let mut e: Engine<Vec<u64>, Tick> = Engine::new();
+        let mut s = Vec::new();
+        // Cancel leaves a stale heap entry; recycling the slot for a new
+        // event must not let the stale entry fire or reap the new one.
+        let a = e.schedule_at(SimTime::from_nanos(5), Tick::Add(5));
+        assert!(e.cancel(a));
+        let b = e.schedule_at(SimTime::from_nanos(7), Tick::Add(7));
+        assert_eq!(a.slot, b.slot);
+        assert_eq!(e.pending(), 1);
+        assert_eq!(e.next_due(), Some(SimTime::from_nanos(7)));
+        e.run(&mut s);
+        assert_eq!(s, vec![7]);
     }
 }

@@ -27,7 +27,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Engine, EventFn, EventId};
+pub use engine::{BoxedEvent, Engine, Event, EventFn, EventId};
 pub use probe::{Gauge, Histogram, MetricRegistry, Snapshot};
 pub use rng::SimRng;
 pub use stats::{OnlineStats, Quantiles, RateSampler, RateSummary};

@@ -2,7 +2,7 @@
 //! cancellation invariants under arbitrary schedules.
 
 use proptest::prelude::*;
-use simcore::engine::Engine;
+use simcore::engine::{BoxedEvent, Engine};
 use simcore::time::SimTime;
 
 #[derive(Debug, Clone)]
@@ -29,7 +29,7 @@ proptest! {
             let _ = tag;
             e.schedule_at(
                 SimTime::from_nanos(at),
-                Box::new(move |s: &mut Vec<(u64, u64)>, _e| s.push((at, seq))),
+                BoxedEvent::new(move |s: &mut Vec<(u64, u64)>, _e| s.push((at, seq))),
             );
         }
         e.run(&mut fired);
@@ -49,7 +49,7 @@ proptest! {
         for (i, op) in ops.iter().enumerate() {
             let id = e.schedule_at(
                 SimTime::from_nanos(op.at),
-                Box::new(move |s: &mut Vec<usize>, _e| s.push(i)),
+                BoxedEvent::new(move |s: &mut Vec<usize>, _e| s.push(i)),
             );
             ids.push(id);
         }
@@ -77,7 +77,7 @@ proptest! {
                 let tag = op.tag;
                 e.schedule_at(
                     SimTime::from_nanos(at),
-                    Box::new(move |s: &mut Vec<(u64, u64)>, _e| s.push((at, tag))),
+                    BoxedEvent::new(move |s: &mut Vec<(u64, u64)>, _e| s.push((at, tag))),
                 );
             }
             e.run(&mut fired);

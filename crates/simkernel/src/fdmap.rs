@@ -1,0 +1,146 @@
+//! A dense, fd-indexed map.
+//!
+//! Descriptors are small sequential integers (the fd table always hands
+//! out the lowest free slot), so a `Vec<Option<T>>` beats a hash map for
+//! every per-connection table keyed by fd: O(1) access with no hashing,
+//! and iteration in ascending fd order — which also makes walks
+//! deterministic, where a `HashMap` would visit entries in seed-dependent
+//! order.
+
+use crate::fd::Fd;
+
+/// A map from file descriptor to `T`, stored densely.
+#[derive(Debug, Clone)]
+pub struct FdMap<T> {
+    slots: Vec<Option<T>>,
+    len: usize,
+}
+
+impl<T> Default for FdMap<T> {
+    fn default() -> Self {
+        FdMap {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> FdMap<T> {
+    /// Creates an empty map.
+    pub fn new() -> FdMap<T> {
+        FdMap::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn index(fd: Fd) -> Option<usize> {
+        usize::try_from(fd).ok()
+    }
+
+    /// Inserts (or replaces) the entry for `fd`, returning the previous
+    /// value if any.
+    pub fn insert(&mut self, fd: Fd, value: T) -> Option<T> {
+        let ix = Self::index(fd).expect("invariant: FdMap::insert takes a non-negative fd");
+        if ix >= self.slots.len() {
+            self.slots.resize_with(ix + 1, || None);
+        }
+        let prev = self.slots[ix].replace(value);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Removes and returns the entry for `fd`.
+    pub fn remove(&mut self, fd: Fd) -> Option<T> {
+        let slot = Self::index(fd).and_then(|ix| self.slots.get_mut(ix))?;
+        let prev = slot.take();
+        if prev.is_some() {
+            self.len -= 1;
+        }
+        prev
+    }
+
+    /// Looks up `fd`.
+    pub fn get(&self, fd: Fd) -> Option<&T> {
+        Self::index(fd)
+            .and_then(|ix| self.slots.get(ix))
+            .and_then(Option::as_ref)
+    }
+
+    /// Looks up `fd` mutably.
+    pub fn get_mut(&mut self, fd: Fd) -> Option<&mut T> {
+        Self::index(fd)
+            .and_then(|ix| self.slots.get_mut(ix))
+            .and_then(Option::as_mut)
+    }
+
+    /// Whether `fd` has an entry.
+    pub fn contains(&self, fd: Fd) -> bool {
+        self.get(fd).is_some()
+    }
+
+    /// Iterates `(fd, &T)` in ascending fd order.
+    pub fn iter(&self) -> impl Iterator<Item = (Fd, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(ix, s)| s.as_ref().map(|v| (ix as Fd, v)))
+    }
+
+    /// Iterates `(fd, &mut T)` in ascending fd order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Fd, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(ix, s)| s.as_mut().map(|v| (ix as Fd, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m: FdMap<&str> = FdMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(4, "a"), None);
+        assert_eq!(m.insert(4, "b"), Some("a"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(4), Some(&"b"));
+        assert!(m.contains(4));
+        assert_eq!(m.remove(4), Some("b"));
+        assert_eq!(m.remove(4), None);
+        assert!(m.is_empty());
+        assert_eq!(m.get(-1), None);
+        assert_eq!(m.remove(-1), None);
+    }
+
+    #[test]
+    fn iteration_is_fd_ordered() {
+        let mut m: FdMap<u32> = FdMap::new();
+        for fd in [7, 0, 3, 12] {
+            m.insert(fd, fd as u32 * 10);
+        }
+        let seen: Vec<(Fd, u32)> = m.iter().map(|(fd, &v)| (fd, v)).collect();
+        assert_eq!(seen, vec![(0, 0), (3, 30), (7, 70), (12, 120)]);
+    }
+
+    #[test]
+    fn slot_reuse_after_remove() {
+        let mut m: FdMap<u8> = FdMap::new();
+        m.insert(2, 1);
+        m.remove(2);
+        assert_eq!(m.insert(2, 9), None);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -22,10 +22,6 @@
 //! written after a cheap scan — the causal chain behind every saturation
 //! curve in the paper.
 
-use std::collections::BTreeMap;
-use std::collections::HashMap;
-use std::collections::HashSet;
-
 use simcore::probe::MetricRegistry;
 use simcore::time::{SimDuration, SimTime};
 use simcore::trace::Trace;
@@ -102,6 +98,88 @@ impl SockMirror {
     }
 }
 
+/// Kernel-side state of one accepted stream descriptor: its owner and
+/// the readiness mirror, in one dense slot indexed by endpoint.
+#[derive(Debug, Clone, Copy)]
+struct EpSlot {
+    pid: Pid,
+    fd: Fd,
+    mirror: SockMirror,
+}
+
+/// Kernel-side state of one listener: the sharing processes and the
+/// accept-queue readiness level.
+#[derive(Debug, Clone, Default)]
+struct ListenerSlot {
+    owners: Vec<(Pid, Fd)>,
+    ready: bool,
+}
+
+/// A dense per-process watcher set: one bit per descriptor. Membership
+/// tests on the readiness fast path are O(1) word probes instead of
+/// hash lookups.
+#[derive(Debug, Clone, Default)]
+struct FdSet {
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl FdSet {
+    fn slot(fd: Fd) -> Option<(usize, u64)> {
+        if fd < 0 {
+            return None;
+        }
+        Some(((fd as usize) >> 6, 1u64 << (fd as usize & 63)))
+    }
+
+    fn insert(&mut self, fd: Fd) {
+        let Some((word, bit)) = Self::slot(fd) else {
+            return;
+        };
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        if self.words[word] & bit == 0 {
+            self.words[word] |= bit;
+            self.count += 1;
+        }
+    }
+
+    fn remove(&mut self, fd: Fd) {
+        let Some((word, bit)) = Self::slot(fd) else {
+            return;
+        };
+        if let Some(w) = self.words.get_mut(word) {
+            if *w & bit != 0 {
+                *w &= !bit;
+                self.count -= 1;
+            }
+        }
+    }
+
+    fn contains(&self, fd: Fd) -> bool {
+        match Self::slot(fd) {
+            Some((word, bit)) => self.words.get(word).is_some_and(|w| w & bit != 0),
+            None => false,
+        }
+    }
+
+    /// Clears the set in place (capacity retained); returns how many
+    /// members it had.
+    fn clear(&mut self) -> usize {
+        let n = self.count;
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.count = 0;
+        n
+    }
+}
+
+/// Index of `ep` in the dense endpoint-slot table: connection ids are
+/// allocated sequentially from zero, so `conn * 2 + side` is dense.
+fn ep_index(ep: EndpointId) -> usize {
+    (ep.conn.0 as usize) * 2 + ep.side.index()
+}
+
 /// Aggregate kernel statistics (diagnostics for tests and benches).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct KernelStats {
@@ -120,20 +198,25 @@ pub struct Kernel {
     host: simnet::HostId,
     cost: CostModel,
     cpu: Cpu,
-    /// Ordered by pid so [`Kernel::advance`] surfaces `ProcRunnable`
-    /// events in a deterministic order.
-    procs: BTreeMap<Pid, Process>,
-    next_pid: Pid,
-    ep_owner: HashMap<EndpointId, (Pid, Fd)>,
-    listener_owner: HashMap<ListenerId, Vec<(Pid, Fd)>>,
+    /// Dense, pid-indexed (pid 1 lives at index 0; processes are never
+    /// reaped), so [`Kernel::advance`] surfaces `ProcRunnable` events in
+    /// deterministic pid order by construction.
+    procs: Vec<Process>,
+    /// Endpoint-indexed owner + readiness mirror slots (see [`ep_index`]).
+    eps: Vec<Option<EpSlot>>,
+    /// Listener-indexed owner/readiness slots (`ListenerId` is a dense
+    /// sequential id).
+    listeners: Vec<Option<ListenerSlot>>,
     accept_wake: AcceptWake,
     /// Rotates exclusive accept wakeups across sharers.
     accept_rr: usize,
-    mirrors: HashMap<EndpointId, SockMirror>,
-    listen_ready: HashMap<ListenerId, bool>,
+    /// Scratch for herd/exclusive accept wakeups (reused, no per-event
+    /// allocation).
+    accept_scratch: Vec<(Pid, Fd)>,
     /// Descriptors whose readiness events should wake the owning process
-    /// when it sleeps (the wait-queue watcher registry).
-    watchers: HashMap<Pid, HashSet<Fd>>,
+    /// when it sleeps (the wait-queue watcher registry); parallel to
+    /// `procs`, one bitset per process.
+    watchers: Vec<FdSet>,
     events_out: Vec<KernelEvent>,
     stats: KernelStats,
     /// Central metric registry every subsystem records into (syscalls
@@ -152,15 +235,13 @@ impl Kernel {
             host,
             cost,
             cpu: Cpu::new(),
-            procs: BTreeMap::new(),
-            next_pid: 1,
-            ep_owner: HashMap::new(),
-            listener_owner: HashMap::new(),
+            procs: Vec::new(),
+            eps: Vec::new(),
+            listeners: Vec::new(),
             accept_wake: AcceptWake::Herd,
             accept_rr: 0,
-            mirrors: HashMap::new(),
-            listen_ready: HashMap::new(),
-            watchers: HashMap::new(),
+            accept_scratch: Vec::new(),
+            watchers: Vec::new(),
             events_out: Vec::new(),
             stats: KernelStats::default(),
             probe: MetricRegistry::new(),
@@ -222,10 +303,9 @@ impl Kernel {
     /// Creates a process with the given descriptor limit and RT queue
     /// bound.
     pub fn spawn(&mut self, fd_limit: usize, rt_queue_max: usize) -> Pid {
-        let pid = self.next_pid;
-        self.next_pid += 1;
-        self.procs.insert(pid, Process::new(fd_limit, rt_queue_max));
-        pid
+        self.procs.push(Process::new(fd_limit, rt_queue_max));
+        self.watchers.push(FdSet::default());
+        self.procs.len() as Pid
     }
 
     /// Creates a process with default limits (1024 descriptors, 1024 RT
@@ -234,16 +314,28 @@ impl Kernel {
         self.spawn(1024, DEFAULT_RT_QUEUE_MAX)
     }
 
+    /// Index of `pid` in the dense process table (pids start at 1).
+    fn proc_ix(pid: Pid) -> usize {
+        (pid as usize).wrapping_sub(1)
+    }
+
     fn proc_mut(&mut self, pid: Pid) -> &mut Process {
         self.procs
-            .get_mut(&pid)
+            .get_mut(Self::proc_ix(pid))
             .expect("invariant: pid was returned by spawn and never reaped")
+    }
+
+    fn proc_get(&self, pid: Pid) -> Option<&Process> {
+        self.procs.get(Self::proc_ix(pid))
+    }
+
+    fn proc_get_mut(&mut self, pid: Pid) -> Option<&mut Process> {
+        self.procs.get_mut(Self::proc_ix(pid))
     }
 
     /// Read-only access to a process (tests and diagnostics).
     pub fn process(&self, pid: Pid) -> &Process {
-        self.procs
-            .get(&pid)
+        self.proc_get(pid)
             .expect("invariant: pid was returned by spawn and never reaped")
     }
 
@@ -273,8 +365,7 @@ impl Kernel {
     /// The batch's virtual now: start time plus cost accumulated so far.
     pub fn vnow(&self, now: SimTime, pid: Pid) -> SimTime {
         let p = self
-            .procs
-            .get(&pid)
+            .proc_get(pid)
             .expect("invariant: pid was returned by spawn and never reaped");
         now + p.batch_acc.unwrap_or(SimDuration::ZERO)
     }
@@ -326,7 +417,7 @@ impl Kernel {
 
     /// Wakes a sleeping process (readiness event, signal arrival).
     pub fn wake(&mut self, now: SimTime, pid: Pid) {
-        let Some(p) = self.procs.get_mut(&pid) else {
+        let Some(p) = self.proc_get_mut(pid) else {
             return;
         };
         match p.state {
@@ -361,17 +452,27 @@ impl Kernel {
 
     /// Earliest time the kernel needs attention.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        self.procs.values().filter_map(|p| p.next_deadline()).min()
+        self.procs.iter().filter_map(|p| p.next_deadline()).min()
     }
 
     /// Fires due process transitions and drains pending events.
+    ///
+    /// Convenience wrapper over [`Kernel::advance_into`] that allocates a
+    /// fresh vector per call; hot callers should hold a scratch buffer
+    /// and use `advance_into` directly.
     pub fn advance(&mut self, now: SimTime) -> Vec<KernelEvent> {
-        let pids: Vec<Pid> = self.procs.keys().copied().collect();
-        for pid in pids {
-            let p = self
-                .procs
-                .get_mut(&pid)
-                .expect("invariant: pid collected from the map one line up");
+        let mut out = Vec::new();
+        self.advance_into(now, &mut out);
+        out
+    }
+
+    /// Fires due process transitions and appends pending events to `out`
+    /// (which is *not* cleared — the caller owns the buffer).
+    // #[hot_path] — simcheck bans per-call allocation in this function
+    pub fn advance_into(&mut self, now: SimTime, out: &mut Vec<KernelEvent>) {
+        for ix in 0..self.procs.len() {
+            let pid = (ix + 1) as Pid;
+            let p = &mut self.procs[ix];
             match p.state {
                 ProcState::Running { until, then } if until <= now => match then {
                     AfterBatch::Yield => {
@@ -402,7 +503,7 @@ impl Kernel {
                 _ => {}
             }
         }
-        std::mem::take(&mut self.events_out)
+        out.append(&mut self.events_out);
     }
 
     /// Charges softirq-context CPU work (used by `/dev/poll` backmap
@@ -420,32 +521,38 @@ impl Kernel {
     /// Cost is *not* charged here; the caller (stock `poll()` or the
     /// `/dev/poll` device) charges per its own cost structure.
     pub fn watch(&mut self, pid: Pid, fd: Fd) {
-        self.watchers.entry(pid).or_default().insert(fd);
+        if let Some(set) = self.watchers.get_mut(Self::proc_ix(pid)) {
+            set.insert(fd);
+        }
     }
 
     /// Removes one watcher registration.
     pub fn unwatch(&mut self, pid: Pid, fd: Fd) {
-        if let Some(set) = self.watchers.get_mut(&pid) {
-            set.remove(&fd);
+        if let Some(set) = self.watchers.get_mut(Self::proc_ix(pid)) {
+            set.remove(fd);
         }
     }
 
     /// Removes every watcher registration of `pid`. Returns how many
     /// were removed (so the caller can charge per-fd costs).
     pub fn unwatch_all(&mut self, pid: Pid) -> usize {
-        self.watchers.remove(&pid).map_or(0, |s| s.len())
+        self.watchers
+            .get_mut(Self::proc_ix(pid))
+            .map_or(0, FdSet::clear)
     }
 
     /// Number of active watcher registrations for `pid`.
     pub fn watch_count(&self, pid: Pid) -> usize {
-        self.watchers.get(&pid).map_or(0, |s| s.len())
+        self.watchers.get(Self::proc_ix(pid)).map_or(0, |s| s.count)
     }
 
     /// Whether `fd` is registered to wake `pid` (the backmapping-list
     /// membership question the `/dev/poll` invariant auditor asks after
     /// every `POLLREMOVE`).
     pub fn is_watched(&self, pid: Pid, fd: Fd) -> bool {
-        self.watchers.get(&pid).is_some_and(|s| s.contains(&fd))
+        self.watchers
+            .get(Self::proc_ix(pid))
+            .is_some_and(|s| s.contains(fd))
     }
 
     // ------------------------------------------------------------------
@@ -458,7 +565,7 @@ impl Kernel {
     /// return; querying it is free — *charging* for the query is the
     /// poll implementation's job.
     pub fn readiness(&self, pid: Pid, fd: Fd) -> PollBits {
-        let Some(p) = self.procs.get(&pid) else {
+        let Some(p) = self.proc_get(pid) else {
             return PollBits::POLLNVAL;
         };
         let Ok(file) = p.fds.get(fd) else {
@@ -466,14 +573,12 @@ impl Kernel {
         };
         match file.kind {
             FileKind::Stream(ep) => self
-                .mirrors
-                .get(&ep)
-                .copied()
-                .map(SockMirror::bits)
+                .ep_slot(ep)
+                .map(|s| s.mirror.bits())
                 // A fully closed/vanished connection reads as HUP.
                 .unwrap_or(PollBits::POLLIN | PollBits::POLLHUP),
             FileKind::Listener(l) => {
-                if self.listen_ready.get(&l).copied().unwrap_or(false) {
+                if self.listener_slot(l).is_some_and(|s| s.ready) {
                     PollBits::POLLIN
                 } else {
                     PollBits::EMPTY
@@ -481,6 +586,44 @@ impl Kernel {
             }
             FileKind::DevPoll(_) => PollBits::EMPTY,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Dense slot plumbing.
+    // ------------------------------------------------------------------
+
+    fn ep_slot(&self, ep: EndpointId) -> Option<&EpSlot> {
+        self.eps.get(ep_index(ep)).and_then(|s| s.as_ref())
+    }
+
+    fn ep_slot_mut(&mut self, ep: EndpointId) -> Option<&mut EpSlot> {
+        self.eps.get_mut(ep_index(ep)).and_then(|s| s.as_mut())
+    }
+
+    fn ep_slot_insert(&mut self, ep: EndpointId, slot: EpSlot) {
+        let ix = ep_index(ep);
+        if ix >= self.eps.len() {
+            self.eps.resize(ix + 1, None);
+        }
+        self.eps[ix] = Some(slot);
+    }
+
+    fn ep_slot_remove(&mut self, ep: EndpointId) {
+        if let Some(s) = self.eps.get_mut(ep_index(ep)) {
+            *s = None;
+        }
+    }
+
+    fn listener_slot(&self, l: ListenerId) -> Option<&ListenerSlot> {
+        self.listeners.get(l.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    fn listener_slot_or_default(&mut self, l: ListenerId) -> &mut ListenerSlot {
+        let ix = l.0 as usize;
+        if ix >= self.listeners.len() {
+            self.listeners.resize(ix + 1, None);
+        }
+        self.listeners[ix].get_or_insert_with(ListenerSlot::default)
     }
 
     /// The endpoint behind a stream descriptor.
@@ -496,6 +639,7 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// Routes one network notification into the kernel.
+    // #[hot_path] — simcheck bans per-call allocation in this function
     pub fn on_net(&mut self, now: SimTime, notify: &NetNotify) {
         if self.trace.wants("tcp") {
             match *notify {
@@ -520,60 +664,63 @@ impl Kernel {
                 }
             }
             NetNotify::Readable { ep } => {
-                if let Some(m) = self.mirrors.get_mut(&ep) {
-                    m.readable = true;
+                if let Some(s) = self.ep_slot_mut(ep) {
+                    s.mirror.readable = true;
                 }
                 self.fd_event(now, ep, PollBits::POLLIN);
             }
             NetNotify::Writable { ep } => {
-                if let Some(m) = self.mirrors.get_mut(&ep) {
-                    m.writable = true;
+                if let Some(s) = self.ep_slot_mut(ep) {
+                    s.mirror.writable = true;
                 }
                 self.fd_event(now, ep, PollBits::POLLOUT);
             }
             NetNotify::PeerClosed { ep } => {
-                if let Some(m) = self.mirrors.get_mut(&ep) {
-                    m.hup = true;
-                    m.readable = true;
+                if let Some(s) = self.ep_slot_mut(ep) {
+                    s.mirror.hup = true;
+                    s.mirror.readable = true;
                 }
                 self.fd_event(now, ep, PollBits::POLLHUP | PollBits::POLLIN);
             }
             NetNotify::ConnReset { ep } => {
-                if let Some(m) = self.mirrors.get_mut(&ep) {
-                    m.err = true;
+                if let Some(s) = self.ep_slot_mut(ep) {
+                    s.mirror.err = true;
                 }
                 self.fd_event(now, ep, PollBits::POLLERR);
             }
             NetNotify::AcceptReady { listener } => {
-                self.listen_ready.insert(listener, true);
-                let owners = self
-                    .listener_owner
-                    .get(&listener)
-                    .cloned()
-                    .unwrap_or_default();
+                let mut owners = std::mem::take(&mut self.accept_scratch);
+                owners.clear();
+                {
+                    let slot = self.listener_slot_or_default(listener);
+                    slot.ready = true;
+                    owners.extend_from_slice(&slot.owners);
+                }
                 match self.accept_wake {
                     AcceptWake::Herd => {
                         // Stock 2.2: every sharer is notified and woken.
-                        for (pid, fd) in owners {
+                        for &(pid, fd) in &owners {
                             self.raise_fd_event(now, pid, fd, PollBits::POLLIN);
                         }
                     }
                     AcceptWake::Exclusive => {
-                        if owners.is_empty() {
-                            return;
+                        if !owners.is_empty() {
+                            // Prefer a sleeping sharer (it needs the wake);
+                            // round-robin among them for fairness.
+                            let n = owners.len();
+                            let start = self.accept_rr;
+                            self.accept_rr = (self.accept_rr + 1) % n;
+                            let pick = (0..n)
+                                .map(|i| owners[(start + i) % n])
+                                .find(|&(pid, _)| {
+                                    self.proc_get(pid).is_some_and(|p| p.is_sleeping())
+                                })
+                                .unwrap_or(owners[start % n]);
+                            self.raise_fd_event(now, pick.0, pick.1, PollBits::POLLIN);
                         }
-                        // Prefer a sleeping sharer (it needs the wake);
-                        // round-robin among them for fairness.
-                        let n = owners.len();
-                        let start = self.accept_rr;
-                        self.accept_rr = (self.accept_rr + 1) % n;
-                        let pick = (0..n)
-                            .map(|i| owners[(start + i) % n])
-                            .find(|&(pid, _)| self.procs.get(&pid).is_some_and(|p| p.is_sleeping()))
-                            .unwrap_or(owners[start % n]);
-                        self.raise_fd_event(now, pick.0, pick.1, PollBits::POLLIN);
                     }
                 }
+                self.accept_scratch = owners;
             }
             // Client-side notifications are not the server kernel's
             // business; full closes need no action (the fd, if still
@@ -581,8 +728,8 @@ impl Kernel {
             NetNotify::ConnClosed { ep } => {
                 // Preserve a HUP indication for a still-open fd whose
                 // mirror is about to lose its connection state.
-                if let Some(m) = self.mirrors.get_mut(&ep) {
-                    m.hup = true;
+                if let Some(s) = self.ep_slot_mut(ep) {
+                    s.mirror.hup = true;
                 }
             }
             NetNotify::ConnectDone { .. }
@@ -592,7 +739,7 @@ impl Kernel {
     }
 
     fn fd_event(&mut self, now: SimTime, ep: EndpointId, band: PollBits) {
-        if let Some(&(pid, fd)) = self.ep_owner.get(&ep) {
+        if let Some(&EpSlot { pid, fd, .. }) = self.ep_slot(ep) {
             self.raise_fd_event(now, pid, fd, band);
         }
     }
@@ -605,8 +752,7 @@ impl Kernel {
 
         // F_SETSIG: queue an RT signal (kernel side, softirq context).
         let sig = self
-            .procs
-            .get(&pid)
+            .proc_get(pid)
             .and_then(|p| p.fds.get(fd).ok())
             .and_then(|f| f.sig);
         if let Some(signo) = sig {
@@ -639,7 +785,7 @@ impl Kernel {
         }
 
         // Wait-queue wakeup for poll-style sleepers.
-        if self.watchers.get(&pid).is_some_and(|set| set.contains(&fd)) {
+        if self.is_watched(pid, fd) {
             self.wake(now, pid);
         }
     }
@@ -663,8 +809,7 @@ impl Kernel {
     fn syscall_enter(&mut self, pid: Pid, counter: &'static str, extra: u64) -> SimDuration {
         self.probe.inc(counter);
         let entry = self
-            .procs
-            .get(&pid)
+            .proc_get(pid)
             .and_then(|p| p.batch_acc)
             .unwrap_or(SimDuration::ZERO);
         self.charge_syscall(pid, extra);
@@ -676,8 +821,7 @@ impl Kernel {
     /// the entry).
     fn syscall_exit(&mut self, pid: Pid, entry: SimDuration, hist: &'static str) {
         let acc = self
-            .procs
-            .get(&pid)
+            .proc_get(pid)
             .and_then(|p| p.batch_acc)
             .unwrap_or(entry);
         self.probe.observe(hist, (acc - entry).as_nanos());
@@ -698,11 +842,9 @@ impl Kernel {
             .listen(self.host, port, backlog)
             .map_err(|_| Errno::EADDRINUSE)?;
         let fd = self.proc_mut(pid).fds.alloc(FileKind::Listener(listener))?;
-        self.listener_owner
-            .entry(listener)
-            .or_default()
-            .push((pid, fd));
-        self.listen_ready.insert(listener, false);
+        let slot = self.listener_slot_or_default(listener);
+        slot.owners.push((pid, fd));
+        slot.ready = false;
         self.syscall_exit(pid, t0, "syscall_ns.listen");
         Ok(fd)
     }
@@ -717,13 +859,12 @@ impl Kernel {
         listener: ListenerId,
     ) -> Result<Fd, Errno> {
         let t0 = self.syscall_enter(pid, "syscall.share_listener", self.cost.fcntl);
-        if !self.listener_owner.contains_key(&listener) {
+        if self.listener_slot(listener).is_none() {
             return Err(Errno::EBADF);
         }
         let fd = self.proc_mut(pid).fds.alloc(FileKind::Listener(listener))?;
-        self.listener_owner
-            .entry(listener)
-            .or_default()
+        self.listener_slot_or_default(listener)
+            .owners
             .push((pid, fd));
         self.syscall_exit(pid, t0, "syscall_ns.share_listener");
         Ok(fd)
@@ -752,11 +893,11 @@ impl Kernel {
             _ => return Err(Errno::EINVAL),
         };
         let Some(ep) = net.accept(listener) else {
-            self.listen_ready.insert(listener, false);
+            self.listener_slot_or_default(listener).ready = false;
             return Err(Errno::EAGAIN);
         };
         if net.accept_queue_len(listener) == 0 {
-            self.listen_ready.insert(listener, false);
+            self.listener_slot_or_default(listener).ready = false;
         }
         let fd = match self.proc_mut(pid).fds.alloc(FileKind::Stream(ep)) {
             Ok(fd) => fd,
@@ -768,14 +909,17 @@ impl Kernel {
                 return Err(e);
             }
         };
-        self.ep_owner.insert(ep, (pid, fd));
-        self.mirrors.insert(
+        self.ep_slot_insert(
             ep,
-            SockMirror {
-                readable: net.readable_bytes(ep) > 0 || net.peer_closed(ep),
-                writable: net.send_space(ep) > 0,
-                hup: net.peer_closed(ep),
-                err: false,
+            EpSlot {
+                pid,
+                fd,
+                mirror: SockMirror {
+                    readable: net.readable_bytes(ep) > 0 || net.peer_closed(ep),
+                    writable: net.send_space(ep) > 0,
+                    hup: net.peer_closed(ep),
+                    err: false,
+                },
             },
         );
         self.syscall_exit(pid, t0, "syscall_ns.accept");
@@ -796,7 +940,7 @@ impl Kernel {
     ) -> Result<Vec<u8>, Errno> {
         let t0 = self.syscall_enter(pid, "syscall.read", self.cost.read_base);
         let ep = self.endpoint_of(pid, fd)?;
-        if self.mirrors.get(&ep).is_some_and(|m| m.err) {
+        if self.ep_slot(ep).is_some_and(|s| s.mirror.err) {
             return Err(Errno::ECONNRESET);
         }
         let vnow = self.vnow(now, pid);
@@ -808,10 +952,10 @@ impl Kernel {
         // POLLIN so the application observes it).
         let still = net.readable_bytes(ep) > 0;
         let eof = net.peer_closed(ep) || !net.exists(ep.conn);
-        if let Some(m) = self.mirrors.get_mut(&ep) {
-            m.readable = still || eof;
+        if let Some(s) = self.ep_slot_mut(ep) {
+            s.mirror.readable = still || eof;
             if eof {
-                m.hup = true;
+                s.mirror.hup = true;
             }
         }
         if data.is_empty() {
@@ -838,7 +982,7 @@ impl Kernel {
     ) -> Result<usize, Errno> {
         let t0 = self.syscall_enter(pid, "syscall.write", self.cost.write_base);
         let ep = self.endpoint_of(pid, fd)?;
-        if self.mirrors.get(&ep).is_some_and(|m| m.err) {
+        if self.ep_slot(ep).is_some_and(|s| s.mirror.err) {
             return Err(Errno::ECONNRESET);
         }
         let vnow = self.vnow(now, pid);
@@ -855,8 +999,8 @@ impl Kernel {
                 SimDuration::from_nanos(self.cost.tx_per_segment * segs),
             );
         }
-        if let Some(m) = self.mirrors.get_mut(&ep) {
-            m.writable = net.send_space(ep) > 0;
+        if let Some(s) = self.ep_slot_mut(ep) {
+            s.mirror.writable = net.send_space(ep) > 0;
         }
         if n == 0 {
             return Err(Errno::EAGAIN);
@@ -882,7 +1026,7 @@ impl Kernel {
     ) -> Result<usize, Errno> {
         let t0 = self.syscall_enter(pid, "syscall.sendfile", self.cost.write_base);
         let ep = self.endpoint_of(pid, fd)?;
-        if self.mirrors.get(&ep).is_some_and(|m| m.err) {
+        if self.ep_slot(ep).is_some_and(|s| s.mirror.err) {
             return Err(Errno::ECONNRESET);
         }
         let vnow = self.vnow(now, pid);
@@ -902,8 +1046,8 @@ impl Kernel {
                 SimDuration::from_nanos(self.cost.tx_per_segment * segs),
             );
         }
-        if let Some(m) = self.mirrors.get_mut(&ep) {
-            m.writable = net.send_space(ep) > 0;
+        if let Some(s) = self.ep_slot_mut(ep) {
+            s.mirror.writable = net.send_space(ep) > 0;
         }
         if n == 0 {
             return Err(Errno::EAGAIN);
@@ -928,17 +1072,17 @@ impl Kernel {
         let file = self.proc_mut(pid).fds.close(fd)?;
         match file.kind {
             FileKind::Stream(ep) => {
-                self.ep_owner.remove(&ep);
-                self.mirrors.remove(&ep);
+                self.ep_slot_remove(ep);
                 // Half-close; if the conn is already gone this is a no-op.
                 let _ = net.close(vnow, ep);
             }
             FileKind::Listener(l) => {
-                if let Some(owners) = self.listener_owner.get_mut(&l) {
-                    owners.retain(|&(p, f)| !(p == pid && f == fd));
-                    if owners.is_empty() {
-                        self.listener_owner.remove(&l);
-                        self.listen_ready.remove(&l);
+                if let Some(slot) = self.listeners.get_mut(l.0 as usize) {
+                    if let Some(s) = slot.as_mut() {
+                        s.owners.retain(|&(p, f)| !(p == pid && f == fd));
+                        if s.owners.is_empty() {
+                            *slot = None;
+                        }
                     }
                 }
             }
@@ -961,8 +1105,7 @@ impl Kernel {
         let vnow = self.vnow(now, pid);
         let file = self.proc_mut(pid).fds.close(fd)?;
         if let FileKind::Stream(ep) = file.kind {
-            self.ep_owner.remove(&ep);
-            self.mirrors.remove(&ep);
+            self.ep_slot_remove(ep);
             let _ = net.abort(vnow, ep);
         }
         self.unwatch(pid, fd);
@@ -1163,6 +1306,62 @@ mod tests {
             .unwrap();
         assert_eq!(got.len(), 6144);
         assert!(net.peer_closed(client_ep));
+    }
+
+    #[test]
+    fn closed_fd_slot_is_recycled_without_stale_state() {
+        // The fd table is a dense `Vec<Option<File>>` that always hands
+        // out the lowest free slot, so closing a descriptor and accepting
+        // a fresh connection must yield the *same* fd number — with the
+        // slot fully reinitialized (no readiness or buffered data leaking
+        // from the previous occupant).
+        let (mut net, mut kernel, pid) = setup();
+        kernel.begin_batch(SimTime::ZERO, pid);
+        let lfd = kernel
+            .sys_listen(&mut net, SimTime::ZERO, pid, 80, 128)
+            .unwrap();
+        kernel.end_batch(SimTime::ZERO, pid);
+
+        let (fd, conn) = connect_one(&mut net, &mut kernel, pid, lfd);
+        let client_ep = EndpointId::new(conn, simnet::Side::Client);
+
+        // Make the old occupant readable, then close it with the data
+        // still buffered — the stale POLLIN must not survive the slot.
+        let t = SimTime::from_millis(20);
+        net.send(t, client_ep, b"stale bytes").unwrap();
+        pump(&mut net, &mut kernel, SimTime::from_millis(30));
+        assert!(kernel.readiness(pid, fd).contains(PollBits::POLLIN));
+        let t = SimTime::from_millis(30);
+        kernel.begin_batch(t, pid);
+        kernel.sys_close(&mut net, t, pid, fd).unwrap();
+        kernel.end_batch(t, pid);
+        pump(&mut net, &mut kernel, SimTime::from_millis(40));
+
+        net.connect(
+            SimTime::from_millis(40),
+            CLIENT,
+            SockAddr::new(SERVER, 80),
+            SimDuration::ZERO,
+        )
+        .unwrap();
+        pump(&mut net, &mut kernel, SimTime::from_millis(50));
+        let t = SimTime::from_millis(50);
+        kernel.begin_batch(t, pid);
+        let fd2 = kernel.sys_accept(&mut net, t, pid, lfd).unwrap();
+        kernel.end_batch(t, pid);
+        assert_eq!(fd2, fd, "lowest free slot must be recycled");
+        assert!(
+            !kernel.readiness(pid, fd2).contains(PollBits::POLLIN),
+            "recycled slot leaked the previous connection's readiness"
+        );
+        let t = SimTime::from_millis(50);
+        kernel.begin_batch(t, pid);
+        assert_eq!(
+            kernel.sys_read(&mut net, t, pid, fd2, 4096),
+            Err(Errno::EAGAIN),
+            "recycled slot leaked the previous connection's buffered data"
+        );
+        kernel.end_batch(t, pid);
     }
 
     #[test]

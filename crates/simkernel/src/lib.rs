@@ -16,6 +16,7 @@
 pub mod cost;
 pub mod cpu;
 pub mod fd;
+pub mod fdmap;
 pub mod kernel;
 pub mod poll_bits;
 pub mod process;
@@ -24,6 +25,7 @@ pub mod signal;
 pub use cost::CostModel;
 pub use cpu::Cpu;
 pub use fd::{Errno, Fd, FdTable, File, FileKind};
+pub use fdmap::FdMap;
 pub use kernel::{AcceptWake, Kernel, KernelEvent, KernelStats};
 pub use poll_bits::PollBits;
 pub use process::{AfterBatch, Pid, ProcState, Process};

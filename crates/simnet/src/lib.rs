@@ -22,7 +22,7 @@ pub mod tcp;
 
 pub use addr::{ConnId, EndpointId, HostId, ListenerId, Port, Side, SockAddr};
 pub use link::{LinkConfig, Tx, TxOutcome};
-pub use net::{NetError, NetNotify, NetStats, Network};
+pub use net::{NetError, NetNotify, NetStats, Network, RecvSummary, RECV_PREFIX};
 pub use ports::PortAllocator;
 pub use seg::{SegKind, Segment, DEFAULT_MSS, HEADER_BYTES};
 pub use tcp::{ConnState, ConnectError, TcpConfig};

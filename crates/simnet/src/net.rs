@@ -165,17 +165,32 @@ pub struct Network {
     loss_prob: f64,
     rng: SimRng,
     hosts: Vec<Host>,
-    conns: HashMap<ConnId, Conn>,
+    /// Connection storage: ids stay unique forever (they participate in
+    /// deterministic orderings), but the heavyweight state lives in a
+    /// slab arena whose slots are recycled as connections die.
+    conn_slot: Vec<u32>,
+    conn_arena: Vec<Option<Conn>>,
+    conn_free: Vec<u32>,
     next_conn: u64,
-    listeners: HashMap<ListenerId, Listener>,
+    /// Dense, id-indexed (listeners are never removed).
+    listeners: Vec<Listener>,
     listen_by_addr: HashMap<SockAddr, ListenerId>,
-    next_listener: u64,
-    timers: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
-    timer_bodies: HashMap<u64, Timer>,
+    /// `(at, seq, slot)`: `seq` is the monotonic arming order (FIFO tie
+    /// break at equal times), `slot` indexes the timer arena.
+    timers: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    /// Timer payload arena with free-list reuse: segments in flight are
+    /// pooled here instead of being allocated per packet.
+    timer_arena: Vec<Option<Timer>>,
+    timer_free: Vec<u32>,
     timer_seq: u64,
     out: Vec<NetNotify>,
+    /// Scratch for `pump` (reused, no per-call allocation).
+    pump_scratch: Vec<Segment>,
     stats: NetStats,
 }
+
+/// "No slot" sentinel in [`Network::conn_slot`].
+const NO_SLOT: u32 = u32::MAX;
 
 impl Network {
     /// Creates a network of `n_hosts` hosts, all sharing the same link
@@ -194,15 +209,18 @@ impl Network {
                     bytes_in: 0,
                 })
                 .collect(),
-            conns: HashMap::new(),
+            conn_slot: Vec::new(),
+            conn_arena: Vec::new(),
+            conn_free: Vec::new(),
             next_conn: 0,
-            listeners: HashMap::new(),
+            listeners: Vec::new(),
             listen_by_addr: HashMap::new(),
-            next_listener: 0,
             timers: BinaryHeap::new(),
-            timer_bodies: HashMap::new(),
+            timer_arena: Vec::new(),
+            timer_free: Vec::new(),
             timer_seq: 0,
             out: Vec::new(),
+            pump_scratch: Vec::new(),
             stats: NetStats::default(),
         }
     }
@@ -234,14 +252,69 @@ impl Network {
     }
 
     // ------------------------------------------------------------------
+    // Connection storage.
+    // ------------------------------------------------------------------
+
+    fn conn(&self, id: ConnId) -> Option<&Conn> {
+        match self.conn_slot.get(id.0 as usize) {
+            Some(&slot) if slot != NO_SLOT => self.conn_arena[slot as usize].as_ref(),
+            _ => None,
+        }
+    }
+
+    fn conn_mut(&mut self, id: ConnId) -> Option<&mut Conn> {
+        match self.conn_slot.get(id.0 as usize) {
+            Some(&slot) if slot != NO_SLOT => self.conn_arena[slot as usize].as_mut(),
+            _ => None,
+        }
+    }
+
+    fn conn_insert(&mut self, id: ConnId, conn: Conn) {
+        let ix = id.0 as usize;
+        if ix >= self.conn_slot.len() {
+            self.conn_slot.resize(ix + 1, NO_SLOT);
+        }
+        let slot = match self.conn_free.pop() {
+            Some(s) => {
+                self.conn_arena[s as usize] = Some(conn);
+                s
+            }
+            None => {
+                self.conn_arena.push(Some(conn));
+                (self.conn_arena.len() - 1) as u32
+            }
+        };
+        self.conn_slot[ix] = slot;
+    }
+
+    fn conn_remove(&mut self, id: ConnId) {
+        if let Some(slot) = self.conn_slot.get_mut(id.0 as usize) {
+            if *slot != NO_SLOT {
+                self.conn_arena[*slot as usize] = None;
+                self.conn_free.push(*slot);
+                *slot = NO_SLOT;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Timers.
     // ------------------------------------------------------------------
 
     fn arm(&mut self, at: SimTime, t: Timer) {
-        let id = self.timer_seq;
+        let seq = self.timer_seq;
         self.timer_seq += 1;
-        self.timer_bodies.insert(id, t);
-        self.timers.push(Reverse((at, id, id)));
+        let slot = match self.timer_free.pop() {
+            Some(s) => {
+                self.timer_arena[s as usize] = Some(t);
+                s
+            }
+            None => {
+                self.timer_arena.push(Some(t));
+                (self.timer_arena.len() - 1) as u32
+            }
+        };
+        self.timers.push(Reverse((at, seq, slot)));
     }
 
     /// Earliest pending work, if any.
@@ -260,16 +333,29 @@ impl Network {
 
     /// Fires all timers due at or before `now` and returns the
     /// notifications accumulated since the previous call.
+    ///
+    /// Convenience wrapper over [`Network::advance_into`] that allocates
+    /// a fresh vector per call; hot callers should hold a scratch buffer
+    /// and use `advance_into` directly.
     pub fn advance(&mut self, now: SimTime) -> Vec<NetNotify> {
-        while let Some(&Reverse((t, _, id))) = self.timers.peek() {
+        let mut out = Vec::new();
+        self.advance_into(now, &mut out);
+        out
+    }
+
+    /// Fires all timers due at or before `now` and appends the
+    /// notifications accumulated since the previous call to `out` (which
+    /// is *not* cleared — the caller owns the buffer).
+    pub fn advance_into(&mut self, now: SimTime, out: &mut Vec<NetNotify>) {
+        while let Some(&Reverse((t, _, slot))) = self.timers.peek() {
             if t > now {
                 break;
             }
             self.timers.pop();
-            let body = self
-                .timer_bodies
-                .remove(&id)
+            let body = self.timer_arena[slot as usize]
+                .take()
                 .expect("invariant: armed timers keep their bodies");
+            self.timer_free.push(slot);
             match body {
                 Timer::Deliver(seg) => self.deliver(t, seg),
                 Timer::Rto { conn, side } => self.rto_fire(t, conn, side),
@@ -278,7 +364,7 @@ impl Network {
         for h in &mut self.hosts {
             h.ports.expire(now);
         }
-        std::mem::take(&mut self.out)
+        out.append(&mut self.out);
     }
 
     // ------------------------------------------------------------------
@@ -299,26 +385,22 @@ impl Network {
         if !self.hosts[host.0].ports.bind(port) {
             return Err(NetError::AddrInUse);
         }
-        let id = ListenerId(self.next_listener);
-        self.next_listener += 1;
-        self.listeners.insert(
-            id,
-            Listener {
-                backlog,
-                syn_rcvd: HashSet::new(),
-                accept_q: VecDeque::new(),
-                refused: 0,
-            },
-        );
+        let id = ListenerId(self.listeners.len() as u64);
+        self.listeners.push(Listener {
+            backlog,
+            syn_rcvd: HashSet::new(),
+            accept_q: VecDeque::new(),
+            refused: 0,
+        });
         self.listen_by_addr.insert(addr, id);
         Ok(id)
     }
 
     /// Pops one established connection off the accept queue.
     pub fn accept(&mut self, listener: ListenerId) -> Option<EndpointId> {
-        let l = self.listeners.get_mut(&listener)?;
+        let l = self.listeners.get_mut(listener.0 as usize)?;
         let conn = l.accept_q.pop_front()?;
-        if let Some(c) = self.conns.get_mut(&conn) {
+        if let Some(c) = self.conn_mut(conn) {
             c.accepted = true;
         }
         Some(EndpointId::new(conn, Side::Server))
@@ -327,13 +409,15 @@ impl Network {
     /// Number of connections waiting in the accept queue.
     pub fn accept_queue_len(&self, listener: ListenerId) -> usize {
         self.listeners
-            .get(&listener)
+            .get(listener.0 as usize)
             .map_or(0, |l| l.accept_q.len())
     }
 
     /// SYNs this listener refused because its backlog was full.
     pub fn refused_count(&self, listener: ListenerId) -> u64 {
-        self.listeners.get(&listener).map_or(0, |l| l.refused)
+        self.listeners
+            .get(listener.0 as usize)
+            .map_or(0, |l| l.refused)
     }
 
     // ------------------------------------------------------------------
@@ -369,7 +453,7 @@ impl Network {
             accepted: false,
             ports_freed: false,
         };
-        self.conns.insert(id, conn);
+        self.conn_insert(id, conn);
         self.stats.conns_started += 1;
         self.transmit(
             now,
@@ -379,7 +463,7 @@ impl Network {
                 kind: SegKind::Syn,
             },
         );
-        if let Some(c) = self.conns.get_mut(&id) {
+        if let Some(c) = self.conn_mut(id) {
             c.syn_sent = 1;
             // The SYN timer doubles as the client's data-RTO timer once
             // the handshake completes, so mark it armed to avoid a
@@ -403,11 +487,11 @@ impl Network {
     /// frees).
     pub fn send(&mut self, now: SimTime, ep: EndpointId, data: &[u8]) -> Result<usize, NetError> {
         let accepted = {
-            let conn = self.conns.get_mut(&ep.conn).ok_or(NetError::Gone)?;
+            let cfg = self.cfg;
+            let conn = self.conn_mut(ep.conn).ok_or(NetError::Gone)?;
             if conn.state == ConnState::Reset || conn.state == ConnState::Closed {
                 return Err(NetError::BadState);
             }
-            let cfg = self.cfg;
             let e = conn.ep_mut(ep.side);
             if e.fin_at.is_some() {
                 return Err(NetError::BadState);
@@ -429,47 +513,66 @@ impl Network {
 
     /// Reads up to `max` bytes of in-order data.
     pub fn recv(&mut self, _now: SimTime, ep: EndpointId, max: usize) -> Result<Vec<u8>, NetError> {
-        let conn = self.conns.get_mut(&ep.conn).ok_or(NetError::Gone)?;
+        let conn = self.conn_mut(ep.conn).ok_or(NetError::Gone)?;
         let e = conn.ep_mut(ep.side);
         let n = e.inbox.len().min(max);
         Ok(e.inbox.drain(..n).collect())
     }
 
+    /// Reads and discards up to `max` bytes of in-order data, returning
+    /// only a summary — the byte count and the first bytes of the chunk.
+    /// This is the hot-path sibling of [`Network::recv`] for callers
+    /// (e.g. load generators) that never look past a response prefix.
+    pub fn recv_discard(
+        &mut self,
+        _now: SimTime,
+        ep: EndpointId,
+        max: usize,
+    ) -> Result<RecvSummary, NetError> {
+        let conn = self.conn_mut(ep.conn).ok_or(NetError::Gone)?;
+        let e = conn.ep_mut(ep.side);
+        let n = e.inbox.len().min(max);
+        let mut prefix = [0u8; RECV_PREFIX];
+        let prefix_len = n.min(RECV_PREFIX);
+        for (dst, src) in prefix.iter_mut().zip(e.inbox.iter()) {
+            *dst = *src;
+        }
+        e.inbox.drain(..n);
+        Ok(RecvSummary {
+            len: n,
+            prefix,
+            prefix_len,
+        })
+    }
+
     /// Bytes available for `recv` right now.
     pub fn readable_bytes(&self, ep: EndpointId) -> usize {
-        self.conns
-            .get(&ep.conn)
-            .map_or(0, |c| c.ep(ep.side).inbox.len())
+        self.conn(ep.conn).map_or(0, |c| c.ep(ep.side).inbox.len())
     }
 
     /// Whether the peer has closed its sending direction (EOF after the
     /// inbox drains).
     pub fn peer_closed(&self, ep: EndpointId) -> bool {
-        self.conns
-            .get(&ep.conn)
+        self.conn(ep.conn)
             .is_some_and(|c| c.ep(ep.side).recv_done())
     }
 
     /// Free space in the send buffer.
     pub fn send_space(&self, ep: EndpointId) -> usize {
-        self.conns
-            .get(&ep.conn)
+        self.conn(ep.conn)
             .map_or(0, |c| c.ep(ep.side).send_space(&self.cfg))
     }
 
     /// Whether the connection is established and not reset.
     pub fn is_established(&self, conn: ConnId) -> bool {
-        self.conns
-            .get(&conn)
+        self.conn(conn)
             .is_some_and(|c| c.state == ConnState::Established)
     }
 
     /// Whether the connection still exists (reset tombstones awaiting
     /// their RST delivery do not count).
     pub fn exists(&self, conn: ConnId) -> bool {
-        self.conns
-            .get(&conn)
-            .is_some_and(|c| c.state != ConnState::Reset)
+        self.conn(conn).is_some_and(|c| c.state != ConnState::Reset)
     }
 
     /// One-way base delay of the switch fabric.
@@ -481,7 +584,7 @@ impl Network {
     /// Half-closes the endpoint: all buffered data is sent, then a FIN.
     pub fn close(&mut self, now: SimTime, ep: EndpointId) -> Result<(), NetError> {
         {
-            let conn = self.conns.get_mut(&ep.conn).ok_or(NetError::Gone)?;
+            let conn = self.conn_mut(ep.conn).ok_or(NetError::Gone)?;
             if conn.state == ConnState::Reset || conn.state == ConnState::Closed {
                 return Err(NetError::BadState);
             }
@@ -501,11 +604,12 @@ impl Network {
     /// Aborts the connection: RST to the peer, local resources freed
     /// immediately, no TIME_WAIT.
     pub fn abort(&mut self, now: SimTime, ep: EndpointId) -> Result<(), NetError> {
-        let conn = self.conns.get_mut(&ep.conn).ok_or(NetError::Gone)?;
+        let conn = self.conn_mut(ep.conn).ok_or(NetError::Gone)?;
         if conn.state == ConnState::Closed || conn.state == ConnState::Reset {
             return Err(NetError::BadState);
         }
         conn.state = ConnState::Reset;
+        let (from_host, extra) = (conn.host(ep.side), conn.extra_delay);
         self.stats.conns_reset += 1;
         let seg = Segment {
             conn: ep.conn,
@@ -514,8 +618,6 @@ impl Network {
         };
         // RSTs bypass the drop-tail queue: modelling their loss would only
         // leak tombstones without adding any behaviour the paper measures.
-        let from_host = self.conns[&ep.conn].host(ep.side);
-        let extra = self.conns[&ep.conn].extra_delay;
         let delay = self.hosts[from_host.0].tx.tx_time(seg.wire_bytes());
         let base = self.link_base_delay();
         self.arm(now + delay + base + extra, Timer::Deliver(seg));
@@ -530,8 +632,9 @@ impl Network {
     // ------------------------------------------------------------------
 
     fn transmit(&mut self, now: SimTime, seg: Segment) {
-        let Some(conn) = self.conns.get(&seg.conn) else {
-            return;
+        let (from_host, extra) = match self.conn(seg.conn) {
+            Some(conn) => (conn.host(seg.from), conn.extra_delay),
+            None => return,
         };
         // Injected random loss (never applied to RSTs, which bypass the
         // queue in `abort` for tombstone-reaping reasons).
@@ -539,8 +642,6 @@ impl Network {
             self.stats.injected_losses += 1;
             return;
         }
-        let from_host = conn.host(seg.from);
-        let extra = conn.extra_delay;
         match self.hosts[from_host.0].tx.offer(now, &seg, extra) {
             TxOutcome::Deliver(at) => self.arm(at, Timer::Deliver(seg)),
             TxOutcome::Dropped => {
@@ -550,7 +651,7 @@ impl Network {
     }
 
     fn deliver(&mut self, now: SimTime, seg: Segment) {
-        let Some(conn) = self.conns.get(&seg.conn) else {
+        let Some(conn) = self.conn(seg.conn) else {
             return; // Connection vanished (aborted); stale segment.
         };
         let to_side = seg.from.other();
@@ -575,7 +676,7 @@ impl Network {
     }
 
     fn on_syn(&mut self, now: SimTime, conn_id: ConnId) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else {
+        let Some(conn) = self.conn_mut(conn_id) else {
             return;
         };
         if conn.listener.is_some() {
@@ -603,7 +704,7 @@ impl Network {
         };
         let l = self
             .listeners
-            .get_mut(&lid)
+            .get_mut(lid.0 as usize)
             .expect("invariant: accepting connections keep their listener");
         if l.syn_rcvd.len() + l.accept_q.len() >= l.backlog {
             l.refused += 1;
@@ -621,8 +722,7 @@ impl Network {
         }
         l.syn_rcvd.insert(conn_id);
         let conn = self
-            .conns
-            .get_mut(&conn_id)
+            .conn_mut(conn_id)
             .expect("invariant: delivered segments reference live connections");
         conn.listener = Some(lid);
         let seg = Segment {
@@ -634,7 +734,7 @@ impl Network {
     }
 
     fn on_synack(&mut self, now: SimTime, conn_id: ConnId) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else {
+        let Some(conn) = self.conn_mut(conn_id) else {
             return;
         };
         match conn.state {
@@ -671,7 +771,7 @@ impl Network {
     /// handshake ack, or on first data/FIN doing double duty when the ack
     /// was lost).
     fn promote_server(&mut self, now: SimTime, conn_id: ConnId) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else {
+        let Some(conn) = self.conn_mut(conn_id) else {
             return;
         };
         let Some(lid) = conn.listener else {
@@ -684,7 +784,7 @@ impl Network {
         conn.accept_queued = true;
         let l = self
             .listeners
-            .get_mut(&lid)
+            .get_mut(lid.0 as usize)
             .expect("invariant: accepting connections keep their listener");
         l.syn_rcvd.remove(&conn_id);
         l.accept_q.push_back(conn_id);
@@ -699,7 +799,7 @@ impl Network {
         let mut became_writable = false;
         let mut fin_now_acked = false;
         {
-            let Some(conn) = self.conns.get_mut(&conn_id) else {
+            let Some(conn) = self.conn_mut(conn_id) else {
                 return;
             };
             let e = conn.ep_mut(to_side);
@@ -747,28 +847,31 @@ impl Network {
         let mut readable = false;
         let ack;
         {
-            let Some(conn) = self.conns.get_mut(&conn_id) else {
+            let Some(conn) = self.conn_mut(conn_id) else {
                 return;
             };
             if conn.state != ConnState::Established {
                 return;
             }
-            // Copy the in-order payload from the peer's stream buffer.
+            // Copy the in-order payload straight from the peer's stream
+            // buffer into the inbox (split borrow of the endpoint pair —
+            // no intermediate allocation).
             if seq == conn.ep(to_side).rcv_nxt {
-                let payload: Vec<u8> = {
-                    let peer = conn.ep(to_side.other());
-                    let start = (seq - peer.out_base) as usize;
-                    peer.out
-                        .iter()
-                        .skip(start)
-                        .take(len as usize)
-                        .copied()
-                        .collect()
+                let (a, b) = conn.eps.split_at_mut(1);
+                let (rx, tx) = match to_side.index() {
+                    0 => (&mut a[0], &b[0]),
+                    _ => (&mut b[0], &a[0]),
                 };
-                debug_assert_eq!(payload.len(), len as usize, "stream bytes missing");
-                let e = conn.ep_mut(to_side);
-                e.inbox.extend(payload);
-                e.rcv_nxt = seq + len as u64;
+                let start = (seq - tx.out_base) as usize;
+                let before = rx.inbox.len();
+                rx.inbox
+                    .extend(tx.out.iter().skip(start).take(len as usize).copied());
+                debug_assert_eq!(
+                    rx.inbox.len() - before,
+                    len as usize,
+                    "stream bytes missing"
+                );
+                rx.rcv_nxt = seq + len as u64;
                 readable = true;
             }
             ack = conn.ep(to_side).rcv_nxt;
@@ -793,7 +896,7 @@ impl Network {
         let mut saw_fin = false;
         let ack;
         {
-            let Some(conn) = self.conns.get_mut(&conn_id) else {
+            let Some(conn) = self.conn_mut(conn_id) else {
                 return;
             };
             let e = conn.ep_mut(to_side);
@@ -821,16 +924,17 @@ impl Network {
     }
 
     fn on_rst(&mut self, now: SimTime, conn_id: ConnId, to_side: Side) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else {
+        let Some(conn) = self.conn_mut(conn_id) else {
             return;
         };
         let was_syn_sent = conn.state == ConnState::SynSent;
-        if conn.state != ConnState::Reset {
+        let newly_reset = conn.state != ConnState::Reset;
+        conn.state = ConnState::Reset;
+        let host = conn.host(Side::Client);
+        if newly_reset {
             self.stats.conns_reset += 1;
         }
-        conn.state = ConnState::Reset;
         if was_syn_sent {
-            let host = conn.host(Side::Client);
             self.out.push(NetNotify::ConnectFailed {
                 conn: conn_id,
                 host,
@@ -844,21 +948,24 @@ impl Network {
         let _ = now;
         self.free_conn_ports(conn_id, None);
         self.detach_listener(conn_id);
-        self.conns.remove(&conn_id);
+        self.conn_remove(conn_id);
     }
 
     /// Sends whatever the window allows: data first, then the FIN.
     fn pump(&mut self, now: SimTime, conn_id: ConnId, side: Side) {
-        let mut to_send: Vec<Segment> = Vec::new();
+        let mut to_send = std::mem::take(&mut self.pump_scratch);
+        to_send.clear();
         let mut arm_rto = false;
         {
-            let Some(conn) = self.conns.get_mut(&conn_id) else {
+            let cfg = self.cfg;
+            let Some(conn) = self.conn_mut(conn_id) else {
+                self.pump_scratch = to_send;
                 return;
             };
             if conn.state != ConnState::Established {
+                self.pump_scratch = to_send;
                 return; // Data flows only once established.
             }
-            let cfg = self.cfg;
             let window = cfg.window_segments as u64 * cfg.mss as u64;
             let e = conn.ep_mut(side);
             while e.snd_nxt < e.wrote && e.in_flight() < window {
@@ -889,9 +996,10 @@ impl Network {
                 arm_rto = true;
             }
         }
-        for seg in to_send {
+        for &seg in &to_send {
             self.transmit(now, seg);
         }
+        self.pump_scratch = to_send;
         if arm_rto {
             self.arm(
                 now + self.cfg.rto_initial,
@@ -914,10 +1022,10 @@ impl Network {
         }
         let action;
         {
-            let Some(conn) = self.conns.get_mut(&conn_id) else {
+            let cfg = self.cfg;
+            let Some(conn) = self.conn_mut(conn_id) else {
                 return;
             };
-            let cfg = self.cfg;
             match conn.state {
                 ConnState::SynSent if side == Side::Client => {
                     if conn.syn_sent > cfg.syn_retries {
@@ -978,8 +1086,7 @@ impl Network {
             Action::None => {}
             Action::ConnectTimeout => {
                 let conn = self
-                    .conns
-                    .get(&conn_id)
+                    .conn(conn_id)
                     .expect("invariant: existence checked above");
                 let host = conn.host(Side::Client);
                 self.out.push(NetNotify::ConnectFailed {
@@ -988,7 +1095,7 @@ impl Network {
                     reason: ConnectError::Timeout,
                 });
                 self.free_conn_ports(conn_id, None);
-                self.conns.remove(&conn_id);
+                self.conn_remove(conn_id);
             }
             Action::ResendSyn { rearm } => {
                 self.transmit(
@@ -1009,8 +1116,7 @@ impl Network {
             }
             Action::ResetBoth => {
                 let conn = self
-                    .conns
-                    .get_mut(&conn_id)
+                    .conn_mut(conn_id)
                     .expect("invariant: existence checked above");
                 conn.state = ConnState::Reset;
                 self.stats.conns_reset += 1;
@@ -1022,7 +1128,7 @@ impl Network {
                 });
                 self.free_conn_ports(conn_id, None);
                 self.detach_listener(conn_id);
-                self.conns.remove(&conn_id);
+                self.conn_remove(conn_id);
             }
             Action::Retransmit { rearm } => {
                 self.stats.retransmits += 1;
@@ -1054,7 +1160,7 @@ impl Network {
     }
 
     fn check_full_close(&mut self, now: SimTime, conn_id: ConnId) {
-        let done = self.conns.get(&conn_id).is_some_and(|c| c.fully_closed());
+        let done = self.conn(conn_id).is_some_and(|c| c.fully_closed());
         if !done {
             return;
         }
@@ -1070,29 +1176,31 @@ impl Network {
         // reused for `time_wait`. Parking the client port models that.
         self.free_conn_ports(conn_id, Some((Side::Client, now + self.cfg.time_wait)));
         self.detach_listener(conn_id);
-        if let Some(c) = self.conns.get_mut(&conn_id) {
+        if let Some(c) = self.conn_mut(conn_id) {
             c.state = ConnState::Closed;
         }
-        self.conns.remove(&conn_id);
+        self.conn_remove(conn_id);
     }
 
     /// Releases both ports; the side in `time_wait` (if any) holds its
     /// port until the given expiry.
     fn free_conn_ports(&mut self, conn_id: ConnId, time_wait: Option<(Side, SimTime)>) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else {
+        let Some(conn) = self.conn_mut(conn_id) else {
             return;
         };
         if conn.ports_freed {
             return;
         }
         conn.ports_freed = true;
-        let conn = &self.conns[&conn_id];
-        for side in [Side::Client, Side::Server] {
-            let host = conn.host(side);
-            let port = conn.port(side);
+        let sides = [
+            (conn.host(Side::Client), conn.port(Side::Client)),
+            (conn.host(Side::Server), conn.port(Side::Server)),
+        ];
+        for (side, (host, port)) in [Side::Client, Side::Server].into_iter().zip(sides) {
             // A listener's well-known port is shared by many connections;
             // only ephemeral (client-allocated) ports are released.
             let is_listener_port = self.listen_by_addr.contains_key(&SockAddr::new(host, port));
+
             if is_listener_port {
                 continue;
             }
@@ -1106,16 +1214,40 @@ impl Network {
     }
 
     fn detach_listener(&mut self, conn_id: ConnId) {
-        let Some(conn) = self.conns.get(&conn_id) else {
+        let Some(conn) = self.conn(conn_id) else {
             return;
         };
-        if let Some(lid) = conn.listener {
-            if let Some(l) = self.listeners.get_mut(&lid) {
+        let (listener, accepted) = (conn.listener, conn.accepted);
+        if let Some(lid) = listener {
+            if let Some(l) = self.listeners.get_mut(lid.0 as usize) {
                 l.syn_rcvd.remove(&conn_id);
-                if !conn.accepted {
+                if !accepted {
                     l.accept_q.retain(|c| *c != conn_id);
                 }
             }
         }
+    }
+}
+
+/// How many response-prefix bytes [`Network::recv_discard`] captures.
+pub const RECV_PREFIX: usize = 12;
+
+/// Summary of a drained-and-discarded read: the byte count plus the
+/// first bytes of the chunk (enough for an HTTP status-line check)
+/// without materialising the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvSummary {
+    /// Bytes drained from the inbox.
+    pub len: usize,
+    /// The first `prefix_len` bytes of the drained chunk.
+    pub prefix: [u8; RECV_PREFIX],
+    /// How many bytes of `prefix` are valid.
+    pub prefix_len: usize,
+}
+
+impl RecvSummary {
+    /// The valid prefix bytes.
+    pub fn prefix(&self) -> &[u8] {
+        &self.prefix[..self.prefix_len]
     }
 }

@@ -62,6 +62,13 @@ impl PortAllocator {
 
     /// Expires TIME_WAIT entries due at or before `now`.
     pub fn expire(&mut self, now: SimTime) {
+        // Called on every `Network::advance_into`, so the common case —
+        // nothing due yet — must not touch the tree: `split_off` +
+        // replace rebuilds nodes even when every entry stays.
+        match self.time_wait.first_key_value() {
+            Some((&t, _)) if t <= now => {}
+            _ => return,
+        }
         // `split_off` keeps entries strictly greater than `now` in the
         // map; everything at or before `now` expires.
         let still_waiting = self
