@@ -2,10 +2,19 @@
 //!
 //! ```text
 //! figures [--quick] [--conns N] [--jobs N] [--out DIR] [--bench-out FILE]
-//!         [--profile] <target>...
+//!         [--profile] [--trace-export DIR] <target>...
 //! targets: fig4 .. fig14 | all | hybrid | ablate-hints | ablate-mmap |
-//!          ablate-combined | ablate-batch | extensions
+//!          ablate-combined | ablate-batch | extensions | latency-anatomy
 //! ```
+//!
+//! `latency-anatomy` runs span-enabled sweeps of the five mechanisms
+//! (select, poll, devpoll, phhttpd, hybrid) and emits one stacked
+//! per-phase latency breakdown per mechanism; the span-enabled sweeps
+//! land in `BENCH.json` under `<server>+spans` labels. `--trace-export
+//! DIR` additionally runs one retained-record run per mechanism and
+//! writes `trace-<server>.json` (Chrome trace, load in
+//! `chrome://tracing` / Perfetto) and `trace-<server>.folded`
+//! (flamegraph input) under DIR.
 //!
 //! `--profile` additionally writes `PROFILE.txt` under the output
 //! directory: a per-sweep hot-spot table (wall time, simulation events,
@@ -23,7 +32,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use bench::figures::{extensions_grid, paper_grid};
+use bench::figures::{anatomy_grid, anatomy_kinds, extensions_grid, paper_grid};
 use bench::{effective_jobs, FigureConfig, FigureRunner, PAPER_FIGURES};
 use simcore::series::Figure;
 
@@ -43,6 +52,7 @@ fn main() {
     let mut bench_out = PathBuf::from("BENCH.json");
     let mut jobs_flag: Option<usize> = None;
     let mut profile = false;
+    let mut trace_export: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
@@ -67,6 +77,11 @@ fn main() {
                 bench_out = PathBuf::from(args.next().expect("--bench-out needs a value"));
             }
             "--profile" => profile = true,
+            "--trace-export" => {
+                trace_export = Some(PathBuf::from(
+                    args.next().expect("--trace-export needs a value"),
+                ));
+            }
             other => targets.push(other.to_string()),
         }
     }
@@ -76,6 +91,7 @@ fn main() {
     let jobs = effective_jobs(jobs_flag);
 
     fs::create_dir_all(&out_dir).expect("create output dir");
+    let (conns, seed) = (config.conns, config.seed);
     let mut runner = FigureRunner::new(config).with_jobs(jobs).with_clock(now_ms);
     if jobs > 1 {
         eprintln!("[executor: {jobs} worker threads]");
@@ -137,6 +153,14 @@ fn main() {
             "loss" => emit("loss", runner.loss_figure(500.0, 251)),
             "select" => emit("select", runner.select_figure(251)),
             "cpu-scaling" => emit("cpu_scaling", runner.cpu_scaling_figure(501)),
+            "latency-anatomy" => {
+                runner.span_prefetch(&anatomy_grid(251));
+                for kind in anatomy_kinds() {
+                    eprintln!("== anatomy {} ==", kind.label());
+                    let fig = runner.latency_anatomy_figure(kind, 251);
+                    emit(&format!("anatomy_{}", sanitize(&kind.label())), vec![fig]);
+                }
+            }
             "ablate-hints" => emit("ablate_hints", runner.ablate_hints(501)),
             "ablate-mmap" => emit("ablate_mmap", runner.ablate_mmap(501)),
             "ablate-combined" => emit("ablate_combined", runner.ablate_combined(501)),
@@ -158,8 +182,18 @@ fn main() {
     // CSVs. These carry the mechanism counters (devpoll.driver_polls_
     // avoided, devpoll.cache_revalidations, rtsig.overflows, ...) that
     // explain the curves.
-    for (&(kind, inactive), reports) in runner.cached_sweeps() {
-        let label = kind.label();
+    let plain = runner.cached_sweeps();
+    let spanned = runner.span_cached_sweeps();
+    let dumps = plain
+        .iter()
+        .map(|&(k, r)| (k, r, false))
+        .chain(spanned.iter().map(|&(k, r)| (k, r, true)));
+    for (&(kind, inactive), reports, spans) in dumps {
+        let label = if spans {
+            format!("{}+spans", kind.label())
+        } else {
+            kind.label()
+        };
         let base = format!("{}_load{}", sanitize(&label), inactive);
         let mut text = String::new();
         let mut jsonl = String::new();
@@ -184,6 +218,27 @@ fn main() {
         fs::write(&jsonl_path, jsonl).expect("write probe jsonl");
         println!("[written {}]", txt_path.display());
         println!("[written {}]", jsonl_path.display());
+    }
+
+    // Full span exports: one retained-record run per mechanism, at the
+    // middle of the paper's rate range. Chrome-trace JSON for a
+    // timeline viewer, folded stacks for a flamegraph.
+    if let Some(dir) = &trace_export {
+        fs::create_dir_all(dir).expect("create trace export dir");
+        for kind in anatomy_kinds() {
+            let params = httperf::RunParams::paper(kind, 700.0, 251)
+                .with_conns(conns)
+                .with_seed(seed)
+                .with_spans();
+            let r = httperf::run_one(params);
+            let label = sanitize(&kind.label());
+            let json_path = dir.join(format!("trace-{label}.json"));
+            let folded_path = dir.join(format!("trace-{label}.folded"));
+            fs::write(&json_path, &r.span_chrome).expect("write chrome trace");
+            fs::write(&folded_path, &r.span_folded).expect("write folded stacks");
+            println!("[written {}]", json_path.display());
+            println!("[written {}]", folded_path.display());
+        }
     }
 
     // The perf record for the benchmark gate.

@@ -10,6 +10,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use devpoll::DevPollConfig;
 use httperf::{run_one, RunParams, RunReport, ServerKind};
 use simcore::series::{Figure, Series};
+use simcore::span::Phase;
 
 use crate::baseline::{config_fingerprint, BenchReport, PointRecord, SweepRecord, BENCH_VERSION};
 use crate::executor::run_jobs;
@@ -63,8 +64,15 @@ pub type SweepKey = (ServerKind, usize);
 pub struct FigureRunner {
     config: FigureConfig,
     cache: BTreeMap<SweepKey, Vec<RunReport>>,
+    /// Span-enabled sweeps, cached separately: enabling span tracing
+    /// perturbs nothing but is a different measurement, so these never
+    /// alias the plain cache (their `BENCH.json` labels get a `+spans`
+    /// suffix).
+    span_cache: BTreeMap<SweepKey, Vec<RunReport>>,
     /// Summed per-run wall time per sweep, ms (zeros without a clock).
     wall_ms: BTreeMap<SweepKey, f64>,
+    /// Wall time of span-enabled sweeps, ms.
+    span_wall_ms: BTreeMap<SweepKey, f64>,
     /// Worker threads for sweep execution.
     jobs: usize,
     /// Monotonic millisecond clock injected by the CLI driver; library
@@ -81,7 +89,9 @@ impl FigureRunner {
         FigureRunner {
             config,
             cache: BTreeMap::new(),
+            span_cache: BTreeMap::new(),
             wall_ms: BTreeMap::new(),
+            span_wall_ms: BTreeMap::new(),
             jobs: 1,
             clock: None,
             verbose: true,
@@ -115,6 +125,11 @@ impl FigureRunner {
         self.cache.iter().collect()
     }
 
+    /// Every cached span-enabled sweep in deterministic key order.
+    pub fn span_cached_sweeps(&self) -> Vec<(&SweepKey, &Vec<RunReport>)> {
+        self.span_cache.iter().collect()
+    }
+
     /// Runs every not-yet-cached sweep in `keys` as one parallel batch:
     /// all (kind, inactive, rate) points of all missing sweeps share the
     /// worker pool, so a multi-sweep target like `all` keeps every
@@ -137,12 +152,56 @@ impl FigureRunner {
                 points.push((kind, inactive, rate));
             }
         }
-        let results = self.run_points(&points);
+        let results = self.run_points(&points, false);
         let per_key = self.config.rates.len();
         for (i, &key) in missing.iter().enumerate() {
             let batch = &results[i * per_key..(i + 1) * per_key];
             self.absorb_sweep(key, batch.to_vec());
         }
+    }
+
+    /// Like [`FigureRunner::prefetch`], for span-enabled sweeps.
+    pub fn span_prefetch(&mut self, keys: &[SweepKey]) {
+        let missing: Vec<SweepKey> = keys
+            .iter()
+            .copied()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .filter(|k| !self.span_cache.contains_key(k))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let mut points: Vec<(ServerKind, usize, f64)> = Vec::new();
+        for &(kind, inactive) in &missing {
+            for &rate in &self.config.rates {
+                points.push((kind, inactive, rate));
+            }
+        }
+        let results = self.run_points(&points, true);
+        let per_key = self.config.rates.len();
+        for (i, &key) in missing.iter().enumerate() {
+            let batch = &results[i * per_key..(i + 1) * per_key];
+            self.absorb_span_sweep(key, batch.to_vec());
+        }
+    }
+
+    /// The span-enabled sweep for `kind` at `inactive`, cached. The
+    /// reports carry `span_ns.*` histograms in their probe snapshots
+    /// (records are not retained — histograms only).
+    pub fn span_sweep(&mut self, kind: ServerKind, inactive: usize) -> &[RunReport] {
+        let key = (kind, inactive);
+        if !self.span_cache.contains_key(&key) {
+            let points: Vec<(ServerKind, usize, f64)> = self
+                .config
+                .rates
+                .iter()
+                .map(|&rate| (kind, inactive, rate))
+                .collect();
+            let results = self.run_points(&points, true);
+            self.absorb_span_sweep(key, results);
+        }
+        &self.span_cache[&key]
     }
 
     /// The sweep for `kind` at `inactive`, cached.
@@ -155,22 +214,30 @@ impl FigureRunner {
                 .iter()
                 .map(|&rate| (kind, inactive, rate))
                 .collect();
-            let results = self.run_points(&points);
+            let results = self.run_points(&points, false);
             self.absorb_sweep(key, results);
         }
         &self.cache[&key]
     }
 
     /// Executes run points on the worker pool, returning
-    /// `(report, wall_ms, summary_line)` per point in input order.
-    fn run_points(&self, points: &[(ServerKind, usize, f64)]) -> Vec<(RunReport, f64, String)> {
+    /// `(report, wall_ms, summary_line)` per point in input order. With
+    /// `spans` set, runs carry histogram-only span tracing (retention 0).
+    fn run_points(
+        &self,
+        points: &[(ServerKind, usize, f64)],
+        spans: bool,
+    ) -> Vec<(RunReport, f64, String)> {
         let config = &self.config;
         let clock = self.clock;
         let tick = move || clock.map_or(0.0, |c| c());
-        run_jobs(self.jobs, points, |&(kind, inactive, rate)| {
-            let params = RunParams::paper(kind, rate, inactive)
+        run_jobs(self.jobs, points, move |&(kind, inactive, rate)| {
+            let mut params = RunParams::paper(kind, rate, inactive)
                 .with_conns(config.conns)
                 .with_seed(config.seed);
+            if spans {
+                params = params.with_span_retain(0);
+            }
             let started = tick();
             let mut report = run_one(params);
             let wall = tick() - started;
@@ -196,6 +263,21 @@ impl FigureRunner {
         self.cache.insert(key, reports);
     }
 
+    /// [`FigureRunner::absorb_sweep`] for the span-enabled cache.
+    fn absorb_span_sweep(&mut self, key: SweepKey, results: Vec<(RunReport, f64, String)>) {
+        let mut reports = Vec::with_capacity(results.len());
+        let mut wall = 0.0;
+        for (report, run_wall, line) in results {
+            if self.verbose {
+                eprintln!("{line} [spans]");
+            }
+            wall += run_wall;
+            reports.push(report);
+        }
+        self.span_wall_ms.insert(key, wall);
+        self.span_cache.insert(key, reports);
+    }
+
     /// Folds every cached sweep into a [`BenchReport`] (see
     /// `bench::baseline`). `total_wall_ms` is the caller-measured
     /// end-to-end harness time; per-sweep wall fields are the summed
@@ -210,6 +292,26 @@ impl FigureRunner {
                 server: kind.label(),
                 inactive,
                 wall_ms: self.wall_ms.get(&(kind, inactive)).copied().unwrap_or(0.0),
+                events,
+                sim_ms,
+                points,
+            });
+        }
+        // Span-enabled sweeps ride along under a `+spans` label suffix:
+        // distinct sweeps, so an anatomy run can never shadow (or be
+        // gated against) the plain-run baselines.
+        for (&(kind, inactive), reports) in &mut self.span_cache {
+            let events = reports.iter().map(|r| r.events).sum();
+            let sim_ms = reports.iter().map(|r| r.sim_secs * 1e3).sum();
+            let points = reports.iter_mut().map(PointRecord::from_report).collect();
+            sweeps.push(SweepRecord {
+                server: format!("{}+spans", kind.label()),
+                inactive,
+                wall_ms: self
+                    .span_wall_ms
+                    .get(&(kind, inactive))
+                    .copied()
+                    .unwrap_or(0.0),
                 events,
                 sim_ms,
                 points,
@@ -304,6 +406,52 @@ impl FigureRunner {
             fig.add(s);
         }
         fig
+    }
+
+    /// Latency anatomy (observability extension): for each mechanism, a
+    /// stacked per-phase breakdown of where request time goes, across
+    /// the request-rate sweep. Series are cumulative (each adds its
+    /// phase's mean ns/reply on top of the previous), so plotting them
+    /// as lines reads as a stacked area chart; the top series is the
+    /// total attributed ns per reply.
+    pub fn latency_anatomy_figure(&mut self, kind: ServerKind, inactive: usize) -> Figure {
+        let reports = self.span_sweep(kind, inactive).to_vec();
+        let mut fig = Figure::new(
+            format!(
+                "ANATOMY. Per-phase latency breakdown, {}, load {inactive} (stacked ns/reply)",
+                kind.label()
+            ),
+            format!("targeted request rate with load {inactive}"),
+            "cumulative mean ns per reply, by phase",
+        );
+        let mut stacked: Vec<f64> = vec![0.0; reports.len()];
+        for phase in Phase::REQUEST_PATH {
+            let mut s = Series::new(phase.name());
+            for (i, r) in reports.iter().enumerate() {
+                let total_ns = r
+                    .probe
+                    .histogram(phase.metric())
+                    .map_or(0.0, |h| h.sum() as f64);
+                let per_reply = if r.replies > 0 {
+                    total_ns / r.replies as f64
+                } else {
+                    0.0
+                };
+                stacked[i] += per_reply;
+                s.push(r.target_rate, stacked[i]);
+            }
+            fig.add(s);
+        }
+        fig
+    }
+
+    /// The full anatomy grid: one stacked figure per mechanism.
+    pub fn latency_anatomy_figures(&mut self, inactive: usize) -> Vec<Figure> {
+        self.span_prefetch(&anatomy_grid(inactive));
+        anatomy_kinds()
+            .iter()
+            .map(|&kind| self.latency_anatomy_figure(kind, inactive))
+            .collect()
     }
 
     /// Builds one paper figure by id (`"fig4"` … `"fig14"`).
@@ -754,6 +902,23 @@ pub fn paper_grid() -> Vec<SweepKey> {
         }
     }
     keys
+}
+
+/// The five mechanisms the latency-anatomy breakdown covers — the same
+/// set the root CLI's `compare` subcommand sweeps.
+pub fn anatomy_kinds() -> [ServerKind; 5] {
+    [
+        ServerKind::ThttpdSelect,
+        ServerKind::ThttpdPoll,
+        ServerKind::ThttpdDevPoll,
+        ServerKind::Phhttpd,
+        ServerKind::Hybrid,
+    ]
+}
+
+/// The sweep grid behind `figures -- latency-anatomy`.
+pub fn anatomy_grid(inactive: usize) -> Vec<SweepKey> {
+    anatomy_kinds().iter().map(|&k| (k, inactive)).collect()
 }
 
 /// The cached sweeps behind `figures -- extensions` (the direct-run

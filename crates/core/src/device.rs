@@ -4,6 +4,7 @@
 
 use std::collections::BTreeMap;
 
+use simcore::span::Phase;
 use simcore::time::{SimDuration, SimTime};
 use simkernel::{Errno, Fd, FileKind, Kernel, Pid, PollBits};
 
@@ -214,6 +215,8 @@ impl DevPollRegistry {
         charge_syscall: bool,
     ) -> Result<usize, Errno> {
         let cost = *kernel.cost_model();
+        let spans_on = kernel.spans().enabled();
+        let t_call = kernel.batch_acc(pid);
         if charge_syscall {
             kernel.charge_app(pid, cost.syscall);
         }
@@ -222,7 +225,9 @@ impl DevPollRegistry {
             cost.copy_per_byte * (entries.len() * PollFd::BYTES) as u64,
         );
         // Interest-set modification takes the backmap write lock.
+        let t_backmap = kernel.batch_acc(pid);
         kernel.charge_app(pid, cost.backmap_wlock);
+        let t_table = kernel.batch_acc(pid);
         #[cfg(feature = "simcheck")]
         {
             self.lockdep.acquire(LockClass::Backmap);
@@ -275,6 +280,13 @@ impl DevPollRegistry {
             self.lockdep.release(LockClass::InterestTable);
             self.lockdep.release(LockClass::Backmap);
         }
+        if spans_on {
+            // Hold spans for the locked region above (charges between the
+            // acquisition snapshots and here), Backmap enclosing
+            // InterestTable just as lockdep records them.
+            kernel.span_hold(pid, Phase::LockInterestTable, t_table);
+            kernel.span_hold(pid, Phase::LockBackmap, t_backmap);
+        }
         for &fd in &to_watch {
             kernel.watch(pid, fd);
         }
@@ -297,6 +309,11 @@ impl DevPollRegistry {
         }
         self.watch_scratch = to_watch;
         self.unwatch_scratch = to_unwatch;
+        if spans_on {
+            // The whole interest update — copy-in, table edit, watcher
+            // (de)registration — is interest-registration work.
+            kernel.span_leaf(pid, Phase::InterestReg, t_call);
+        }
         Ok(entries.len())
     }
 
@@ -368,6 +385,8 @@ impl DevPollRegistry {
         args: DvPoll,
     ) -> Result<(PollOutcome, Vec<PollFd>), Errno> {
         let cost = *kernel.cost_model();
+        let spans_on = kernel.spans().enabled();
+        let t_scan = kernel.batch_acc(pid);
         kernel.charge_app(pid, cost.syscall + cost.devpoll_base);
         if args.null_dp_fds && self.device(kernel, pid, dpfd)?.mmap_slots.is_none() {
             return Err(Errno::EINVAL);
@@ -456,10 +475,12 @@ impl DevPollRegistry {
         } else {
             cost.backmap_rlock
         };
+        let t_backmap = kernel.batch_acc(pid);
         if hints {
             kernel.charge_app(pid, lock_cost);
             kernel.charge_app(pid, cost.hint_walk * total as u64);
         }
+        let t_socket = kernel.batch_acc(pid);
         kernel.charge_app(pid, cost.driver_poll * candidates.len() as u64);
 
         for &(fd, events) in &candidates {
@@ -476,6 +497,19 @@ impl DevPollRegistry {
                     revents,
                 });
             }
+        }
+        if spans_on {
+            // Lock holds over the scan, in lockdep order: the socket
+            // locks cover the driver callbacks, the backmap read lock
+            // (and interest table under it) covers hint walk + scan.
+            kernel.span_hold(pid, Phase::LockSocket, t_socket);
+            if hints {
+                kernel.span_hold(pid, Phase::LockInterestTable, t_backmap);
+                kernel.span_hold(pid, Phase::LockBackmap, t_backmap);
+            }
+            // Readiness scan: everything from DP_POLL entry through the
+            // driver polls, hint machinery included.
+            kernel.span_leaf(pid, Phase::ReadyScan, t_scan);
         }
         // Results are reported in ascending fd order regardless of the
         // (modelled) hash table's internal layout — determinism the
@@ -503,6 +537,7 @@ impl DevPollRegistry {
         results.truncate(cap);
         dev.stats.results += results.len() as u64;
         let result_bytes = (results.len() * PollFd::BYTES) as u64;
+        let t_out = kernel.batch_acc(pid);
         if args.null_dp_fds {
             dev.stats.mmap_results += results.len() as u64;
             kernel.charge_app(pid, cost.mmap_result_write * results.len() as u64);
@@ -518,6 +553,10 @@ impl DevPollRegistry {
             kernel
                 .probe_mut()
                 .add("devpoll.copyout_bytes", result_bytes);
+        }
+        if spans_on {
+            // Event delivery: mmap result write or pollfd copy-out.
+            kernel.span_leaf(pid, Phase::Delivery, t_out);
         }
         kernel
             .probe_mut()
@@ -553,6 +592,7 @@ impl DevPollRegistry {
     // #[hot_path] — simcheck bans per-call allocation in this function
     pub fn on_fd_event(&mut self, kernel: &mut Kernel, now: SimTime, pid: Pid, fd: Fd) {
         let cost = *kernel.cost_model();
+        let spans_on = kernel.spans().enabled();
         // The driver's hint path takes the backmap read lock, then
         // touches the interest table — the same order as the scan path,
         // so the lockdep graph stays acyclic.
@@ -578,7 +618,13 @@ impl DevPollRegistry {
                 } else {
                     cost.backmap_rlock
                 };
-                kernel.charge_softirq(now, SimDuration::from_nanos(cost.backmap_mark + lock));
+                let held = SimDuration::from_nanos(cost.backmap_mark + lock);
+                kernel.charge_softirq(now, held);
+                if spans_on {
+                    // Driver-side hint mark holds the backmap lock in
+                    // softirq context (tid 0 — no process is running).
+                    kernel.span_complete(Phase::LockBackmap, 0, now, now + held);
+                }
             }
         }
     }

@@ -8,6 +8,7 @@
 //! 1024-slot `FD_SETSIZE` is the hard limit the paper's httperf note
 //! alludes to ("httperf assumes that the maximum is 1024").
 
+use simcore::span::Phase;
 use simcore::time::SimTime;
 use simkernel::{Fd, Kernel, Pid, PollBits};
 
@@ -99,8 +100,10 @@ pub fn sys_select(
 ) -> PollOutcome {
     let cost = *kernel.cost_model();
     kernel.charge_app(pid, cost.syscall);
+    let spans_on = kernel.spans().enabled();
 
     // Deregister wait-queue entries from a previous sleeping call.
+    let t_reg = kernel.batch_acc(pid);
     let removed = kernel.unwatch_all(pid);
     kernel.charge_app(pid, cost.wq_remove * removed as u64);
 
@@ -108,10 +111,16 @@ pub fn sys_select(
     let probe = kernel.probe_mut();
     probe.inc("select.calls");
     probe.add("select.bit_walk", nfds as u64);
-    // Three bitmaps in, three out: readfds, writefds, exceptfds.
+    // Three bitmaps in (readfds, writefds, exceptfds) — the per-call
+    // interest-declaration tax, like poll()'s copy-in; the three result
+    // bitmaps out are charged with the scan below (same 6× total).
     let bitmap_bytes = nfds.div_ceil(8) as u64;
-    kernel.charge_app(pid, cost.copy_per_byte * bitmap_bytes * 6);
+    kernel.charge_app(pid, cost.copy_per_byte * bitmap_bytes * 3);
+    if spans_on {
+        kernel.span_leaf(pid, Phase::InterestReg, t_reg);
+    }
     // The O(maxfd) slot walk, members or not.
+    let t_scan = kernel.batch_acc(pid);
     kernel.charge_app(pid, cost.select_bit_walk * nfds as u64);
 
     let mut ready_read = FdSet::new();
@@ -142,17 +151,25 @@ pub fn sys_select(
             ready += 1;
         }
     }
+    if spans_on {
+        kernel.span_leaf(pid, Phase::ReadyScan, t_scan);
+    }
 
-    if ready > 0 {
+    if ready > 0 || timeout_ms == 0 {
+        // Result delivery: the three bitmaps cross back to user space.
+        let t_out = kernel.batch_acc(pid);
+        kernel.charge_app(pid, cost.copy_per_byte * bitmap_bytes * 3);
+        if spans_on {
+            kernel.span_leaf(pid, Phase::Delivery, t_out);
+        }
         *read_set = ready_read;
         *write_set = ready_write;
         return PollOutcome::Ready(ready);
     }
-    if timeout_ms == 0 {
-        *read_set = ready_read;
-        *write_set = ready_write;
-        return PollOutcome::Ready(0);
-    }
+    // Blocking: the kernel still walked and rewrote all three result
+    // bitmaps before deciding to sleep — same 6× copy total as the
+    // ready path (and as the pre-span cost model).
+    kernel.charge_app(pid, cost.copy_per_byte * bitmap_bytes * 3);
     // Register and sleep.
     let mut registered = 0u64;
     for fd in read_set.iter() {

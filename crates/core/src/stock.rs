@@ -6,6 +6,7 @@
 //! queue before sleeping, and deregistered on wakeup — the per-descriptor
 //! costs that §3 attributes the baseline's poor scalability to.
 
+use simcore::span::Phase;
 use simcore::time::SimTime;
 use simkernel::{Kernel, Pid, PollBits};
 
@@ -50,14 +51,21 @@ pub fn sys_poll(
     // against.
     probe.add("poll.driver_polls", fds.len() as u64);
 
-    // Deregister wait-queue entries left by a previous sleeping poll.
+    let spans_on = kernel.spans().enabled();
+
+    // Deregister wait-queue entries left by a previous sleeping poll,
+    // then copy-in and parse the entire interest set — every call. Both
+    // are poll()'s per-call interest-declaration tax.
+    let t_reg = kernel.batch_acc(pid);
     let removed = kernel.unwatch_all(pid);
     kernel.charge_app(pid, cost.wq_remove * removed as u64);
-
-    // Copy-in and parse of the entire interest set — every call.
     kernel.charge_app(pid, cost.pollfd_copyin * fds.len() as u64);
+    if spans_on {
+        kernel.span_leaf(pid, Phase::InterestReg, t_reg);
+    }
 
     // Scan: one driver poll callback per descriptor, ready or not.
+    let t_scan = kernel.batch_acc(pid);
     let mut ready = 0usize;
     for f in fds.iter_mut() {
         kernel.charge_app(pid, cost.driver_poll);
@@ -67,11 +75,18 @@ pub fn sys_poll(
             ready += 1;
         }
     }
+    if spans_on {
+        kernel.span_leaf(pid, Phase::ReadyScan, t_scan);
+    }
 
     if ready > 0 {
         // Result copy-out, proportional to the *whole* array in the real
         // syscall (revents live inline in the user array).
+        let t_out = kernel.batch_acc(pid);
         kernel.charge_app(pid, cost.pollfd_copyout * fds.len() as u64);
+        if spans_on {
+            kernel.span_leaf(pid, Phase::Delivery, t_out);
+        }
         return PollOutcome::Ready(ready);
     }
     if timeout_ms == 0 {
@@ -79,9 +94,13 @@ pub fn sys_poll(
     }
 
     // Nothing ready: register on every file's wait queue, then sleep.
+    let t_wq = kernel.batch_acc(pid);
     for f in fds.iter() {
         kernel.watch(pid, f.fd);
         kernel.charge_app(pid, cost.wq_add);
+    }
+    if spans_on {
+        kernel.span_leaf(pid, Phase::InterestReg, t_wq);
     }
     PollOutcome::WouldBlock
 }

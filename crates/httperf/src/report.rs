@@ -62,6 +62,12 @@ pub struct RunReport {
     /// Rendered event trace (empty unless categories were enabled via
     /// `RunParams::with_trace`).
     pub trace: String,
+    /// Chrome-trace JSON of retained latency spans (empty unless span
+    /// tracing was enabled with record retention).
+    pub span_chrome: String,
+    /// Folded-stack (`path;leaf ns`) lines of retained latency spans —
+    /// flamegraph input; same emptiness rule as `span_chrome`.
+    pub span_folded: String,
 }
 
 impl RunReport {
@@ -159,6 +165,8 @@ mod tests {
             kernel_wakeups: 0,
             probe: Snapshot::default(),
             trace: String::new(),
+            span_chrome: String::new(),
+            span_folded: String::new(),
         };
         assert_eq!(r.errors.total(), 50);
         assert!((r.error_percent() - 25.0).abs() < 1e-9);

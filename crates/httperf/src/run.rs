@@ -113,6 +113,15 @@ pub struct RunParams {
     /// [`simcore::trace::CATEGORIES`]); the rendered trace lands in
     /// [`RunReport::trace`].
     pub trace: Vec<String>,
+    /// Enable latency span tracing on the server kernel. Per-phase
+    /// `span_ns.*` histograms land in [`RunReport::probe`]; retained
+    /// span records render into [`RunReport::span_chrome`] /
+    /// [`RunReport::span_folded`].
+    pub spans: bool,
+    /// Span-record retention cap; `None` keeps
+    /// [`simcore::span::DEFAULT_RETAIN`]. Use `Some(0)` for
+    /// histogram-only runs (sweeps) that do not need exports.
+    pub span_retain: Option<usize>,
 }
 
 impl RunParams {
@@ -133,6 +142,8 @@ impl RunParams {
             horizon: SimTime::from_secs(600),
             doc_bytes: None,
             trace: Vec::new(),
+            spans: false,
+            span_retain: None,
         }
     }
 
@@ -164,6 +175,20 @@ impl RunParams {
         self
     }
 
+    /// Enables latency span tracing for this run.
+    pub fn with_spans(mut self) -> RunParams {
+        self.spans = true;
+        self
+    }
+
+    /// Enables span tracing with an explicit record-retention cap
+    /// (`0` = histograms only, no exports).
+    pub fn with_span_retain(mut self, retain: usize) -> RunParams {
+        self.spans = true;
+        self.span_retain = Some(retain);
+        self
+    }
+
     /// Enables the given trace categories (`"devpoll"`, `"rtsig"`,
     /// `"tcp"`, `"sched"`, or `"all"`) for this run.
     pub fn with_trace<I, S>(mut self, categories: I) -> RunParams
@@ -181,6 +206,12 @@ pub fn run_one(params: RunParams) -> RunReport {
     let mut bed = Testbed::new(params.cost, params.tcp, params.link, params.load);
     for cat in &params.trace {
         bed.kernel.trace_mut().enable_by_name(cat);
+    }
+    if params.spans {
+        bed.kernel.spans_mut().set_enabled(true);
+        if let Some(retain) = params.span_retain {
+            bed.kernel.spans_mut().set_retain(retain);
+        }
     }
     let mut server_cfg = params.server;
     if params.kind == ServerKind::ThttpdDevPollSendfile {

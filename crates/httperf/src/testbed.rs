@@ -223,6 +223,11 @@ impl Testbed {
             .gauge_set("tcp.time_wait", net.time_wait_count(SERVER_HOST) as u64);
         let probe = kernel.probe().snapshot();
         let trace = kernel.trace().dump();
+        let (span_chrome, span_folded) = if kernel.spans().is_empty() {
+            (String::new(), String::new())
+        } else {
+            (kernel.spans().chrome_trace(), kernel.spans().folded())
+        };
         // The measured interval is the arrival period: stragglers resolve
         // (as errors) up to a client-timeout later, but windows after the
         // last launched request would only dilute the rate statistics.
@@ -254,6 +259,8 @@ impl Testbed {
             kernel_wakeups,
             probe,
             trace,
+            span_chrome,
+            span_folded,
         }
     }
 }

@@ -9,6 +9,7 @@
 //! mode with very little overhead.").
 
 use devpoll::{DevPollBackend, EventBackend, RtEvent, RtSignalApi, WaitResult};
+use simcore::span::Phase;
 use simcore::time::SimTime;
 use simkernel::{Errno, Fd, FdMap, PollBits};
 
@@ -239,7 +240,9 @@ impl HybridServer {
             match self.rtapi.next_event(ctx.kernel, self.pid) {
                 Ok(RtEvent::Io { fd, band }) => {
                     processed += 1;
+                    let span = ctx.kernel.span_open(self.pid, Phase::Dispatch);
                     self.dispatch(ctx, fd, band);
+                    ctx.kernel.span_close(self.pid, span);
                 }
                 Ok(RtEvent::Overflow) => {
                     // Threshold logic should prevent this, but handle it:
@@ -298,7 +301,9 @@ impl HybridServer {
                     .probe_mut()
                     .observe("server.batch_events", n as u64);
                 for ev in evs {
+                    let span = ctx.kernel.span_open(self.pid, Phase::Dispatch);
                     self.dispatch(ctx, ev.fd, ev.revents);
+                    ctx.kernel.span_close(self.pid, span);
                 }
                 if n < self.hybrid.down_events {
                     self.switch_to(ctx, HybridMode::Signals);

@@ -13,6 +13,7 @@
 //!   ("Brown never implemented this logic", §6).
 
 use devpoll::{EventBackend, RtEvent, RtSignalApi, StockPollBackend, WaitResult};
+use simcore::span::Phase;
 use simcore::time::SimTime;
 use simkernel::{Errno, Fd, FdMap, PollBits};
 
@@ -315,7 +316,11 @@ impl Phhttpd {
             for ev in events {
                 processed += 1;
                 match ev {
-                    RtEvent::Io { fd, band } => self.dispatch(ctx, fd, band),
+                    RtEvent::Io { fd, band } => {
+                        let span = ctx.kernel.span_open(self.pid, Phase::Dispatch);
+                        self.dispatch(ctx, fd, band);
+                        ctx.kernel.span_close(self.pid, span);
+                    }
                     RtEvent::Overflow => {
                         self.handle_overflow(ctx);
                         return; // `run_batch` closes the batch out.
@@ -354,11 +359,13 @@ impl Phhttpd {
                     .probe_mut()
                     .observe("server.batch_events", evs.len() as u64);
                 for ev in evs {
+                    let span = ctx.kernel.span_open(self.pid, Phase::Dispatch);
                     if ev.fd == self.lfd {
                         self.accept_all(ctx);
                     } else {
                         self.dispatch_poll(ctx, ev.fd, ev.revents);
                     }
+                    ctx.kernel.span_close(self.pid, span);
                 }
                 ctx.kernel.end_batch(ctx.now, self.pid);
             }

@@ -3,6 +3,7 @@
 //! `/dev/poll`, like the paper's stock vs. modified thttpd pair (§5.1).
 
 use devpoll::{EventBackend, WaitResult};
+use simcore::span::Phase;
 use simcore::time::SimTime;
 use simkernel::{Errno, Fd, FdMap, PollBits};
 
@@ -265,7 +266,9 @@ impl<B: EventBackend> Server for Thttpd<B> {
                     .probe_mut()
                     .observe("server.batch_events", evs.len() as u64);
                 for ev in evs {
+                    let span = ctx.kernel.span_open(self.pid, Phase::Dispatch);
                     self.dispatch(ctx, ev.fd, ev.revents);
+                    ctx.kernel.span_close(self.pid, span);
                 }
                 ctx.kernel.end_batch(ctx.now, self.pid);
             }

@@ -26,6 +26,13 @@
 //!   overhaul removed, so the budget is zero — allocate once and reuse
 //!   (`std::mem::take` scratch buffers), or keep the cold path out of
 //!   the marked function.
+//! * `span-pairing` — a raw `span_enter` / `span_exit` call outside
+//!   `simcore`'s span module. The stack operations are private for a
+//!   reason: an unmatched enter (an early `return` or `?` between the
+//!   pair) corrupts the LIFO span stack and mis-attributes every phase
+//!   after it. Instrumentation must go through the scoped guard API
+//!   (`span_open`/`span_close`, `span_leaf`, `span_hold`), whose guards
+//!   cannot leak. Budget is zero, permanently.
 //!
 //! Scope: `lib` sources only. `tests/`, `benches/`, `src/bin/` drivers
 //! and `#[cfg(test)]` modules may unwrap freely — a panicking test is a
@@ -44,7 +51,7 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone)]
 pub struct Finding {
     /// Rule code (`unwrap-nontest`, `hash-iter`, `wallclock`,
-    /// `alloc-in-hot-path`).
+    /// `alloc-in-hot-path`, `span-pairing`).
     pub rule: &'static str,
     /// Path relative to the repository root, `/`-separated.
     pub path: String,
@@ -167,6 +174,7 @@ fn skip_file(rel: &str) -> bool {
 /// markers).
 fn scan_file(rel: &str, text: &str, hot_fns: &[&str], out: &mut Vec<Finding>) {
     let is_criterion_shim = rel.starts_with("crates/criterion-shim/");
+    let is_span_module = rel == "crates/simcore/src/span.rs";
     let all_lines: Vec<&str> = text.lines().collect();
     // Everything from the test module on is test code. (Repo convention:
     // the `#[cfg(test)] mod tests` block closes the file.)
@@ -238,6 +246,15 @@ fn scan_file(rel: &str, text: &str, hot_fns: &[&str], out: &mut Vec<Finding>) {
             line.contains(concat!("Instant::", "now")) || line.contains(concat!("System", "Time"));
         if !is_criterion_shim && wallclock {
             hit("wallclock");
+        }
+
+        // The span stack's raw operations live in (and are private to)
+        // the span module itself; any other mention is a bypass of the
+        // guard API.
+        let raw_span =
+            line.contains(concat!("span_", "enter")) || line.contains(concat!("span_", "exit"));
+        if !is_span_module && raw_span {
+            hit("span-pairing");
         }
     }
 
@@ -667,6 +684,23 @@ fn later() {
 ";
         scan_file("crates/x/src/lib.rs", src, &[], &mut out);
         assert!(out.iter().all(|f| f.rule != "alloc-in-hot-path"));
+    }
+
+    #[test]
+    fn raw_span_stack_calls_are_flagged_outside_the_span_module() {
+        let src = "let g = tracer.span_enter(p, 0, now);\ntracer.span_exit(g, now, probe);\nlet g = k.span_open(pid, p);\nk.span_close(pid, g);\n";
+        let mut out = Vec::new();
+        scan_file("crates/servers/src/thttpd.rs", src, &[], &mut out);
+        let hits: Vec<_> = out
+            .iter()
+            .filter(|f| f.rule == "span-pairing")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(hits, vec![1, 2], "guard API must stay unflagged");
+        // The span module defines the operations and is exempt.
+        let mut out = Vec::new();
+        scan_file("crates/simcore/src/span.rs", src, &[], &mut out);
+        assert!(out.iter().all(|f| f.rule != "span-pairing"));
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   plots);
 //! * [`series`] — figure/series containers with CSV and ASCII rendering;
 //! * [`probe`] — the cross-crate metric registry (counters, gauges,
-//!   log2 histograms) behind every run's observability snapshot.
+//!   log2 histograms) behind every run's observability snapshot;
+//! * [`span`] — deterministic scoped span tracing, the latency-anatomy
+//!   layer ([`span::SpanTracer`]).
 //!
 //! Everything is single-threaded and deterministic: a run is exactly
 //! reproducible from its RNG seed.
@@ -23,6 +25,7 @@ pub mod engine;
 pub mod probe;
 pub mod rng;
 pub mod series;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -30,6 +33,7 @@ pub mod trace;
 pub use engine::{BoxedEvent, Engine, Event, EventFn, EventId};
 pub use probe::{Gauge, Histogram, MetricRegistry, Snapshot};
 pub use rng::SimRng;
+pub use span::{Phase, SpanGuard, SpanRecord, SpanTracer};
 pub use stats::{OnlineStats, Quantiles, RateSampler, RateSummary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry};

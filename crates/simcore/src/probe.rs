@@ -135,6 +135,41 @@ impl Histogram {
         self.buckets[index]
     }
 
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the log2 buckets
+    /// by upper-bound interpolation: the target rank is located in its
+    /// bucket, then the estimate interpolates linearly from the bucket's
+    /// lower bound toward its upper bound (clamped to the observed
+    /// min/max). Exact values are lost to bucketing, so this is an
+    /// estimate with at most one-bucket (2×) error — plenty for p50/p90/
+    /// p99 tables.
+    pub fn quantile_est(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= target {
+                let lo = bucket_lo(i).max(self.min);
+                let hi = if i >= HIST_MAX_BUCKET {
+                    u64::MAX
+                } else {
+                    bucket_lo(i + 1).saturating_sub(1)
+                }
+                .min(self.max);
+                let frac = (target - cum) as f64 / c as f64;
+                let est = lo as f64 + frac * hi.saturating_sub(lo) as f64;
+                return (est as u64).clamp(lo, hi);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
     /// Non-empty buckets as `(lower_bound, count)`, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -319,6 +354,42 @@ impl Snapshot {
         out
     }
 
+    /// Renders a per-histogram quantile table (p50/p90/p99 by
+    /// [`Histogram::quantile_est`] upper-bound interpolation), so phase
+    /// and syscall latency histograms are readable without the JSON
+    /// export. Kept separate from [`Snapshot::to_text`] so existing
+    /// rendered output — and every digest derived from it — stays
+    /// byte-identical.
+    pub fn quantiles_text(&self) -> String {
+        let mut out = String::new();
+        if self.hists.is_empty() {
+            return out;
+        }
+        let width = self
+            .hists
+            .iter()
+            .map(|(k, _)| k.len())
+            .max()
+            .unwrap_or(0)
+            .max("histogram".len());
+        let _ = writeln!(
+            out,
+            "  {:<width$}  {:>12} {:>12} {:>12} {:>12}",
+            "histogram", "n", "p50", "p90", "p99"
+        );
+        for (k, h) in &self.hists {
+            let _ = writeln!(
+                out,
+                "  {k:<width$}  {:>12} {:>12} {:>12} {:>12}",
+                h.count(),
+                h.quantile_est(0.50),
+                h.quantile_est(0.90),
+                h.quantile_est(0.99),
+            );
+        }
+        out
+    }
+
     /// Renders one JSON object per line (JSON-lines), no tags.
     pub fn to_json_lines(&self) -> String {
         self.to_json_lines_with(&[])
@@ -461,6 +532,50 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_est_interpolates_toward_upper_bound() {
+        let mut h = Histogram::default();
+        // 100 samples of 1000: every quantile is inside bucket [512,1023],
+        // clamped to the observed min==max.
+        for _ in 0..100 {
+            h.observe(1000);
+        }
+        assert_eq!(h.quantile_est(0.50), 1000);
+        assert_eq!(h.quantile_est(0.99), 1000);
+        // Bimodal: 90 low (value 8) + 10 high (value 5000).
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(8);
+        }
+        for _ in 0..10 {
+            h.observe(5000);
+        }
+        let p50 = h.quantile_est(0.50);
+        assert!((8..=15).contains(&p50), "p50={p50}");
+        let p90 = h.quantile_est(0.90);
+        assert!((8..=15).contains(&p90), "p90={p90}");
+        let p99 = h.quantile_est(0.99);
+        assert!((4096..=5000).contains(&p99), "p99={p99}");
+        // Degenerate inputs.
+        assert_eq!(Histogram::default().quantile_est(0.5), 0);
+        assert_eq!(h.quantile_est(0.0), 8);
+        assert_eq!(h.quantile_est(1.0), 5000);
+    }
+
+    #[test]
+    fn quantiles_text_lists_histograms_only() {
+        let mut p = MetricRegistry::new();
+        p.inc("counter.only");
+        assert!(p.snapshot().quantiles_text().is_empty());
+        for v in 1..=100u64 {
+            p.observe("span_ns.read", v);
+        }
+        let text = p.snapshot().quantiles_text();
+        assert!(text.contains("span_ns.read"));
+        assert!(text.contains("p99"));
+        assert!(!text.contains("counter.only"));
     }
 
     #[test]

@@ -19,8 +19,8 @@
 //! assert!(trace.dump().contains("SYN"));
 //! ```
 
-use std::collections::HashMap;
-use std::collections::HashSet;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 use std::collections::VecDeque;
 
 use crate::time::SimTime;
@@ -45,9 +45,11 @@ pub struct TraceEntry {
 pub struct Trace {
     capacity: usize,
     entries: VecDeque<TraceEntry>,
-    enabled: HashSet<&'static str>,
+    // Ordered sets/maps so any iteration over categories — and thus
+    // every rendered dump — is deterministic (simcheck hash-iter rule).
+    enabled: BTreeSet<&'static str>,
     all: bool,
-    counts: HashMap<&'static str, u64>,
+    counts: BTreeMap<&'static str, u64>,
     dropped: u64,
 }
 

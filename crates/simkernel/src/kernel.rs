@@ -23,6 +23,7 @@
 //! curve in the paper.
 
 use simcore::probe::MetricRegistry;
+use simcore::span::{Phase, SpanGuard, SpanTracer};
 use simcore::time::{SimDuration, SimTime};
 use simcore::trace::Trace;
 use simnet::{EndpointId, ListenerId, NetNotify, Network, Port};
@@ -226,6 +227,10 @@ pub struct Kernel {
     /// Event trace shared by the kernel (`rtsig`, `tcp`, `sched`) and the
     /// `/dev/poll` device layer (`devpoll`).
     trace: Trace,
+    /// Latency-anatomy span tracer (disabled by default; when off every
+    /// instrumentation site is a single branch and the probe snapshot is
+    /// byte-identical to an uninstrumented build).
+    spans: SpanTracer,
 }
 
 impl Kernel {
@@ -246,6 +251,7 @@ impl Kernel {
             stats: KernelStats::default(),
             probe: MetricRegistry::new(),
             trace: Trace::new(4096),
+            spans: SpanTracer::new(),
         }
     }
 
@@ -296,6 +302,96 @@ impl Kernel {
         &mut self.trace
     }
 
+    /// The span tracer (read side: exporters, reports).
+    pub fn spans(&self) -> &SpanTracer {
+        &self.spans
+    }
+
+    /// The span tracer (write side: enabling, retention bound).
+    pub fn spans_mut(&mut self) -> &mut SpanTracer {
+        &mut self.spans
+    }
+
+    /// The batch's virtual now derived from the stored batch start —
+    /// the clock latency spans are stamped with. Works even in syscalls
+    /// that do not take a `now` parameter.
+    pub fn span_now(&self, pid: Pid) -> SimTime {
+        let p = self
+            .proc_get(pid)
+            .expect("invariant: pid was returned by spawn and never reaped");
+        p.batch_start + p.batch_acc.unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Opens a latency span at the batch's virtual now. One branch when
+    /// tracing is disabled (`None`).
+    pub fn span_open(&mut self, pid: Pid, phase: Phase) -> Option<SpanGuard> {
+        if !self.spans.enabled() {
+            return None;
+        }
+        let at = self.span_now(pid);
+        self.spans.open(phase, pid as u64, at)
+    }
+
+    /// Closes a span opened by [`Kernel::span_open`], charging its
+    /// exclusive time to the probe registry as `span_ns.<phase>`.
+    pub fn span_close(&mut self, pid: Pid, guard: Option<SpanGuard>) {
+        if let Some(guard) = guard {
+            let at = self.span_now(pid);
+            self.spans.close(guard, at, &mut self.probe);
+        }
+    }
+
+    /// Records a span whose endpoints are both already known (cross-batch
+    /// waits, softirq-side lock holds).
+    pub fn span_complete(&mut self, phase: Phase, tid: u64, start: SimTime, end: SimTime) {
+        self.spans
+            .record_complete(phase, tid, start, end, &mut self.probe);
+    }
+
+    /// Records a leaf span covering the batch cost accumulated since
+    /// `entry` (a [`Kernel::charge`] accumulator snapshot, the same shape
+    /// the `syscall_ns.*` histograms use), nested under the innermost
+    /// open span.
+    pub fn span_leaf(&mut self, pid: Pid, phase: Phase, entry: SimDuration) {
+        if !self.spans.enabled() {
+            return;
+        }
+        let p = self
+            .proc_get(pid)
+            .expect("invariant: pid was returned by spawn and never reaped");
+        let start = p.batch_start + entry;
+        let end = p.batch_start + p.batch_acc.unwrap_or(entry);
+        self.spans
+            .leaf(phase, pid as u64, start, end, &mut self.probe);
+    }
+
+    /// Records a lock-hold span covering the batch cost accumulated
+    /// since `from`. Like [`Kernel::span_leaf`] but bypasses the span
+    /// stack: lock holds overlap the request-path phases rather than
+    /// nesting inside them, so they must not eat into an enclosing
+    /// span's exclusive time.
+    pub fn span_hold(&mut self, pid: Pid, phase: Phase, from: SimDuration) {
+        if !self.spans.enabled() {
+            return;
+        }
+        let p = self
+            .proc_get(pid)
+            .expect("invariant: pid was returned by spawn and never reaped");
+        let start = p.batch_start + from;
+        let end = p.batch_start + p.batch_acc.unwrap_or(from);
+        self.spans
+            .record_complete(phase, pid as u64, start, end, &mut self.probe);
+    }
+
+    /// The batch cost accumulator right now (pairs with
+    /// [`Kernel::span_leaf`] for sites outside the kernel, e.g. the
+    /// `/dev/poll` device layer).
+    pub fn batch_acc(&self, pid: Pid) -> SimDuration {
+        self.proc_get(pid)
+            .and_then(|p| p.batch_acc)
+            .unwrap_or(SimDuration::ZERO)
+    }
+
     // ------------------------------------------------------------------
     // Processes and scheduling.
     // ------------------------------------------------------------------
@@ -344,10 +440,11 @@ impl Kernel {
     /// # Panics
     ///
     /// Panics if a batch is already in progress for this process.
-    pub fn begin_batch(&mut self, _now: SimTime, pid: Pid) {
+    pub fn begin_batch(&mut self, now: SimTime, pid: Pid) {
         let p = self.proc_mut(pid);
         assert!(p.batch_acc.is_none(), "nested batch for pid {pid}");
         p.batch_acc = Some(SimDuration::ZERO);
+        p.batch_start = now;
         p.batch_count += 1;
         p.state = ProcState::Idle;
     }
@@ -922,6 +1019,15 @@ impl Kernel {
                 },
             },
         );
+        if self.spans.enabled() {
+            // Accept-queue wait: from the softirq-side enqueue (three-way
+            // handshake completion) to this accept() pop — a cross-batch
+            // wait, so it is recorded standalone rather than nested.
+            if let Some(queued) = net.accept_queued_at(ep) {
+                let end = self.span_now(pid);
+                self.span_complete(Phase::AcceptWait, pid as u64, queued, end);
+            }
+        }
         self.syscall_exit(pid, t0, "syscall_ns.accept");
         Ok(fd)
     }
@@ -958,6 +1064,7 @@ impl Kernel {
                 s.mirror.hup = true;
             }
         }
+        self.span_leaf(pid, Phase::Read, t0);
         if data.is_empty() {
             if eof {
                 self.syscall_exit(pid, t0, "syscall_ns.read");
@@ -1002,6 +1109,7 @@ impl Kernel {
         if let Some(s) = self.ep_slot_mut(ep) {
             s.mirror.writable = net.send_space(ep) > 0;
         }
+        self.span_leaf(pid, Phase::Write, t0);
         if n == 0 {
             return Err(Errno::EAGAIN);
         }
@@ -1049,6 +1157,7 @@ impl Kernel {
         if let Some(s) = self.ep_slot_mut(ep) {
             s.mirror.writable = net.send_space(ep) > 0;
         }
+        self.span_leaf(pid, Phase::Write, t0);
         if n == 0 {
             return Err(Errno::EAGAIN);
         }
@@ -1135,6 +1244,7 @@ impl Kernel {
             }
         }
         self.proc_mut(pid).fds.get_mut(fd)?.sig = signo;
+        self.span_leaf(pid, Phase::InterestReg, t0);
         self.syscall_exit(pid, t0, "syscall_ns.set_sig");
         Ok(())
     }
@@ -1149,6 +1259,7 @@ impl Kernel {
         match out {
             Some(info) => {
                 self.probe.inc("rtsig.dequeued");
+                self.span_leaf(pid, Phase::Delivery, t0);
                 self.syscall_exit(pid, t0, "syscall_ns.sigwaitinfo");
                 Ok(info)
             }
@@ -1171,6 +1282,7 @@ impl Kernel {
         }
         self.probe.add("rtsig.dequeued", batch.len() as u64);
         self.probe.observe("rtsig.batch_size", batch.len() as u64);
+        self.span_leaf(pid, Phase::Delivery, t0);
         self.syscall_exit(pid, t0, "syscall_ns.sigtimedwait4");
         Ok(batch)
     }

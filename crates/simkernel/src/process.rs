@@ -58,6 +58,10 @@ pub struct Process {
     pub state: ProcState,
     /// Cost accumulated by the batch currently being issued, if any.
     pub batch_acc: Option<SimDuration>,
+    /// When the current (or most recent) batch began; `batch_start +
+    /// batch_acc` is the batch's virtual now, the clock latency spans
+    /// are stamped with.
+    pub batch_start: SimTime,
     /// A wake arrived while the batch that decided to sleep was still on
     /// the CPU; do not sleep after all.
     pub pending_wake: bool,
@@ -75,6 +79,7 @@ impl Process {
             signals: SignalState::new(rt_queue_max),
             state: ProcState::Idle,
             batch_acc: None,
+            batch_start: SimTime::ZERO,
             pending_wake: false,
             syscall_count: 0,
             batch_count: 0,

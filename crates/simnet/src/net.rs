@@ -406,6 +406,19 @@ impl Network {
         Some(EndpointId::new(conn, Side::Server))
     }
 
+    /// When this endpoint's connection entered the accept queue
+    /// (`None` until the three-way handshake queued it). Still valid
+    /// after [`Network::accept`] pops it — the accept-wait latency span
+    /// reads it from the just-accepted endpoint.
+    pub fn accept_queued_at(&self, ep: EndpointId) -> Option<SimTime> {
+        let c = self.conn(ep.conn)?;
+        if c.accept_queued {
+            Some(c.accept_queued_at)
+        } else {
+            None
+        }
+    }
+
     /// Number of connections waiting in the accept queue.
     pub fn accept_queue_len(&self, listener: ListenerId) -> usize {
         self.listeners
@@ -450,6 +463,7 @@ impl Network {
             syn_sent: 0,
             closed_first: None,
             accept_queued: false,
+            accept_queued_at: SimTime::ZERO,
             accepted: false,
             ports_freed: false,
         };
@@ -782,6 +796,7 @@ impl Network {
         }
         conn.ep_mut(Side::Server).last_progress = now;
         conn.accept_queued = true;
+        conn.accept_queued_at = now;
         let l = self
             .listeners
             .get_mut(lid.0 as usize)

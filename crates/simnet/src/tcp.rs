@@ -193,6 +193,9 @@ pub struct Conn {
     pub(crate) closed_first: Option<Side>,
     /// Whether the server half was pushed to the accept queue.
     pub(crate) accept_queued: bool,
+    /// When the server half entered the accept queue (meaningful only
+    /// once `accept_queued` is set; feeds the accept-wait latency span).
+    pub(crate) accept_queued_at: SimTime,
     /// Whether the server half was actually accepted by the application.
     pub(crate) accepted: bool,
     /// Ports already returned to their allocators (guards double-free

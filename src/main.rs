@@ -11,6 +11,7 @@
 
 use scalable_net_io::bench::{effective_jobs, run_jobs};
 use scalable_net_io::httperf::{run_one, LoadShape, RunParams, ServerKind};
+use scalable_net_io::simcore::span::Phase;
 use scalable_net_io::simcore::time::SimDuration;
 use scalable_net_io::simcore::trace::CATEGORIES;
 use scalable_net_io::simkernel::AcceptWake;
@@ -27,6 +28,7 @@ struct Opts {
     trace: Vec<String>,
     json: bool,
     jobs: Option<usize>,
+    trace_export: Option<String>,
 }
 
 impl Default for Opts {
@@ -43,20 +45,25 @@ impl Default for Opts {
             trace: Vec::new(),
             json: false,
             jobs: None,
+            trace_export: None,
         }
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scalable-net-io <run|compare|sweep|stats> [options]\n\
+        "usage: scalable-net-io <run|compare|sweep|stats|timeline> [options]\n\
          \n\
          commands:\n\
            run               one run, summary row\n\
            compare           one row per server architecture\n\
            sweep             rate sweep for one server\n\
            stats             one run, then the kernel probe snapshot\n\
-                             (counters, gauges, latency histograms)\n\
+                             (counters, gauges, latency histograms with\n\
+                             p50/p90/p99)\n\
+           timeline          one span-traced run, then the per-phase\n\
+                             latency anatomy table (where each\n\
+                             microsecond of request time went)\n\
          \n\
          options:\n\
            --server KIND     select|poll|devpoll|devpoll-sendfile|phhttpd|\n\
@@ -72,6 +79,9 @@ fn usage() -> ! {
                              devpoll,rtsig,tcp,sched or all (printed after\n\
                              the run)\n\
            --json            stats: emit JSON lines instead of the table\n\
+           --trace-export D  timeline: write trace.json (Chrome trace)\n\
+                             and trace.folded (flamegraph input) into\n\
+                             directory D\n\
            --jobs N          compare/sweep: worker threads (default:\n\
                              BENCH_JOBS, then available parallelism);\n\
                              rows always print in grid order\n\
@@ -168,6 +178,7 @@ fn main() {
             }
             "--json" => opts.json = true,
             "--jobs" => opts.jobs = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--trace-export" => opts.trace_export = Some(val()),
             other => {
                 if let Some(cats) = other.strip_prefix("--trace=") {
                     opts.trace.extend(cats.split(',').map(str::to_string));
@@ -219,9 +230,55 @@ fn main() {
                 header();
                 row(&mut r);
                 println!("\n{}", r.probe.to_text());
+                let quantiles = r.probe.quantiles_text();
+                if !quantiles.is_empty() {
+                    println!("\n{quantiles}");
+                }
             }
             if !r.trace.is_empty() {
                 println!("\n{}", r.trace);
+            }
+        }
+        "timeline" => {
+            let Some(kind) = parse_kind(&opts.server) else {
+                usage()
+            };
+            let mut r = run_one(params(kind, &opts, opts.rate).with_spans());
+            header();
+            row(&mut r);
+            println!();
+            println!(
+                "{:<20} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+                "phase", "spans", "total_us", "p50_ns", "p90_ns", "p99_ns", "ns/reply"
+            );
+            for phase in Phase::ALL {
+                let Some(h) = r.probe.histogram(phase.metric()) else {
+                    continue;
+                };
+                let per_reply = if r.replies > 0 {
+                    h.sum() as f64 / r.replies as f64
+                } else {
+                    0.0
+                };
+                println!(
+                    "{:<20} {:>10} {:>12.1} {:>10} {:>10} {:>10} {:>10.0}",
+                    phase.name(),
+                    h.count(),
+                    h.sum() as f64 / 1e3,
+                    h.quantile_est(0.5),
+                    h.quantile_est(0.9),
+                    h.quantile_est(0.99),
+                    per_reply,
+                );
+            }
+            if let Some(dir) = &opts.trace_export {
+                std::fs::create_dir_all(dir).expect("create trace export dir");
+                let json = std::path::Path::new(dir).join("trace.json");
+                let folded = std::path::Path::new(dir).join("trace.folded");
+                std::fs::write(&json, &r.span_chrome).expect("write chrome trace");
+                std::fs::write(&folded, &r.span_folded).expect("write folded stacks");
+                println!("\n[written {}]", json.display());
+                println!("[written {}]", folded.display());
             }
         }
         "compare" => {
