@@ -2,6 +2,7 @@
 //! `servers` crate) can run on stock `poll()` or on `/dev/poll`, exactly
 //! like the paper's stock vs. modified thttpd pair (§5.1).
 
+use simcore::fingerprint::Fnv;
 use simcore::time::SimTime;
 use simkernel::{Errno, Fd, Kernel, Pid, PollBits};
 
@@ -67,6 +68,36 @@ pub trait EventBackend {
 
     /// Current interest-set size (diagnostics).
     fn interest_len(&self) -> usize;
+
+    /// Clones this backend into a fresh box. World snapshotting in
+    /// `simcheck explore` forks whole lanes, and the backend's
+    /// user-space bookkeeping (interest arrays, pending updates, dpfd)
+    /// is part of the world.
+    fn clone_box(&self) -> Box<dyn EventBackend>;
+
+    /// Folds the backend's user-space state into `h` — the portion of
+    /// the world that lives outside the kernel and the `/dev/poll`
+    /// registry. Fields must be fed in a fixed order (see
+    /// `simcore::fingerprint`).
+    fn fingerprint_into(&self, h: &mut Fnv);
+}
+
+impl Clone for Box<dyn EventBackend> {
+    fn clone(&self) -> Box<dyn EventBackend> {
+        self.clone_box()
+    }
+}
+
+/// Folds a dense fd-indexed interest array (the user-space bookkeeping
+/// shared by the poll and select backends) in ascending-fd order.
+fn fingerprint_interest(h: &mut Fnv, interest: &[Option<PollBits>]) {
+    h.write_len(interest.iter().filter(|s| s.is_some()).count());
+    for (ix, ev) in interest.iter().enumerate() {
+        if let Some(ev) = ev {
+            h.write_usize(ix);
+            h.write_u32(u32::from(ev.0));
+        }
+    }
 }
 
 /// Stock `poll()`: the interest set lives in user space and the whole
@@ -76,7 +107,7 @@ pub trait EventBackend {
 /// array — and therefore every result — is deterministic (ascending fd)
 /// without a per-call sort, and the rebuild reuses one scratch buffer
 /// instead of allocating per wait.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct StockPollBackend {
     interest: Vec<Option<PollBits>>,
     len: usize,
@@ -184,13 +215,21 @@ impl EventBackend for StockPollBackend {
     fn interest_len(&self) -> usize {
         self.len
     }
+
+    fn clone_box(&self) -> Box<dyn EventBackend> {
+        Box::new(self.clone())
+    }
+
+    fn fingerprint_into(&self, h: &mut Fnv) {
+        fingerprint_interest(h, &self.interest);
+    }
 }
 
 /// `select()`: the pre-poll baseline. Interest crosses the boundary as
 /// three bitmaps; the kernel walks every slot up to `maxfd`; the result
 /// overwrites the input, so both sets are rebuilt before every call; and
 /// nothing past [`FD_SETSIZE`] can be watched at all.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SelectBackend {
     interest: Vec<Option<PollBits>>,
     len: usize,
@@ -321,11 +360,19 @@ impl EventBackend for SelectBackend {
     fn interest_len(&self) -> usize {
         self.len
     }
+
+    fn clone_box(&self) -> Box<dyn EventBackend> {
+        Box::new(self.clone())
+    }
+
+    fn fingerprint_into(&self, h: &mut Fnv) {
+        fingerprint_interest(h, &self.interest);
+    }
 }
 
 /// `/dev/poll`: the interest set lives in the kernel; updates are
 /// incremental writes and waiting is `ioctl(DP_POLL)`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DevPollBackend {
     config: DevPollConfig,
     /// Use the shared mmap result area (§3.3).
@@ -474,5 +521,30 @@ impl EventBackend for DevPollBackend {
 
     fn interest_len(&self) -> usize {
         self.len
+    }
+
+    fn clone_box(&self) -> Box<dyn EventBackend> {
+        Box::new(self.clone())
+    }
+
+    fn fingerprint_into(&self, h: &mut Fnv) {
+        // Kernel-side interest is covered by the registry fingerprint;
+        // this is only the user-space residue.
+        h.write_bool(self.config.hints);
+        h.write_bool(self.config.or_semantics);
+        h.write_bool(self.use_mmap);
+        h.write_bool(self.combined_updates);
+        h.write_len(self.pending.len());
+        for p in &self.pending {
+            h.write_i64(i64::from(p.fd));
+            h.write_u32(u32::from(p.events.0));
+        }
+        match self.dpfd {
+            None => h.write_u8(0),
+            Some(fd) => {
+                h.write_u8(1);
+                h.write_i64(i64::from(fd));
+            }
+        }
     }
 }

@@ -58,7 +58,7 @@ pub struct DevPollStats {
 }
 
 /// One open `/dev/poll` instance.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DevPollDevice {
     owner: Pid,
     config: DevPollConfig,
@@ -89,7 +89,7 @@ impl DevPollDevice {
 ///
 /// "A process may open /dev/poll more than once to build multiple
 /// independent interest sets" — each `open` yields a distinct device.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct DevPollRegistry {
     /// Ordered by handle so multi-device walks ([`Self::on_fd_event`])
     /// are deterministic.
@@ -100,6 +100,16 @@ pub struct DevPollRegistry {
     /// the simcheck differential oracle exists to catch. Test-only.
     #[doc(hidden)]
     testhook_skip_revalidation: bool,
+    /// Hidden fault-injection hook: force Solaris OR-semantics on every
+    /// interest update regardless of the device's configuration — the
+    /// §3.1 replace-not-OR divergence. Test-only.
+    #[doc(hidden)]
+    testhook_or_semantics: bool,
+    /// Hidden fault-injection hook: on `POLLREMOVE`, drop the interest
+    /// from the table but *skip* the backmap/watcher purge — the §3.1
+    /// dual-purge bug. Test-only.
+    #[doc(hidden)]
+    testhook_skip_backmap_purge: bool,
     /// Lock-order recorder (checked mode): every simulated rwlock /
     /// per-socket acquisition lands here so inverted orders are caught.
     #[cfg(feature = "simcheck")]
@@ -150,6 +160,52 @@ impl DevPollRegistry {
     #[doc(hidden)]
     pub fn testhook_skip_revalidation(&mut self, on: bool) {
         self.testhook_skip_revalidation = on;
+    }
+
+    /// Fault injection for `simcheck explore`: apply every interest
+    /// update with Solaris OR-semantics instead of replace. Never
+    /// enable outside a test.
+    #[doc(hidden)]
+    pub fn testhook_or_semantics(&mut self, on: bool) {
+        self.testhook_or_semantics = on;
+    }
+
+    /// Fault injection for `simcheck explore`: `POLLREMOVE` removes the
+    /// interest-table entry but leaves the watcher/backmap registration
+    /// behind. Never enable outside a test.
+    #[doc(hidden)]
+    pub fn testhook_skip_backmap_purge(&mut self, on: bool) {
+        self.testhook_skip_backmap_purge = on;
+    }
+
+    /// Folds every device's kernel-side state — interest entries with
+    /// their hint flags and cached results, mmap allocation, config —
+    /// into one FNV digest for world deduplication in `simcheck
+    /// explore`. Diagnostic counters are excluded.
+    pub fn state_fingerprint(&self) -> u64 {
+        use simcore::fingerprint::Fnv;
+        let mut h = Fnv::new();
+        h.write_u64(self.next);
+        h.write_bool(self.testhook_skip_revalidation);
+        h.write_bool(self.testhook_or_semantics);
+        h.write_bool(self.testhook_skip_backmap_purge);
+        h.write_len(self.devices.len());
+        for (handle, dev) in &self.devices {
+            h.write_u64(*handle);
+            h.write_u64(u64::from(dev.owner));
+            h.write_bool(dev.config.hints);
+            h.write_bool(dev.config.or_semantics);
+            h.write_bool(dev.config.per_socket_locks);
+            h.write_u64(dev.mmap_slots.map_or(u64::MAX, |s| s as u64));
+            h.write_len(dev.interest.len());
+            for e in dev.interest.iter() {
+                h.write_i64(i64::from(e.fd));
+                h.write_u32(u32::from(e.events.0));
+                h.write_bool(e.hinted);
+                h.write_u32(u32::from(e.cached.0));
+            }
+        }
+        h.finish()
     }
 
     /// The lock-order graph recorded so far (checked mode).
@@ -238,14 +294,20 @@ impl DevPollRegistry {
         to_watch.clear();
         let mut to_unwatch = std::mem::take(&mut self.unwatch_scratch);
         to_unwatch.clear();
+        let skip_purge = self.testhook_skip_backmap_purge;
+        let force_or = self.testhook_or_semantics;
         let dev = self.resolve(kernel, pid, dpfd)?;
-        let or_semantics = dev.config.or_semantics;
+        let or_semantics = dev.config.or_semantics || force_or;
         #[cfg(feature = "simcheck")]
         let prev_buckets = dev.interest.bucket_count();
         let grows_before = dev.interest.grow_count();
         for e in entries {
             if e.events.contains(PollBits::POLLREMOVE) {
-                if dev.interest.remove(e.fd) {
+                // Under the fault hook the watcher purge is skipped, so
+                // the fd never lands in `to_unwatch` (which also keeps
+                // the runtime auditor blind to the seeded bug —
+                // `explore` must find it from the outside).
+                if dev.interest.remove(e.fd) && !skip_purge {
                     to_unwatch.push(e.fd);
                 }
             } else {

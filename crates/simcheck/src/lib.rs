@@ -6,14 +6,21 @@
 //!   driven through `poll()`, `select()`, `/dev/poll` (with and without
 //!   driver hints) and the RT-signal path, with ready sets compared at
 //!   every wait boundary and failing seeds shrunk to a minimal script;
+//! * [`explore`] — bounded exhaustive model checking: every canonical
+//!   schedule of a small event alphabet to a depth bound, all five
+//!   lanes checked against the executable reference [`model`] at every
+//!   wait boundary, with fingerprint dedup and DPOR-style pruning;
 //! * [`lint`] — a dependency-free source scanner for panicking calls in
-//!   library code, hash-ordered iteration, and wall-clock usage;
+//!   library code, hash-ordered iteration, wall-clock usage, and mixed
+//!   time-unit arithmetic;
 //! * the runtime invariant auditor and lockdep graph themselves live in
 //!   the `devpoll` crate behind its `simcheck` feature, which this
 //!   crate's dependency switches on.
 //!
 //! The `simcheck` binary wires all three into CI; see `README.md`.
 
+pub mod explore;
 pub mod lint;
+pub mod model;
 pub mod oracle;
 pub mod script;

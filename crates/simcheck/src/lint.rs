@@ -33,10 +33,24 @@
 //!   after it. Instrumentation must go through the scoped guard API
 //!   (`span_open`/`span_close`, `span_leaf`, `span_hold`), whose guards
 //!   cannot leak. Budget is zero, permanently.
+//! * `time-unit` — identifiers with different time-unit suffixes
+//!   (`_ns`, `_us`, `_ms`) combined by arithmetic on one line. Adding
+//!   nanoseconds to milliseconds compiles fine and is wrong by 10^6;
+//!   convert first. Lines that spell out the conversion factor through
+//!   a `_per_`/`_PER_` constant are the sanctioned form.
 //!
-//! Scope: `lib` sources only. `tests/`, `benches/`, `src/bin/` drivers
-//! and `#[cfg(test)]` modules may unwrap freely — a panicking test is a
-//! failing test, which is the point.
+//! Function spans and the `time-unit` rule are computed on a
+//! tokenizer-stripped view of the source ([`strip_noncode`]): string
+//! and char literals, raw strings and comments (line and nested block,
+//! carried across lines) are blanked first, so a `"}"` in a literal
+//! cannot end a hot span early and a `_ms` inside a doc string cannot
+//! trip the unit check.
+//!
+//! Scope: `lib` sources only. `tests/`, `benches/`, `src/bin/` drivers,
+//! crate binary roots (`src/main.rs`) and `#[cfg(test)]` modules may
+//! unwrap freely — a panicking test is a failing test, which is the
+//! point — and CLI drivers may read the wall clock to report their own
+//! runtime.
 //!
 //! Findings are budgeted by the checked-in `simcheck.allow` file; the
 //! build fails on any finding beyond its budget, so the allowlist can
@@ -51,7 +65,7 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone)]
 pub struct Finding {
     /// Rule code (`unwrap-nontest`, `hash-iter`, `wallclock`,
-    /// `alloc-in-hot-path`, `span-pairing`).
+    /// `alloc-in-hot-path`, `span-pairing`, `time-unit`).
     pub rule: &'static str,
     /// Path relative to the repository root, `/`-separated.
     pub path: String,
@@ -165,8 +179,9 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
 
 /// Whole files outside the lint's scope.
 fn skip_file(rel: &str) -> bool {
-    // Binary drivers are interactive tools, not simulation library code.
-    rel.contains("/src/bin/")
+    // Binary drivers are interactive tools, not simulation library code;
+    // that covers both `src/bin/` trees and crate binary roots.
+    rel.contains("/src/bin/") || rel.ends_with("/src/main.rs")
 }
 
 /// Scans one file, appending findings. `hot_fns` are the functions the
@@ -183,6 +198,10 @@ fn scan_file(rel: &str, text: &str, hot_fns: &[&str], out: &mut Vec<Finding>) {
         .position(|l| l.trim().starts_with("#[cfg(test)]"))
         .unwrap_or(all_lines.len());
     let lines = &all_lines[..test_start];
+    // The stripped view (literal and comment contents blanked) feeds
+    // the structural passes: function-span walking and the time-unit
+    // suffix scan.
+    let code = strip_lines(lines);
 
     // Names of bindings/fields declared with a hash-ordered type in the
     // non-test code; iteration over them is what the hash-iter rule
@@ -256,9 +275,37 @@ fn scan_file(rel: &str, text: &str, hot_fns: &[&str], out: &mut Vec<Finding>) {
         if !is_span_module && raw_span {
             hit("span-pairing");
         }
+
+        if time_unit_mix(&code[i]) {
+            hit("time-unit");
+        }
     }
 
-    scan_hot_spans(rel, lines, hot_fns, out);
+    scan_hot_spans(rel, lines, &code, hot_fns, out);
+}
+
+/// The `time-unit` rule: does this (stripped) line combine identifiers
+/// of at least two different time-unit suffix classes (`_ns`, `_us`,
+/// `_ms`) with an arithmetic operator? `_per_`/`_PER_` conversion
+/// constants sanction the line — spelling out the factor *is* the
+/// conversion.
+fn time_unit_mix(code: &str) -> bool {
+    if code.contains("_per_") || code.contains("_PER_") {
+        return false;
+    }
+    let arith = [" + ", " - ", " * ", " / ", "+=", "-="]
+        .iter()
+        .any(|op| code.contains(op));
+    if !arith {
+        return false;
+    }
+    let (mut ns, mut us, mut ms) = (false, false, false);
+    for ident in code.split(|c: char| !c.is_alphanumeric() && c != '_') {
+        ns |= ident.ends_with(concat!("_n", "s"));
+        us |= ident.ends_with(concat!("_u", "s"));
+        ms |= ident.ends_with(concat!("_m", "s"));
+    }
+    u8::from(ns) + u8::from(us) + u8::from(ms) >= 2
 }
 
 /// The `alloc-in-hot-path` pass: walks function spans that are marked
@@ -266,7 +313,13 @@ fn scan_file(rel: &str, text: &str, hot_fns: &[&str], out: &mut Vec<Finding>) {
 /// (doc comments and attributes may sit between), or by name via
 /// `simcheck.allow`'s `hot` lines — and flags per-call allocations
 /// inside them.
-fn scan_hot_spans(rel: &str, lines: &[&str], hot_fns: &[&str], out: &mut Vec<Finding>) {
+fn scan_hot_spans(
+    rel: &str,
+    lines: &[&str],
+    code: &[String],
+    hot_fns: &[&str],
+    out: &mut Vec<Finding>,
+) {
     // Needles split so this scanner does not flag its own definitions.
     let box_needle = concat!("Box", "::new");
     let collect_needle = concat!(".col", "lect");
@@ -289,7 +342,7 @@ fn scan_hot_spans(rel: &str, lines: &[&str], hot_fns: &[&str], out: &mut Vec<Fin
             let hot = pending_hot || hot_fns.contains(&name.as_str());
             pending_hot = false;
             if hot {
-                let end = fn_span_end(lines, i);
+                let end = fn_span_end(code, i);
                 for (j, l) in lines.iter().enumerate().take(end).skip(i) {
                     let lt = l.trim();
                     if lt.starts_with("//") {
@@ -341,16 +394,186 @@ fn fn_name(trimmed: &str) -> Option<String> {
     (!name.is_empty()).then_some(name)
 }
 
-/// One past the last line of the function starting at `start` (naive
-/// brace counting; a signature-only declaration ends at its `;`).
-fn fn_span_end(lines: &[&str], start: usize) -> usize {
-    let mut depth = 0i32;
-    let mut opened = false;
-    for (j, line) in lines.iter().enumerate().skip(start) {
-        let lt = line.trim();
-        if lt.starts_with("//") {
+/// Cross-line lexer state for [`strip_noncode`]: what a line *starts*
+/// inside.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct LexState {
+    /// Nesting depth of `/* … */` (Rust block comments nest).
+    block_comment: u32,
+    /// An open string literal, if any (plain strings may span lines).
+    string: Option<StrKind>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StrKind {
+    /// `"…"` — backslash escapes, closes at an unescaped `"`.
+    Plain,
+    /// `r##"…"##` — closes at `"` followed by this many `#`.
+    Raw(u8),
+}
+
+impl LexState {
+    /// Test-only convenience: is the lexer outside every literal and
+    /// comment?
+    #[cfg(test)]
+    fn in_code(self) -> bool {
+        self.block_comment == 0 && self.string.is_none()
+    }
+}
+
+/// Returns `line` with comments and string/char-literal *contents*
+/// blanked to spaces (plus the carried-over state for the next line),
+/// so structural scans — brace counting, suffix matching — only ever
+/// see real code. Handles line and nested block comments, plain and
+/// raw (and byte) strings, char literals including `'\u{…}'`, and
+/// distinguishes lifetimes from char literals by lookahead.
+fn strip_noncode(line: &str, mut st: LexState) -> (String, LexState) {
+    let b = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < b.len() {
+        if st.block_comment > 0 {
+            if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                st.block_comment += 1;
+                i += 2;
+            } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                st.block_comment -= 1;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            out.push(' ');
             continue;
         }
+        match st.string {
+            Some(StrKind::Plain) => {
+                if b[i] == b'\\' {
+                    i += 2; // the escaped byte cannot close the string
+                } else {
+                    if b[i] == b'"' {
+                        st.string = None;
+                    }
+                    i += 1;
+                }
+                out.push(' ');
+                continue;
+            }
+            Some(StrKind::Raw(hashes)) => {
+                let h = usize::from(hashes);
+                if b[i] == b'"'
+                    && b[i + 1..].len() >= h
+                    && b[i + 1..i + 1 + h].iter().all(|&c| c == b'#')
+                {
+                    st.string = None;
+                    for _ in 0..=h {
+                        out.push(' ');
+                    }
+                    i += 1 + h;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+            None => {}
+        }
+        // In code. Openers first.
+        if b[i] == b'/' && b.get(i + 1) == Some(&b'/') {
+            break; // line comment: the rest is prose
+        }
+        if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+            st.block_comment = 1;
+            out.push_str("  ");
+            i += 2;
+            continue;
+        }
+        // Raw (and raw-byte) strings: r"…", r#"…"#, br"…".
+        if b[i] == b'r' || (b[i] == b'b' && b.get(i + 1) == Some(&b'r')) {
+            let after_r = i + if b[i] == b'b' { 2 } else { 1 };
+            let mut j = after_r;
+            while b.get(j) == Some(&b'#') {
+                j += 1;
+            }
+            if b.get(j) == Some(&b'"') && j - after_r <= usize::from(u8::MAX) {
+                st.string = Some(StrKind::Raw((j - after_r) as u8));
+                for _ in i..=j {
+                    out.push(' ');
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        if b[i] == b'"' || (b[i] == b'b' && b.get(i + 1) == Some(&b'"')) {
+            st.string = Some(StrKind::Plain);
+            let skip = if b[i] == b'b' { 2 } else { 1 };
+            for _ in 0..skip {
+                out.push(' ');
+            }
+            i += skip;
+            continue;
+        }
+        // Char / byte-char literal vs. lifetime: a quote starts a char
+        // literal if it is escaped (`'\n'`, `'\u{7f}'`) or one
+        // character wide (`'{'`); otherwise it is a lifetime (`'a`).
+        let quote_at = if b[i] == b'\'' {
+            Some(i)
+        } else if b[i] == b'b' && b.get(i + 1) == Some(&b'\'') {
+            Some(i + 1)
+        } else {
+            None
+        };
+        if let Some(q) = quote_at {
+            let is_escape = b.get(q + 1) == Some(&b'\\');
+            let one_wide = b.get(q + 2) == Some(&b'\'');
+            if is_escape || one_wide {
+                // Blank to the closing quote (escapes like \u{…} are
+                // multi-byte, so scan rather than assume a width).
+                let mut j = q + 1;
+                while j < b.len() {
+                    if b[j] == b'\\' {
+                        j += 2;
+                        continue;
+                    }
+                    if b[j] == b'\'' {
+                        break;
+                    }
+                    j += 1;
+                }
+                let end = j.min(b.len().saturating_sub(1));
+                for _ in i..=end {
+                    out.push(' ');
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        out.push(char::from(b[i]));
+        i += 1;
+    }
+    (out, st)
+}
+
+/// Blanks every line of a file in one pass, carrying lexer state across
+/// line boundaries (multi-line block comments, multi-line strings).
+fn strip_lines(lines: &[&str]) -> Vec<String> {
+    let mut st = LexState::default();
+    let mut out = Vec::with_capacity(lines.len());
+    for line in lines {
+        let (code, next) = strip_noncode(line, st);
+        st = next;
+        out.push(code);
+    }
+    out
+}
+
+/// One past the last line of the function starting at `start`, by brace
+/// counting over the stripped view (`code[j]` is line `j` with literals
+/// and comments blanked — a `"}"` in a string cannot end the span). A
+/// signature-only declaration ends at its `;`.
+fn fn_span_end(code: &[String], start: usize) -> usize {
+    let mut depth = 0i32;
+    let mut opened = false;
+    for (j, line) in code.iter().enumerate().skip(start) {
         for c in line.chars() {
             match c {
                 '{' => {
@@ -364,11 +587,11 @@ fn fn_span_end(lines: &[&str], start: usize) -> usize {
         if opened && depth <= 0 {
             return j + 1;
         }
-        if !opened && lt.ends_with(';') {
+        if !opened && line.trim_end().ends_with(';') {
             return j + 1; // trait-method declaration, no body
         }
     }
-    lines.len()
+    code.len()
 }
 
 /// The identifier ending just before byte `idx` (declaration name).
@@ -701,6 +924,96 @@ fn later() {
         let mut out = Vec::new();
         scan_file("crates/simcore/src/span.rs", src, &[], &mut out);
         assert!(out.iter().all(|f| f.rule != "span-pairing"));
+    }
+
+    #[test]
+    fn fn_span_survives_adversarial_braces_in_literals_and_comments() {
+        // Every line between the marker and the real closing brace
+        // contains decoy braces that a naive counter miscounts: string
+        // and char literals, raw strings, trailing and nested block
+        // comments, and a \u{…} escape. The alloc on the last body line
+        // must still be inside the span, and the alloc in the next
+        // function must stay outside it.
+        let mut out = Vec::new();
+        let src = r##"
+// #[hot_path]
+fn adversarial(&mut self) {
+    let s = "}{";
+    let c = '{';
+    let close = '}';
+    let esc = '\u{7d}';
+    let raw = r#"}}}"#; // } in a trailing comment
+    /* a block comment } with a {
+       spanning lines and nesting /* }} */ still } */
+    let multi = "a string that
+        spans lines with } and {";
+    let b = Box::new(1);
+}
+
+fn cold() {
+    let b = Box::new(2);
+}
+"##;
+        let lines: Vec<&str> = src.lines().collect();
+        let code = strip_lines(&lines);
+        scan_hot_spans("crates/x/src/lib.rs", &lines, &code, &[], &mut out);
+        let hits: Vec<_> = out
+            .iter()
+            .filter(|f| f.rule == "alloc-in-hot-path")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(
+            hits,
+            vec![13],
+            "decoy braces must neither truncate nor extend the hot span"
+        );
+    }
+
+    #[test]
+    fn stripping_carries_state_across_lines() {
+        let (a, st) = strip_noncode("let x = \"open", LexState::default());
+        assert_eq!(a, "let x =      ");
+        let (b, st) = strip_noncode("still } string\" + 1; /* c", st);
+        assert!(!b.contains('}'), "string contents must be blanked: {b:?}");
+        assert!(
+            b.contains("+ 1;"),
+            "code after the close must survive: {b:?}"
+        );
+        let (c, st) = strip_noncode("comment */ done", st);
+        assert!(c.contains("done"));
+        assert!(st.in_code());
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let (code, st) = strip_noncode("fn f<'a>(x: &'a str) -> &'a str {", LexState::default());
+        assert!(st.in_code());
+        assert!(code.contains('{'), "the body brace must survive: {code:?}");
+        assert!(code.contains("'a>"), "lifetimes are code, not literals");
+    }
+
+    #[test]
+    fn mixed_time_unit_arithmetic_is_flagged() {
+        let mut out = Vec::new();
+        let src = "\
+let total = budget_ns + timeout_ms;
+let fine = budget_ns + slack_ns;
+let scaled = timeout_ms * 1_000;
+let converted = timeout_ms * US_PER_MS + slack_us;
+let stored = deadline_us;
+// prose about mixing budget_ns and timeout_ms + slack_us freely
+";
+        scan_file("crates/x/src/lib.rs", src, &[], &mut out);
+        let hits: Vec<_> = out
+            .iter()
+            .filter(|f| f.rule == "time-unit")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(
+            hits,
+            vec![1],
+            "only the unconverted cross-unit sum is a finding"
+        );
     }
 
     #[test]

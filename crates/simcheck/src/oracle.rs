@@ -32,6 +32,67 @@ const SERVER: HostId = HostId(1);
 /// Sim-time allowed for deliveries to settle after each op.
 const SETTLE: SimDuration = SimDuration::from_millis(200);
 
+/// A seeded semantic bug, injected through the doc-hidden fault hooks
+/// on [`DevPollRegistry`]. Each one disables the runtime auditor's view
+/// of the corresponding invariant, so only external comparison — the
+/// differential oracle or `explore`'s reference model — can catch it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutant {
+    /// No fault injected.
+    #[default]
+    None,
+    /// `DP_POLL` serves cached-ready results without revalidation
+    /// (the §3.2 "has to be reevaluated each time" bug).
+    SkipRevalidation,
+    /// Interest updates OR into the previous mask instead of replacing
+    /// it (the §3.1 Solaris-semantics divergence).
+    OrInsteadOfReplace,
+    /// `POLLREMOVE` drops the interest-table entry but leaves the
+    /// backmap/watcher registration behind (half of the dual purge).
+    SkipBackmapPurge,
+}
+
+impl Mutant {
+    /// The three real faults (everything except `None`).
+    pub fn all() -> [Mutant; 3] {
+        [
+            Mutant::SkipRevalidation,
+            Mutant::OrInsteadOfReplace,
+            Mutant::SkipBackmapPurge,
+        ]
+    }
+
+    /// Display / CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutant::None => "none",
+            Mutant::SkipRevalidation => "skip-revalidation",
+            Mutant::OrInsteadOfReplace => "or-semantics",
+            Mutant::SkipBackmapPurge => "skip-backmap-purge",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Mutant> {
+        match s {
+            "none" => Some(Mutant::None),
+            "skip-revalidation" => Some(Mutant::SkipRevalidation),
+            "or-semantics" => Some(Mutant::OrInsteadOfReplace),
+            "skip-backmap-purge" => Some(Mutant::SkipBackmapPurge),
+            _ => None,
+        }
+    }
+
+    fn arm(self, registry: &mut DevPollRegistry) {
+        match self {
+            Mutant::None => {}
+            Mutant::SkipRevalidation => registry.testhook_skip_revalidation(true),
+            Mutant::OrInsteadOfReplace => registry.testhook_or_semantics(true),
+            Mutant::SkipBackmapPurge => registry.testhook_skip_backmap_purge(true),
+        }
+    }
+}
+
 /// The backends under comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LaneKind {
@@ -117,19 +178,23 @@ pub struct RunStats {
 }
 
 /// One backend's world: its own network, kernel, process and backend
-/// state, so lanes cannot contaminate each other.
-struct Lane {
-    kind: LaneKind,
+/// state, so lanes cannot contaminate each other. `Clone` forks the
+/// entire world — `explore` snapshots lanes at every decision point.
+#[derive(Clone)]
+pub(crate) struct Lane {
+    pub(crate) kind: LaneKind,
     net: Network,
-    kernel: Kernel,
-    registry: DevPollRegistry,
-    pid: Pid,
+    pub(crate) kernel: Kernel,
+    pub(crate) registry: DevPollRegistry,
+    pub(crate) pid: Pid,
     backend: Box<dyn EventBackend>,
     rtapi: RtSignalApi,
     /// Server-side fd per connection slot.
-    fds: Vec<Fd>,
+    pub(crate) fds: Vec<Fd>,
     /// Client-side endpoint per connection slot.
     eps: Vec<EndpointId>,
+    /// Listener fd (pending accepts pop from here).
+    lfd: Fd,
     /// Slot lookup by server fd.
     slot_of: BTreeMap<Fd, usize>,
     /// Current declared interest per slot (drives normalisation and the
@@ -139,13 +204,27 @@ struct Lane {
 }
 
 impl Lane {
-    fn new(kind: LaneKind, conns: usize, inject_bug: bool) -> Lane {
+    /// The oracle's lane: `conns` connections pre-accepted at setup
+    /// (slot i = i-th arrival), backend initialised after the accepts.
+    pub(crate) fn new(kind: LaneKind, conns: usize, mutant: Mutant) -> Lane {
+        let mut lane = Lane::new_pending(kind, conns, mutant);
+        lane.kernel.begin_batch(lane.now, lane.pid);
+        for _ in 0..conns {
+            lane.accept_next();
+        }
+        lane.now = lane.now.max(lane.kernel.end_batch(lane.now, lane.pid));
+        lane.pump();
+        lane
+    }
+
+    /// An `explore` lane: connections are established (handshakes
+    /// settled, sitting in the accept queue) but **not** accepted —
+    /// `Op::Accept` events accept them one at a time.
+    pub(crate) fn new_pending(kind: LaneKind, conns: usize, mutant: Mutant) -> Lane {
         let mut net = Network::new(TcpConfig::default(), LinkConfig::default(), 2);
         let mut kernel = Kernel::new(SERVER, CostModel::k6_2_400mhz());
         let mut registry = DevPollRegistry::new();
-        if inject_bug {
-            registry.testhook_skip_revalidation(true);
-        }
+        mutant.arm(&mut registry);
         let pid = kernel.spawn_default();
         let mut now = SimTime::ZERO;
 
@@ -190,32 +269,78 @@ impl Lane {
             rtapi: RtSignalApi::default(),
             fds: Vec::new(),
             eps,
+            lfd,
             slot_of: BTreeMap::new(),
             watched: BTreeMap::new(),
             now,
         };
 
-        // Let all handshakes complete, then accept in arrival order:
-        // slot i is the i-th accepted connection in every lane.
+        // Let every handshake complete so the accept queue holds all
+        // connections in arrival order, then initialise the backend
+        // (for /dev/poll lanes this allocates the dpfd — doing it here
+        // keeps fd numbering identical whether slots are accepted at
+        // setup or by `Op::Accept` events).
         lane.pump();
         lane.kernel.begin_batch(lane.now, lane.pid);
-        for slot in 0..conns {
-            let fd = lane
-                .kernel
-                .sys_accept(&mut lane.net, lane.now, lane.pid, lfd)
-                .expect("invariant: setup pumped all handshakes to completion");
-            lane.kernel
-                .sys_set_nonblock(lane.pid, fd)
-                .expect("invariant: freshly accepted fd is valid");
-            lane.slot_of.insert(fd, slot);
-            lane.fds.push(fd);
-        }
         lane.backend
             .init(&mut lane.kernel, &mut lane.registry, lane.now, lane.pid)
             .expect("invariant: backend init on a fresh world cannot fail");
         lane.now = lane.now.max(lane.kernel.end_batch(lane.now, lane.pid));
         lane.pump();
         lane
+    }
+
+    /// Accepts the next queued connection as the next slot (call inside
+    /// a batch). No-op when nothing is queued.
+    fn accept_next(&mut self) {
+        let Ok(fd) = self
+            .kernel
+            .sys_accept(&mut self.net, self.now, self.pid, self.lfd)
+        else {
+            return;
+        };
+        self.kernel
+            .sys_set_nonblock(self.pid, fd)
+            .expect("invariant: freshly accepted fd is valid");
+        let slot = self.fds.len();
+        self.slot_of.insert(fd, slot);
+        self.fds.push(fd);
+    }
+
+    /// Number of accepted slots so far.
+    pub(crate) fn accepted(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Whether the kernel watcher registry holds a watcher for `slot`'s
+    /// fd — the backmap half of the POLLREMOVE dual purge. Only
+    /// meaningful on the /dev/poll lanes, where every watcher comes
+    /// from the registry's interest writes.
+    pub(crate) fn slot_watched_in_kernel(&self, slot: usize) -> bool {
+        self.fds
+            .get(slot)
+            .is_some_and(|&fd| self.kernel.is_watched(self.pid, fd))
+    }
+
+    /// Folds this lane's entire world — network, kernel, /dev/poll
+    /// registry, backend bookkeeping, slot maps — into one fingerprint.
+    pub(crate) fn state_fingerprint(&self) -> u64 {
+        let mut h = simcore::fingerprint::Fnv::new();
+        h.write_u64(self.net.state_fingerprint());
+        h.write_u64(self.kernel.state_fingerprint());
+        h.write_u64(self.registry.state_fingerprint());
+        self.backend.fingerprint_into(&mut h);
+        h.write_u64(self.now.as_nanos());
+        h.write_len(self.fds.len());
+        for &fd in &self.fds {
+            h.write_i64(i64::from(fd));
+        }
+        h.write_len(self.watched.len());
+        for (&slot, &events) in &self.watched {
+            h.write_usize(slot);
+            h.write_u32(u32::from(events.0));
+        }
+        h.finish()
     }
 
     /// Drains network and kernel deadlines for one settle window,
@@ -246,10 +371,21 @@ impl Lane {
     }
 
     /// Applies one non-`Poll` op and lets the world settle.
-    fn apply(&mut self, op: Op) {
+    ///
+    /// Total: server-side ops on a not-yet-accepted slot are no-ops, so
+    /// any subsequence of a valid schedule is itself a valid schedule —
+    /// the property ddmin shrinking relies on.
+    pub(crate) fn apply(&mut self, op: Op) {
         match op {
+            Op::Accept => {
+                self.kernel.begin_batch(self.now, self.pid);
+                self.accept_next();
+                self.now = self.now.max(self.kernel.end_batch(self.now, self.pid));
+            }
             Op::Watch { conn, events } => {
-                let fd = self.fds[conn];
+                let Some(&fd) = self.fds.get(conn) else {
+                    return;
+                };
                 self.kernel.begin_batch(self.now, self.pid);
                 self.backend
                     .set_interest(
@@ -268,7 +404,9 @@ impl Lane {
                 self.watched.insert(conn, events);
             }
             Op::Unwatch { conn } => {
-                let fd = self.fds[conn];
+                let Some(&fd) = self.fds.get(conn) else {
+                    return;
+                };
                 self.kernel.begin_batch(self.now, self.pid);
                 self.backend
                     .remove_interest(&mut self.kernel, &mut self.registry, self.now, self.pid, fd)
@@ -280,14 +418,22 @@ impl Lane {
                 self.watched.remove(&conn);
             }
             Op::ClientSend { conn, bytes } => {
+                let Some(&ep) = self.eps.get(conn) else {
+                    return;
+                };
                 let payload = vec![b'x'; bytes];
-                let _ = self.net.send(self.now, self.eps[conn], &payload);
+                let _ = self.net.send(self.now, ep, &payload);
             }
             Op::ClientClose { conn } => {
-                let _ = self.net.close(self.now, self.eps[conn]);
+                let Some(&ep) = self.eps.get(conn) else {
+                    return;
+                };
+                let _ = self.net.close(self.now, ep);
             }
             Op::ServerRead { conn, max } => {
-                let fd = self.fds[conn];
+                let Some(&fd) = self.fds.get(conn) else {
+                    return;
+                };
                 self.kernel.begin_batch(self.now, self.pid);
                 let _ = self
                     .kernel
@@ -295,7 +441,9 @@ impl Lane {
                 self.now = self.now.max(self.kernel.end_batch(self.now, self.pid));
             }
             Op::ServerSend { conn, bytes } => {
-                let fd = self.fds[conn];
+                let Some(&fd) = self.fds.get(conn) else {
+                    return;
+                };
                 let payload = vec![b'y'; bytes];
                 self.kernel.begin_batch(self.now, self.pid);
                 let _ = self
@@ -310,6 +458,29 @@ impl Lane {
 
     /// Collects this lane's normalised ready set at a `Poll` boundary.
     fn snapshot(&mut self) -> Snapshot {
+        let events = self.wait_events();
+        normalize(&events, &self.slot_of, &self.watched)
+    }
+
+    /// Collects this lane's **raw** ready set at a `Poll` boundary:
+    /// `(slot, full revents)` with no interest masking. The oracle's
+    /// normalised comparison intersects with the declared interest,
+    /// which hides whole bug classes (an OR-semantics fault widens the
+    /// reported mask but never escapes the intersection); `explore`
+    /// compares raw bits against its per-lane reference model instead.
+    pub(crate) fn snapshot_raw(&mut self) -> Snapshot {
+        let events = self.wait_events();
+        let mut out: Vec<(usize, PollBits)> = events
+            .iter()
+            .filter_map(|e| self.slot_of.get(&e.fd).map(|&s| (s, e.revents)))
+            .collect();
+        out.sort_by_key(|&(s, _)| s);
+        out
+    }
+
+    /// Runs one wait boundary (RT drain + recovery for the rtsig lane,
+    /// then a zero-timeout backend wait) and returns the raw events.
+    fn wait_events(&mut self) -> Vec<PollFd> {
         let max = self.fds.len() + 4;
         self.kernel.begin_batch(self.now, self.pid);
         if self.kind == LaneKind::RtSig {
@@ -337,11 +508,10 @@ impl Lane {
         self.now = self.now.max(self.kernel.end_batch(self.now, self.pid));
         self.pump();
 
-        let events = match result {
+        match result {
             WaitResult::WouldBlock => Vec::new(),
             WaitResult::Events(v) => v,
-        };
-        normalize(&events, &self.slot_of, &self.watched)
+        }
     }
 }
 
@@ -371,10 +541,10 @@ fn normalize(
 }
 
 /// Runs `ops` through every lane, comparing at each `Poll` boundary.
-pub fn run_script(ops: &[Op], conns: usize, inject_bug: bool) -> Result<RunStats, Failure> {
+pub fn run_script(ops: &[Op], conns: usize, mutant: Mutant) -> Result<RunStats, Failure> {
     let mut lanes: Vec<Lane> = LaneKind::all()
         .into_iter()
-        .map(|k| Lane::new(k, conns, inject_bug))
+        .map(|k| Lane::new(k, conns, mutant))
         .collect();
     let mut stats = RunStats {
         ops: ops.len(),
@@ -423,8 +593,8 @@ pub fn run_script(ops: &[Op], conns: usize, inject_bug: bool) -> Result<RunStats
 }
 
 /// Runs the generated script for `seed`.
-pub fn run_seed(seed: u64, cfg: ScriptConfig, inject_bug: bool) -> Result<RunStats, Failure> {
-    run_script(&script::generate(seed, cfg), cfg.conns, inject_bug)
+pub fn run_seed(seed: u64, cfg: ScriptConfig, mutant: Mutant) -> Result<RunStats, Failure> {
+    run_script(&script::generate(seed, cfg), cfg.conns, mutant)
 }
 
 /// A fully-reported oracle failure: the seed, the minimal script that
@@ -441,12 +611,12 @@ pub struct ShrunkFailure {
 
 /// Minimises the failing script for `seed` and re-runs it for the final
 /// report.
-pub fn shrink_failure(seed: u64, cfg: ScriptConfig, inject_bug: bool) -> ShrunkFailure {
+pub fn shrink_failure(seed: u64, cfg: ScriptConfig, mutant: Mutant) -> ShrunkFailure {
     let full = script::generate(seed, cfg);
     let minimal = shrink_sequence(&full, |candidate| {
-        run_script(candidate, cfg.conns, inject_bug).is_err()
+        run_script(candidate, cfg.conns, mutant).is_err()
     });
-    let failure = run_script(&minimal, cfg.conns, inject_bug)
+    let failure = run_script(&minimal, cfg.conns, mutant)
         .expect_err("invariant: shrink_sequence only keeps failing scripts");
     ShrunkFailure {
         seed,
@@ -459,18 +629,18 @@ pub fn shrink_failure(seed: u64, cfg: ScriptConfig, inject_bug: bool) -> ShrunkF
 pub fn sweep(
     seeds: impl IntoIterator<Item = u64>,
     cfg: ScriptConfig,
-    inject_bug: bool,
+    mutant: Mutant,
 ) -> Result<RunStats, Box<ShrunkFailure>> {
     let mut total = RunStats::default();
     for seed in seeds {
-        match run_seed(seed, cfg, inject_bug) {
+        match run_seed(seed, cfg, mutant) {
             Ok(s) => {
                 total.ops += s.ops;
                 total.boundaries += s.boundaries;
                 total.audit_checks += s.audit_checks;
                 total.lock_acquisitions += s.lock_acquisitions;
             }
-            Err(_) => return Err(Box::new(shrink_failure(seed, cfg, inject_bug))),
+            Err(_) => return Err(Box::new(shrink_failure(seed, cfg, mutant))),
         }
     }
     Ok(total)

@@ -17,6 +17,11 @@ use std::fmt;
 /// lane maps slots to its own fds/endpoints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
+    /// Accept the next pending connection (slots are accepted in
+    /// arrival order, so the k-th `Accept` establishes slot k). Only
+    /// emitted by `explore` schedules; oracle scripts pre-accept every
+    /// slot at setup, and an `Accept` with nothing pending is a no-op.
+    Accept,
     /// Declare interest in `events` on the slot's server fd.
     Watch {
         /// Connection slot.
@@ -63,6 +68,7 @@ pub enum Op {
 impl fmt::Display for Op {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
+            Op::Accept => write!(f, "accept"),
             Op::Watch { conn, events } => write!(f, "watch      c{conn} {events:?}"),
             Op::Unwatch { conn } => write!(f, "unwatch    c{conn}"),
             Op::ClientSend { conn, bytes } => write!(f, "c-send     c{conn} {bytes}B"),
@@ -129,6 +135,105 @@ pub fn generate(seed: u64, cfg: ScriptConfig) -> Vec<Op> {
     ops
 }
 
+/// Encodes a script as one compact replay token per op, space-joined —
+/// the form `simcheck explore --replay` accepts and counterexample
+/// reports print.
+///
+/// Tokens: `a` accept · `w<c>:<i|o|io>` watch · `u<c>` unwatch ·
+/// `d<c>:<bytes>` client send (data) · `f<c>` client close (fin) ·
+/// `r<c>:<max>` server read · `s<c>:<bytes>` server send · `P` poll.
+pub fn encode(ops: &[Op]) -> String {
+    let mut out = String::new();
+    for (i, op) in ops.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        match *op {
+            Op::Accept => out.push('a'),
+            Op::Watch { conn, events } => {
+                let mask = match (
+                    events.contains(PollBits::POLLIN),
+                    events.contains(PollBits::POLLOUT),
+                ) {
+                    (true, false) => "i",
+                    (false, true) => "o",
+                    _ => "io",
+                };
+                out.push_str(&format!("w{conn}:{mask}"));
+            }
+            Op::Unwatch { conn } => out.push_str(&format!("u{conn}")),
+            Op::ClientSend { conn, bytes } => out.push_str(&format!("d{conn}:{bytes}")),
+            Op::ClientClose { conn } => out.push_str(&format!("f{conn}")),
+            Op::ServerRead { conn, max } => out.push_str(&format!("r{conn}:{max}")),
+            Op::ServerSend { conn, bytes } => out.push_str(&format!("s{conn}:{bytes}")),
+            Op::Poll => out.push('P'),
+        }
+    }
+    out
+}
+
+/// Parses the token form produced by [`encode`].
+pub fn parse(text: &str) -> Result<Vec<Op>, String> {
+    let mut ops = Vec::new();
+    for tok in text.split_whitespace() {
+        ops.push(parse_token(tok)?);
+    }
+    Ok(ops)
+}
+
+fn parse_token(tok: &str) -> Result<Op, String> {
+    let bad = || format!("bad replay token `{tok}`");
+    let mut chars = tok.chars();
+    let kind = chars.next().ok_or_else(bad)?;
+    let rest = chars.as_str();
+    let split_colon = |s: &str| -> Result<(usize, String), String> {
+        let (c, arg) = s.split_once(':').ok_or_else(bad)?;
+        Ok((c.parse::<usize>().map_err(|_| bad())?, arg.to_string()))
+    };
+    match kind {
+        'a' if rest.is_empty() => Ok(Op::Accept),
+        'P' if rest.is_empty() => Ok(Op::Poll),
+        'w' => {
+            let (conn, mask) = split_colon(rest)?;
+            let events = match mask.as_str() {
+                "i" => PollBits::POLLIN,
+                "o" => PollBits::POLLOUT,
+                "io" => PollBits::POLLIN | PollBits::POLLOUT,
+                _ => return Err(bad()),
+            };
+            Ok(Op::Watch { conn, events })
+        }
+        'u' => Ok(Op::Unwatch {
+            conn: rest.parse().map_err(|_| bad())?,
+        }),
+        'd' => {
+            let (conn, n) = split_colon(rest)?;
+            Ok(Op::ClientSend {
+                conn,
+                bytes: n.parse().map_err(|_| bad())?,
+            })
+        }
+        'f' => Ok(Op::ClientClose {
+            conn: rest.parse().map_err(|_| bad())?,
+        }),
+        'r' => {
+            let (conn, n) = split_colon(rest)?;
+            Ok(Op::ServerRead {
+                conn,
+                max: n.parse().map_err(|_| bad())?,
+            })
+        }
+        's' => {
+            let (conn, n) = split_colon(rest)?;
+            Ok(Op::ServerSend {
+                conn,
+                bytes: n.parse().map_err(|_| bad())?,
+            })
+        }
+        _ => Err(bad()),
+    }
+}
+
 /// Renders a script as the numbered listing `--replay` prints.
 pub fn render(ops: &[Op]) -> String {
     use fmt::Write;
@@ -159,6 +264,43 @@ mod tests {
     }
 
     #[test]
+    fn encode_parse_roundtrips() {
+        let ops = vec![
+            Op::Accept,
+            Op::Watch {
+                conn: 0,
+                events: PollBits::POLLIN,
+            },
+            Op::Watch {
+                conn: 1,
+                events: PollBits::POLLIN | PollBits::POLLOUT,
+            },
+            Op::ClientSend {
+                conn: 2,
+                bytes: 512,
+            },
+            Op::Poll,
+            Op::ServerRead { conn: 0, max: 4096 },
+            Op::ClientClose { conn: 1 },
+            Op::Unwatch { conn: 0 },
+            Op::ServerSend { conn: 1, bytes: 64 },
+            Op::Poll,
+        ];
+        let text = encode(&ops);
+        assert_eq!(parse(&text).unwrap(), ops);
+        // Generated scripts roundtrip too.
+        let gen = generate(3, ScriptConfig::default());
+        assert_eq!(parse(&encode(&gen)).unwrap(), gen);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_tokens() {
+        for bad in ["x1", "w1", "w1:z", "d:5", "dz:5", "a1", "P2", "r1"] {
+            assert!(parse(bad).is_err(), "token `{bad}` should be rejected");
+        }
+    }
+
+    #[test]
     fn conn_slots_stay_in_range() {
         let cfg = ScriptConfig { conns: 3, ops: 200 };
         for op in generate(7, cfg) {
@@ -169,7 +311,7 @@ mod tests {
                 | Op::ClientClose { conn }
                 | Op::ServerRead { conn, .. }
                 | Op::ServerSend { conn, .. } => conn,
-                Op::Poll => 0,
+                Op::Accept | Op::Poll => 0,
             };
             assert!(conn < cfg.conns);
         }

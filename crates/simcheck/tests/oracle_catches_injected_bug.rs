@@ -8,7 +8,7 @@
 //! a doc-hidden hook that bypasses the runtime auditor too, so only the
 //! differential comparison can catch it — which is the point.
 
-use simcheck::oracle::{self, Failure};
+use simcheck::oracle::{self, Failure, Mutant};
 use simcheck::script::{Op, ScriptConfig};
 
 const CFG: ScriptConfig = ScriptConfig { conns: 4, ops: 30 };
@@ -16,7 +16,7 @@ const SEEDS: u64 = 40;
 
 #[test]
 fn clean_build_passes_the_sweep() {
-    let stats = oracle::sweep(0..10, CFG, false).unwrap_or_else(|f| {
+    let stats = oracle::sweep(0..10, CFG, Mutant::None).unwrap_or_else(|f| {
         panic!(
             "clean backends must agree on every boundary:\n{}",
             oracle::render_failure(&f)
@@ -29,7 +29,7 @@ fn clean_build_passes_the_sweep() {
 #[test]
 fn skipped_revalidation_is_caught_and_shrunk() {
     // Some seed in a bounded sweep must expose the stale-cache bug...
-    let failure = oracle::sweep(0..SEEDS, CFG, true)
+    let failure = oracle::sweep(0..SEEDS, CFG, Mutant::SkipRevalidation)
         .expect_err("a bounded sweep must catch the injected stale-cache bug");
 
     // ...in a /dev/poll lane (the hook only affects cached results, and
@@ -56,11 +56,11 @@ fn skipped_revalidation_is_caught_and_shrunk() {
         "a divergence needs a comparison boundary"
     );
     assert!(
-        oracle::run_script(&failure.minimal, CFG.conns, true).is_err(),
+        oracle::run_script(&failure.minimal, CFG.conns, Mutant::SkipRevalidation).is_err(),
         "the minimal script must still reproduce the divergence"
     );
     assert!(
-        oracle::run_script(&failure.minimal, CFG.conns, false).is_ok(),
+        oracle::run_script(&failure.minimal, CFG.conns, Mutant::None).is_ok(),
         "the minimal script must pass once the bug is removed"
     );
 

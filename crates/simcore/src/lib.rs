@@ -22,6 +22,7 @@
 //! reproducible from its RNG seed.
 
 pub mod engine;
+pub mod fingerprint;
 pub mod probe;
 pub mod rng;
 pub mod series;

@@ -41,7 +41,7 @@ pub struct TraceEntry {
 }
 
 /// A bounded, category-filtered event trace.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Trace {
     capacity: usize,
     entries: VecDeque<TraceEntry>,

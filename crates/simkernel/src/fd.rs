@@ -69,6 +69,35 @@ pub struct FdTable {
 }
 
 impl FdTable {
+    /// Folds the table's semantic state into `h`: every open
+    /// descriptor in ascending order with its kind, nonblock flag, and
+    /// RT-signal assignment.
+    pub fn fingerprint_into(&self, h: &mut simcore::fingerprint::Fnv) {
+        h.write_usize(self.limit);
+        h.write_len(self.open);
+        for (ix, slot) in self.files.iter().enumerate() {
+            let Some(f) = slot else { continue };
+            h.write_usize(ix);
+            match f.kind {
+                FileKind::Listener(l) => {
+                    h.write_u8(0);
+                    h.write_u64(l.0);
+                }
+                FileKind::Stream(ep) => {
+                    h.write_u8(1);
+                    h.write_u64(ep.conn.0);
+                    h.write_bool(ep.side == simnet::Side::Server);
+                }
+                FileKind::DevPoll(dev) => {
+                    h.write_u8(2);
+                    h.write_u64(dev);
+                }
+            }
+            h.write_bool(f.nonblock);
+            h.write_u8(f.sig.map_or(0, |s| s.wrapping_add(1)));
+        }
+    }
+
     /// Creates a table with the given descriptor limit.
     pub fn new(limit: usize) -> FdTable {
         FdTable {

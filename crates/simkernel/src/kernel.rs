@@ -195,6 +195,7 @@ pub struct KernelStats {
 }
 
 /// The simulated kernel of the server host.
+#[derive(Clone)]
 pub struct Kernel {
     host: simnet::HostId,
     cost: CostModel,
@@ -278,6 +279,84 @@ impl Kernel {
     /// Aggregate statistics.
     pub fn stats(&self) -> KernelStats {
         self.stats
+    }
+
+    /// Folds the kernel's full semantic state into one FNV digest for
+    /// world deduplication in `simcheck explore`.
+    ///
+    /// Included: every process (descriptor table, signal queues, run
+    /// state), every endpoint readiness mirror, listener ownership and
+    /// readiness, the accept-wake policy and rotor, the watcher sets,
+    /// and undrained kernel events. Excluded: CPU/time accounting, the
+    /// metric registry, the trace, and the span tracer — none of them
+    /// feed back into syscall results, so worlds that differ only in
+    /// observability state hash alike.
+    pub fn state_fingerprint(&self) -> u64 {
+        use simcore::fingerprint::Fnv;
+        let mut h = Fnv::new();
+        h.write_usize(self.host.0);
+        h.write_len(self.procs.len());
+        for p in &self.procs {
+            p.fds.fingerprint_into(&mut h);
+            p.signals.fingerprint_into(&mut h);
+            match p.state {
+                ProcState::Idle => h.write_u8(0),
+                ProcState::Running { until, then } => {
+                    h.write_u8(1);
+                    h.write_u64(until.as_nanos());
+                    match then {
+                        AfterBatch::Yield => h.write_u8(0),
+                        AfterBatch::Sleep { timeout } => {
+                            h.write_u8(1);
+                            h.write_u64(timeout.map_or(u64::MAX, |t| t.as_nanos()));
+                        }
+                    }
+                }
+                ProcState::Sleeping { timeout } => {
+                    h.write_u8(2);
+                    h.write_u64(timeout.map_or(u64::MAX, |t| t.as_nanos()));
+                }
+            }
+        }
+        h.write_len(self.eps.iter().filter(|s| s.is_some()).count());
+        for (ix, slot) in self.eps.iter().enumerate() {
+            let Some(s) = slot else { continue };
+            h.write_usize(ix);
+            h.write_u64(u64::from(s.pid));
+            h.write_i64(i64::from(s.fd));
+            h.write_bool(s.mirror.readable);
+            h.write_bool(s.mirror.writable);
+            h.write_bool(s.mirror.hup);
+            h.write_bool(s.mirror.err);
+        }
+        h.write_len(self.listeners.iter().filter(|s| s.is_some()).count());
+        for (ix, slot) in self.listeners.iter().enumerate() {
+            let Some(s) = slot else { continue };
+            h.write_usize(ix);
+            h.write_len(s.owners.len());
+            for &(pid, fd) in &s.owners {
+                h.write_u64(u64::from(pid));
+                h.write_i64(i64::from(fd));
+            }
+            h.write_bool(s.ready);
+        }
+        h.write_u8(match self.accept_wake {
+            AcceptWake::Herd => 0,
+            AcceptWake::Exclusive => 1,
+        });
+        h.write_usize(self.accept_rr);
+        h.write_len(self.watchers.len());
+        for set in &self.watchers {
+            h.write_len(set.count);
+            for (ix, word) in set.words.iter().enumerate() {
+                if *word != 0 {
+                    h.write_usize(ix);
+                    h.write_u64(*word);
+                }
+            }
+        }
+        h.write_len(self.events_out.len());
+        h.finish()
     }
 
     /// The metric registry (read side: snapshots, assertions).

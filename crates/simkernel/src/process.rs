@@ -48,7 +48,7 @@ pub enum ProcState {
 }
 
 /// A simulated process.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Process {
     /// Descriptor table.
     pub fds: FdTable,

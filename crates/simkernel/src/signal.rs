@@ -67,6 +67,25 @@ pub struct SignalState {
 }
 
 impl SignalState {
+    /// Folds the queue's semantic state into `h`: the pending-SIGIO
+    /// flag plus every queued siginfo in dequeue order. Diagnostic
+    /// tallies (overflow/enqueue counters, high-water mark) are
+    /// excluded so equal queues dedup.
+    pub fn fingerprint_into(&self, h: &mut simcore::fingerprint::Fnv) {
+        h.write_bool(self.sigio_pending);
+        h.write_usize(self.max_queued);
+        h.write_len(self.queued);
+        for (signo, q) in &self.queues {
+            h.write_u8(*signo);
+            h.write_len(q.len());
+            for info in q {
+                h.write_u8(info.signo);
+                h.write_i64(i64::from(info.fd));
+                h.write_u32(u32::from(info.band.0));
+            }
+        }
+    }
+
     /// Creates signal state with the given RT queue limit.
     pub fn new(max_queued: usize) -> SignalState {
         SignalState {

@@ -70,6 +70,17 @@ pub struct Tx {
 }
 
 impl Tx {
+    /// Folds the transmitter's semantic state into `h` (drop/sent
+    /// counters are diagnostics and deliberately excluded so equal
+    /// queue states dedup).
+    pub fn fingerprint_into(&self, h: &mut simcore::fingerprint::Fnv) {
+        h.write_u64(self.free_at.as_nanos());
+        h.write_len(self.in_flight.len());
+        for t in &self.in_flight {
+            h.write_u64(t.as_nanos());
+        }
+    }
+
     /// Creates an idle transmitter.
     pub fn new(config: LinkConfig) -> Tx {
         Tx {

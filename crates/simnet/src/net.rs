@@ -12,9 +12,9 @@
 //! buffered and returned by the next `advance`.
 
 use std::cmp::Reverse;
+use std::collections::BTreeSet;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
-use std::collections::HashSet;
 use std::collections::VecDeque;
 
 use simcore::rng::SimRng;
@@ -100,13 +100,13 @@ pub enum NetError {
     AddrInUse,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Timer {
     Deliver(Segment),
     Rto { conn: ConnId, side: Side },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Host {
     tx: Tx,
     ports: PortAllocator,
@@ -114,11 +114,11 @@ struct Host {
     bytes_in: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Listener {
     backlog: usize,
     /// Handshakes in progress.
-    syn_rcvd: HashSet<ConnId>,
+    syn_rcvd: BTreeSet<ConnId>,
     /// Established, waiting for `accept`.
     accept_q: VecDeque<ConnId>,
     /// SYNs dropped or refused for backlog overflow.
@@ -159,6 +159,7 @@ impl NetStats {
 }
 
 /// The simulated network fabric connecting all hosts through one switch.
+#[derive(Clone)]
 pub struct Network {
     cfg: TcpConfig,
     base_delay: SimDuration,
@@ -233,6 +234,126 @@ impl Network {
     /// Returns aggregate statistics.
     pub fn stats(&self) -> NetStats {
         self.stats
+    }
+
+    /// Folds the network's full semantic state into one FNV digest for
+    /// world deduplication in `simcheck explore`.
+    ///
+    /// Included: per-host transmitters and port allocators, every live
+    /// connection (lifecycle state, both endpoint halves including
+    /// buffered bytes and FIN/ack positions), listeners, armed timers,
+    /// and undelivered notifications. Excluded: aggregate counters
+    /// ([`NetStats`], per-host rx tallies) and the loss RNG (never
+    /// advanced at `loss_prob == 0`, the only configuration explored),
+    /// so semantically equal worlds that differ only in diagnostics
+    /// hash alike.
+    pub fn state_fingerprint(&self) -> u64 {
+        use simcore::fingerprint::Fnv;
+        let mut h = Fnv::new();
+        let seg_into = |h: &mut Fnv, s: &Segment| {
+            h.write_u64(s.conn.0);
+            h.write_bool(s.from == Side::Server);
+            match s.kind {
+                SegKind::Syn => h.write_u8(0),
+                SegKind::SynAck => h.write_u8(1),
+                SegKind::Ack { ack } => {
+                    h.write_u8(2);
+                    h.write_u64(ack);
+                }
+                SegKind::Data { seq, len } => {
+                    h.write_u8(3);
+                    h.write_u64(seq);
+                    h.write_u64(u64::from(len));
+                }
+                SegKind::Fin { seq } => {
+                    h.write_u8(4);
+                    h.write_u64(seq);
+                }
+                SegKind::Rst => h.write_u8(5),
+            }
+        };
+        h.write_len(self.hosts.len());
+        for host in &self.hosts {
+            host.tx.fingerprint_into(&mut h);
+            host.ports.fingerprint_into(&mut h);
+        }
+        h.write_u64(self.next_conn);
+        h.write_len(self.conn_arena.iter().filter(|s| s.is_some()).count());
+        for (slot, conn) in self.conn_arena.iter().enumerate() {
+            let Some(c) = conn else { continue };
+            h.write_usize(slot);
+            h.write_u8(match c.state {
+                ConnState::SynSent => 0,
+                ConnState::Established => 1,
+                ConnState::Closed => 2,
+                ConnState::Reset => 3,
+            });
+            for side in [Side::Client, Side::Server] {
+                h.write_usize(c.host(side).0);
+                h.write_u64(u64::from(c.port(side)));
+                let ep = c.ep(side);
+                h.write_len(ep.out.len());
+                h.write_u64(ep.out_base);
+                h.write_u64(ep.wrote);
+                h.write_u64(ep.snd_nxt);
+                h.write_u64(ep.snd_una);
+                h.write_u64(ep.fin_at.map_or(u64::MAX, |s| s));
+                h.write_bool(ep.fin_sent);
+                h.write_bool(ep.fin_acked);
+                h.write_len(ep.inbox.len());
+                let (front, back) = ep.inbox.as_slices();
+                h.write_bytes(front);
+                h.write_bytes(back);
+                h.write_u64(ep.rcv_nxt);
+                h.write_u64(ep.peer_fin.map_or(u64::MAX, |s| s));
+                h.write_u32(ep.retries);
+                h.write_bool(ep.rto_armed);
+                h.write_bool(ep.blocked_writer);
+            }
+            h.write_u64(c.listener.map_or(u64::MAX, |l| l.0));
+            h.write_u32(c.syn_sent);
+            h.write_u8(match c.closed_first {
+                None => 0,
+                Some(Side::Client) => 1,
+                Some(Side::Server) => 2,
+            });
+            h.write_bool(c.accept_queued);
+            h.write_bool(c.accepted);
+            h.write_bool(c.ports_freed);
+        }
+        h.write_len(self.listeners.len());
+        for l in &self.listeners {
+            h.write_usize(l.backlog);
+            h.write_len(l.syn_rcvd.len());
+            for c in &l.syn_rcvd {
+                h.write_u64(c.0);
+            }
+            h.write_len(l.accept_q.len());
+            for c in &l.accept_q {
+                h.write_u64(c.0);
+            }
+        }
+        h.write_len(self.timers.len());
+        let mut armed: Vec<&Reverse<(SimTime, u64, u32)>> = self.timers.iter().collect();
+        armed.sort();
+        for Reverse((at, seq, slot)) in armed.into_iter().rev() {
+            h.write_u64(at.as_nanos());
+            h.write_u64(*seq);
+            match &self.timer_arena[*slot as usize] {
+                None => h.write_u8(0),
+                Some(Timer::Deliver(s)) => {
+                    h.write_u8(1);
+                    seg_into(&mut h, s);
+                }
+                Some(Timer::Rto { conn, side }) => {
+                    h.write_u8(2);
+                    h.write_u64(conn.0);
+                    h.write_bool(*side == Side::Server);
+                }
+            }
+        }
+        h.write_len(self.out.len());
+        h.finish()
     }
 
     /// Segments and bytes received by `host` so far.
@@ -388,7 +509,7 @@ impl Network {
         let id = ListenerId(self.listeners.len() as u64);
         self.listeners.push(Listener {
             backlog,
-            syn_rcvd: HashSet::new(),
+            syn_rcvd: BTreeSet::new(),
             accept_q: VecDeque::new(),
             refused: 0,
         });

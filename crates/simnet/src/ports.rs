@@ -141,6 +141,38 @@ impl PortAllocator {
     pub fn next_expiry(&self) -> Option<SimTime> {
         self.time_wait.keys().next().copied()
     }
+
+    /// Folds the allocator's semantic state into `h`. The unordered
+    /// sets are folded as an order-independent XOR so the digest does
+    /// not depend on hash-map iteration order.
+    pub fn fingerprint_into(&self, h: &mut simcore::fingerprint::Fnv) {
+        h.write_u64(u64::from(self.lo));
+        h.write_u64(u64::from(self.hi));
+        h.write_u64(u64::from(self.next));
+        let xor_of = |set: &std::collections::HashSet<Port>| {
+            set.iter().fold(0u64, |acc, &p| {
+                let mut e = simcore::fingerprint::Fnv::new();
+                e.write_u64(u64::from(p));
+                acc ^ e.finish()
+            })
+        };
+        h.write_len(self.in_use.len());
+        h.write_u64(xor_of(&self.in_use));
+        h.write_len(self.waiting.len());
+        h.write_u64(xor_of(&self.waiting));
+        h.write_len(self.time_wait.len());
+        for (at, ports) in &self.time_wait {
+            h.write_u64(at.as_nanos());
+            h.write_len(ports.len());
+            for &p in ports {
+                h.write_u64(u64::from(p));
+            }
+        }
+        h.write_len(self.free_list.len());
+        for &p in &self.free_list {
+            h.write_u64(u64::from(p));
+        }
+    }
 }
 
 #[cfg(test)]
