@@ -531,6 +531,82 @@ fn compare_sweep(
     }
 }
 
+/// Mean of a point metric over a sweep (0.0 when empty).
+fn sweep_mean(s: &SweepRecord, metric: impl Fn(&PointRecord) -> f64) -> f64 {
+    if s.points.is_empty() {
+        return 0.0;
+    }
+    s.points.iter().map(metric).sum::<f64>() / s.points.len() as f64
+}
+
+/// Renders a per-sweep baseline-vs-current lane diff as a GitHub
+/// markdown table, followed by the gate's violations and notes. This is
+/// what `bench_gate` appends to the CI job summary when the gate goes
+/// red, so a failure shows *which* lane moved (reply rate, latency,
+/// events/s) without downloading artifacts.
+pub fn lane_diff_markdown(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    outcome: &GateOutcome,
+) -> String {
+    let mut out = String::from("## Bench gate: baseline vs current lanes\n\n");
+    let _ = writeln!(
+        out,
+        "| sweep | load | replies/s (base → cur) | median ms (base → cur) | events/s (base → cur) |"
+    );
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|");
+    for b in &baseline.sweeps {
+        let cur = current
+            .sweeps
+            .iter()
+            .find(|s| s.server == b.server && s.inactive == b.inactive);
+        let base_rate = sweep_mean(b, |p| p.avg);
+        let base_lat = sweep_mean(b, |p| p.median_ms);
+        let base_eps = b
+            .events_per_wall_sec()
+            .map_or("—".to_string(), |e| format!("{e:.0}"));
+        match cur {
+            Some(c) => {
+                let cur_eps = c
+                    .events_per_wall_sec()
+                    .map_or("—".to_string(), |e| format!("{e:.0}"));
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {:.1} → {:.1} | {:.2} → {:.2} | {} → {} |",
+                    b.server,
+                    b.inactive,
+                    base_rate,
+                    sweep_mean(c, |p| p.avg),
+                    base_lat,
+                    sweep_mean(c, |p| p.median_ms),
+                    base_eps,
+                    cur_eps,
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {base_rate:.1} → missing | {base_lat:.2} → missing | {base_eps} → missing |",
+                    b.server, b.inactive,
+                );
+            }
+        }
+    }
+    if !outcome.violations.is_empty() {
+        out.push_str("\n### Violations\n\n");
+        for v in &outcome.violations {
+            let _ = writeln!(out, "- ❌ {v}");
+        }
+    }
+    if !outcome.notes.is_empty() {
+        out.push_str("\n### Notes\n\n");
+        for n in &outcome.notes {
+            let _ = writeln!(out, "- {n}");
+        }
+    }
+    out
+}
+
 // ---------------------------------------------------------------------
 // Minimal JSON parsing (the schema above only)
 // ---------------------------------------------------------------------
@@ -956,6 +1032,45 @@ mod tests {
         assert!(compare(&base, &mild, &GateTolerance::default())
             .notes
             .is_empty());
+    }
+
+    #[test]
+    fn lane_diff_lists_every_sweep_and_failure() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.sweeps[0].points[0].avg *= 0.8;
+        cur.sweeps[0].wall_ms = base.sweeps[0].wall_ms * 4.0;
+        cur.sweeps.push(SweepRecord {
+            server: "extra".into(),
+            inactive: 1,
+            wall_ms: 1.0,
+            events: 10,
+            sim_ms: 1.0,
+            points: vec![],
+        });
+        let tol = GateTolerance {
+            throughput_factor: Some(2.0),
+            ..GateTolerance::default()
+        };
+        let outcome = compare(&base, &cur, &tol);
+        assert!(!outcome.ok());
+        let md = lane_diff_markdown(&base, &cur, &outcome);
+        // One table row per baseline sweep, lanes rendered base → cur.
+        assert!(md.contains("| poll | 251 |"));
+        assert!(md.contains("699.5 → 559.6"));
+        assert!(md.contains("### Violations"));
+        assert!(md.contains("throughput"));
+        assert!(md.contains("### Notes"));
+        assert!(md.contains("absent from baseline"));
+
+        // A sweep missing from the current report still gets a row.
+        let empty = BenchReport {
+            sweeps: vec![],
+            ..base.clone()
+        };
+        let outcome = compare(&base, &empty, &GateTolerance::default());
+        let md = lane_diff_markdown(&base, &empty, &outcome);
+        assert!(md.contains("→ missing"));
     }
 
     #[test]

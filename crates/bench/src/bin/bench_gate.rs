@@ -16,11 +16,15 @@
 //! failure; without it large drops are notes).
 //! Intentional perf/behaviour changes are shipped by refreshing the
 //! baseline in the same commit — see EXPERIMENTS.md "Benchmark gate".
+//!
+//! When the gate goes red under GitHub Actions (`GITHUB_STEP_SUMMARY`
+//! set), a per-sweep baseline-vs-current lane diff — reply rate, median
+//! latency, events/s — is appended to the job summary.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bench::{compare, BenchReport, GateTolerance};
+use bench::{compare, lane_diff_markdown, BenchReport, GateTolerance};
 
 fn main() -> ExitCode {
     let mut baseline_path = PathBuf::from("BENCH_BASELINE.json");
@@ -112,6 +116,22 @@ fn main() -> ExitCode {
              refresh BENCH_BASELINE.json (see EXPERIMENTS.md).",
             outcome.violations.len()
         );
+        // On a red gate inside GitHub Actions, append the per-sweep
+        // baseline-vs-current lane diff (reply rate, latency, events/s)
+        // to the job summary so the failing lane is visible without
+        // downloading artifacts.
+        if let Some(summary_path) = std::env::var_os("GITHUB_STEP_SUMMARY") {
+            let md = lane_diff_markdown(&baseline, &current, &outcome);
+            use std::io::Write as _;
+            match std::fs::OpenOptions::new().append(true).open(&summary_path) {
+                Ok(mut f) => {
+                    if let Err(e) = f.write_all(md.as_bytes()) {
+                        eprintln!("bench_gate: cannot write job summary: {e}");
+                    }
+                }
+                Err(e) => eprintln!("bench_gate: cannot open job summary: {e}"),
+            }
+        }
         ExitCode::FAILURE
     }
 }

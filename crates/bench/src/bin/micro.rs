@@ -371,6 +371,33 @@ fn wall_microbench() {
     println!("  engine dispatch, typed arena:  {typed:>7.1} ns/event");
     println!("  engine dispatch, boxed:        {boxed:>7.1} ns/event");
 
+    /// Chain payload: each event schedules a same-instant follow-up,
+    /// exercising the batch-dispatch due-now lane (follow-ups at `now`
+    /// bypass the heap entirely).
+    enum Chain {
+        Hop(u32),
+    }
+    impl Event<u64> for Chain {
+        fn fire(self, state: &mut u64, e: &mut Engine<u64, Self>) {
+            let Chain::Hop(left) = self;
+            *state += 1;
+            if left > 0 {
+                e.schedule_at(e.now(), Chain::Hop(left - 1));
+            }
+        }
+    }
+    let burst = per_unit_ns(|| {
+        let mut e: Engine<u64, Chain> = Engine::new();
+        let mut acc = 0u64;
+        // 2_000 roots, each chaining 99 same-instant follow-ups.
+        for i in 0..2_000u64 {
+            e.schedule_at(SimTime::from_nanos(i % 977), Chain::Hop(99));
+        }
+        e.run(&mut acc);
+        acc
+    });
+    println!("  engine dispatch, same-instant chain: {burst:>7.1} ns/event");
+
     for (label, hints) in [("hints", true), ("full scan", false)] {
         let mut w = world_with_conns(501);
         let now = SimTime::from_secs(100);

@@ -27,8 +27,8 @@ pub mod executor;
 pub mod figures;
 
 pub use baseline::{
-    compare, config_fingerprint, group_runs, BenchReport, GateOutcome, GateTolerance, PointRecord,
-    SweepRecord, BENCH_VERSION,
+    compare, config_fingerprint, group_runs, lane_diff_markdown, BenchReport, GateOutcome,
+    GateTolerance, PointRecord, SweepRecord, BENCH_VERSION,
 };
 pub use executor::{effective_jobs, run_jobs, JOBS_ENV};
 pub use figures::{FigureConfig, FigureRunner, SweepKey, PAPER_FIGURES};

@@ -119,6 +119,12 @@ fn fnv1a(s: &str) -> u64 {
 /// the figure CSVs and probe dumps but not `BENCH.json`, whose schema
 /// grew new fields (`events`, `sim_ms`) in the same change.
 ///
+/// Throughput round 2 (batch event dispatch, incremental DP_POLL result
+/// diffs via the dirty set, `ByteQueue` socket buffers, borrowed HTTP
+/// parsing, pre-rendered responses) is held to the same constants: the
+/// digest below is unchanged from before that round, so a pass proves
+/// those optimisations never altered a single observable byte.
+///
 /// If this fails you changed simulation *behavior*, not just its speed.
 /// Only refresh the constants for a change that intends new output.
 ///

@@ -482,16 +482,25 @@ impl DevPollRegistry {
             .expect("invariant: resolved above");
         let hints = dev.config.hints;
         let per_socket_locks = dev.config.per_socket_locks;
-        for e in dev.interest.iter() {
-            if !hints || e.hinted || (!skip_reval && !e.cached.is_empty()) {
-                candidates.push((e.fd, e.events));
-            }
-        }
-        // Under the fault-injection hook, cached-ready entries bypass
-        // the scan and their stale cached result is served as-is.
-        if skip_reval && hints {
-            for e in dev.interest.iter() {
-                if !e.hinted && !e.cached.is_empty() {
+        // Cached-ready entries with no fresh hint re-enter the scan only
+        // to be revalidated ("[they have] to be reevaluated each time").
+        let mut revalidated: u64 = 0;
+        if hints {
+            // Incremental scan: the table's dirty list holds exactly the
+            // entries with a pending hint or a cached ready result, so
+            // descriptors whose state is unchanged since the last scan
+            // are never visited. (The *modelled* hint walk still covers
+            // the whole set — see the `hint_walk` charge below.)
+            for e in dev.interest.dirty_iter() {
+                if e.hinted {
+                    candidates.push((e.fd, e.events));
+                } else if !skip_reval {
+                    candidates.push((e.fd, e.events));
+                    revalidated += 1;
+                } else {
+                    // Under the fault-injection hook, cached-ready
+                    // entries bypass the scan and their stale cached
+                    // result is served as-is.
                     results.push(PollFd {
                         fd: e.fd,
                         events: e.events,
@@ -499,22 +508,16 @@ impl DevPollRegistry {
                     });
                 }
             }
+        } else {
+            for e in dev.interest.iter() {
+                candidates.push((e.fd, e.events));
+            }
         }
         #[cfg(feature = "simcheck")]
         if hints && !skip_reval {
             let checks = crate::audit::check_scan_candidates(dev, &candidates);
             kernel.probe_mut().add("audit.checks", checks);
         }
-        // Cached-ready entries with no fresh hint re-enter the scan only
-        // to be revalidated ("[they have] to be reevaluated each time").
-        let revalidated = if hints && !skip_reval {
-            dev.interest
-                .iter()
-                .filter(|e| !e.hinted && !e.cached.is_empty())
-                .count() as u64
-        } else {
-            0
-        };
         let polled = candidates.len();
         let avoided = dev.interest.len() - polled;
         let total = dev.interest.len();
@@ -548,10 +551,7 @@ impl DevPollRegistry {
         for &(fd, events) in &candidates {
             let state = kernel.readiness(pid, fd);
             let revents = state & (events | PollBits::always_reported());
-            if let Some(e) = dev.interest.get_mut(fd) {
-                e.cached = revents;
-                e.hinted = false;
-            }
+            dev.interest.set_scan_result(fd, revents);
             if !revents.is_empty() {
                 results.push(PollFd {
                     fd,

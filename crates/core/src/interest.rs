@@ -57,6 +57,15 @@ pub struct InterestTable {
     hist: Vec<u32>,
     /// Cached maximum occupancy (index of the highest non-zero `hist`).
     max_occ: usize,
+    /// Fds that a hinted scan may need to visit, ascending: exactly the
+    /// members whose hint flag is set or whose cached result is
+    /// non-empty. `set`/`mark_hint` add to it, `remove` drops, and
+    /// `set_scan_result` retires entries that scanned not-ready — so
+    /// `DP_POLL` visits only descriptors whose state changed since the
+    /// last scan instead of walking the whole table. Host-side
+    /// acceleration only: it shadows the flags, never replaces them,
+    /// and is not part of the modelled kernel state.
+    dirty: Vec<Fd>,
 }
 
 /// Initial bucket count (small; the table doubles as needed).
@@ -85,6 +94,14 @@ impl InterestTable {
             occ: vec![0; INITIAL_BUCKETS],
             hist: vec![INITIAL_BUCKETS as u32],
             max_occ: 0,
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Records `fd` in the dirty list (idempotent, keeps it sorted).
+    fn mark_dirty(&mut self, fd: Fd) {
+        if let Err(pos) = self.dirty.binary_search(&fd) {
+            self.dirty.insert(pos, fd);
         }
     }
 
@@ -150,6 +167,7 @@ impl InterestTable {
             // An interest change invalidates the cached result.
             e.cached = PollBits::EMPTY;
             e.hinted = true;
+            self.mark_dirty(fd);
             return SetOutcome::Updated;
         }
         self.slots[ix] = Some(Interest {
@@ -160,6 +178,7 @@ impl InterestTable {
             cached: PollBits::EMPTY,
         });
         self.len += 1;
+        self.mark_dirty(fd);
         let b = bucket_of(fd, self.buckets);
         let chain = self.occ[b] as usize;
         self.occ[b] += 1;
@@ -180,6 +199,9 @@ impl InterestTable {
             return false;
         }
         self.len -= 1;
+        if let Ok(pos) = self.dirty.binary_search(&fd) {
+            self.dirty.remove(pos);
+        }
         let b = bucket_of(fd, self.buckets);
         let chain = self.occ[b] as usize;
         self.occ[b] -= 1;
@@ -219,10 +241,35 @@ impl InterestTable {
     pub fn mark_hint(&mut self, fd: Fd) -> bool {
         if let Some(e) = self.get_mut(fd) {
             e.hinted = true;
+            self.mark_dirty(fd);
             true
         } else {
             false
         }
+    }
+
+    /// Records the outcome of a driver poll for `fd`: the result is
+    /// cached and the hint consumed. An fd that scanned not-ready
+    /// leaves the dirty list; a ready one stays, because its cached
+    /// result must be revalidated by the next scan.
+    pub fn set_scan_result(&mut self, fd: Fd, revents: PollBits) {
+        let Some(e) = self.get_mut(fd) else { return };
+        e.cached = revents;
+        e.hinted = false;
+        if revents.is_empty() {
+            if let Ok(pos) = self.dirty.binary_search(&fd) {
+                self.dirty.remove(pos);
+            }
+        }
+    }
+
+    /// Iterates, in ascending fd order, over exactly the entries whose
+    /// hint flag is set or whose cached result is non-empty — the
+    /// descriptors a hinted `DP_POLL` scan must visit. Equivalent to
+    /// filtering [`InterestTable::iter`] on those flags, but O(dirty)
+    /// instead of O(table).
+    pub fn dirty_iter(&self) -> impl Iterator<Item = &Interest> + '_ {
+        self.dirty.iter().filter_map(|&fd| self.get(fd))
     }
 
     /// "When the average bucket size is two, the number of buckets in
@@ -363,6 +410,48 @@ mod tests {
         }
         let fds: Vec<Fd> = t.iter().map(|e| e.fd).collect();
         assert_eq!(fds, vec![0, 2, 9, 17, 31]);
+    }
+
+    #[test]
+    fn dirty_iter_tracks_hint_and_cache_flags() {
+        // Drive the table through the full API surface and check, after
+        // every operation, that `dirty_iter` yields exactly the entries
+        // a full-table filter on the flags would — the invariant the
+        // incremental DP_POLL scan rests on.
+        let mut t = InterestTable::new();
+        let check = |t: &InterestTable| {
+            let fast: Vec<Fd> = t.dirty_iter().map(|e| e.fd).collect();
+            let slow: Vec<Fd> = t
+                .iter()
+                .filter(|e| e.hinted || !e.cached.is_empty())
+                .map(|e| e.fd)
+                .collect();
+            assert_eq!(fast, slow);
+        };
+        for i in 0..120u64 {
+            let fd = ((i * 13) % 40) as Fd;
+            match i % 5 {
+                0 | 1 => {
+                    t.set(fd, PollBits::POLLIN, false);
+                }
+                2 => {
+                    t.mark_hint(fd);
+                }
+                3 => {
+                    // Alternate ready / not-ready scan outcomes.
+                    let r = if i % 2 == 0 {
+                        PollBits::POLLIN
+                    } else {
+                        PollBits::EMPTY
+                    };
+                    t.set_scan_result(fd, r);
+                }
+                _ => {
+                    t.remove(fd);
+                }
+            }
+            check(&t);
+        }
     }
 
     #[test]

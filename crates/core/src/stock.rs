@@ -64,11 +64,13 @@ pub fn sys_poll(
         kernel.span_leaf(pid, Phase::InterestReg, t_reg);
     }
 
-    // Scan: one driver poll callback per descriptor, ready or not.
+    // Scan: one driver poll callback per descriptor, ready or not
+    // (charged in bulk — the sum is identical to a per-descriptor
+    // charge, without a million accounting calls on the host).
     let t_scan = kernel.batch_acc(pid);
+    kernel.charge_app(pid, cost.driver_poll * fds.len() as u64);
     let mut ready = 0usize;
     for f in fds.iter_mut() {
-        kernel.charge_app(pid, cost.driver_poll);
         let state = kernel.readiness(pid, f.fd);
         f.revents = state & (f.events | PollBits::always_reported());
         if !f.revents.is_empty() {
@@ -95,9 +97,9 @@ pub fn sys_poll(
 
     // Nothing ready: register on every file's wait queue, then sleep.
     let t_wq = kernel.batch_acc(pid);
+    kernel.charge_app(pid, cost.wq_add * fds.len() as u64);
     for f in fds.iter() {
         kernel.watch(pid, f.fd);
-        kernel.charge_app(pid, cost.wq_add);
     }
     if spans_on {
         kernel.span_leaf(pid, Phase::InterestReg, t_wq);

@@ -2,12 +2,14 @@
 //! architecture (thttpd-style event loops, the RT-signal server, the
 //! hybrid).
 
+use std::rc::Rc;
+
 use simcore::time::SimTime;
 use simkernel::{Errno, Fd, Kernel, Pid};
 use simnet::Network;
 
 use crate::content::ContentStore;
-use crate::http::{parse_request, response_error, response_ok, ParseOutcome};
+use crate::http::{parse_request, response_error, ParseOutcome};
 
 /// What a connection is currently doing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,8 +51,10 @@ pub struct HttpConn {
     pub phase: ConnPhase,
     /// Buffered request bytes.
     pub in_buf: Vec<u8>,
-    /// Response bytes (headers + body).
-    pub out_buf: Vec<u8>,
+    /// Response bytes (headers + body). Shared with the content store's
+    /// pre-rendered response cache on the 200 path, so starting a reply
+    /// is a pointer bump rather than a header format plus body copy.
+    pub out_buf: Rc<Vec<u8>>,
     /// How much of `out_buf` has been written.
     pub out_pos: usize,
     /// Time of the last I/O progress (for idle timeouts).
@@ -69,7 +73,7 @@ impl HttpConn {
             fd,
             phase: ConnPhase::Reading,
             in_buf: Vec::new(),
-            out_buf: Vec::new(),
+            out_buf: Rc::new(Vec::new()),
             out_pos: 0,
             last_activity: now,
             accepted_at: now,
@@ -107,24 +111,25 @@ impl HttpConn {
             return self.on_writable(kernel, net, now, pid);
         }
         loop {
-            match kernel.sys_read(net, now, pid, self.fd, 4096) {
-                Ok(data) if data.is_empty() => {
+            // Bytes land straight in `in_buf` and the parsed request
+            // borrows from it — no per-read or per-parse allocation.
+            match kernel.sys_read_into(net, now, pid, self.fd, 4096, &mut self.in_buf) {
+                Ok(0) => {
                     return ConnStatus::Finished(FinishKind::ClientClosedEarly);
                 }
-                Ok(data) => {
+                Ok(_) => {
                     self.last_activity = now;
-                    self.in_buf.extend_from_slice(&data);
                     match parse_request(&self.in_buf) {
                         ParseOutcome::Incomplete => continue,
                         ParseOutcome::Complete(req) => {
                             let cost = *kernel.cost_model();
                             kernel.charge_app(pid, cost.app_parse_request);
                             kernel.charge_app(pid, cost.app_open_file);
-                            self.out_buf = match content.get(&req.path) {
-                                Some(doc) => response_ok(&doc),
+                            self.out_buf = match content.response_for(req.path) {
+                                Some(resp) => resp,
                                 None => {
                                     *not_found += 1;
-                                    response_error(404, "Not Found")
+                                    Rc::new(response_error(404, "Not Found"))
                                 }
                             };
                             self.phase = ConnPhase::Writing;
@@ -133,7 +138,7 @@ impl HttpConn {
                         ParseOutcome::Malformed => {
                             let cost = *kernel.cost_model();
                             kernel.charge_app(pid, cost.app_parse_request);
-                            self.out_buf = response_error(400, "Bad Request");
+                            self.out_buf = Rc::new(response_error(400, "Bad Request"));
                             self.phase = ConnPhase::Writing;
                             return self.on_writable(kernel, net, now, pid);
                         }

@@ -15,9 +15,16 @@ pub const DEFAULT_DOC_BYTES: usize = 6 * 1024;
 pub const DEFAULT_DOC_PATH: &str = "/index.html";
 
 /// An in-memory static content store.
+///
+/// Each document is kept twice: the raw body, and the fully rendered
+/// `200 OK` response (headers + body). Responses are immutable for the
+/// life of the store, so rendering them once at insertion time lets the
+/// serving hot path hand out a shared `Rc` instead of formatting headers
+/// and copying the body for every request.
 #[derive(Debug, Clone)]
 pub struct ContentStore {
     files: HashMap<String, Rc<Vec<u8>>>,
+    responses: HashMap<String, Rc<Vec<u8>>>,
 }
 
 impl ContentStore {
@@ -25,6 +32,7 @@ impl ContentStore {
     pub fn new() -> ContentStore {
         ContentStore {
             files: HashMap::new(),
+            responses: HashMap::new(),
         }
     }
 
@@ -47,15 +55,25 @@ impl ContentStore {
         s
     }
 
-    /// Inserts a document.
+    /// Inserts a document (and pre-renders its `200 OK` response).
     pub fn put(&mut self, path: impl Into<String>, body: Vec<u8>) {
-        self.files.insert(path.into(), Rc::new(body));
+        let path = path.into();
+        self.responses
+            .insert(path.clone(), Rc::new(crate::http::response_ok(&body)));
+        self.files.insert(path, Rc::new(body));
     }
 
     /// Looks a document up. `/` aliases the default document.
     pub fn get(&self, path: &str) -> Option<Rc<Vec<u8>>> {
         let path = if path == "/" { DEFAULT_DOC_PATH } else { path };
         self.files.get(path).cloned()
+    }
+
+    /// The pre-rendered `200 OK` response for a document. `/` aliases
+    /// the default document.
+    pub fn response_for(&self, path: &str) -> Option<Rc<Vec<u8>>> {
+        let path = if path == "/" { DEFAULT_DOC_PATH } else { path };
+        self.responses.get(path).cloned()
     }
 
     /// Number of documents.

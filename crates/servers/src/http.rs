@@ -2,22 +2,27 @@
 //! serve the paper's workload (static GETs of a 6 KB document, one
 //! request per connection, `Connection: close` semantics).
 
-/// A parsed HTTP request line.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Request {
+/// A parsed HTTP request line, borrowing from the receive buffer.
+///
+/// The request is only ever inspected between the read that completed
+/// it and the response lookup, so there is no reason to assemble owned
+/// strings on that path: both fields point into the connection's own
+/// `in_buf`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request<'a> {
     /// Method, e.g. `GET`.
-    pub method: String,
+    pub method: &'a str,
     /// Request path, e.g. `/index.html`.
-    pub path: String,
+    pub path: &'a str,
 }
 
 /// Outcome of trying to parse a request from buffered bytes.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ParseOutcome {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseOutcome<'a> {
     /// Headers not yet complete; read more.
     Incomplete,
     /// A full request (headers ended with a blank line).
-    Complete(Request),
+    Complete(Request<'a>),
     /// The bytes do not look like HTTP.
     Malformed,
 }
@@ -39,7 +44,7 @@ pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
 ///     other => panic!("{other:?}"),
 /// }
 /// ```
-pub fn parse_request(buf: &[u8]) -> ParseOutcome {
+pub fn parse_request(buf: &[u8]) -> ParseOutcome<'_> {
     // Find the end of headers.
     let end = match find_header_end(buf) {
         Some(e) => e,
@@ -63,10 +68,7 @@ pub fn parse_request(buf: &[u8]) -> ParseOutcome {
     if !matches!(method, "GET" | "HEAD" | "POST") {
         return ParseOutcome::Malformed;
     }
-    ParseOutcome::Complete(Request {
-        method: method.to_string(),
-        path: path.to_string(),
-    })
+    ParseOutcome::Complete(Request { method, path })
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
@@ -106,8 +108,8 @@ mod tests {
         assert_eq!(
             out,
             ParseOutcome::Complete(Request {
-                method: "GET".into(),
-                path: "/index.html".into(),
+                method: "GET",
+                path: "/index.html",
             })
         );
     }

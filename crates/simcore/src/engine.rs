@@ -125,6 +125,16 @@ pub struct Engine<S, E: Event<S> = BoxedEvent<S>> {
     live: usize,
     next_seq: u64,
     fired: u64,
+    /// Reusable buffer for the same-timestamp run [`Engine::step_run`] is
+    /// dispatching, as `(slot, gen)` pairs.
+    run_scratch: Vec<(u32, u32)>,
+    /// Follow-up events scheduled at exactly `now` while a run is
+    /// dispatching. They bypass the heap (no `O(log n)` push + pop for
+    /// work that fires immediately) and drain at the tail of the current
+    /// run, preserving FIFO order among equal timestamps.
+    due_now: Vec<(u32, u32)>,
+    due_now_head: usize,
+    in_run: bool,
     _state: std::marker::PhantomData<fn(&mut S)>,
 }
 
@@ -145,6 +155,10 @@ impl<S, E: Event<S>> Engine<S, E> {
             live: 0,
             next_seq: 0,
             fired: 0,
+            run_scratch: Vec::new(),
+            due_now: Vec::new(),
+            due_now_head: 0,
+            in_run: false,
             _state: std::marker::PhantomData,
         }
     }
@@ -200,7 +214,14 @@ impl<S, E: Event<S>> Engine<S, E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.live += 1;
-        self.queue.push(Reverse((at, seq, slot, gen)));
+        if self.in_run && at == self.now {
+            // Mid-run follow-up due immediately: every pending event at
+            // `now` has already been drained off the heap, so appending
+            // here keeps FIFO order and skips the heap round-trip.
+            self.due_now.push((slot, gen));
+        } else {
+            self.queue.push(Reverse((at, seq, slot, gen)));
+        }
         EventId { slot, gen }
     }
 
@@ -259,12 +280,82 @@ impl<S, E: Event<S>> Engine<S, E> {
         false
     }
 
+    /// Fires the entire run of events due at the next pending timestamp:
+    /// the batch dispatch path. The whole run is drained off the heap in
+    /// one pass and fired from a dense buffer, and follow-up events the
+    /// run schedules at the same instant bypass the heap entirely (see
+    /// `due_now` on the struct). Firing order is identical to repeated
+    /// [`Engine::step`] calls — FIFO among equal timestamps — and events
+    /// cancelled by an earlier event in the same run do not fire.
+    ///
+    /// Returns `false` when the queue is empty.
+    // #[hot_path] — simcheck bans per-call allocation in this function
+    pub fn step_run(&mut self, state: &mut S) -> bool {
+        // Locate the run's timestamp, reaping stale entries.
+        let at = loop {
+            match self.queue.peek() {
+                Some(&Reverse((at, _, slot, gen))) => {
+                    if self.slots[slot as usize].gen != gen {
+                        self.queue.pop();
+                        continue;
+                    }
+                    break at;
+                }
+                None => return false,
+            }
+        };
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        // Drain the whole same-timestamp run before firing anything, so
+        // mid-run follow-ups at `now` can take the due_now fast path
+        // without racing heap entries for FIFO position.
+        let mut run = std::mem::take(&mut self.run_scratch);
+        run.clear();
+        while let Some(&Reverse((t, _, slot, gen))) = self.queue.peek() {
+            if t != at {
+                break;
+            }
+            self.queue.pop();
+            if self.slots[slot as usize].gen == gen {
+                run.push((slot, gen));
+            }
+        }
+        let was_in_run = self.in_run;
+        self.in_run = true;
+        for &(slot, gen) in &run {
+            if self.slots[slot as usize].gen != gen {
+                continue; // Cancelled by an earlier event in this run.
+            }
+            let event = self.release(slot);
+            self.fired += 1;
+            event.fire(state, self);
+        }
+        // Tail of the run: follow-ups scheduled at `now`, in FIFO order,
+        // including any that they schedule themselves.
+        while self.due_now_head < self.due_now.len() {
+            let (slot, gen) = self.due_now[self.due_now_head];
+            self.due_now_head += 1;
+            if self.slots[slot as usize].gen != gen {
+                continue;
+            }
+            let event = self.release(slot);
+            self.fired += 1;
+            event.fire(state, self);
+        }
+        self.due_now.clear();
+        self.due_now_head = 0;
+        self.in_run = was_in_run;
+        run.clear();
+        self.run_scratch = run;
+        true
+    }
+
     /// Runs until the queue is empty.
     ///
     /// Returns the number of events fired.
     pub fn run(&mut self, state: &mut S) -> u64 {
         let start = self.fired;
-        while self.step(state) {}
+        while self.step_run(state) {}
         self.fired - start
     }
 
@@ -280,7 +371,9 @@ impl<S, E: Event<S>> Engine<S, E> {
                 Some(t) if t <= deadline => {}
                 _ => break,
             }
-            if !self.step(state) {
+            // The whole run shares that timestamp, so batch dispatch
+            // cannot overshoot the deadline.
+            if !self.step_run(state) {
                 break;
             }
         }
@@ -291,6 +384,9 @@ impl<S, E: Event<S>> Engine<S, E> {
     }
 
     /// Runs while `keep_going` returns `true` and events remain.
+    ///
+    /// The predicate is consulted before *every* event (not every run),
+    /// so this deliberately stays on the single-step path.
     pub fn run_while(&mut self, state: &mut S, mut keep_going: impl FnMut(&S) -> bool) -> u64 {
         let start = self.fired;
         while keep_going(state) && self.step(state) {}
@@ -300,6 +396,15 @@ impl<S, E: Event<S>> Engine<S, E> {
     /// Returns the timestamp of the next pending event, skipping cancelled
     /// entries.
     pub fn next_due(&mut self) -> Option<SimTime> {
+        // Mid-run follow-ups (only present while step_run is dispatching)
+        // are due at the current instant.
+        while self.due_now_head < self.due_now.len() {
+            let (slot, gen) = self.due_now[self.due_now_head];
+            if self.slots[slot as usize].gen == gen {
+                return Some(self.now);
+            }
+            self.due_now_head += 1;
+        }
         while let Some(&Reverse((at, _, slot, gen))) = self.queue.peek() {
             if self.slots[slot as usize].gen != gen {
                 self.queue.pop();
@@ -507,6 +612,109 @@ mod tests {
         assert_eq!(e.pending(), 1);
         e.run(&mut s);
         assert_eq!(s, vec![1, 2]);
+    }
+
+    #[test]
+    fn step_run_fires_whole_timestamp_batch() {
+        let mut e = E::new();
+        let mut s = Vec::new();
+        for v in 0..5 {
+            e.schedule_at(SimTime::from_nanos(7), push(v));
+        }
+        e.schedule_at(SimTime::from_nanos(9), push(99));
+        assert!(e.step_run(&mut s));
+        assert_eq!(s, vec![0, 1, 2, 3, 4], "one run = one timestamp");
+        assert_eq!(e.pending(), 1);
+        assert!(e.step_run(&mut s));
+        assert!(!e.step_run(&mut s), "queue drained");
+        assert_eq!(s, vec![0, 1, 2, 3, 4, 99]);
+    }
+
+    #[test]
+    fn same_instant_followups_fire_in_the_same_run() {
+        // An event scheduling work at its own timestamp exercises the
+        // due_now fast path; the follow-up (and the follow-up's
+        // follow-up) must fire within the same step_run call, after all
+        // originally-pending events, in FIFO order.
+        let mut e = E::new();
+        let mut s = Vec::new();
+        e.schedule_at(
+            SimTime::from_nanos(5),
+            BoxedEvent::new(|st: &mut Vec<u64>, en: &mut E| {
+                st.push(1);
+                en.schedule_at(
+                    SimTime::from_nanos(5),
+                    BoxedEvent::new(|st: &mut Vec<u64>, en: &mut E| {
+                        st.push(3);
+                        en.schedule_at(SimTime::from_nanos(5), push(4));
+                    }),
+                );
+            }),
+        );
+        e.schedule_at(SimTime::from_nanos(5), push(2));
+        assert!(e.step_run(&mut s));
+        assert_eq!(s, vec![1, 2, 3, 4]);
+        assert_eq!(e.pending(), 0);
+        assert_eq!(e.now(), SimTime::from_nanos(5));
+    }
+
+    #[test]
+    fn cancel_within_a_run_prevents_firing() {
+        // Event A cancels B, scheduled at the same timestamp and already
+        // drained into the run buffer: B must not fire.
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let mut e = E::new();
+        let mut s = Vec::new();
+        let b_id: Rc<Cell<Option<EventId>>> = Rc::new(Cell::new(None));
+        let b_ref = Rc::clone(&b_id);
+        e.schedule_at(
+            SimTime::from_nanos(5),
+            BoxedEvent::new(move |st: &mut Vec<u64>, en: &mut E| {
+                st.push(1);
+                assert!(en.cancel(b_ref.get().expect("b scheduled")));
+            }),
+        );
+        let b = e.schedule_at(SimTime::from_nanos(5), push(2));
+        b_id.set(Some(b));
+        e.schedule_at(SimTime::from_nanos(5), push(3));
+        assert!(e.step_run(&mut s));
+        assert_eq!(s, vec![1, 3]);
+        assert_eq!(e.events_fired(), 2);
+    }
+
+    #[test]
+    fn batch_dispatch_matches_single_step_order() {
+        // Differential check: the same interleaved workload driven by
+        // step_run and by repeated step() must fire in the same order.
+        fn workload(e: &mut E) {
+            for v in 0..20 {
+                let at = SimTime::from_nanos(v % 4);
+                if v % 5 == 0 {
+                    e.schedule_at(
+                        at,
+                        BoxedEvent::new(move |st: &mut Vec<u64>, en: &mut E| {
+                            st.push(100 + v);
+                            // Same-instant follow-up plus a later one.
+                            en.schedule_in(SimDuration::ZERO, push(200 + v));
+                            en.schedule_in(SimDuration::from_nanos(2), push(300 + v));
+                        }),
+                    );
+                } else {
+                    e.schedule_at(at, push(v));
+                }
+            }
+        }
+        let mut batched = E::new();
+        let mut got_batched = Vec::new();
+        workload(&mut batched);
+        while batched.step_run(&mut got_batched) {}
+        let mut single = E::new();
+        let mut got_single = Vec::new();
+        workload(&mut single);
+        while single.step(&mut got_single) {}
+        assert_eq!(got_batched, got_single);
+        assert_eq!(batched.events_fired(), single.events_fired());
     }
 
     #[test]

@@ -631,6 +631,18 @@ impl Kernel {
         self.procs.iter().filter_map(|p| p.next_deadline()).min()
     }
 
+    /// Whether `advance_into(now, …)` would emit events or transition
+    /// any process — the quiescence test for driving loops, cheaper
+    /// than an empty advance pass (short-circuits on the first due
+    /// process).
+    pub fn has_work_at(&self, now: SimTime) -> bool {
+        !self.events_out.is_empty()
+            || self
+                .procs
+                .iter()
+                .any(|p| p.next_deadline().is_some_and(|t| t <= now))
+    }
+
     /// Fires due process transitions and drains pending events.
     ///
     /// Convenience wrapper over [`Kernel::advance_into`] that allocates a
@@ -1123,15 +1135,35 @@ impl Kernel {
         fd: Fd,
         max: usize,
     ) -> Result<Vec<u8>, Errno> {
+        let mut buf = Vec::new();
+        self.sys_read_into(net, now, pid, fd, max, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// `read()` into a caller-supplied buffer: appends up to `max` bytes
+    /// to `buf` and returns how many arrived (`Ok(0)` means EOF).
+    ///
+    /// The allocation-free spelling of [`Kernel::sys_read`] for server
+    /// hot paths — request bytes land directly in the connection's own
+    /// buffer instead of bouncing through a fresh `Vec` per call.
+    pub fn sys_read_into(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        pid: Pid,
+        fd: Fd,
+        max: usize,
+        buf: &mut Vec<u8>,
+    ) -> Result<usize, Errno> {
         let t0 = self.syscall_enter(pid, "syscall.read", self.cost.read_base);
         let ep = self.endpoint_of(pid, fd)?;
         if self.ep_slot(ep).is_some_and(|s| s.mirror.err) {
             return Err(Errno::ECONNRESET);
         }
         let vnow = self.vnow(now, pid);
-        let data = net.recv(vnow, ep, max).unwrap_or_default();
-        if !data.is_empty() {
-            self.charge(pid, self.cost.copy(data.len()));
+        let n = net.recv_into(vnow, ep, max, buf).unwrap_or(0);
+        if n > 0 {
+            self.charge(pid, self.cost.copy(n));
         }
         // Level update: still readable only if bytes remain (EOF keeps
         // POLLIN so the application observes it).
@@ -1144,15 +1176,15 @@ impl Kernel {
             }
         }
         self.span_leaf(pid, Phase::Read, t0);
-        if data.is_empty() {
+        if n == 0 {
             if eof {
                 self.syscall_exit(pid, t0, "syscall_ns.read");
-                return Ok(Vec::new()); // EOF.
+                return Ok(0); // EOF.
             }
             return Err(Errno::EAGAIN);
         }
         self.syscall_exit(pid, t0, "syscall_ns.read");
-        Ok(data)
+        Ok(n)
     }
 
     /// `write()`: buffers up to the socket send-buffer size.

@@ -14,6 +14,7 @@
 //! protocol (`next_deadline` / `advance`).
 
 pub mod addr;
+pub mod bytes;
 pub mod link;
 pub mod net;
 pub mod ports;
@@ -21,6 +22,7 @@ pub mod seg;
 pub mod tcp;
 
 pub use addr::{ConnId, EndpointId, HostId, ListenerId, Port, Side, SockAddr};
+pub use bytes::ByteQueue;
 pub use link::{LinkConfig, Tx, TxOutcome};
 pub use net::{NetError, NetNotify, NetStats, Network, RecvSummary, RECV_PREFIX};
 pub use ports::PortAllocator;

@@ -301,9 +301,7 @@ impl Network {
                 h.write_bool(ep.fin_sent);
                 h.write_bool(ep.fin_acked);
                 h.write_len(ep.inbox.len());
-                let (front, back) = ep.inbox.as_slices();
-                h.write_bytes(front);
-                h.write_bytes(back);
+                h.write_bytes(ep.inbox.as_slice());
                 h.write_u64(ep.rcv_nxt);
                 h.write_u64(ep.peer_fin.map_or(u64::MAX, |s| s));
                 h.write_u32(ep.retries);
@@ -450,6 +448,22 @@ impl Network {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         }
+    }
+
+    /// O(1): whether `advance_into(now, …)` would do anything — pending
+    /// notifications, a due timer, or a due TIME_WAIT expiry. Lets the
+    /// driving loop test for quiescence without paying for an empty
+    /// advance pass.
+    pub fn has_work_at(&self, now: SimTime) -> bool {
+        !self.out.is_empty()
+            || self
+                .timers
+                .peek()
+                .is_some_and(|Reverse((t, _, _))| *t <= now)
+            || self
+                .hosts
+                .iter()
+                .any(|h| h.ports.next_expiry().is_some_and(|t| t <= now))
     }
 
     /// Fires all timers due at or before `now` and returns the
@@ -633,7 +647,7 @@ impl Network {
             }
             let space = e.send_space(&cfg);
             let n = space.min(data.len());
-            e.out.extend(&data[..n]);
+            e.out.extend_from_slice(&data[..n]);
             e.wrote += n as u64;
             if n < data.len() {
                 e.blocked_writer = true;
@@ -647,11 +661,30 @@ impl Network {
     }
 
     /// Reads up to `max` bytes of in-order data.
-    pub fn recv(&mut self, _now: SimTime, ep: EndpointId, max: usize) -> Result<Vec<u8>, NetError> {
+    pub fn recv(&mut self, now: SimTime, ep: EndpointId, max: usize) -> Result<Vec<u8>, NetError> {
+        let mut buf = Vec::new();
+        self.recv_into(now, ep, max, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Reads up to `max` bytes of in-order data, appending them to `buf`.
+    ///
+    /// The allocation-free sibling of [`Network::recv`]: servers read
+    /// straight into their per-connection request buffers instead of
+    /// routing every chunk through a fresh `Vec`.
+    pub fn recv_into(
+        &mut self,
+        _now: SimTime,
+        ep: EndpointId,
+        max: usize,
+        buf: &mut Vec<u8>,
+    ) -> Result<usize, NetError> {
         let conn = self.conn_mut(ep.conn).ok_or(NetError::Gone)?;
         let e = conn.ep_mut(ep.side);
         let n = e.inbox.len().min(max);
-        Ok(e.inbox.drain(..n).collect())
+        buf.extend_from_slice(&e.inbox.as_slice()[..n]);
+        e.inbox.consume(n);
+        Ok(n)
     }
 
     /// Reads and discards up to `max` bytes of in-order data, returning
@@ -669,10 +702,8 @@ impl Network {
         let n = e.inbox.len().min(max);
         let mut prefix = [0u8; RECV_PREFIX];
         let prefix_len = n.min(RECV_PREFIX);
-        for (dst, src) in prefix.iter_mut().zip(e.inbox.iter()) {
-            *dst = *src;
-        }
-        e.inbox.drain(..n);
+        prefix[..prefix_len].copy_from_slice(&e.inbox.as_slice()[..prefix_len]);
+        e.inbox.consume(n);
         Ok(RecvSummary {
             len: n,
             prefix,
@@ -946,9 +977,9 @@ impl Network {
                 // Trim acknowledged bytes (the FIN occupies one virtual
                 // sequence slot past `wrote`, so clamp).
                 let trim_to = e.snd_una.min(e.wrote);
-                while e.out_base < trim_to {
-                    e.out.pop_front();
-                    e.out_base += 1;
+                if e.out_base < trim_to {
+                    e.out.consume((trim_to - e.out_base) as usize);
+                    e.out_base = trim_to;
                 }
                 if let Some(fin) = e.fin_at {
                     if e.snd_una > fin {
@@ -999,14 +1030,8 @@ impl Network {
                     _ => (&mut b[0], &a[0]),
                 };
                 let start = (seq - tx.out_base) as usize;
-                let before = rx.inbox.len();
-                rx.inbox
-                    .extend(tx.out.iter().skip(start).take(len as usize).copied());
-                debug_assert_eq!(
-                    rx.inbox.len() - before,
-                    len as usize,
-                    "stream bytes missing"
-                );
+                let payload = &tx.out.as_slice()[start..start + len as usize];
+                rx.inbox.extend_from_slice(payload);
                 rx.rcv_nxt = seq + len as u64;
                 readable = true;
             }

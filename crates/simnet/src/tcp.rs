@@ -13,11 +13,10 @@
 //! buffers; inactive connections never send). None of these influence the
 //! event-notification costs the paper measures.
 
-use std::collections::VecDeque;
-
 use simcore::time::{SimDuration, SimTime};
 
 use crate::addr::{HostId, ListenerId, Port, Side};
+use crate::bytes::ByteQueue;
 
 /// Transport configuration shared by every connection.
 #[derive(Debug, Clone, Copy)]
@@ -97,7 +96,7 @@ pub enum ConnState {
 #[derive(Debug, Clone)]
 pub struct Endpoint {
     /// Outgoing stream bytes not yet trimmed; front is at `out_base`.
-    pub(crate) out: VecDeque<u8>,
+    pub(crate) out: ByteQueue,
     /// Sequence number of `out.front()`.
     pub(crate) out_base: u64,
     /// Total bytes accepted from the application.
@@ -113,7 +112,7 @@ pub struct Endpoint {
     /// Whether the FIN has been acknowledged.
     pub(crate) fin_acked: bool,
     /// Incoming stream delivered in order and not yet read.
-    pub(crate) inbox: VecDeque<u8>,
+    pub(crate) inbox: ByteQueue,
     /// Next sequence number expected from the peer.
     pub(crate) rcv_nxt: u64,
     /// Sequence of the peer's FIN once received in order.
@@ -132,7 +131,7 @@ pub struct Endpoint {
 impl Endpoint {
     pub(crate) fn new(now: SimTime) -> Endpoint {
         Endpoint {
-            out: VecDeque::new(),
+            out: ByteQueue::new(),
             out_base: 0,
             wrote: 0,
             snd_nxt: 0,
@@ -140,7 +139,7 @@ impl Endpoint {
             fin_at: None,
             fin_sent: false,
             fin_acked: false,
-            inbox: VecDeque::new(),
+            inbox: ByteQueue::new(),
             rcv_nxt: 0,
             peer_fin: None,
             last_progress: now,
@@ -238,9 +237,9 @@ mod tests {
         };
         let mut ep = Endpoint::new(SimTime::ZERO);
         assert_eq!(ep.send_space(&cfg), 10);
-        ep.out.extend([0u8; 4]);
+        ep.out.extend_from_slice(&[0u8; 4]);
         assert_eq!(ep.send_space(&cfg), 6);
-        ep.out.extend([0u8; 10]);
+        ep.out.extend_from_slice(&[0u8; 10]);
         assert_eq!(ep.send_space(&cfg), 0);
     }
 
