@@ -32,10 +32,13 @@ use simcore::probe::fnv1a;
 /// v2 added the throughput lane: per-sweep `events` (simulation events
 /// dispatched) and `sim_ms` (summed simulated time), from which the
 /// gate derives events-per-wall-second and sim-time-per-wall-second.
-/// v1 documents still parse (the lane fields default to zero); the
+/// v3 added the memory lane: per-sweep `mem_bytes` (peak server-side
+/// heap across the sweep's points) and `eps_peak` (peak simultaneous
+/// kernel endpoints), from which the gate derives bytes-per-connection.
+/// Older documents still parse (the lane fields default to zero); the
 /// comparator turns the version skew into a baseline-refresh hint
 /// rather than a parse error.
-pub const BENCH_VERSION: u64 = 2;
+pub const BENCH_VERSION: u64 = 3;
 
 /// One benchmark point: the shape metrics of one simulated run.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,11 +103,24 @@ pub struct SweepRecord {
     /// Summed simulated run time across the sweep's points,
     /// milliseconds (schema v2; zero for v1 documents). Deterministic.
     pub sim_ms: f64,
+    /// Peak end-of-run server-side heap bytes across the sweep's points
+    /// (schema v3; zero for older documents). Deterministic.
+    pub mem_bytes: u64,
+    /// Peak simultaneously-open kernel endpoints across the sweep's
+    /// points (schema v3; zero for older documents). Deterministic.
+    pub eps_peak: u64,
     /// Points in ascending rate order.
     pub points: Vec<PointRecord>,
 }
 
 impl SweepRecord {
+    /// Server-side heap bytes per peak connection — the memory lane's
+    /// headline number. `None` without endpoint data.
+    pub fn mem_bytes_per_conn(&self) -> Option<f64> {
+        (self.eps_peak > 0 && self.mem_bytes > 0)
+            .then(|| self.mem_bytes as f64 / self.eps_peak as f64)
+    }
+
     /// Simulation events dispatched per wall-clock second — the
     /// throughput lane's headline number. `None` without wall data.
     pub fn events_per_wall_sec(&self) -> Option<f64> {
@@ -181,6 +197,8 @@ impl BenchReport {
             let _ = writeln!(out, "      \"wall_ms\": {},", s.wall_ms);
             let _ = writeln!(out, "      \"events\": {},", s.events);
             let _ = writeln!(out, "      \"sim_ms\": {},", s.sim_ms);
+            let _ = writeln!(out, "      \"mem_bytes\": {},", s.mem_bytes);
+            let _ = writeln!(out, "      \"eps_peak\": {},", s.eps_peak);
             let _ = writeln!(out, "      \"points\": [");
             for (j, p) in s.points.iter().enumerate() {
                 let comma = if j + 1 < s.points.len() { "," } else { "" };
@@ -237,6 +255,16 @@ impl BenchReport {
                     Some(_) => sv.field_f64("sim_ms")?,
                     None => 0.0,
                 },
+                // Memory-lane fields arrived in schema v3; older
+                // documents simply lack them.
+                mem_bytes: match sv.get("mem_bytes") {
+                    Some(_) => sv.field_u64("mem_bytes")?,
+                    None => 0,
+                },
+                eps_peak: match sv.get("eps_peak") {
+                    Some(_) => sv.field_u64("eps_peak")?,
+                    None => 0,
+                },
                 points,
             });
         }
@@ -289,6 +317,8 @@ pub fn group_runs(mut runs: Vec<(RunReport, f64)>) -> Vec<SweepRecord> {
                 s.wall_ms += wall;
                 s.events += report.events;
                 s.sim_ms += report.sim_secs * 1e3;
+                s.mem_bytes = s.mem_bytes.max(report.mem_server_bytes);
+                s.eps_peak = s.eps_peak.max(report.mem_eps_peak);
                 s.points.push(point);
             }
             _ => sweeps.push(SweepRecord {
@@ -297,6 +327,8 @@ pub fn group_runs(mut runs: Vec<(RunReport, f64)>) -> Vec<SweepRecord> {
                 wall_ms: wall,
                 events: report.events,
                 sim_ms: report.sim_secs * 1e3,
+                mem_bytes: report.mem_server_bytes,
+                eps_peak: report.mem_eps_peak,
                 points: vec![point],
             }),
         }
@@ -330,6 +362,13 @@ pub struct GateTolerance {
     /// wall-clock throughput is machine-dependent, so the hard gate is
     /// opt-in like `wall_factor`.
     pub throughput_factor: Option<f64>,
+    /// Memory lane: fail when a sweep's bytes-per-connection exceeds
+    /// `factor * baseline`. `None` keeps the lane advisory (growth
+    /// beyond the same soft 1.5x slack surfaces as a note). Unlike the
+    /// wall lanes this number is deterministic, but per-connection cost
+    /// legitimately moves with intentional state additions, so the hard
+    /// gate is still opt-in.
+    pub mem_factor: Option<f64>,
     /// Treat probe-digest mismatches as violations instead of notes.
     pub strict_digest: bool,
 }
@@ -347,6 +386,7 @@ impl Default for GateTolerance {
             latency_floor_ms: 1.0,
             wall_factor: None,
             throughput_factor: None,
+            mem_factor: None,
             strict_digest: false,
         }
     }
@@ -474,6 +514,23 @@ fn compare_sweep(
             _ => {}
         }
     }
+    // Memory lane: server-side bytes per peak connection. Deterministic,
+    // so comparable whenever both sides carry endpoint data.
+    if let (Some(base_bpc), Some(cur_bpc)) = (base.mem_bytes_per_conn(), cur.mem_bytes_per_conn()) {
+        let lane = format!(
+            "{ctx}: memory {:.1} bytes/conn vs baseline {:.1} bytes/conn",
+            cur_bpc, base_bpc
+        );
+        match tol.mem_factor {
+            Some(factor) if cur_bpc > factor * base_bpc => {
+                out.violations.push(format!("{lane} (limit {factor}x)"));
+            }
+            None if cur_bpc > THROUGHPUT_NOTE_SLACK * base_bpc => {
+                out.notes.push(lane);
+            }
+            _ => {}
+        }
+    }
     if base.points.len() != cur.points.len() {
         out.violations.push(format!(
             "{ctx}: point count changed ({} -> {})",
@@ -552,9 +609,9 @@ pub fn lane_diff_markdown(
     let mut out = String::from("## Bench gate: baseline vs current lanes\n\n");
     let _ = writeln!(
         out,
-        "| sweep | load | replies/s (base → cur) | median ms (base → cur) | events/s (base → cur) |"
+        "| sweep | load | replies/s (base → cur) | median ms (base → cur) | events/s (base → cur) | B/conn (base → cur) |"
     );
-    let _ = writeln!(out, "|---|---:|---:|---:|---:|");
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|");
     for b in &baseline.sweeps {
         let cur = current
             .sweeps
@@ -565,14 +622,20 @@ pub fn lane_diff_markdown(
         let base_eps = b
             .events_per_wall_sec()
             .map_or("—".to_string(), |e| format!("{e:.0}"));
+        let base_bpc = b
+            .mem_bytes_per_conn()
+            .map_or("—".to_string(), |m| format!("{m:.0}"));
         match cur {
             Some(c) => {
                 let cur_eps = c
                     .events_per_wall_sec()
                     .map_or("—".to_string(), |e| format!("{e:.0}"));
+                let cur_bpc = c
+                    .mem_bytes_per_conn()
+                    .map_or("—".to_string(), |m| format!("{m:.0}"));
                 let _ = writeln!(
                     out,
-                    "| {} | {} | {:.1} → {:.1} | {:.2} → {:.2} | {} → {} |",
+                    "| {} | {} | {:.1} → {:.1} | {:.2} → {:.2} | {} → {} | {} → {} |",
                     b.server,
                     b.inactive,
                     base_rate,
@@ -581,12 +644,14 @@ pub fn lane_diff_markdown(
                     sweep_mean(c, |p| p.median_ms),
                     base_eps,
                     cur_eps,
+                    base_bpc,
+                    cur_bpc,
                 );
             }
             None => {
                 let _ = writeln!(
                     out,
-                    "| {} | {} | {base_rate:.1} → missing | {base_lat:.2} → missing | {base_eps} → missing |",
+                    "| {} | {} | {base_rate:.1} → missing | {base_lat:.2} → missing | {base_eps} → missing | {base_bpc} → missing |",
                     b.server, b.inactive,
                 );
             }
@@ -861,6 +926,8 @@ mod tests {
                 wall_ms: 600.25,
                 events: 1_200_000,
                 sim_ms: 90_000.0,
+                mem_bytes: 1_048_576,
+                eps_peak: 16_384,
                 points: vec![PointRecord {
                     rate: 700.0,
                     avg: 699.5,
@@ -1006,6 +1073,61 @@ mod tests {
     }
 
     #[test]
+    fn v2_documents_parse_with_zero_mem_fields_and_hint_at_refresh() {
+        // A checked-in v2 baseline (no mem_bytes/eps_peak) must keep
+        // parsing; the comparator then prompts a refresh instead of the
+        // gate erroring out.
+        let mut v2 = sample_report();
+        v2.version = 2;
+        let mut text = v2.to_json();
+        text = text
+            .lines()
+            .filter(|l| !l.contains("\"mem_bytes\"") && !l.contains("\"eps_peak\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = BenchReport::from_json(&text).expect("v2 document parses");
+        assert_eq!(parsed.version, 2);
+        assert_eq!(parsed.sweeps[0].mem_bytes, 0);
+        assert_eq!(parsed.sweeps[0].eps_peak, 0);
+        assert_eq!(parsed.sweeps[0].mem_bytes_per_conn(), None);
+
+        let outcome = compare(&parsed, &sample_report(), &GateTolerance::default());
+        assert!(outcome
+            .violations
+            .iter()
+            .any(|v| v.contains("schema version mismatch") && v.contains("refresh")));
+    }
+
+    #[test]
+    fn mem_lane_notes_by_default_and_gates_on_opt_in() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        // Same peak connections, twice the bytes: a per-connection
+        // memory regression.
+        cur.sweeps[0].mem_bytes = base.sweeps[0].mem_bytes * 2;
+
+        let outcome = compare(&base, &cur, &GateTolerance::default());
+        assert!(outcome.ok());
+        assert!(outcome.notes.iter().any(|n| n.contains("bytes/conn")));
+
+        let gated = GateTolerance {
+            mem_factor: Some(1.25),
+            ..GateTolerance::default()
+        };
+        let outcome = compare(&base, &cur, &gated);
+        assert_eq!(outcome.violations.len(), 1);
+        assert!(outcome.violations[0].contains("bytes/conn"));
+
+        // Mild growth: green under the gate, quiet under the slack.
+        let mut mild = base.clone();
+        mild.sweeps[0].mem_bytes = base.sweeps[0].mem_bytes + base.sweeps[0].mem_bytes / 10;
+        assert!(compare(&base, &mild, &gated).ok());
+        assert!(compare(&base, &mild, &GateTolerance::default())
+            .notes
+            .is_empty());
+    }
+
+    #[test]
     fn throughput_lane_notes_by_default_and_gates_on_opt_in() {
         let base = sample_report();
         let mut cur = base.clone();
@@ -1046,6 +1168,8 @@ mod tests {
             wall_ms: 1.0,
             events: 10,
             sim_ms: 1.0,
+            mem_bytes: 0,
+            eps_peak: 0,
             points: vec![],
         });
         let tol = GateTolerance {

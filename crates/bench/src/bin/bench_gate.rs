@@ -5,7 +5,7 @@
 //! ```text
 //! bench_gate [--baseline FILE] [--current FILE] [--rate-tol F]
 //!            [--err-tol F] [--latency-tol F] [--wall-factor F]
-//!            [--throughput-factor F] [--strict-digest]
+//!            [--throughput-factor F] [--mem-factor F] [--strict-digest]
 //! ```
 //!
 //! Defaults: baseline `BENCH_BASELINE.json`, current `BENCH.json`,
@@ -13,7 +13,9 @@
 //! 5 error points, 50% latency above a 1 ms floor), no wall gate, and
 //! the throughput lane advisory (`--throughput-factor F` turns a
 //! per-sweep events-per-second drop below `baseline / F` into a
-//! failure; without it large drops are notes).
+//! failure; without it large drops are notes). `--mem-factor F` gates
+//! the memory lane the same way: a sweep whose server bytes/connection
+//! grow beyond `baseline * F` fails instead of noting.
 //! Intentional perf/behaviour changes are shipped by refreshing the
 //! baseline in the same commit — see EXPERIMENTS.md "Benchmark gate".
 //!
@@ -51,6 +53,9 @@ fn main() -> ExitCode {
                     "--throughput-factor",
                     &val("--throughput-factor"),
                 ))
+            }
+            "--mem-factor" => {
+                tol.mem_factor = Some(parse_f64("--mem-factor", &val("--mem-factor")))
             }
             "--strict-digest" => tol.strict_digest = true,
             other => {
@@ -93,6 +98,12 @@ fn main() -> ExitCode {
             println!(
                 "lane  {}/load {}: {:.0} events/s, {:.1} sim-s per wall-s",
                 s.server, s.inactive, eps, ratio
+            );
+        }
+        if let Some(bpc) = s.mem_bytes_per_conn() {
+            println!(
+                "mem   {}/load {}: {bpc:.1} B/conn ({} conns peak)",
+                s.server, s.inactive, s.eps_peak
             );
         }
     }

@@ -4,8 +4,15 @@
 //! figures [--quick] [--conns N] [--jobs N] [--out DIR] [--bench-out FILE]
 //!         [--profile] [--trace-export DIR] <target>...
 //! targets: fig4 .. fig14 | all | hybrid | ablate-hints | ablate-mmap |
-//!          ablate-combined | ablate-batch | extensions | latency-anatomy
+//!          ablate-combined | ablate-batch | extensions | latency-anatomy |
+//!          million | million-smoke
 //! ```
+//!
+//! `million` sweeps the held-open population 10^4 → 10^5 → 10^6 for
+//! `poll()` and `/dev/poll` at a fixed request rate, charting the
+//! reply-rate/latency knees and the server bytes-per-connection lane
+//! (the nightly scaling check); `million-smoke` is the same lane capped
+//! at 10^5 for the per-PR benchmark gate.
 //!
 //! `latency-anatomy` runs span-enabled sweeps of the five mechanisms
 //! (select, poll, devpoll, phhttpd, hybrid) and emits one stacked
@@ -160,6 +167,14 @@ fn main() {
                     let fig = runner.latency_anatomy_figure(kind, 251);
                     emit(&format!("anatomy_{}", sanitize(&kind.label())), vec![fig]);
                 }
+            }
+            "million" => {
+                eprintln!("== million ==");
+                emit("million", runner.million_figures(1_000_000));
+            }
+            "million-smoke" => {
+                eprintln!("== million-smoke ==");
+                emit("million", runner.million_figures(100_000));
             }
             "ablate-hints" => emit("ablate_hints", runner.ablate_hints(501)),
             "ablate-mmap" => emit("ablate_mmap", runner.ablate_mmap(501)),

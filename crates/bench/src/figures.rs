@@ -11,6 +11,7 @@ use devpoll::DevPollConfig;
 use httperf::{run_one, RunParams, RunReport, ServerKind};
 use simcore::series::{Figure, Series};
 use simcore::span::Phase;
+use simcore::time::SimDuration;
 
 use crate::baseline::{config_fingerprint, BenchReport, PointRecord, SweepRecord, BENCH_VERSION};
 use crate::executor::run_jobs;
@@ -186,6 +187,83 @@ impl FigureRunner {
         }
     }
 
+    /// Runs every missing million-lane point (see [`million_params`])
+    /// as one parallel batch. Each (mechanism, population) pair is a
+    /// single run cached as a one-point sweep — the lane's x-axis is
+    /// the population, not the rate — so the results fold into
+    /// `BENCH.json` and the probe dumps like any other sweep. The
+    /// population keys (10^4..10^6) cannot collide with the paper grid
+    /// (1/251/501).
+    pub fn million_prefetch(&mut self, cap: usize) {
+        let missing: Vec<SweepKey> = million_grid(cap)
+            .into_iter()
+            .filter(|k| !self.cache.contains_key(k))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let seed = self.config.seed;
+        let clock = self.clock;
+        let tick = move || clock.map_or(0.0, |c| c());
+        let results = run_jobs(self.jobs, &missing, move |&(kind, inactive)| {
+            let started = tick();
+            let mut report = run_one(million_params(seed, kind, inactive));
+            let wall = tick() - started;
+            let line = format!("  {}", report.summary_line());
+            (report, wall, line)
+        });
+        for (&key, result) in missing.iter().zip(results) {
+            self.absorb_sweep(key, vec![result]);
+        }
+    }
+
+    /// The million-connection knee charts: reply rate, median latency
+    /// and server bytes per connection, each against the held-open
+    /// population (log-ish x: 10^4, 10^5, 10^6) per mechanism. Where
+    /// the paper's Figs. 4–14 sweep the request rate at fixed load,
+    /// these sweep the load at fixed rate — the axis along which
+    /// `poll()`'s O(n) scans and the interest tables' footprint bend.
+    pub fn million_figures(&mut self, cap: usize) -> Vec<Figure> {
+        self.million_prefetch(cap);
+        let mut rate_fig = Figure::new(
+            "Reply rate vs held-open connections",
+            "held-open (inactive) connections",
+            "reply rate",
+        );
+        let mut lat_fig = Figure::new(
+            "Median latency vs held-open connections",
+            "held-open (inactive) connections",
+            "median connection time in ms",
+        );
+        let mut mem_fig = Figure::new(
+            "Server memory per connection",
+            "held-open (inactive) connections",
+            "server heap bytes per peak endpoint",
+        );
+        for kind in million_kinds() {
+            let label = kind.label();
+            let mut rate = Series::new(&label);
+            let mut lat = Series::new(&label);
+            let mut mem = Series::new(&label);
+            for inactive in million_loads(cap) {
+                let mut report = self.cache[&(kind, inactive)][0].clone();
+                let x = inactive as f64;
+                rate.push_err(x, report.rate.avg, report.rate.stddev);
+                lat.push(x, report.median_latency_ms());
+                if report.mem_eps_peak > 0 {
+                    mem.push(
+                        x,
+                        report.mem_server_bytes as f64 / report.mem_eps_peak as f64,
+                    );
+                }
+            }
+            rate_fig.add(rate);
+            lat_fig.add(lat);
+            mem_fig.add(mem);
+        }
+        vec![rate_fig, lat_fig, mem_fig]
+    }
+
     /// The span-enabled sweep for `kind` at `inactive`, cached. The
     /// reports carry `span_ns.*` histograms in their probe snapshots
     /// (records are not retained — histograms only).
@@ -287,6 +365,12 @@ impl FigureRunner {
         for (&(kind, inactive), reports) in &mut self.cache {
             let events = reports.iter().map(|r| r.events).sum();
             let sim_ms = reports.iter().map(|r| r.sim_secs * 1e3).sum();
+            let mem_bytes = reports
+                .iter()
+                .map(|r| r.mem_server_bytes)
+                .max()
+                .unwrap_or(0);
+            let eps_peak = reports.iter().map(|r| r.mem_eps_peak).max().unwrap_or(0);
             let points = reports.iter_mut().map(PointRecord::from_report).collect();
             sweeps.push(SweepRecord {
                 server: kind.label(),
@@ -294,6 +378,8 @@ impl FigureRunner {
                 wall_ms: self.wall_ms.get(&(kind, inactive)).copied().unwrap_or(0.0),
                 events,
                 sim_ms,
+                mem_bytes,
+                eps_peak,
                 points,
             });
         }
@@ -303,6 +389,12 @@ impl FigureRunner {
         for (&(kind, inactive), reports) in &mut self.span_cache {
             let events = reports.iter().map(|r| r.events).sum();
             let sim_ms = reports.iter().map(|r| r.sim_secs * 1e3).sum();
+            let mem_bytes = reports
+                .iter()
+                .map(|r| r.mem_server_bytes)
+                .max()
+                .unwrap_or(0);
+            let eps_peak = reports.iter().map(|r| r.mem_eps_peak).max().unwrap_or(0);
             let points = reports.iter_mut().map(PointRecord::from_report).collect();
             sweeps.push(SweepRecord {
                 server: format!("{}+spans", kind.label()),
@@ -314,6 +406,8 @@ impl FigureRunner {
                     .unwrap_or(0.0),
                 events,
                 sim_ms,
+                mem_bytes,
+                eps_peak,
                 points,
             });
         }
@@ -902,6 +996,68 @@ pub fn paper_grid() -> Vec<SweepKey> {
         }
     }
     keys
+}
+
+/// The mechanisms of the million-connection lane: the O(n) `poll()`
+/// baseline against `/dev/poll` — the pair whose scaling gap the paper
+/// projects and the lane extrapolates to 10^6 held-open connections.
+pub fn million_kinds() -> [ServerKind; 2] {
+    [ServerKind::ThttpdPoll, ServerKind::ThttpdDevPoll]
+}
+
+/// The full million-lane population. `MILLION_LOADS[..2]` (capping at
+/// 100 000) is the CI smoke subset; nightly runs all three.
+pub const MILLION_LOADS: [usize; 3] = [10_000, 100_000, 1_000_000];
+
+/// The held-open populations the million lane sweeps, capped (the CI
+/// smoke stops at 100 000; nightly runs the full 10^6).
+pub fn million_loads(cap: usize) -> Vec<usize> {
+    MILLION_LOADS
+        .iter()
+        .copied()
+        .filter(|&n| n <= cap)
+        .collect()
+}
+
+/// The sweep grid behind `figures -- million` / `million-smoke`.
+pub fn million_grid(cap: usize) -> Vec<SweepKey> {
+    let mut keys = Vec::new();
+    for kind in million_kinds() {
+        for inactive in million_loads(cap) {
+            keys.push((kind, inactive));
+        }
+    }
+    keys
+}
+
+/// One million-lane run: a modest request stream (the interesting axis
+/// is the held-open population, not the rate) over `inactive` parked
+/// connections, with every exhaustible resource raised out of the way —
+/// client machines added per ~50k conns for ephemeral ports, descriptor
+/// limits lifted on both sides, the server's idle reaper deferred past
+/// the run — and the `mem.*` probes armed. The bootstrap spreads the
+/// population across a warmup scaled to the server's measured accept
+/// capacity (~4.5k accepts/simulated-second end to end); offering
+/// connections faster than that livelocks the bootstrap behind SYN
+/// retransmit waves.
+pub fn million_params(seed: u64, kind: ServerKind, inactive: usize) -> RunParams {
+    let hosts = inactive.div_ceil(50_000).max(1);
+    let mut p = RunParams::paper(kind, 500.0, inactive)
+        .with_conns(2_000)
+        .with_seed(seed)
+        .with_mem_probes()
+        .with_client_hosts(hosts)
+        .with_server_fd_limit(inactive + 4_096)
+        .with_client_fd_limit(inactive + 65_536);
+    p.load.warmup = SimDuration::from_millis((inactive as u64 / 4).max(2_500));
+    p.server.idle_timeout = SimDuration::from_secs(600);
+    // The stock backlog of 128 collapses under a bulk bootstrap: the
+    // 3 s SYN retransmit timer turns every drop into synchronized retry
+    // waves that admit ~128 connections each — the population never
+    // establishes. Raised the way a real million-connection deployment
+    // raises `somaxconn`.
+    p.server.backlog = 4_096;
+    p
 }
 
 /// The five mechanisms the latency-anatomy breakdown covers — the same

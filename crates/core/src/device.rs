@@ -83,6 +83,11 @@ impl DevPollDevice {
     pub fn has_mmap(&self) -> bool {
         self.mmap_slots.is_some()
     }
+
+    /// Heap bytes held by this device's interest table.
+    pub fn mem_bytes(&self) -> usize {
+        self.interest.mem_bytes()
+    }
 }
 
 /// All `/dev/poll` instances of a simulated machine.
@@ -206,6 +211,20 @@ impl DevPollRegistry {
             }
         }
         h.finish()
+    }
+
+    /// Heap bytes held by every device's interest table plus the
+    /// registry's reusable scratch buffers — the `/dev/poll` share of
+    /// the per-connection memory lane.
+    pub fn mem_bytes(&self) -> usize {
+        let scratch = (self.scan_scratch.capacity() * std::mem::size_of::<(Fd, PollBits)>())
+            + (self.watch_scratch.capacity() + self.unwatch_scratch.capacity())
+                * std::mem::size_of::<Fd>();
+        self.devices
+            .values()
+            .map(DevPollDevice::mem_bytes)
+            .sum::<usize>()
+            + scratch
     }
 
     /// The lock-order graph recorded so far (checked mode).

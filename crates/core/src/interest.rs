@@ -16,9 +16,11 @@
 //! the probe gauges built on them — are unchanged. Each entry carries
 //! the driver-hint state of §3.2 (the hint flag and cached poll result).
 
+use simcore::paged::PagedSlots;
 use simkernel::{Fd, PollBits};
 
 /// One interest entry.
+// #[hot_struct]: one per registered descriptor
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Interest {
     /// The descriptor.
@@ -43,9 +45,10 @@ pub enum SetOutcome {
 /// The interest-set hash table.
 #[derive(Debug, Clone)]
 pub struct InterestTable {
-    /// Dense storage, indexed by fd.
-    slots: Vec<Option<Interest>>,
-    len: usize,
+    /// Paged storage, indexed by fd: only the fd-range pages the set
+    /// actually touches are resident, so a world with interests around
+    /// descriptor 10^6 does not pay for a dense million-slot vector.
+    slots: PagedSlots<Interest>,
     /// Total bucket-doubling events (diagnostic for benches).
     grows: u32,
     /// Modelled bucket count (always a power of two).
@@ -87,8 +90,7 @@ impl InterestTable {
     /// Creates an empty table.
     pub fn new() -> InterestTable {
         InterestTable {
-            slots: Vec::new(),
-            len: 0,
+            slots: PagedSlots::new(),
             grows: 0,
             buckets: INITIAL_BUCKETS,
             occ: vec![0; INITIAL_BUCKETS],
@@ -107,12 +109,21 @@ impl InterestTable {
 
     /// Number of interests in the set.
     pub fn len(&self) -> usize {
-        self.len
+        self.slots.len()
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.slots.is_empty()
+    }
+
+    /// Heap bytes held by the table: interest pages plus the modelled
+    /// bucket-occupancy arrays and the dirty list.
+    pub fn mem_bytes(&self) -> usize {
+        self.slots.heap_bytes()
+            + self.occ.capacity() * std::mem::size_of::<u32>()
+            + self.hist.capacity() * std::mem::size_of::<u32>()
+            + self.dirty.capacity() * std::mem::size_of::<Fd>()
     }
 
     /// Current bucket count (diagnostic).
@@ -155,10 +166,7 @@ impl InterestTable {
     pub fn set(&mut self, fd: Fd, events: PollBits, or_semantics: bool) -> SetOutcome {
         assert!(fd >= 0, "interest set for negative fd");
         let ix = fd as usize;
-        if ix >= self.slots.len() {
-            self.slots.resize(ix + 1, None);
-        }
-        if let Some(e) = &mut self.slots[ix] {
+        if let Some(e) = self.slots.get_mut(ix) {
             e.events = if or_semantics {
                 e.events | events
             } else {
@@ -170,14 +178,16 @@ impl InterestTable {
             self.mark_dirty(fd);
             return SetOutcome::Updated;
         }
-        self.slots[ix] = Some(Interest {
-            fd,
-            events,
-            // A fresh interest must be scanned at least once.
-            hinted: true,
-            cached: PollBits::EMPTY,
-        });
-        self.len += 1;
+        self.slots.insert(
+            ix,
+            Interest {
+                fd,
+                events,
+                // A fresh interest must be scanned at least once.
+                hinted: true,
+                cached: PollBits::EMPTY,
+            },
+        );
         self.mark_dirty(fd);
         let b = bucket_of(fd, self.buckets);
         let chain = self.occ[b] as usize;
@@ -189,16 +199,12 @@ impl InterestTable {
 
     /// Removes the interest for `fd`. Returns `true` if it existed.
     pub fn remove(&mut self, fd: Fd) -> bool {
-        let Some(slot) = usize::try_from(fd)
-            .ok()
-            .and_then(|ix| self.slots.get_mut(ix))
-        else {
+        let Some(ix) = usize::try_from(fd).ok() else {
             return false;
         };
-        if slot.take().is_none() {
+        if self.slots.take(ix).is_none() {
             return false;
         }
-        self.len -= 1;
         if let Ok(pos) = self.dirty.binary_search(&fd) {
             self.dirty.remove(pos);
         }
@@ -211,10 +217,7 @@ impl InterestTable {
 
     /// Looks up the interest for `fd`.
     pub fn get(&self, fd: Fd) -> Option<&Interest> {
-        usize::try_from(fd)
-            .ok()
-            .and_then(|ix| self.slots.get(ix))
-            .and_then(Option::as_ref)
+        usize::try_from(fd).ok().and_then(|ix| self.slots.get(ix))
     }
 
     /// Looks up the interest for `fd` mutably.
@@ -222,17 +225,16 @@ impl InterestTable {
         usize::try_from(fd)
             .ok()
             .and_then(|ix| self.slots.get_mut(ix))
-            .and_then(Option::as_mut)
     }
 
     /// Iterates over all interests in ascending fd order.
     pub fn iter(&self) -> impl Iterator<Item = &Interest> {
-        self.slots.iter().flatten()
+        self.slots.iter().map(|(_, e)| e)
     }
 
     /// Iterates mutably over all interests in ascending fd order.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Interest> {
-        self.slots.iter_mut().flatten()
+        self.slots.iter_mut().map(|(_, e)| e)
     }
 
     /// Marks the hint flag for `fd` (the driver saw an event).
@@ -275,7 +277,7 @@ impl InterestTable {
     /// "When the average bucket size is two, the number of buckets in
     /// the hash table is doubled. The hash table is never shrunk."
     fn maybe_grow(&mut self) {
-        if self.len < self.buckets * 2 {
+        if self.slots.len() < self.buckets * 2 {
             return;
         }
         self.grows += 1;
@@ -284,7 +286,7 @@ impl InterestTable {
         // the moral equivalent of the old table's rehash pass.
         self.occ.clear();
         self.occ.resize(self.buckets, 0);
-        for e in self.slots.iter().flatten() {
+        for (_, e) in self.slots.iter() {
             self.occ[bucket_of(e.fd, self.buckets)] += 1;
         }
         self.hist.clear();
@@ -452,6 +454,22 @@ mod tests {
             }
             check(&t);
         }
+    }
+
+    #[test]
+    fn sparse_high_fds_stay_paged() {
+        let mut t = InterestTable::new();
+        t.set(1_000_000, PollBits::POLLIN, false);
+        t.set(3, PollBits::POLLOUT, false);
+        assert_eq!(t.len(), 2);
+        assert!(t.get(1_000_000).is_some());
+        let fds: Vec<Fd> = t.iter().map(|e| e.fd).collect();
+        assert_eq!(fds, vec![3, 1_000_000]);
+        // Two resident pages, not a dense million-slot vector.
+        let page = 4096 * std::mem::size_of::<Option<Interest>>();
+        assert!(t.mem_bytes() < 3 * page, "mem {} bytes", t.mem_bytes());
+        assert!(t.remove(1_000_000));
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

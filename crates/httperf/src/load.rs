@@ -6,6 +6,7 @@
 //! the number of high-latency clients constant, these clients reopen
 //! their connection if the server times them out." (§5)
 
+use simcore::paged::PagedSlots;
 use simcore::rng::SimRng;
 use simcore::stats::{Quantiles, RateSampler};
 use simcore::time::{SimDuration, SimTime};
@@ -67,6 +68,15 @@ pub struct LoadConfig {
     pub client_think: SimDuration,
     /// Arrival process shape.
     pub shape: LoadShape,
+    /// Client machines driving the inactive population. One host offers
+    /// ~60k ephemeral ports, so populations beyond that need more
+    /// machines — the paper's multi-client testbed. Inactive connections
+    /// round-robin across the hosts; active requests stay on the first.
+    pub client_hosts: usize,
+    /// Fold end-of-run memory gauges (`mem.*`) and exhaustion counters
+    /// into the probe snapshot. Off by default: the gauges would change
+    /// the snapshot of existing figure configs.
+    pub mem_probes: bool,
 }
 
 impl Default for LoadConfig {
@@ -86,6 +96,8 @@ impl Default for LoadConfig {
             warmup: SimDuration::from_millis(2_500),
             client_think: SimDuration::from_micros(500),
             shape: LoadShape::Constant,
+            client_hosts: 1,
+            mem_probes: false,
         }
     }
 }
@@ -97,6 +109,7 @@ enum ConnKind {
     Inactive,
 }
 
+// #[hot_struct]: one per client socket, a million strong
 #[derive(Debug)]
 struct ClientConn {
     kind: ConnKind,
@@ -132,11 +145,12 @@ pub struct LoadGen {
     host: HostId,
     server: SockAddr,
     rng: SimRng,
-    /// Dense per-connection table indexed by `ConnId` (the network hands
-    /// out sequential ids per world, so the vector stays compact).
-    conns: Vec<Option<ClientConn>>,
-    /// Live entries in `conns`.
-    open: usize,
+    /// Paged per-connection table indexed by `ConnId`: sequential ids
+    /// keep pages dense, and a million-connection population costs only
+    /// the pages its live id range touches.
+    conns: PagedSlots<ClientConn>,
+    /// Round-robin cursor over the client hosts for inactive connects.
+    inactive_rr: usize,
     launched: u64,
     resolved: u64,
     /// Successful replies.
@@ -166,8 +180,8 @@ impl LoadGen {
             host,
             server,
             rng,
-            conns: Vec::new(),
-            open: 0,
+            conns: PagedSlots::new(),
+            inactive_rr: 0,
             launched: 0,
             resolved: 0,
             replies: 0,
@@ -204,7 +218,14 @@ impl LoadGen {
         // drives request rates against it (§5.1).
         let first = self.next_arrival_at(now + self.cfg.warmup);
         let mut timers = vec![(first, LoadTimer::NextArrival)];
-        let stagger = SimDuration::from_secs(2).min(self.cfg.warmup);
+        // Large populations (the million lane) spread across the whole
+        // warmup so the connect burst doesn't pile onto one instant;
+        // the classic loads keep the original 2 s stagger bit for bit.
+        let stagger = if self.cfg.inactive > 10_000 {
+            self.cfg.warmup
+        } else {
+            SimDuration::from_secs(2).min(self.cfg.warmup)
+        };
         for i in 0..self.cfg.inactive {
             let at = now
                 + SimDuration::from_nanos(
@@ -247,33 +268,46 @@ impl LoadGen {
     }
 
     fn open_sockets(&self) -> usize {
-        self.open
+        self.conns.len()
+    }
+
+    /// Heap bytes held by the client-side connection table.
+    pub fn mem_bytes(&self) -> usize {
+        self.conns.heap_bytes()
+    }
+
+    /// The host the next inactive connection originates from. With one
+    /// client host this is always `self.host` (the pre-multi-client
+    /// behaviour, bit for bit); with more, the population round-robins
+    /// so no single host exhausts its ephemeral port range.
+    fn next_inactive_host(&mut self) -> HostId {
+        if self.cfg.client_hosts <= 1 {
+            return self.host;
+        }
+        let i = self.inactive_rr % self.cfg.client_hosts;
+        self.inactive_rr += 1;
+        if i == 0 {
+            self.host
+        } else {
+            // Extra client machines are numbered past the server host.
+            HostId(self.host.0.max(self.server.host.0) + i)
+        }
     }
 
     fn conn_get(&self, conn: ConnId) -> Option<&ClientConn> {
-        self.conns.get(conn.0 as usize).and_then(Option::as_ref)
+        self.conns.get(conn.0 as usize)
     }
 
     fn conn_get_mut(&mut self, conn: ConnId) -> Option<&mut ClientConn> {
-        self.conns.get_mut(conn.0 as usize).and_then(Option::as_mut)
+        self.conns.get_mut(conn.0 as usize)
     }
 
     fn conn_insert(&mut self, conn: ConnId, c: ClientConn) {
-        let ix = conn.0 as usize;
-        if ix >= self.conns.len() {
-            self.conns.resize_with(ix + 1, || None);
-        }
-        if self.conns[ix].replace(c).is_none() {
-            self.open += 1;
-        }
+        self.conns.insert(conn.0 as usize, c);
     }
 
     fn conn_remove(&mut self, conn: ConnId) -> Option<ClientConn> {
-        let prev = self.conns.get_mut(conn.0 as usize).and_then(Option::take);
-        if prev.is_some() {
-            self.open -= 1;
-        }
-        prev
+        self.conns.take(conn.0 as usize)
     }
 
     /// Fires one timer; returns follow-up timers to schedule.
@@ -346,7 +380,7 @@ impl LoadGen {
                         timers.push((deadline, LoadTimer::Timeout(conn)));
                     }
                     Err(ConnectError::PortsExhausted) => {
-                        self.errors.fd_shortage += 1;
+                        self.errors.ports_exhausted += 1;
                         self.resolve(now);
                     }
                     Err(_) => {
@@ -363,7 +397,8 @@ impl LoadGen {
         if self.inactive_open >= self.cfg.inactive {
             return Vec::new();
         }
-        match net.connect(now, self.host, self.server, self.cfg.inactive_extra_delay) {
+        let host = self.next_inactive_host();
+        match net.connect(now, host, self.server, self.cfg.inactive_extra_delay) {
             Ok(conn) => {
                 self.inactive_open += 1;
                 self.conn_insert(
@@ -431,7 +466,9 @@ impl LoadGen {
                             match reason {
                                 ConnectError::Refused => self.errors.refused += 1,
                                 ConnectError::Timeout => self.errors.timeouts += 1,
-                                ConnectError::PortsExhausted => self.errors.fd_shortage += 1,
+                                ConnectError::PortsExhausted => {
+                                    self.errors.ports_exhausted += 1;
+                                }
                             }
                             self.resolve(now);
                             Vec::new()

@@ -12,8 +12,12 @@ pub struct ErrorCounts {
     pub timeouts: u64,
     /// RST from the server (refused).
     pub refused: u64,
-    /// Client out of descriptors / ephemeral ports.
+    /// Client out of file descriptors.
     pub fd_shortage: u64,
+    /// Client out of ephemeral ports (distinct from descriptor
+    /// shortage: ports recycle through TIME_WAIT, descriptors free on
+    /// close — the two exhaust at different population sizes).
+    pub ports_exhausted: u64,
     /// Connection reset mid-transfer.
     pub resets: u64,
 }
@@ -21,7 +25,7 @@ pub struct ErrorCounts {
 impl ErrorCounts {
     /// Total errors.
     pub fn total(&self) -> u64 {
-        self.timeouts + self.refused + self.fd_shortage + self.resets
+        self.timeouts + self.refused + self.fd_shortage + self.ports_exhausted + self.resets
     }
 }
 
@@ -68,6 +72,14 @@ pub struct RunReport {
     /// Folded-stack (`path;leaf ns`) lines of retained latency spans —
     /// flamegraph input; same emptiness rule as `span_chrome`.
     pub span_folded: String,
+    /// End-of-run server-side heap bytes: kernel endpoint slots, fd
+    /// tables, watcher sets and `/dev/poll` interest pages. Paged
+    /// stores never free pages, so this is also the run's high-water
+    /// mark.
+    pub mem_server_bytes: u64,
+    /// Peak simultaneously-open kernel endpoints — the denominator of
+    /// the bytes-per-connection lane.
+    pub mem_eps_peak: u64,
 }
 
 impl RunReport {
@@ -154,7 +166,8 @@ mod tests {
             errors: ErrorCounts {
                 timeouts: 30,
                 refused: 10,
-                fd_shortage: 5,
+                fd_shortage: 3,
+                ports_exhausted: 2,
                 resets: 5,
             },
             rate: RateSummary::of(&[]),
@@ -167,6 +180,8 @@ mod tests {
             trace: String::new(),
             span_chrome: String::new(),
             span_folded: String::new(),
+            mem_server_bytes: 0,
+            mem_eps_peak: 0,
         };
         assert_eq!(r.errors.total(), 50);
         assert!((r.error_percent() - 25.0).abs() < 1e-9);

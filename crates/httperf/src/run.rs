@@ -175,6 +175,34 @@ impl RunParams {
         self
     }
 
+    /// Enables end-of-run memory probes (`mem.*` gauges plus exhaustion
+    /// counters) — the million-lane measurement surface.
+    pub fn with_mem_probes(mut self) -> RunParams {
+        self.load.mem_probes = true;
+        self
+    }
+
+    /// Drives the inactive population from `n` client machines, lifting
+    /// the ~60k-ephemeral-ports-per-host ceiling.
+    pub fn with_client_hosts(mut self, n: usize) -> RunParams {
+        self.load.client_hosts = n.max(1);
+        self
+    }
+
+    /// Raises the server's descriptor limit (the million lane needs a
+    /// descriptor per held-open connection).
+    pub fn with_server_fd_limit(mut self, limit: usize) -> RunParams {
+        self.server.fd_limit = limit;
+        self
+    }
+
+    /// Raises the client-side socket limit (counts active and inactive
+    /// connections alike).
+    pub fn with_client_fd_limit(mut self, limit: usize) -> RunParams {
+        self.load.client_fd_limit = limit;
+        self
+    }
+
     /// Enables latency span tracing for this run.
     pub fn with_spans(mut self) -> RunParams {
         self.spans = true;

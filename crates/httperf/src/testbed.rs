@@ -48,7 +48,10 @@ pub struct Testbed {
 impl Testbed {
     /// Builds a testbed with the given stacks and load.
     pub fn new(cost: CostModel, tcp: TcpConfig, link: LinkConfig, load_cfg: LoadConfig) -> Testbed {
-        let net = Network::new(tcp, link, 2);
+        // Hosts: the client, the server, plus any extra client machines
+        // the inactive population round-robins over (numbered from 2).
+        let hosts = 2 + load_cfg.client_hosts.saturating_sub(1);
+        let net = Network::new(tcp, link, hosts);
         let kernel = Kernel::new(SERVER_HOST, cost);
         let load = LoadGen::new(load_cfg, CLIENT_HOST, SockAddr::new(SERVER_HOST, 80));
         Testbed {
@@ -212,6 +215,7 @@ impl Testbed {
             now,
             mut kernel,
             net,
+            registry,
             events,
             ..
         } = self;
@@ -223,6 +227,24 @@ impl Testbed {
         kernel
             .probe_mut()
             .gauge_set("tcp.time_wait", net.time_wait_count(SERVER_HOST) as u64);
+        // Memory lane: server-side heap high-water (paged stores never
+        // free pages) over the peak endpoint population.
+        let mem_server_bytes = (kernel.mem_bytes() + registry.mem_bytes()) as u64;
+        let mem_eps_peak = kernel.eps_peak() as u64;
+        if load.config().mem_probes {
+            let emfile = kernel.stats().emfile;
+            let probe = kernel.probe_mut();
+            probe.gauge_set("mem.server.bytes", mem_server_bytes);
+            probe.gauge_set("mem.server.eps_peak", mem_eps_peak);
+            probe.gauge_set("mem.server.devpoll_bytes", registry.mem_bytes() as u64);
+            probe.gauge_set(
+                "mem.client.bytes",
+                (load.mem_bytes() + net.conn_mem_bytes()) as u64,
+            );
+            if emfile > 0 {
+                probe.add("kernel.emfile", emfile);
+            }
+        }
         let probe = kernel.probe().snapshot();
         let trace = kernel.trace().dump();
         let (span_chrome, span_folded) = if kernel.spans().is_empty() {
@@ -263,6 +285,8 @@ impl Testbed {
             trace,
             span_chrome,
             span_folded,
+            mem_server_bytes,
+            mem_eps_peak,
         }
     }
 }

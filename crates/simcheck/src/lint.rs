@@ -38,6 +38,13 @@
 //!   nanoseconds to milliseconds compiles fine and is wrong by 10^6;
 //!   convert first. Lines that spell out the conversion factor through
 //!   a `_per_`/`_PER_` constant are the sanctioned form.
+//! * `wide-handle` — a handle-named field (`fd`, `conn`, `*_fd`,
+//!   `*_conn`) declared `usize` or `u64` inside a struct annotated with
+//!   a `#[hot_struct]` comment marker. Hot structs are the
+//!   per-connection records the million-connection lane multiplies by
+//!   10^6; a word-sized handle doubles their footprint for index space
+//!   nothing uses (fd and connection ids are u32 end-to-end). The
+//!   budget is zero — handles in marked structs stay u32 (or narrower).
 //!
 //! Function spans and the `time-unit` rule are computed on a
 //! tokenizer-stripped view of the source ([`strip_noncode`]): string
@@ -65,7 +72,8 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone)]
 pub struct Finding {
     /// Rule code (`unwrap-nontest`, `hash-iter`, `wallclock`,
-    /// `alloc-in-hot-path`, `span-pairing`, `time-unit`).
+    /// `alloc-in-hot-path`, `span-pairing`, `time-unit`,
+    /// `wide-handle`).
     pub rule: &'static str,
     /// Path relative to the repository root, `/`-separated.
     pub path: String,
@@ -282,6 +290,7 @@ fn scan_file(rel: &str, text: &str, hot_fns: &[&str], out: &mut Vec<Finding>) {
     }
 
     scan_hot_spans(rel, lines, &code, hot_fns, out);
+    scan_hot_structs(rel, lines, &code, out);
 }
 
 /// The `time-unit` rule: does this (stripped) line combine identifiers
@@ -366,6 +375,90 @@ fn scan_hot_spans(
         }
         i += 1;
     }
+}
+
+/// The `wide-handle` pass: walks struct spans marked with a
+/// `#[hot_struct]` comment marker directly above the `struct` (doc
+/// comments and attributes may sit between) and flags handle-named
+/// fields declared with a word-sized integer. The span walk reuses
+/// [`fn_span_end`]'s brace counting on the stripped view; field
+/// matching also runs on the stripped view so a `conn: usize` inside a
+/// trailing comment cannot trip it.
+fn scan_hot_structs(rel: &str, lines: &[&str], code: &[String], out: &mut Vec<Finding>) {
+    // The comment must *start* with the marker so prose that merely
+    // mentions it (like this module's docs) does not mark anything.
+    let marker = concat!("// #[hot", "_struct]");
+
+    let mut pending_hot = false;
+    let mut i = 0;
+    while i < lines.len() {
+        let trimmed = lines[i].trim();
+        if trimmed.starts_with("//") {
+            if trimmed.starts_with(marker) {
+                pending_hot = true;
+            }
+            i += 1;
+            continue;
+        }
+        if is_struct_decl(trimmed) {
+            let hot = pending_hot;
+            pending_hot = false;
+            if hot {
+                let end = fn_span_end(code, i);
+                for j in i..end.min(code.len()) {
+                    if wide_handle_field(code[j].trim()) {
+                        out.push(Finding {
+                            rule: "wide-handle",
+                            path: rel.to_string(),
+                            line: j + 1,
+                            excerpt: lines[j].trim().to_string(),
+                        });
+                    }
+                }
+                i = end;
+                continue;
+            }
+        } else if !trimmed.is_empty() && !trimmed.starts_with("#[") {
+            // Any other code line breaks the marker-to-struct adjacency.
+            pending_hot = false;
+        }
+        i += 1;
+    }
+}
+
+/// Does `trimmed` begin a struct item? Every word before `struct` must
+/// be a visibility qualifier, so `impl` blocks and expressions that
+/// merely mention the word do not open a span.
+fn is_struct_decl(trimmed: &str) -> bool {
+    if trimmed.starts_with("struct ") {
+        return true;
+    }
+    trimmed.find(" struct ").is_some_and(|idx| {
+        trimmed[..idx]
+            .split_whitespace()
+            .all(|w| w == "pub" || w.starts_with("pub("))
+    })
+}
+
+/// Is this (stripped) struct-body line a field named `fd`, `conn`, or
+/// `*_fd`/`*_conn`, typed `usize` or `u64`? Names like `fd_limit` or
+/// `conns` are counts and capacities, not handles, and stay exempt; so
+/// do `_per_` names (`max_sends_per_conn` is a rate cap — the same
+/// convention the time-unit rule sanctions).
+fn wide_handle_field(code: &str) -> bool {
+    let Some((head, tail)) = code.split_once(':') else {
+        return false;
+    };
+    let Some(name) = head.split_whitespace().last() else {
+        return false;
+    };
+    let is_handle =
+        name == "fd" || name == "conn" || name.ends_with("_fd") || name.ends_with("_conn");
+    if !is_handle || name.contains("_per_") {
+        return false;
+    }
+    let ty = tail.trim().trim_end_matches(',').trim_end();
+    ty == "usize" || ty == "u64"
 }
 
 /// If `trimmed` begins a function item, its bare name. Rejects lines
@@ -966,6 +1059,76 @@ fn cold() {
             hits,
             vec![13],
             "decoy braces must neither truncate nor extend the hot span"
+        );
+    }
+
+    #[test]
+    fn hot_struct_marker_flags_wide_handles_in_span_only() {
+        let mut out = Vec::new();
+        let src = "\
+/// Docs and derives survive between marker and struct.
+// #[hot_struct]: one per connection, a million strong
+#[derive(Debug)]
+pub struct ClientConn {
+    pub conn: usize,
+    pub peer_fd: u64,
+    pub fd: u32,
+    pub fd_limit: usize,
+    pub max_sends_per_conn: usize,
+    bytes: u64,
+}
+
+struct Unmarked {
+    pub conn: usize,
+    first_fd: usize,
+}
+";
+        scan_file("crates/x/src/lib.rs", src, &[], &mut out);
+        let hits: Vec<_> = out
+            .iter()
+            .filter(|f| f.rule == "wide-handle")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(
+            hits,
+            vec![5, 6],
+            "only word-sized handle names in the marked struct are findings"
+        );
+    }
+
+    #[test]
+    fn hot_struct_marker_does_not_leak_past_an_unrelated_item() {
+        let mut out = Vec::new();
+        let src = "\
+// #[hot_struct]
+const X: u32 = 1;
+struct Later {
+    conn: usize,
+}
+";
+        scan_file("crates/x/src/lib.rs", src, &[], &mut out);
+        assert!(out.iter().all(|f| f.rule != "wide-handle"));
+    }
+
+    #[test]
+    fn wide_handle_ignores_decoys_in_comments_and_impls() {
+        let mut out = Vec::new();
+        let src = "\
+// #[hot_struct]
+pub struct Slot {
+    pub fd: i32, // was `fd: usize` before the u32 overhaul
+}
+
+impl Slot {
+    fn touch(&mut self, conn: usize) {
+        let other_fd: usize = 7;
+    }
+}
+";
+        scan_file("crates/x/src/lib.rs", src, &[], &mut out);
+        assert!(
+            out.iter().all(|f| f.rule != "wide-handle"),
+            "comments, fn args and locals are not struct fields: {out:?}"
         );
     }
 

@@ -204,10 +204,13 @@ pub(crate) struct Lane {
 }
 
 impl Lane {
-    /// The oracle's lane: `conns` connections pre-accepted at setup
-    /// (slot i = i-th arrival), backend initialised after the accepts.
-    pub(crate) fn new(kind: LaneKind, conns: usize, mutant: Mutant) -> Lane {
-        let mut lane = Lane::new_pending(kind, conns, mutant);
+    /// The oracle's lane with descriptors allocated from `fd_base`
+    /// upward: `conns` connections pre-accepted at setup (slot i = i-th
+    /// arrival), backend initialised after the accepts. Base 0 is the
+    /// classic layout; elevated bases check readiness semantics are
+    /// independent of descriptor numbering.
+    pub(crate) fn new_at(kind: LaneKind, conns: usize, mutant: Mutant, fd_base: usize) -> Lane {
+        let mut lane = Lane::new_pending_at(kind, conns, mutant, fd_base);
         lane.kernel.begin_batch(lane.now, lane.pid);
         for _ in 0..conns {
             lane.accept_next();
@@ -221,11 +224,23 @@ impl Lane {
     /// settled, sitting in the accept queue) but **not** accepted —
     /// `Op::Accept` events accept them one at a time.
     pub(crate) fn new_pending(kind: LaneKind, conns: usize, mutant: Mutant) -> Lane {
+        Lane::new_pending_at(kind, conns, mutant, 0)
+    }
+
+    /// [`Lane::new_pending`] at an elevated descriptor offset.
+    pub(crate) fn new_pending_at(
+        kind: LaneKind,
+        conns: usize,
+        mutant: Mutant,
+        fd_base: usize,
+    ) -> Lane {
         let mut net = Network::new(TcpConfig::default(), LinkConfig::default(), 2);
         let mut kernel = Kernel::new(SERVER, CostModel::k6_2_400mhz());
         let mut registry = DevPollRegistry::new();
         mutant.arm(&mut registry);
-        let pid = kernel.spawn_default();
+        // The limit counts open descriptors (not the highest index), so
+        // the default 1024 holds at any base.
+        let pid = kernel.spawn_with_fd_base(1024, 1024, fd_base);
         let mut now = SimTime::ZERO;
 
         kernel.begin_batch(now, pid);
@@ -542,9 +557,28 @@ fn normalize(
 
 /// Runs `ops` through every lane, comparing at each `Poll` boundary.
 pub fn run_script(ops: &[Op], conns: usize, mutant: Mutant) -> Result<RunStats, Failure> {
+    run_script_at(ops, conns, mutant, 0)
+}
+
+/// [`run_script`] with every lane's descriptors allocated from
+/// `fd_base` upward. Readiness semantics must not depend on descriptor
+/// numbering, so any script that passes (or fails) at base 0 must do
+/// the same at any base — the layout-independence check the paged fd
+/// tables make cheap to run at offsets like 10^6.
+pub fn run_script_at(
+    ops: &[Op],
+    conns: usize,
+    mutant: Mutant,
+    fd_base: usize,
+) -> Result<RunStats, Failure> {
+    // `select()` genuinely cannot number descriptors past FD_SETSIZE —
+    // the paper's §2 wall, not a divergence — so its lane only runs at
+    // bases where the whole world fits under 1024.
+    let fits_select = fd_base + conns + 8 < devpoll::FD_SETSIZE;
     let mut lanes: Vec<Lane> = LaneKind::all()
         .into_iter()
-        .map(|k| Lane::new(k, conns, mutant))
+        .filter(|&k| fits_select || k != LaneKind::Select)
+        .map(|k| Lane::new_at(k, conns, mutant, fd_base))
         .collect();
     let mut stats = RunStats {
         ops: ops.len(),

@@ -69,3 +69,27 @@ fn skipped_revalidation_is_caught_and_shrunk() {
     // reference.
     assert_ne!(d.expected, d.got);
 }
+
+#[test]
+fn lanes_agree_at_elevated_fd_offsets() {
+    // The million lane parks descriptors at indexes the old dense
+    // tables never reached; readiness semantics must not notice. Every
+    // clean script that passes at base 0 must pass with descriptors
+    // numbered from 10^6 (select sits out — FD_SETSIZE is a real wall,
+    // not a divergence), and the injected stale-cache bug must still be
+    // caught there.
+    let mut boundaries = 0;
+    for seed in 0..10 {
+        let ops = simcheck::script::generate(seed, CFG);
+        let stats = oracle::run_script_at(&ops, CFG.conns, Mutant::None, 1_000_000)
+            .unwrap_or_else(|f| panic!("seed {seed} diverged at fd base 10^6:\n{f:?}"));
+        boundaries += stats.boundaries;
+    }
+    assert!(boundaries > 0, "the sweep must compare real boundaries");
+
+    let caught = (0..SEEDS).any(|seed| {
+        let ops = simcheck::script::generate(seed, CFG);
+        oracle::run_script_at(&ops, CFG.conns, Mutant::SkipRevalidation, 1_000_000).is_err()
+    });
+    assert!(caught, "the stale-cache bug must be visible at any fd base");
+}

@@ -23,6 +23,7 @@
 
 pub mod engine;
 pub mod fingerprint;
+pub mod paged;
 pub mod probe;
 pub mod rng;
 pub mod series;
@@ -32,6 +33,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{BoxedEvent, Engine, Event, EventFn, EventId};
+pub use paged::{PagedBits, PagedSlots, PAGE_SLOTS};
 pub use probe::{Gauge, Histogram, MetricRegistry, Snapshot};
 pub use rng::SimRng;
 pub use span::{Phase, SpanGuard, SpanRecord, SpanTracer};

@@ -1,26 +1,28 @@
-//! A dense, fd-indexed map.
+//! A paged, fd-indexed map.
 //!
 //! Descriptors are small sequential integers (the fd table always hands
-//! out the lowest free slot), so a `Vec<Option<T>>` beats a hash map for
+//! out the lowest free slot), so direct indexing beats a hash map for
 //! every per-connection table keyed by fd: O(1) access with no hashing,
 //! and iteration in ascending fd order — which also makes walks
 //! deterministic, where a `HashMap` would visit entries in seed-dependent
-//! order.
+//! order. The backing store is paged so a process running at an elevated
+//! descriptor offset (or with sparse fd usage) only pays for the pages
+//! it touches, not a dense vector up to its highest fd.
+
+use simcore::paged::PagedSlots;
 
 use crate::fd::Fd;
 
-/// A map from file descriptor to `T`, stored densely.
+/// A map from file descriptor to `T`, stored in fixed-size pages.
 #[derive(Debug, Clone)]
 pub struct FdMap<T> {
-    slots: Vec<Option<T>>,
-    len: usize,
+    slots: PagedSlots<T>,
 }
 
 impl<T> Default for FdMap<T> {
     fn default() -> Self {
         FdMap {
-            slots: Vec::new(),
-            len: 0,
+            slots: PagedSlots::new(),
         }
     }
 }
@@ -33,12 +35,12 @@ impl<T> FdMap<T> {
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.len
+        self.slots.len()
     }
 
     /// Whether the map is empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.slots.is_empty()
     }
 
     fn index(fd: Fd) -> Option<usize> {
@@ -49,38 +51,22 @@ impl<T> FdMap<T> {
     /// value if any.
     pub fn insert(&mut self, fd: Fd, value: T) -> Option<T> {
         let ix = Self::index(fd).expect("invariant: FdMap::insert takes a non-negative fd");
-        if ix >= self.slots.len() {
-            self.slots.resize_with(ix + 1, || None);
-        }
-        let prev = self.slots[ix].replace(value);
-        if prev.is_none() {
-            self.len += 1;
-        }
-        prev
+        self.slots.insert(ix, value)
     }
 
     /// Removes and returns the entry for `fd`.
     pub fn remove(&mut self, fd: Fd) -> Option<T> {
-        let slot = Self::index(fd).and_then(|ix| self.slots.get_mut(ix))?;
-        let prev = slot.take();
-        if prev.is_some() {
-            self.len -= 1;
-        }
-        prev
+        Self::index(fd).and_then(|ix| self.slots.take(ix))
     }
 
     /// Looks up `fd`.
     pub fn get(&self, fd: Fd) -> Option<&T> {
-        Self::index(fd)
-            .and_then(|ix| self.slots.get(ix))
-            .and_then(Option::as_ref)
+        Self::index(fd).and_then(|ix| self.slots.get(ix))
     }
 
     /// Looks up `fd` mutably.
     pub fn get_mut(&mut self, fd: Fd) -> Option<&mut T> {
-        Self::index(fd)
-            .and_then(|ix| self.slots.get_mut(ix))
-            .and_then(Option::as_mut)
+        Self::index(fd).and_then(|ix| self.slots.get_mut(ix))
     }
 
     /// Whether `fd` has an entry.
@@ -88,20 +74,19 @@ impl<T> FdMap<T> {
         self.get(fd).is_some()
     }
 
+    /// Heap bytes held by the map's pages.
+    pub fn mem_bytes(&self) -> usize {
+        self.slots.heap_bytes()
+    }
+
     /// Iterates `(fd, &T)` in ascending fd order.
     pub fn iter(&self) -> impl Iterator<Item = (Fd, &T)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(ix, s)| s.as_ref().map(|v| (ix as Fd, v)))
+        self.slots.iter().map(|(ix, v)| (ix as Fd, v))
     }
 
     /// Iterates `(fd, &mut T)` in ascending fd order.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (Fd, &mut T)> {
-        self.slots
-            .iter_mut()
-            .enumerate()
-            .filter_map(|(ix, s)| s.as_mut().map(|v| (ix as Fd, v)))
+        self.slots.iter_mut().map(|(ix, v)| (ix as Fd, v))
     }
 }
 
@@ -142,5 +127,19 @@ mod tests {
         m.remove(2);
         assert_eq!(m.insert(2, 9), None);
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn high_fds_touch_only_their_pages() {
+        let mut m: FdMap<u64> = FdMap::new();
+        m.insert(1_000_000, 7);
+        m.insert(3, 1);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(1_000_000), Some(&7));
+        // Two resident pages, not a dense million-slot vector.
+        let page = 4096 * std::mem::size_of::<Option<u64>>();
+        assert!(m.mem_bytes() < 3 * page);
+        let seen: Vec<Fd> = m.iter().map(|(fd, _)| fd).collect();
+        assert_eq!(seen, vec![3, 1_000_000]);
     }
 }

@@ -22,6 +22,7 @@
 //! written after a cheap scan — the causal chain behind every saturation
 //! curve in the paper.
 
+use simcore::paged::{PagedBits, PagedSlots};
 use simcore::probe::MetricRegistry;
 use simcore::span::{Phase, SpanGuard, SpanTracer};
 use simcore::time::{SimDuration, SimTime};
@@ -101,6 +102,7 @@ impl SockMirror {
 
 /// Kernel-side state of one accepted stream descriptor: its owner and
 /// the readiness mirror, in one dense slot indexed by endpoint.
+// #[hot_struct]: one per accepted descriptor
 #[derive(Debug, Clone, Copy)]
 struct EpSlot {
     pid: Pid,
@@ -116,67 +118,9 @@ struct ListenerSlot {
     ready: bool,
 }
 
-/// A dense per-process watcher set: one bit per descriptor. Membership
-/// tests on the readiness fast path are O(1) word probes instead of
-/// hash lookups.
-#[derive(Debug, Clone, Default)]
-struct FdSet {
-    words: Vec<u64>,
-    count: usize,
-}
-
-impl FdSet {
-    fn slot(fd: Fd) -> Option<(usize, u64)> {
-        if fd < 0 {
-            return None;
-        }
-        Some(((fd as usize) >> 6, 1u64 << (fd as usize & 63)))
-    }
-
-    fn insert(&mut self, fd: Fd) {
-        let Some((word, bit)) = Self::slot(fd) else {
-            return;
-        };
-        if word >= self.words.len() {
-            self.words.resize(word + 1, 0);
-        }
-        if self.words[word] & bit == 0 {
-            self.words[word] |= bit;
-            self.count += 1;
-        }
-    }
-
-    fn remove(&mut self, fd: Fd) {
-        let Some((word, bit)) = Self::slot(fd) else {
-            return;
-        };
-        if let Some(w) = self.words.get_mut(word) {
-            if *w & bit != 0 {
-                *w &= !bit;
-                self.count -= 1;
-            }
-        }
-    }
-
-    fn contains(&self, fd: Fd) -> bool {
-        match Self::slot(fd) {
-            Some((word, bit)) => self.words.get(word).is_some_and(|w| w & bit != 0),
-            None => false,
-        }
-    }
-
-    /// Clears the set in place (capacity retained); returns how many
-    /// members it had.
-    fn clear(&mut self) -> usize {
-        let n = self.count;
-        self.words.iter_mut().for_each(|w| *w = 0);
-        self.count = 0;
-        n
-    }
-}
-
-/// Index of `ep` in the dense endpoint-slot table: connection ids are
-/// allocated sequentially from zero, so `conn * 2 + side` is dense.
+/// Index of `ep` in the endpoint-slot table: `conn * 2 + side`. The
+/// table is paged, so the index need not be dense — high connection ids
+/// land on their own pages without densifying the low range.
 fn ep_index(ep: EndpointId) -> usize {
     (ep.conn.0 as usize) * 2 + ep.side.index()
 }
@@ -192,6 +136,10 @@ pub struct KernelStats {
     pub rt_overflows: u64,
     /// Process wakeups from readiness events.
     pub wakeups: u64,
+    /// Descriptor allocations refused at the per-process limit
+    /// (`EMFILE`) — the fd-exhaustion failure mode, tallied
+    /// per-mechanism rather than inferred from aborted connections.
+    pub emfile: u64,
 }
 
 /// The simulated kernel of the server host.
@@ -204,8 +152,15 @@ pub struct Kernel {
     /// reaped), so [`Kernel::advance`] surfaces `ProcRunnable` events in
     /// deterministic pid order by construction.
     procs: Vec<Process>,
-    /// Endpoint-indexed owner + readiness mirror slots (see [`ep_index`]).
-    eps: Vec<Option<EpSlot>>,
+    /// Endpoint-indexed owner + readiness mirror slots (see
+    /// [`ep_index`]); paged so sparse/high endpoint indices don't pay
+    /// dense-table memory.
+    eps: PagedSlots<EpSlot>,
+    /// High-water mark of simultaneously open endpoint slots — the
+    /// denominator for bytes-per-connection accounting (by report time
+    /// most connections have closed; the peak is what memory was sized
+    /// for).
+    eps_peak: usize,
     /// Listener-indexed owner/readiness slots (`ListenerId` is a dense
     /// sequential id).
     listeners: Vec<Option<ListenerSlot>>,
@@ -217,8 +172,9 @@ pub struct Kernel {
     accept_scratch: Vec<(Pid, Fd)>,
     /// Descriptors whose readiness events should wake the owning process
     /// when it sleeps (the wait-queue watcher registry); parallel to
-    /// `procs`, one bitset per process.
-    watchers: Vec<FdSet>,
+    /// `procs`, one paged bitset per process — the §3.2 backmapping
+    /// lists, re-backed so elevated/sparse fd ranges stay cheap.
+    watchers: Vec<PagedBits>,
     events_out: Vec<KernelEvent>,
     stats: KernelStats,
     /// Central metric registry every subsystem records into (syscalls
@@ -242,7 +198,8 @@ impl Kernel {
             cost,
             cpu: Cpu::new(),
             procs: Vec::new(),
-            eps: Vec::new(),
+            eps: PagedSlots::new(),
+            eps_peak: 0,
             listeners: Vec::new(),
             accept_wake: AcceptWake::Herd,
             accept_rr: 0,
@@ -279,6 +236,22 @@ impl Kernel {
     /// Aggregate statistics.
     pub fn stats(&self) -> KernelStats {
         self.stats
+    }
+
+    /// Modeled resident heap bytes of the kernel's per-connection
+    /// tables: per-process fd tables, endpoint readiness slots, and
+    /// watcher (backmap) bitsets. Pages are never freed, so this is the
+    /// high-water footprint.
+    pub fn mem_bytes(&self) -> usize {
+        let fds: usize = self.procs.iter().map(|p| p.fds.mem_bytes()).sum();
+        let watch: usize = self.watchers.iter().map(PagedBits::heap_bytes).sum();
+        fds + watch + self.eps.heap_bytes()
+    }
+
+    /// High-water mark of simultaneously open endpoint slots — the
+    /// bytes-per-connection denominator.
+    pub fn eps_peak(&self) -> usize {
+        self.eps_peak
     }
 
     /// Folds the kernel's full semantic state into one FNV digest for
@@ -318,9 +291,8 @@ impl Kernel {
                 }
             }
         }
-        h.write_len(self.eps.iter().filter(|s| s.is_some()).count());
-        for (ix, slot) in self.eps.iter().enumerate() {
-            let Some(s) = slot else { continue };
+        h.write_len(self.eps.len());
+        for (ix, s) in self.eps.iter() {
             h.write_usize(ix);
             h.write_u64(u64::from(s.pid));
             h.write_i64(i64::from(s.fd));
@@ -347,13 +319,11 @@ impl Kernel {
         h.write_usize(self.accept_rr);
         h.write_len(self.watchers.len());
         for set in &self.watchers {
-            h.write_len(set.count);
-            for (ix, word) in set.words.iter().enumerate() {
-                if *word != 0 {
-                    h.write_usize(ix);
-                    h.write_u64(*word);
-                }
-            }
+            h.write_len(set.count());
+            set.for_each_nonzero_word(|ix, word| {
+                h.write_usize(ix);
+                h.write_u64(word);
+            });
         }
         h.write_len(self.events_out.len());
         h.finish()
@@ -478,8 +448,21 @@ impl Kernel {
     /// Creates a process with the given descriptor limit and RT queue
     /// bound.
     pub fn spawn(&mut self, fd_limit: usize, rt_queue_max: usize) -> Pid {
-        self.procs.push(Process::new(fd_limit, rt_queue_max));
-        self.watchers.push(FdSet::default());
+        self.spawn_with_fd_base(fd_limit, rt_queue_max, 0)
+    }
+
+    /// Creates a process whose descriptor numbering starts at
+    /// `first_fd` — the elevated-fd-offset lane proving readiness and
+    /// notification semantics are independent of fd numerology.
+    pub fn spawn_with_fd_base(
+        &mut self,
+        fd_limit: usize,
+        rt_queue_max: usize,
+        first_fd: usize,
+    ) -> Pid {
+        self.procs
+            .push(Process::with_first_fd(fd_limit, rt_queue_max, first_fd));
+        self.watchers.push(PagedBits::new());
         self.procs.len() as Pid
     }
 
@@ -709,38 +692,50 @@ impl Kernel {
     /// Cost is *not* charged here; the caller (stock `poll()` or the
     /// `/dev/poll` device) charges per its own cost structure.
     pub fn watch(&mut self, pid: Pid, fd: Fd) {
+        if fd < 0 {
+            return;
+        }
         if let Some(set) = self.watchers.get_mut(Self::proc_ix(pid)) {
-            set.insert(fd);
+            set.insert(fd as usize);
         }
     }
 
     /// Removes one watcher registration.
     pub fn unwatch(&mut self, pid: Pid, fd: Fd) {
+        if fd < 0 {
+            return;
+        }
         if let Some(set) = self.watchers.get_mut(Self::proc_ix(pid)) {
-            set.remove(fd);
+            set.remove(fd as usize);
         }
     }
 
     /// Removes every watcher registration of `pid`. Returns how many
     /// were removed (so the caller can charge per-fd costs).
     pub fn unwatch_all(&mut self, pid: Pid) -> usize {
-        self.watchers
-            .get_mut(Self::proc_ix(pid))
-            .map_or(0, FdSet::clear)
+        self.watchers.get_mut(Self::proc_ix(pid)).map_or(0, |set| {
+            let n = set.count();
+            set.clear();
+            n
+        })
     }
 
     /// Number of active watcher registrations for `pid`.
     pub fn watch_count(&self, pid: Pid) -> usize {
-        self.watchers.get(Self::proc_ix(pid)).map_or(0, |s| s.count)
+        self.watchers
+            .get(Self::proc_ix(pid))
+            .map_or(0, PagedBits::count)
     }
 
     /// Whether `fd` is registered to wake `pid` (the backmapping-list
     /// membership question the `/dev/poll` invariant auditor asks after
     /// every `POLLREMOVE`).
     pub fn is_watched(&self, pid: Pid, fd: Fd) -> bool {
-        self.watchers
-            .get(Self::proc_ix(pid))
-            .is_some_and(|s| s.contains(fd))
+        fd >= 0
+            && self
+                .watchers
+                .get(Self::proc_ix(pid))
+                .is_some_and(|s| s.contains(fd as usize))
     }
 
     // ------------------------------------------------------------------
@@ -781,25 +776,20 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     fn ep_slot(&self, ep: EndpointId) -> Option<&EpSlot> {
-        self.eps.get(ep_index(ep)).and_then(|s| s.as_ref())
+        self.eps.get(ep_index(ep))
     }
 
     fn ep_slot_mut(&mut self, ep: EndpointId) -> Option<&mut EpSlot> {
-        self.eps.get_mut(ep_index(ep)).and_then(|s| s.as_mut())
+        self.eps.get_mut(ep_index(ep))
     }
 
     fn ep_slot_insert(&mut self, ep: EndpointId, slot: EpSlot) {
-        let ix = ep_index(ep);
-        if ix >= self.eps.len() {
-            self.eps.resize(ix + 1, None);
-        }
-        self.eps[ix] = Some(slot);
+        self.eps.insert(ep_index(ep), slot);
+        self.eps_peak = self.eps_peak.max(self.eps.len());
     }
 
     fn ep_slot_remove(&mut self, ep: EndpointId) {
-        if let Some(s) = self.eps.get_mut(ep_index(ep)) {
-            *s = None;
-        }
+        self.eps.take(ep_index(ep));
     }
 
     fn listener_slot(&self, l: ListenerId) -> Option<&ListenerSlot> {
@@ -812,6 +802,19 @@ impl Kernel {
             self.listeners.resize(ix + 1, None);
         }
         self.listeners[ix].get_or_insert_with(ListenerSlot::default)
+    }
+
+    /// Allocates a descriptor in `pid`'s table, tallying `EMFILE`
+    /// refusals so fd exhaustion is observable per-mechanism rather
+    /// than only through downstream connection aborts.
+    fn fd_alloc(&mut self, pid: Pid, kind: FileKind) -> Result<Fd, Errno> {
+        match self.proc_mut(pid).fds.alloc(kind) {
+            Err(Errno::EMFILE) => {
+                self.stats.emfile += 1;
+                Err(Errno::EMFILE)
+            }
+            r => r,
+        }
     }
 
     /// The endpoint behind a stream descriptor.
@@ -1029,7 +1032,7 @@ impl Kernel {
         let listener = net
             .listen(self.host, port, backlog)
             .map_err(|_| Errno::EADDRINUSE)?;
-        let fd = self.proc_mut(pid).fds.alloc(FileKind::Listener(listener))?;
+        let fd = self.fd_alloc(pid, FileKind::Listener(listener))?;
         let slot = self.listener_slot_or_default(listener);
         slot.owners.push((pid, fd));
         slot.ready = false;
@@ -1050,7 +1053,7 @@ impl Kernel {
         if self.listener_slot(listener).is_none() {
             return Err(Errno::EBADF);
         }
-        let fd = self.proc_mut(pid).fds.alloc(FileKind::Listener(listener))?;
+        let fd = self.fd_alloc(pid, FileKind::Listener(listener))?;
         self.listener_slot_or_default(listener)
             .owners
             .push((pid, fd));
@@ -1087,7 +1090,7 @@ impl Kernel {
         if net.accept_queue_len(listener) == 0 {
             self.listener_slot_or_default(listener).ready = false;
         }
-        let fd = match self.proc_mut(pid).fds.alloc(FileKind::Stream(ep)) {
+        let fd = match self.fd_alloc(pid, FileKind::Stream(ep)) {
             Ok(fd) => fd,
             Err(e) => {
                 // Descriptor table full: the connection was already
@@ -1419,7 +1422,7 @@ impl Kernel {
     /// layer, which manages its own object registry). No cost is
     /// charged — the caller accounts for the surrounding syscall.
     pub fn alloc_fd(&mut self, pid: Pid, kind: FileKind) -> Result<Fd, Errno> {
-        self.proc_mut(pid).fds.alloc(kind)
+        self.fd_alloc(pid, kind)
     }
 
     /// Closes a descriptor with no socket side effects (used for

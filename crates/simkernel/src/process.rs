@@ -74,8 +74,14 @@ pub struct Process {
 impl Process {
     /// Creates an idle process.
     pub fn new(fd_limit: usize, rt_queue_max: usize) -> Process {
+        Process::with_first_fd(fd_limit, rt_queue_max, 0)
+    }
+
+    /// Creates an idle process whose descriptor numbering starts at
+    /// `first_fd` (the elevated-offset layout-independence lane).
+    pub fn with_first_fd(fd_limit: usize, rt_queue_max: usize, first_fd: usize) -> Process {
         Process {
-            fds: FdTable::new(fd_limit),
+            fds: FdTable::with_first_fd(fd_limit, first_fd),
             signals: SignalState::new(rt_queue_max),
             state: ProcState::Idle,
             batch_acc: None,

@@ -85,8 +85,8 @@ proptest! {
         ops in prop::collection::vec((any::<bool>(), 0i32..80), 0..300),
     ) {
         let mut t = FdTable::new(limit);
-        let mut model: std::collections::BTreeMap<i32, u64> = Default::default();
-        let mut counter = 0u64;
+        let mut model: std::collections::BTreeMap<i32, u32> = Default::default();
+        let mut counter = 0u32;
         for (close, fd_or_tag) in ops {
             if close {
                 let fd = fd_or_tag;

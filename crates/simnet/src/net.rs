@@ -17,6 +17,7 @@ use std::collections::BinaryHeap;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
+use simcore::paged::PagedSlots;
 use simcore::rng::SimRng;
 use simcore::time::{SimDuration, SimTime};
 
@@ -24,7 +25,7 @@ use crate::addr::{ConnId, EndpointId, HostId, ListenerId, Port, Side, SockAddr};
 use crate::link::{LinkConfig, Tx, TxOutcome};
 use crate::ports::PortAllocator;
 use crate::seg::{SegKind, Segment};
-use crate::tcp::{Conn, ConnState, ConnectError, Endpoint, TcpConfig};
+use crate::tcp::{Conn, ConnState, ConnectError, TcpConfig};
 
 /// Notifications surfaced to the layer above (socket layers, clients).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,6 +143,10 @@ pub struct NetStats {
     pub syn_drops: u64,
     /// Segments dropped by injected random loss.
     pub injected_losses: u64,
+    /// `connect` attempts refused locally because the client host had no
+    /// free ephemeral port (the paper's 60000-socket limitation, modeled
+    /// as a first-class failure mode).
+    pub ports_exhausted: u64,
 }
 
 impl NetStats {
@@ -155,6 +160,11 @@ impl NetStats {
         probe.add("tcp.retransmits", self.retransmits);
         probe.add("tcp.syn_drops", self.syn_drops);
         probe.add("tcp.injected_losses", self.injected_losses);
+        // Gated: absent from runs that never hit the port ceiling, so the
+        // probe snapshot of pre-existing configurations is unchanged.
+        if self.ports_exhausted > 0 {
+            probe.add("tcp.ports_exhausted", self.ports_exhausted);
+        }
     }
 }
 
@@ -168,11 +178,14 @@ pub struct Network {
     hosts: Vec<Host>,
     /// Connection storage: ids stay unique forever (they participate in
     /// deterministic orderings), but the heavyweight state lives in a
-    /// slab arena whose slots are recycled as connections die.
-    conn_slot: Vec<u32>,
+    /// slab arena whose slots are recycled as connections die. The
+    /// id → slot map is paged (sparse): long runs whose live window of
+    /// ids marches upward only pay for the pages that window touches,
+    /// not for every id ever issued.
+    conn_slot: PagedSlots<u32>,
     conn_arena: Vec<Option<Conn>>,
     conn_free: Vec<u32>,
-    next_conn: u64,
+    next_conn: u32,
     /// Dense, id-indexed (listeners are never removed).
     listeners: Vec<Listener>,
     listen_by_addr: HashMap<SockAddr, ListenerId>,
@@ -189,9 +202,6 @@ pub struct Network {
     pump_scratch: Vec<Segment>,
     stats: NetStats,
 }
-
-/// "No slot" sentinel in [`Network::conn_slot`].
-const NO_SLOT: u32 = u32::MAX;
 
 impl Network {
     /// Creates a network of `n_hosts` hosts, all sharing the same link
@@ -210,7 +220,7 @@ impl Network {
                     bytes_in: 0,
                 })
                 .collect(),
-            conn_slot: Vec::new(),
+            conn_slot: PagedSlots::new(),
             conn_arena: Vec::new(),
             conn_free: Vec::new(),
             next_conn: 0,
@@ -251,7 +261,7 @@ impl Network {
         use simcore::fingerprint::Fnv;
         let mut h = Fnv::new();
         let seg_into = |h: &mut Fnv, s: &Segment| {
-            h.write_u64(s.conn.0);
+            h.write_u64(u64::from(s.conn.0));
             h.write_bool(s.from == Side::Server);
             match s.kind {
                 SegKind::Syn => h.write_u8(0),
@@ -277,7 +287,7 @@ impl Network {
             host.tx.fingerprint_into(&mut h);
             host.ports.fingerprint_into(&mut h);
         }
-        h.write_u64(self.next_conn);
+        h.write_u64(u64::from(self.next_conn));
         h.write_len(self.conn_arena.iter().filter(|s| s.is_some()).count());
         for (slot, conn) in self.conn_arena.iter().enumerate() {
             let Some(c) = conn else { continue };
@@ -297,38 +307,38 @@ impl Network {
                 h.write_u64(ep.wrote);
                 h.write_u64(ep.snd_nxt);
                 h.write_u64(ep.snd_una);
-                h.write_u64(ep.fin_at.map_or(u64::MAX, |s| s));
-                h.write_bool(ep.fin_sent);
-                h.write_bool(ep.fin_acked);
+                h.write_u64(ep.fin_at().map_or(u64::MAX, |s| s));
+                h.write_bool(ep.fin_sent());
+                h.write_bool(ep.fin_acked());
                 h.write_len(ep.inbox.len());
                 h.write_bytes(ep.inbox.as_slice());
                 h.write_u64(ep.rcv_nxt);
-                h.write_u64(ep.peer_fin.map_or(u64::MAX, |s| s));
-                h.write_u32(ep.retries);
-                h.write_bool(ep.rto_armed);
-                h.write_bool(ep.blocked_writer);
+                h.write_u64(ep.peer_fin().map_or(u64::MAX, |s| s));
+                h.write_u32(u32::from(ep.retries));
+                h.write_bool(ep.rto_armed());
+                h.write_bool(ep.blocked_writer());
             }
-            h.write_u64(c.listener.map_or(u64::MAX, |l| l.0));
-            h.write_u32(c.syn_sent);
-            h.write_u8(match c.closed_first {
+            h.write_u64(c.listener.map_or(u64::MAX, |l| u64::from(l.0)));
+            h.write_u32(u32::from(c.syn_sent));
+            h.write_u8(match c.closed_first() {
                 None => 0,
                 Some(Side::Client) => 1,
                 Some(Side::Server) => 2,
             });
-            h.write_bool(c.accept_queued);
-            h.write_bool(c.accepted);
-            h.write_bool(c.ports_freed);
+            h.write_bool(c.accept_queued());
+            h.write_bool(c.accepted());
+            h.write_bool(c.ports_freed());
         }
         h.write_len(self.listeners.len());
         for l in &self.listeners {
             h.write_usize(l.backlog);
             h.write_len(l.syn_rcvd.len());
             for c in &l.syn_rcvd {
-                h.write_u64(c.0);
+                h.write_u64(u64::from(c.0));
             }
             h.write_len(l.accept_q.len());
             for c in &l.accept_q {
-                h.write_u64(c.0);
+                h.write_u64(u64::from(c.0));
             }
         }
         h.write_len(self.timers.len());
@@ -345,7 +355,7 @@ impl Network {
                 }
                 Some(Timer::Rto { conn, side }) => {
                     h.write_u8(2);
-                    h.write_u64(conn.0);
+                    h.write_u64(u64::from(conn.0));
                     h.write_bool(*side == Side::Server);
                 }
             }
@@ -375,24 +385,16 @@ impl Network {
     // ------------------------------------------------------------------
 
     fn conn(&self, id: ConnId) -> Option<&Conn> {
-        match self.conn_slot.get(id.0 as usize) {
-            Some(&slot) if slot != NO_SLOT => self.conn_arena[slot as usize].as_ref(),
-            _ => None,
-        }
+        let &slot = self.conn_slot.get(id.0 as usize)?;
+        self.conn_arena[slot as usize].as_ref()
     }
 
     fn conn_mut(&mut self, id: ConnId) -> Option<&mut Conn> {
-        match self.conn_slot.get(id.0 as usize) {
-            Some(&slot) if slot != NO_SLOT => self.conn_arena[slot as usize].as_mut(),
-            _ => None,
-        }
+        let &slot = self.conn_slot.get(id.0 as usize)?;
+        self.conn_arena[slot as usize].as_mut()
     }
 
     fn conn_insert(&mut self, id: ConnId, conn: Conn) {
-        let ix = id.0 as usize;
-        if ix >= self.conn_slot.len() {
-            self.conn_slot.resize(ix + 1, NO_SLOT);
-        }
         let slot = match self.conn_free.pop() {
             Some(s) => {
                 self.conn_arena[s as usize] = Some(conn);
@@ -403,17 +405,24 @@ impl Network {
                 (self.conn_arena.len() - 1) as u32
             }
         };
-        self.conn_slot[ix] = slot;
+        self.conn_slot.insert(id.0 as usize, slot);
     }
 
     fn conn_remove(&mut self, id: ConnId) {
-        if let Some(slot) = self.conn_slot.get_mut(id.0 as usize) {
-            if *slot != NO_SLOT {
-                self.conn_arena[*slot as usize] = None;
-                self.conn_free.push(*slot);
-                *slot = NO_SLOT;
-            }
+        if let Some(slot) = self.conn_slot.take(id.0 as usize) {
+            self.conn_arena[slot as usize] = None;
+            self.conn_free.push(slot);
         }
+    }
+
+    /// Heap bytes held by the connection machinery (id map pages, the
+    /// slab arena, free lists) — the network side of the
+    /// bytes-per-connection lane. Buffered stream bytes inside endpoints
+    /// are excluded: inactive connections hold none.
+    pub fn conn_mem_bytes(&self) -> usize {
+        self.conn_slot.heap_bytes()
+            + self.conn_arena.capacity() * std::mem::size_of::<Option<Conn>>()
+            + self.conn_free.capacity() * std::mem::size_of::<u32>()
     }
 
     // ------------------------------------------------------------------
@@ -520,7 +529,7 @@ impl Network {
         if !self.hosts[host.0].ports.bind(port) {
             return Err(NetError::AddrInUse);
         }
-        let id = ListenerId(self.listeners.len() as u64);
+        let id = ListenerId(self.listeners.len() as u32);
         self.listeners.push(Listener {
             backlog,
             syn_rcvd: BTreeSet::new(),
@@ -536,7 +545,7 @@ impl Network {
         let l = self.listeners.get_mut(listener.0 as usize)?;
         let conn = l.accept_q.pop_front()?;
         if let Some(c) = self.conn_mut(conn) {
-            c.accepted = true;
+            c.set_accepted(true);
         }
         Some(EndpointId::new(conn, Side::Server))
     }
@@ -547,7 +556,7 @@ impl Network {
     /// reads it from the just-accepted endpoint.
     pub fn accept_queued_at(&self, ep: EndpointId) -> Option<SimTime> {
         let c = self.conn(ep.conn)?;
-        if c.accept_queued {
+        if c.accept_queued() {
             Some(c.accept_queued_at)
         } else {
             None
@@ -584,24 +593,17 @@ impl Network {
         extra_delay: SimDuration,
     ) -> Result<ConnId, ConnectError> {
         let Some(port) = self.hosts[host.0].ports.alloc(now) else {
+            self.stats.ports_exhausted += 1;
             return Err(ConnectError::PortsExhausted);
         };
         let id = ConnId(self.next_conn);
-        self.next_conn += 1;
-        let conn = Conn {
-            state: ConnState::SynSent,
-            hosts: [host, remote.host],
-            ports: [port, remote.port],
-            eps: [Endpoint::new(now), Endpoint::new(now)],
-            extra_delay,
-            listener: None,
-            syn_sent: 0,
-            closed_first: None,
-            accept_queued: false,
-            accept_queued_at: SimTime::ZERO,
-            accepted: false,
-            ports_freed: false,
-        };
+        // Checked: id exhaustion is a loud failure, never a silent wrap
+        // onto a live handle.
+        self.next_conn = self
+            .next_conn
+            .checked_add(1)
+            .expect("invariant: connection id space (2^32) never exhausted in one run");
+        let conn = Conn::new([host, remote.host], [port, remote.port], extra_delay, now);
         self.conn_insert(id, conn);
         self.stats.conns_started += 1;
         self.transmit(
@@ -617,7 +619,7 @@ impl Network {
             // The SYN timer doubles as the client's data-RTO timer once
             // the handshake completes, so mark it armed to avoid a
             // duplicate from `pump`.
-            c.ep_mut(Side::Client).rto_armed = true;
+            c.ep_mut(Side::Client).set_rto_armed(true);
         }
         self.arm(
             now + self.cfg.syn_rto,
@@ -627,6 +629,15 @@ impl Network {
             },
         );
         Ok(id)
+    }
+
+    /// Test hook: repositions the connection-id counter (e.g. near
+    /// `u32::MAX`) so tests can exercise high-id handle paths — the
+    /// paged id → slot map must serve sparse, huge indices without
+    /// densifying.
+    #[doc(hidden)]
+    pub fn set_next_conn_id(&mut self, next: u32) {
+        self.next_conn = next;
     }
 
     /// Writes application bytes into the endpoint's send buffer.
@@ -642,7 +653,7 @@ impl Network {
                 return Err(NetError::BadState);
             }
             let e = conn.ep_mut(ep.side);
-            if e.fin_at.is_some() {
+            if e.fin_at().is_some() {
                 return Err(NetError::BadState);
             }
             let space = e.send_space(&cfg);
@@ -650,7 +661,7 @@ impl Network {
             e.out.extend_from_slice(&data[..n]);
             e.wrote += n as u64;
             if n < data.len() {
-                e.blocked_writer = true;
+                e.set_blocked_writer(true);
             }
             n
         };
@@ -755,12 +766,12 @@ impl Network {
                 return Err(NetError::BadState);
             }
             let e = conn.ep_mut(ep.side);
-            if e.fin_at.is_some() {
+            if e.fin_at().is_some() {
                 return Err(NetError::BadState);
             }
-            e.fin_at = Some(e.wrote);
-            if conn.closed_first.is_none() {
-                conn.closed_first = Some(ep.side);
+            e.set_fin_at(e.wrote);
+            if conn.closed_first().is_none() {
+                conn.set_closed_first(ep.side);
             }
         }
         self.pump(now, ep.conn, ep.side);
@@ -846,7 +857,7 @@ impl Network {
             return;
         };
         if conn.listener.is_some() {
-            if !conn.accept_queued {
+            if !conn.accept_queued() {
                 // Duplicate SYN (client retransmission): re-answer.
                 let seg = Segment {
                     conn: conn_id,
@@ -943,11 +954,11 @@ impl Network {
         let Some(lid) = conn.listener else {
             return; // No SYN seen yet (cannot happen in a FIFO network).
         };
-        if conn.accept_queued {
+        if conn.accept_queued() {
             return;
         }
         conn.ep_mut(Side::Server).last_progress = now;
-        conn.accept_queued = true;
+        conn.set_accept_queued(true);
         conn.accept_queued_at = now;
         let l = self
             .listeners
@@ -981,16 +992,16 @@ impl Network {
                     e.out.consume((trim_to - e.out_base) as usize);
                     e.out_base = trim_to;
                 }
-                if let Some(fin) = e.fin_at {
+                if let Some(fin) = e.fin_at() {
                     if e.snd_una > fin {
-                        if !e.fin_acked {
+                        if !e.fin_acked() {
                             fin_now_acked = true;
                         }
-                        e.fin_acked = true;
+                        e.set_fin_acked(true);
                     }
                 }
-                if e.blocked_writer && e.send_space(&cfg) > 0 {
-                    e.blocked_writer = false;
+                if e.blocked_writer() && e.send_space(&cfg) > 0 {
+                    e.set_blocked_writer(false);
                     became_writable = true;
                 }
             }
@@ -1061,8 +1072,8 @@ impl Network {
                 return;
             };
             let e = conn.ep_mut(to_side);
-            if seq == e.rcv_nxt && e.peer_fin.is_none() {
-                e.peer_fin = Some(seq);
+            if seq == e.rcv_nxt && e.peer_fin().is_none() {
+                e.set_peer_fin(seq);
                 e.rcv_nxt = seq + 1;
                 saw_fin = true;
             }
@@ -1141,19 +1152,19 @@ impl Network {
                 });
                 e.snd_nxt += len as u64;
             }
-            if let Some(fin) = e.fin_at {
-                if e.snd_nxt == fin && !e.fin_sent && e.in_flight() < window + 1 {
+            if let Some(fin) = e.fin_at() {
+                if e.snd_nxt == fin && !e.fin_sent() && e.in_flight() < window + 1 {
                     to_send.push(Segment {
                         conn: conn_id,
                         from: side,
                         kind: SegKind::Fin { seq: fin },
                     });
-                    e.fin_sent = true;
+                    e.set_fin_sent(true);
                     e.snd_nxt = fin + 1;
                 }
             }
-            if e.in_flight() > 0 && !e.rto_armed {
-                e.rto_armed = true;
+            if e.in_flight() > 0 && !e.rto_armed() {
+                e.set_rto_armed(true);
                 arm_rto = true;
             }
         }
@@ -1189,7 +1200,7 @@ impl Network {
             };
             match conn.state {
                 ConnState::SynSent if side == Side::Client => {
-                    if conn.syn_sent > cfg.syn_retries {
+                    if u32::from(conn.syn_sent) > cfg.syn_retries {
                         action = Action::ConnectTimeout;
                     } else {
                         conn.syn_sent += 1;
@@ -1202,7 +1213,7 @@ impl Network {
                 ConnState::Established => {
                     let e = conn.ep_mut(side);
                     if e.in_flight() == 0 {
-                        e.rto_armed = false;
+                        e.set_rto_armed(false);
                         action = Action::None;
                     } else {
                         let rto = cfg
@@ -1211,14 +1222,14 @@ impl Network {
                             .min(cfg.rto_max);
                         let age = now.saturating_duration_since(e.last_progress);
                         if age >= rto {
-                            if e.retries >= cfg.data_retries {
+                            if u32::from(e.retries) >= cfg.data_retries {
                                 action = Action::ResetBoth;
                             } else {
                                 e.retries += 1;
                                 e.snd_nxt = e.snd_una; // Go-back-N.
-                                if let Some(fin) = e.fin_at {
+                                if let Some(fin) = e.fin_at() {
                                     if e.snd_una <= fin {
-                                        e.fin_sent = false;
+                                        e.set_fin_sent(false);
                                     }
                                 }
                                 let next = cfg
@@ -1238,7 +1249,7 @@ impl Network {
                     // Handshake completed or connection tearing down:
                     // disarm quietly.
                     let e = conn.ep_mut(side);
-                    e.rto_armed = false;
+                    e.set_rto_armed(false);
                     action = Action::None;
                 }
             }
@@ -1349,10 +1360,10 @@ impl Network {
         let Some(conn) = self.conn_mut(conn_id) else {
             return;
         };
-        if conn.ports_freed {
+        if conn.ports_freed() {
             return;
         }
-        conn.ports_freed = true;
+        conn.set_ports_freed(true);
         let sides = [
             (conn.host(Side::Client), conn.port(Side::Client)),
             (conn.host(Side::Server), conn.port(Side::Server)),
@@ -1378,7 +1389,7 @@ impl Network {
         let Some(conn) = self.conn(conn_id) else {
             return;
         };
-        let (listener, accepted) = (conn.listener, conn.accepted);
+        let (listener, accepted) = (conn.listener, conn.accepted());
         if let Some(lid) = listener {
             if let Some(l) = self.listeners.get_mut(lid.0 as usize) {
                 l.syn_rcvd.remove(&conn_id);

@@ -92,11 +92,25 @@ pub enum ConnState {
     Reset,
 }
 
+/// Sentinel for "no FIN sequence recorded" in the packed
+/// [`Endpoint::fin_at`]/[`Endpoint::peer_fin`] fields. Stream sequence
+/// numbers never reach 2^64, so the sentinel is unambiguous.
+const NO_SEQ: u64 = u64::MAX;
+
 /// One directional half of a connection's state.
+///
+/// Per-connection memory is the scaling bottleneck at 10^6 inactive
+/// connections, so this struct is bit-packed: the four lifecycle
+/// booleans share one flags byte, retransmission counts are a byte
+/// (retry limits are single digits), and the optional FIN sequences use
+/// a `u64::MAX` sentinel instead of `Option<u64>`'s padded 16 bytes.
+// #[hot_struct]: two per connection, a million connections deep
 #[derive(Debug, Clone)]
 pub struct Endpoint {
     /// Outgoing stream bytes not yet trimmed; front is at `out_base`.
     pub(crate) out: ByteQueue,
+    /// Incoming stream delivered in order and not yet read.
+    pub(crate) inbox: ByteQueue,
     /// Sequence number of `out.front()`.
     pub(crate) out_base: u64,
     /// Total bytes accepted from the application.
@@ -105,47 +119,106 @@ pub struct Endpoint {
     pub(crate) snd_nxt: u64,
     /// Oldest unacknowledged sequence number.
     pub(crate) snd_una: u64,
-    /// Sequence of our FIN once `close` was called (== `wrote` at close).
-    pub(crate) fin_at: Option<u64>,
-    /// Whether the FIN has been transmitted at least once.
-    pub(crate) fin_sent: bool,
-    /// Whether the FIN has been acknowledged.
-    pub(crate) fin_acked: bool,
-    /// Incoming stream delivered in order and not yet read.
-    pub(crate) inbox: ByteQueue,
     /// Next sequence number expected from the peer.
     pub(crate) rcv_nxt: u64,
-    /// Sequence of the peer's FIN once received in order.
-    pub(crate) peer_fin: Option<u64>,
+    /// Sequence of our FIN once `close` was called (== `wrote` at
+    /// close); [`NO_SEQ`] until then.
+    fin_at_raw: u64,
+    /// Sequence of the peer's FIN once received in order; [`NO_SEQ`]
+    /// until then.
+    peer_fin_raw: u64,
     /// Timestamp of the last forward progress (for RTO age checks).
     pub(crate) last_progress: SimTime,
-    /// Consecutive retransmissions without progress.
-    pub(crate) retries: u32,
-    /// `true` while an RTO timer event is outstanding for this endpoint.
-    pub(crate) rto_armed: bool,
-    /// `true` if the last `send` could not accept all bytes (so a
-    /// `Writable` notification fires when space frees).
-    pub(crate) blocked_writer: bool,
+    /// Consecutive retransmissions without progress (bounded by
+    /// [`TcpConfig::data_retries`], single digits).
+    pub(crate) retries: u8,
+    /// Packed lifecycle booleans (`EP_*` bits).
+    flags: u8,
 }
+
+/// [`Endpoint::flags`]: the FIN has been transmitted at least once.
+const EP_FIN_SENT: u8 = 1 << 0;
+/// [`Endpoint::flags`]: the FIN has been acknowledged.
+const EP_FIN_ACKED: u8 = 1 << 1;
+/// [`Endpoint::flags`]: an RTO timer event is outstanding.
+const EP_RTO_ARMED: u8 = 1 << 2;
+/// [`Endpoint::flags`]: the last `send` could not accept all bytes (so
+/// a `Writable` notification fires when space frees).
+const EP_BLOCKED_WRITER: u8 = 1 << 3;
 
 impl Endpoint {
     pub(crate) fn new(now: SimTime) -> Endpoint {
         Endpoint {
             out: ByteQueue::new(),
+            inbox: ByteQueue::new(),
             out_base: 0,
             wrote: 0,
             snd_nxt: 0,
             snd_una: 0,
-            fin_at: None,
-            fin_sent: false,
-            fin_acked: false,
-            inbox: ByteQueue::new(),
             rcv_nxt: 0,
-            peer_fin: None,
+            fin_at_raw: NO_SEQ,
+            peer_fin_raw: NO_SEQ,
             last_progress: now,
             retries: 0,
-            rto_armed: false,
-            blocked_writer: false,
+            flags: 0,
+        }
+    }
+
+    pub(crate) fn fin_at(&self) -> Option<u64> {
+        (self.fin_at_raw != NO_SEQ).then_some(self.fin_at_raw)
+    }
+
+    pub(crate) fn set_fin_at(&mut self, seq: u64) {
+        debug_assert_ne!(seq, NO_SEQ);
+        self.fin_at_raw = seq;
+    }
+
+    pub(crate) fn peer_fin(&self) -> Option<u64> {
+        (self.peer_fin_raw != NO_SEQ).then_some(self.peer_fin_raw)
+    }
+
+    pub(crate) fn set_peer_fin(&mut self, seq: u64) {
+        debug_assert_ne!(seq, NO_SEQ);
+        self.peer_fin_raw = seq;
+    }
+
+    pub(crate) fn fin_sent(&self) -> bool {
+        self.flags & EP_FIN_SENT != 0
+    }
+
+    pub(crate) fn fin_acked(&self) -> bool {
+        self.flags & EP_FIN_ACKED != 0
+    }
+
+    pub(crate) fn rto_armed(&self) -> bool {
+        self.flags & EP_RTO_ARMED != 0
+    }
+
+    pub(crate) fn blocked_writer(&self) -> bool {
+        self.flags & EP_BLOCKED_WRITER != 0
+    }
+
+    pub(crate) fn set_fin_sent(&mut self, v: bool) {
+        self.set_flag(EP_FIN_SENT, v);
+    }
+
+    pub(crate) fn set_fin_acked(&mut self, v: bool) {
+        self.set_flag(EP_FIN_ACKED, v);
+    }
+
+    pub(crate) fn set_rto_armed(&mut self, v: bool) {
+        self.set_flag(EP_RTO_ARMED, v);
+    }
+
+    pub(crate) fn set_blocked_writer(&mut self, v: bool) {
+        self.set_flag(EP_BLOCKED_WRITER, v);
+    }
+
+    fn set_flag(&mut self, bit: u8, v: bool) {
+        if v {
+            self.flags |= bit;
+        } else {
+            self.flags &= !bit;
         }
     }
 
@@ -161,24 +234,34 @@ impl Endpoint {
 
     /// Whether this half has finished sending (FIN acknowledged).
     pub(crate) fn send_done(&self) -> bool {
-        self.fin_acked
+        self.fin_acked()
     }
 
     /// Whether this half has seen the peer's FIN.
     pub(crate) fn recv_done(&self) -> bool {
-        self.peer_fin.is_some()
+        self.peer_fin_raw != NO_SEQ
     }
 }
 
 /// A full connection: both halves plus routing metadata.
+///
+/// Lifecycle booleans are packed into one flags byte (`CONN_*` bits)
+/// and the SYN counter is a byte; with the endpoint packing above, a
+/// million-connection world carries connections, not padding.
+// #[hot_struct]: one per connection
 #[derive(Debug, Clone)]
 pub struct Conn {
     /// Lifecycle phase.
     pub(crate) state: ConnState,
-    /// `[client host, server host]`.
-    pub(crate) hosts: [HostId; 2],
+    /// SYN (re)transmissions so far (bounded by
+    /// [`TcpConfig::syn_retries`], single digits).
+    pub(crate) syn_sent: u8,
+    /// Packed lifecycle booleans (`CONN_*` bits).
+    flags: u8,
     /// `[client port, server port]`.
     pub(crate) ports: [Port; 2],
+    /// `[client host, server host]`.
+    pub(crate) hosts: [HostId; 2],
     /// `[client endpoint, server endpoint]`.
     pub(crate) eps: [Endpoint; 2],
     /// Extra one-way latency for this connection's path (high-latency
@@ -186,23 +269,95 @@ pub struct Conn {
     pub(crate) extra_delay: SimDuration,
     /// The listener that spawned the server half.
     pub(crate) listener: Option<ListenerId>,
-    /// SYN (re)transmissions so far.
-    pub(crate) syn_sent: u32,
-    /// Which side closed first (owns the TIME_WAIT).
-    pub(crate) closed_first: Option<Side>,
-    /// Whether the server half was pushed to the accept queue.
-    pub(crate) accept_queued: bool,
     /// When the server half entered the accept queue (meaningful only
     /// once `accept_queued` is set; feeds the accept-wait latency span).
     pub(crate) accept_queued_at: SimTime,
-    /// Whether the server half was actually accepted by the application.
-    pub(crate) accepted: bool,
-    /// Ports already returned to their allocators (guards double-free
-    /// when an abort tombstone is later reaped by its own RST delivery).
-    pub(crate) ports_freed: bool,
 }
 
+/// [`Conn::flags`]: the server half was pushed to the accept queue.
+const CONN_ACCEPT_QUEUED: u8 = 1 << 0;
+/// [`Conn::flags`]: the server half was accepted by the application.
+const CONN_ACCEPTED: u8 = 1 << 1;
+/// [`Conn::flags`]: ports already returned to their allocators (guards
+/// double-free when an abort tombstone is later reaped by its own RST
+/// delivery).
+const CONN_PORTS_FREED: u8 = 1 << 2;
+/// [`Conn::flags`]: some side has closed first (owns the TIME_WAIT).
+const CONN_CLOSED_FIRST: u8 = 1 << 3;
+/// [`Conn::flags`]: the first closer was the server side (meaningful
+/// only with [`CONN_CLOSED_FIRST`]).
+const CONN_CLOSED_FIRST_SERVER: u8 = 1 << 4;
+
 impl Conn {
+    /// Creates a fresh `SynSent` connection (`[client, server]` order
+    /// for `hosts` and `ports`).
+    pub(crate) fn new(
+        hosts: [HostId; 2],
+        ports: [Port; 2],
+        extra_delay: SimDuration,
+        now: SimTime,
+    ) -> Conn {
+        Conn {
+            state: ConnState::SynSent,
+            syn_sent: 0,
+            flags: 0,
+            ports,
+            hosts,
+            eps: [Endpoint::new(now), Endpoint::new(now)],
+            extra_delay,
+            listener: None,
+            accept_queued_at: SimTime::ZERO,
+        }
+    }
+
+    pub(crate) fn accept_queued(&self) -> bool {
+        self.flags & CONN_ACCEPT_QUEUED != 0
+    }
+
+    pub(crate) fn set_accept_queued(&mut self, v: bool) {
+        self.set_flag(CONN_ACCEPT_QUEUED, v);
+    }
+
+    pub(crate) fn accepted(&self) -> bool {
+        self.flags & CONN_ACCEPTED != 0
+    }
+
+    pub(crate) fn set_accepted(&mut self, v: bool) {
+        self.set_flag(CONN_ACCEPTED, v);
+    }
+
+    pub(crate) fn ports_freed(&self) -> bool {
+        self.flags & CONN_PORTS_FREED != 0
+    }
+
+    pub(crate) fn set_ports_freed(&mut self, v: bool) {
+        self.set_flag(CONN_PORTS_FREED, v);
+    }
+
+    /// Which side closed first (owns the TIME_WAIT), if any yet.
+    pub(crate) fn closed_first(&self) -> Option<Side> {
+        if self.flags & CONN_CLOSED_FIRST == 0 {
+            None
+        } else if self.flags & CONN_CLOSED_FIRST_SERVER != 0 {
+            Some(Side::Server)
+        } else {
+            Some(Side::Client)
+        }
+    }
+
+    pub(crate) fn set_closed_first(&mut self, side: Side) {
+        self.flags |= CONN_CLOSED_FIRST;
+        self.set_flag(CONN_CLOSED_FIRST_SERVER, side == Side::Server);
+    }
+
+    fn set_flag(&mut self, bit: u8, v: bool) {
+        if v {
+            self.flags |= bit;
+        } else {
+            self.flags &= !bit;
+        }
+    }
+
     pub(crate) fn ep(&self, side: Side) -> &Endpoint {
         &self.eps[side.index()]
     }

@@ -474,3 +474,64 @@ fn send_after_close_fails() {
     net.close(now, client_ep).unwrap();
     assert!(net.send(now, client_ep, b"late").is_err());
 }
+
+#[test]
+fn conn_ids_near_u32_max_work_end_to_end() {
+    // The id → slot map is paged and sparse; handles at the top of the
+    // u32 range must behave exactly like handles at the bottom, without
+    // densifying 2^32 slots.
+    let mut net = network();
+    net.set_next_conn_id(u32::MAX - 2);
+    let listener = net.listen(SERVER, 80, 128).unwrap();
+    let mut eps = Vec::new();
+    for _ in 0..2 {
+        let conn = net
+            .connect(
+                SimTime::ZERO,
+                CLIENT,
+                SockAddr::new(SERVER, 80),
+                SimDuration::ZERO,
+            )
+            .unwrap();
+        assert!(conn.0 >= u32::MAX - 2, "ids must start at the seeded top");
+        eps.push(EndpointId::new(conn, Side::Client));
+    }
+    let (_, mut now) = run(&mut net, SimTime::from_millis(50));
+    let server_eps = [net.accept(listener).unwrap(), net.accept(listener).unwrap()];
+
+    // Data still flows on both high-id connections.
+    for (client_ep, server_ep) in eps.iter().zip(server_eps) {
+        let req = b"GET / HTTP/1.0\r\n\r\n";
+        assert_eq!(net.send(now, *client_ep, req).unwrap(), req.len());
+        let (events, t) = run(&mut net, now + SimDuration::from_millis(50));
+        now = t;
+        assert!(events.contains(&NetNotify::Readable { ep: server_ep }));
+        assert_eq!(net.recv(now, server_ep, 4096).unwrap(), req);
+    }
+
+    // Sparse top-of-range ids must not cost top-of-range memory. The
+    // paged map pays one pointer per page span (~a few MB of directory
+    // at 2^32) plus one 32 KB page per touched span — not the tens of
+    // gigabytes a dense `Vec<Option<Conn>>` over 2^32 ids would cost.
+    assert!(
+        net.conn_mem_bytes() < 64 << 20,
+        "sparse high ids must stay paged: {} bytes",
+        net.conn_mem_bytes()
+    );
+}
+
+#[test]
+#[should_panic(expected = "invariant: connection id space")]
+fn conn_id_exhaustion_fails_loudly_not_silently() {
+    // Wrapping onto a live handle would corrupt the id → slot map; the
+    // allocator must abort instead of wrapping.
+    let mut net = network();
+    net.listen(SERVER, 80, 128).unwrap();
+    net.set_next_conn_id(u32::MAX);
+    let _ = net.connect(
+        SimTime::ZERO,
+        CLIENT,
+        SockAddr::new(SERVER, 80),
+        SimDuration::ZERO,
+    );
+}

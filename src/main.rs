@@ -25,6 +25,7 @@ struct Opts {
     loss: f64,
     doc_bytes: Option<usize>,
     bursty: bool,
+    mem: bool,
     trace: Vec<String>,
     json: bool,
     jobs: Option<usize>,
@@ -42,6 +43,7 @@ impl Default for Opts {
             loss: 0.0,
             doc_bytes: None,
             bursty: false,
+            mem: false,
             trace: Vec::new(),
             json: false,
             jobs: None,
@@ -78,6 +80,9 @@ fn usage() -> ! {
            --trace CATS      comma-separated event-trace categories:\n\
                              devpoll,rtsig,tcp,sched or all (printed after\n\
                              the run)\n\
+           --mem             stats: include the mem.* gauge family\n\
+                             (server/client footprint bytes, peak\n\
+                             concurrent connections, EMFILE rejections)\n\
            --json            stats: emit JSON lines instead of the table\n\
            --trace-export D  timeline: write trace.json (Chrome trace)\n\
                              and trace.folded (flamegraph input) into\n\
@@ -130,6 +135,9 @@ fn params(kind: ServerKind, opts: &Opts, rate: f64) -> RunParams {
             duty: 0.25,
         };
     }
+    if opts.mem {
+        p = p.with_mem_probes();
+    }
     p
 }
 
@@ -172,6 +180,7 @@ fn main() {
             "--loss" => opts.loss = val().parse().unwrap_or_else(|_| usage()),
             "--doc-bytes" => opts.doc_bytes = Some(val().parse().unwrap_or_else(|_| usage())),
             "--bursty" => opts.bursty = true,
+            "--mem" => opts.mem = true,
             "--trace" => {
                 let cats = val();
                 opts.trace.extend(cats.split(',').map(str::to_string));
